@@ -1,0 +1,88 @@
+// Command cstealopt queries the exact cycle-stealing game solver: the
+// optimal guaranteed output W(p)[U], the optimal episode-schedule, and how
+// the closed forms of the paper compare.
+//
+// Usage:
+//
+//	cstealopt -U 3600 -p 2 -c 5
+//	cstealopt -U 3600 -p 2 -c 5 -schedule   # also dump the optimal periods
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cyclesteal"
+)
+
+func main() {
+	var (
+		U        = flag.Float64("U", 3600, "usable lifespan (time units)")
+		p        = flag.Int("p", 1, "interrupt bound")
+		c        = flag.Float64("c", 5, "per-period setup cost (time units)")
+		ticks    = flag.Int("ticks", 100, "grid resolution: ticks per setup cost")
+		schedule = flag.Bool("schedule", false, "print the optimal episode-schedule")
+	)
+	flag.Parse()
+
+	eng, err := cyclesteal.New(cyclesteal.Opportunity{Lifespan: *U, Interrupts: *p, Setup: *c},
+		cyclesteal.WithTicksPerSetup(*ticks))
+	if err != nil {
+		fatal(err)
+	}
+
+	pred := eng.Predict()
+	fmt.Printf("opportunity: U=%g, p=%d, c=%g (U/c = %.1f)\n", *U, *p, *c, *U / *c)
+	if pred.ZeroWork {
+		fmt.Println("zero-work regime: U ≤ (p+1)c — no schedule can guarantee any output (Prop 4.1(c))")
+	}
+
+	opt, err := eng.OptimalWork()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("optimal guaranteed output W(%d)[U]:  %.4g  (%.2f%% of lifespan)\n", *p, opt, 100*opt / *U)
+	fmt.Printf("equalization prediction U−K_p√(2cU): %.4g\n", pred.AdaptiveWork)
+	fmt.Printf("§3.1 non-adaptive guideline:         %.4g  (m=%d periods of %.4g)\n",
+		pred.NonAdaptiveWork, pred.NonAdaptivePeriods, pred.NonAdaptivePeriodLength)
+	if *p == 1 {
+		fmt.Printf("Table 2 closed form U−√(2cU)−c/2:    %.4g\n", pred.OptimalP1Work)
+	}
+
+	for _, row := range []struct {
+		name  string
+		build func() (cyclesteal.Scheduler, error)
+	}{
+		{"adaptive-equalized", eng.AdaptiveEqualized},
+		{"adaptive-guideline (§3.2)", eng.AdaptiveGuideline},
+		{"optimal-p1 (§5.2)", eng.OptimalP1},
+		{"non-adaptive (§3.1)", eng.NonAdaptive},
+	} {
+		s, err := row.build()
+		if err != nil {
+			fatal(err)
+		}
+		w, err := eng.GuaranteedWork(s)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("  %-28s guarantees %.4g (gap %.4g)\n", row.name, w, opt-w)
+	}
+
+	if *schedule {
+		periods, err := eng.OptimalSchedule()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("optimal episode-schedule (%d periods):\n", len(periods))
+		for i, t := range periods {
+			fmt.Printf("  t_%-3d %.4g\n", i+1, t)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cstealopt:", err)
+	os.Exit(1)
+}

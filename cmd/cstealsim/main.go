@@ -1,0 +1,148 @@
+// Command cstealsim simulates cycle-stealing opportunities: one schedule,
+// one owner temperament, optional data-parallel task bag, repeated trials
+// with summary statistics.
+//
+// Usage:
+//
+//	cstealsim -U 3600 -p 2 -c 5 -sched equalized -adv poisson -trials 100
+//	cstealsim -sched nonadaptive -adv worst          # minimax replay
+//	cstealsim -sched equalized -tasks 500 -tasksize 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cyclesteal"
+	"cyclesteal/internal/stats"
+)
+
+func main() {
+	var (
+		U        = flag.Float64("U", 3600, "usable lifespan (time units)")
+		p        = flag.Int("p", 2, "interrupt bound")
+		c        = flag.Float64("c", 5, "per-period setup cost (time units)")
+		schedStr = flag.String("sched", "equalized", "schedule: equalized, guideline, optimalp1, nonadaptive, optimal, single, equalsplit, fixedchunk")
+		advStr   = flag.String("adv", "poisson", "owner: worst, greedy, last, poisson, random, periodic, none")
+		trials   = flag.Int("trials", 100, "number of simulated opportunities")
+		seed     = flag.Int64("seed", 1, "rng seed")
+		nTasks   = flag.Int("tasks", 0, "attach a bag of this many tasks (0 = fluid only)")
+		taskSize = flag.Float64("tasksize", 10, "task duration (time units)")
+	)
+	flag.Parse()
+
+	eng, err := cyclesteal.New(cyclesteal.Opportunity{Lifespan: *U, Interrupts: *p, Setup: *c})
+	if err != nil {
+		fatal(err)
+	}
+	s, err := buildScheduler(eng, *schedStr, *U, *c)
+	if err != nil {
+		fatal(err)
+	}
+
+	floor, err := eng.GuaranteedWork(s)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("schedule %s: guaranteed output %.4g of lifespan %g\n", *schedStr, floor, *U)
+
+	var opts cyclesteal.SimOptions
+	if *nTasks > 0 {
+		opts.TaskDurations = make([]float64, *nTasks)
+		for i := range opts.TaskDurations {
+			opts.TaskDurations[i] = *taskSize
+		}
+	}
+
+	works := make([]float64, 0, *trials)
+	taskWorks := make([]float64, 0, *trials)
+	interrupts, exhausted := 0, 0
+	for i := 0; i < *trials; i++ {
+		adv, err := buildAdversary(eng, s, *advStr, *U, *seed+int64(i))
+		if err != nil {
+			fatal(err)
+		}
+		res, err := eng.Simulate(s, adv, opts)
+		if err != nil {
+			fatal(err)
+		}
+		works = append(works, res.Work)
+		taskWorks = append(taskWorks, res.TaskWork)
+		interrupts += res.Interrupts
+		if *nTasks > 0 && res.TasksRemaining == 0 {
+			exhausted++
+		}
+	}
+
+	sum := stats.Summarize(works)
+	fmt.Printf("owner %s over %d trials: work %s\n", *advStr, *trials, sum)
+	fmt.Printf("  floor check: min observed %.4g ≥ guaranteed %.4g: %v\n", sum.Min, floor, sum.Min >= floor-1e-9)
+	fmt.Printf("  interrupts per opportunity: %.2f\n", float64(interrupts)/float64(*trials))
+	if *nTasks > 0 {
+		ts := stats.Summarize(taskWorks)
+		if exhausted == *trials {
+			fmt.Printf("  task-granular work: %s (bag exhausted every trial — add tasks to measure packing loss)\n", ts)
+		} else {
+			fmt.Printf("  task-granular work: %s (packing loss %.2f%%; bag exhausted in %d/%d trials)\n",
+				ts, 100*(1-safeDiv(ts.Mean, sum.Mean)), exhausted, *trials)
+		}
+	}
+}
+
+func buildScheduler(eng *cyclesteal.Engine, name string, U, c float64) (cyclesteal.Scheduler, error) {
+	switch name {
+	case "equalized":
+		return eng.AdaptiveEqualized()
+	case "guideline":
+		return eng.AdaptiveGuideline()
+	case "optimalp1":
+		return eng.OptimalP1()
+	case "nonadaptive":
+		return eng.NonAdaptive()
+	case "optimal":
+		return eng.Optimal()
+	case "single":
+		return eng.SinglePeriod(), nil
+	case "equalsplit":
+		return eng.EqualSplit(10), nil
+	case "fixedchunk":
+		return eng.FixedChunk(U / 20), nil
+	default:
+		return nil, fmt.Errorf("unknown schedule %q", name)
+	}
+}
+
+func buildAdversary(eng *cyclesteal.Engine, s cyclesteal.Scheduler, name string, U float64, seed int64) (cyclesteal.Adversary, error) {
+	switch name {
+	case "worst":
+		_, adv, err := eng.WorstCase(s)
+		return adv, err
+	case "greedy":
+		return eng.GreedyAdversary(), nil
+	case "last":
+		return eng.LastPeriodAdversary(), nil
+	case "poisson":
+		return eng.PoissonAdversary(U/3, seed), nil
+	case "random":
+		return eng.RandomAdversary(0.7, seed), nil
+	case "periodic":
+		return eng.PeriodicAdversary(U / 3.3), nil
+	case "none":
+		return eng.NoAdversary(), nil
+	default:
+		return nil, fmt.Errorf("unknown adversary %q", name)
+	}
+}
+
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cstealsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,113 @@
+// Command cstealsweep computes the exact optimal guaranteed output W(p)[U]
+// over a (U, p) grid, solving cells concurrently on a worker pool — the bulk
+// parameter-study entry point backing capacity-planning questions like "how
+// does the guarantee scale as owners get twitchier?".
+//
+// Usage:
+//
+//	cstealsweep -c 100 -ratios 100,1000,10000 -ps 1,2,4 -workers 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"cyclesteal/internal/game"
+	"cyclesteal/internal/quant"
+	"cyclesteal/internal/tab"
+	"cyclesteal/internal/theory"
+)
+
+func main() {
+	var (
+		c       = flag.Int64("c", 100, "setup cost in ticks (grid resolution)")
+		ratios  = flag.String("ratios", "100,1000,10000", "comma-separated U/c ratios")
+		ps      = flag.String("ps", "1,2,4", "comma-separated interrupt bounds")
+		workers = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		format  = flag.String("format", "text", "output format: text, csv, or json")
+	)
+	flag.Parse()
+
+	rs, err := parseTicks(*ratios)
+	if err != nil {
+		fatal(err)
+	}
+	pl, err := parseInts(*ps)
+	if err != nil {
+		fatal(err)
+	}
+	us := make([]quant.Tick, len(rs))
+	for i, r := range rs {
+		us[i] = r * quant.Tick(*c)
+	}
+
+	points := game.Grid(us, pl, quant.Tick(*c))
+	results := game.Sweep(points, *workers)
+
+	t := tab.New(
+		fmt.Sprintf("optimal guaranteed output W(p)[U] (c = %d ticks; %d cells)", *c, len(points)),
+		"p", "U/c", "W/c", "W/U %", "deficit coeff", "K_p",
+	)
+	for _, res := range results {
+		if res.Err != nil {
+			fatal(res.Err)
+		}
+		uf, cf := float64(res.U), float64(res.C)
+		deficit := (uf - float64(res.Value)) / math.Sqrt(2*cf*uf)
+		t.Row(res.P, res.U/res.C,
+			float64(res.Value)/cf,
+			100*float64(res.Value)/uf,
+			deficit,
+			theory.OptimalDeficitCoefficient(res.P),
+		)
+	}
+	t.Note("deficit coeff = (U−W)/√(2cU); K_p is the equalization prediction it converges to")
+	switch *format {
+	case "text":
+		err = t.WriteText(os.Stdout)
+	case "csv":
+		err = t.WriteCSV(os.Stdout)
+	case "json":
+		err = t.WriteJSON(os.Stdout)
+	default:
+		err = fmt.Errorf("unknown format %q", *format)
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func parseTicks(s string) ([]quant.Tick, error) {
+	parts := strings.Split(s, ",")
+	out := make([]quant.Tick, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseInt(strings.TrimSpace(p), 10, 64)
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad ratio %q", p)
+		}
+		out = append(out, quant.Tick(v))
+	}
+	return out, nil
+}
+
+func parseInts(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("bad interrupt bound %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cstealsweep:", err)
+	os.Exit(1)
+}

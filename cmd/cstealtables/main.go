@@ -1,0 +1,83 @@
+// Command cstealtables regenerates the paper's evaluation artifacts — Table
+// 1, Table 2, and every figure-equivalent claim series (experiments E1–E10 of
+// DESIGN.md) — and prints them as text, CSV, or JSON.
+//
+// Usage:
+//
+//	cstealtables                      # run every experiment, text output
+//	cstealtables -experiment table2   # one experiment
+//	cstealtables -list                # list experiment IDs
+//	cstealtables -format csv          # machine-readable output
+//	cstealtables -c 50 -seed 7        # grid resolution / Monte-Carlo seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cyclesteal/internal/experiments"
+	"cyclesteal/internal/quant"
+	"cyclesteal/internal/tab"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "", "experiment ID to run (default: all)")
+		format     = flag.String("format", "text", "output format: text, csv, or json")
+		list       = flag.Bool("list", false, "list experiment IDs and exit")
+		c          = flag.Int64("c", 100, "grid resolution: ticks per setup cost")
+		seed       = flag.Int64("seed", 1, "seed for Monte-Carlo experiments")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-20s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	cfg := experiments.Config{C: quant.Tick(*c), Seed: *seed}
+	var selected []experiments.Experiment
+	if *experiment == "" {
+		selected = experiments.All()
+	} else {
+		e, err := experiments.Lookup(*experiment)
+		if err != nil {
+			fatal(err)
+		}
+		selected = []experiments.Experiment{e}
+	}
+
+	for i, e := range selected {
+		table, err := e.Run(cfg)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", e.ID, err))
+		}
+		if err := emit(table, *format, i > 0); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func emit(t *tab.Table, format string, separator bool) error {
+	if separator && format == "text" {
+		fmt.Println()
+	}
+	switch format {
+	case "text":
+		return t.WriteText(os.Stdout)
+	case "csv":
+		return t.WriteCSV(os.Stdout)
+	case "json":
+		return t.WriteJSON(os.Stdout)
+	default:
+		return fmt.Errorf("unknown format %q (want text, csv, or json)", format)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cstealtables:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,77 @@
+// Command nowtrace generates synthetic NOW availability traces — the
+// stand-in for the workstation-usage logs a 1990s cluster deployment would
+// collect — and prints summary statistics or the raw CSV.
+//
+// Usage:
+//
+//	nowtrace -stations 20 -per 50 -owner office > trace.csv
+//	nowtrace -stations 20 -per 50 -owner laptop -summary
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cyclesteal/internal/now"
+	"cyclesteal/internal/quant"
+	"cyclesteal/internal/stats"
+)
+
+func main() {
+	var (
+		stations = flag.Int("stations", 10, "number of workstations")
+		per      = flag.Int("per", 20, "opportunities per station")
+		owner    = flag.String("owner", "office", "owner model: office, laptop, overnight")
+		mean     = flag.Float64("meanreturn", 2000, "mean owner-return spacing (ticks)")
+		seed     = flag.Int64("seed", 1, "rng seed")
+		summary  = flag.Bool("summary", false, "print summary statistics instead of CSV")
+	)
+	flag.Parse()
+
+	var model now.OwnerModel
+	switch *owner {
+	case "office":
+		model = now.Office{MeanIdle: 5000, MaxP: 3}
+	case "laptop":
+		model = now.Laptop{MeanIdle: 2000}
+	case "overnight":
+		model = now.Overnight{Window: 30000}
+	default:
+		fatal(fmt.Errorf("unknown owner model %q", *owner))
+	}
+
+	ws := make([]now.Workstation, *stations)
+	for i := range ws {
+		ws[i] = now.Workstation{ID: i, Owner: model, Setup: 100}
+	}
+	trace := now.GenerateTrace(ws, *per, *mean, *seed)
+	if err := now.ValidateTrace(trace); err != nil {
+		fatal(err)
+	}
+
+	if !*summary {
+		if err := now.WriteTraceCSV(os.Stdout, trace); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	lifespans := make([]float64, 0, len(trace))
+	var totalInterrupts int
+	var totalLifespan quant.Tick
+	for _, e := range trace {
+		lifespans = append(lifespans, float64(e.U))
+		totalInterrupts += len(e.Interrupts)
+		totalLifespan += e.U
+	}
+	fmt.Printf("owner model: %s; %d stations × %d opportunities\n", model.Name(), *stations, *per)
+	fmt.Printf("lifespans: %s\n", stats.Summarize(lifespans))
+	fmt.Printf("total lifespan: %d ticks; interrupts: %d (%.3f per opportunity)\n",
+		totalLifespan, totalInterrupts, float64(totalInterrupts)/float64(len(trace)))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nowtrace:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,242 @@
+package cyclesteal
+
+import (
+	"math"
+	"testing"
+)
+
+func engine(t *testing.T, o Opportunity, opts ...Option) *Engine {
+	t.Helper()
+	e, err := New(o, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Opportunity{Lifespan: 0, Interrupts: 1, Setup: 1}); err == nil {
+		t.Error("U=0 accepted")
+	}
+	if _, err := New(Opportunity{Lifespan: 10, Interrupts: -1, Setup: 1}); err == nil {
+		t.Error("p<0 accepted")
+	}
+	if _, err := New(Opportunity{Lifespan: 10, Interrupts: 1, Setup: 0}); err == nil {
+		t.Error("c=0 accepted")
+	}
+	if _, err := New(Opportunity{Lifespan: 10, Interrupts: 1, Setup: 1}, WithTicksPerSetup(0)); err == nil {
+		t.Error("bad resolution accepted")
+	}
+}
+
+func TestTickGridMapping(t *testing.T) {
+	e := engine(t, Opportunity{Lifespan: 3600, Interrupts: 1, Setup: 5}, WithTicksPerSetup(50))
+	U, c := e.Ticks()
+	if c != 50 {
+		t.Errorf("c = %d ticks, want 50", c)
+	}
+	if U != 36000 { // 3600/5 × 50
+		t.Errorf("U = %d ticks, want 36000", U)
+	}
+	if got := e.Units(c); math.Abs(got-5) > 1e-9 {
+		t.Errorf("Units(c) = %g, want 5", got)
+	}
+	if got := e.Opportunity().Lifespan; got != 3600 {
+		t.Errorf("Opportunity lost: %g", got)
+	}
+}
+
+func TestGuaranteedWorkOrdering(t *testing.T) {
+	e := engine(t, Opportunity{Lifespan: 2000, Interrupts: 2, Setup: 2}, WithTicksPerSetup(50))
+	eq, err := e.AdaptiveEqualized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	na, err := e.NonAdaptive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wEq, err := e.GuaranteedWork(eq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wNa, err := e.GuaranteedWork(na)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wSp, err := e.GuaranteedWork(e.SinglePeriod())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := e.OptimalWork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(wSp == 0 && wNa > 0 && wEq > wNa && opt >= wEq) {
+		t.Errorf("ordering violated: single=%g < nonadaptive=%g < equalized=%g ≤ optimal=%g", wSp, wNa, wEq, opt)
+	}
+	// The optimum must be close to the K_p prediction.
+	pred := e.Predict()
+	if math.Abs(opt-pred.AdaptiveWork) > 0.05*pred.AdaptiveWork {
+		t.Errorf("optimal %g strays from prediction %g", opt, pred.AdaptiveWork)
+	}
+}
+
+func TestOptimalScheduleShape(t *testing.T) {
+	e := engine(t, Opportunity{Lifespan: 1000, Interrupts: 1, Setup: 1})
+	periods, err := e.OptimalSchedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, p := range periods {
+		sum += p
+	}
+	if math.Abs(sum-1000) > 0.1 {
+		t.Errorf("optimal schedule sums to %g, want 1000", sum)
+	}
+	// ≈ √(2·1000) ≈ 45 periods.
+	if len(periods) < 35 || len(periods) > 55 {
+		t.Errorf("m = %d, want ≈ 45", len(periods))
+	}
+}
+
+func TestEpisodeInspection(t *testing.T) {
+	e := engine(t, Opportunity{Lifespan: 500, Interrupts: 1, Setup: 1})
+	op1, err := e.OptimalP1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep := e.Episode(op1)
+	if len(ep) == 0 {
+		t.Fatal("empty episode")
+	}
+	var sum float64
+	for _, p := range ep {
+		sum += p
+	}
+	if math.Abs(sum-500) > 0.1 {
+		t.Errorf("episode sums to %g", sum)
+	}
+}
+
+func TestWorstCaseReplay(t *testing.T) {
+	e := engine(t, Opportunity{Lifespan: 600, Interrupts: 2, Setup: 1})
+	g, err := e.AdaptiveGuideline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	floor, adv, err := e.WorstCase(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Simulate(g, adv, SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Work-floor) > 1e-9 {
+		t.Errorf("replay %g ≠ floor %g", res.Work, floor)
+	}
+	if res.Interrupts == 0 {
+		t.Error("worst case used no interrupts against an interruptible schedule")
+	}
+}
+
+func TestSimulateAgainstStochasticOwners(t *testing.T) {
+	e := engine(t, Opportunity{Lifespan: 1000, Interrupts: 2, Setup: 2})
+	eq, err := e.AdaptiveEqualized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	floor, err := e.GuaranteedWork(eq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, adv := range map[string]Adversary{
+		"none":     e.NoAdversary(),
+		"last":     e.LastPeriodAdversary(),
+		"greedy":   e.GreedyAdversary(),
+		"poisson":  e.PoissonAdversary(300, 7),
+		"random":   e.RandomAdversary(0.8, 8),
+		"periodic": e.PeriodicAdversary(333),
+	} {
+		res, err := e.Simulate(eq, adv, SimOptions{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Work < floor-1e-9 {
+			t.Errorf("%s: realized %g below guaranteed floor %g", name, res.Work, floor)
+		}
+		total := res.Work + res.SetupTime + res.KilledTime + res.IdleTime
+		if math.Abs(total-1000) > 0.5 {
+			t.Errorf("%s: lifespan conservation broken: %g", name, total)
+		}
+	}
+}
+
+func TestSimulateWithTasks(t *testing.T) {
+	e := engine(t, Opportunity{Lifespan: 800, Interrupts: 1, Setup: 4})
+	eq, err := e.AdaptiveEqualized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	durations := make([]float64, 100)
+	for i := range durations {
+		durations[i] = 6
+	}
+	res, err := e.Simulate(eq, e.GreedyAdversary(), SimOptions{TaskDurations: durations})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TasksCompleted == 0 {
+		t.Fatal("no tasks completed")
+	}
+	if res.TasksCompleted+res.TasksRemaining != 100 {
+		t.Errorf("tasks leaked: %d + %d ≠ 100", res.TasksCompleted, res.TasksRemaining)
+	}
+	if res.TaskWork > res.Work+1e-9 {
+		t.Errorf("task work %g exceeds fluid work %g", res.TaskWork, res.Work)
+	}
+}
+
+func TestPredictions(t *testing.T) {
+	e := engine(t, Opportunity{Lifespan: 10000, Interrupts: 1, Setup: 1})
+	p := e.Predict()
+	if p.ZeroWork {
+		t.Error("large opportunity flagged zero-work")
+	}
+	// Table 2: W ≈ U − √(2U) − ½.
+	want := 10000 - math.Sqrt(20000) - 0.5
+	if math.Abs(p.OptimalP1Work-want) > 1e-9 {
+		t.Errorf("OptimalP1Work = %g, want %g", p.OptimalP1Work, want)
+	}
+	if math.Abs(p.AdaptiveWork-(10000-math.Sqrt(20000))) > 1 {
+		t.Errorf("AdaptiveWork = %g (K_1 = 1)", p.AdaptiveWork)
+	}
+	if p.DeficitRatio < 1.3 || p.DeficitRatio > 1.5 {
+		t.Errorf("DeficitRatio = %g, want ≈ √2", p.DeficitRatio)
+	}
+	if p.NonAdaptivePeriods != 100 || math.Abs(p.NonAdaptivePeriodLength-100) > 1e-9 {
+		t.Errorf("non-adaptive parameters: m=%d t=%g, want 100/100", p.NonAdaptivePeriods, p.NonAdaptivePeriodLength)
+	}
+	tiny := engine(t, Opportunity{Lifespan: 1.5, Interrupts: 2, Setup: 1})
+	if !tiny.Predict().ZeroWork {
+		t.Error("U ≤ (p+1)c not flagged zero-work")
+	}
+}
+
+func TestFixedChunkAndEqualSplit(t *testing.T) {
+	e := engine(t, Opportunity{Lifespan: 100, Interrupts: 1, Setup: 1})
+	fc := e.FixedChunk(10)
+	ep := e.Episode(fc)
+	if len(ep) != 10 {
+		t.Errorf("fixed 10-unit chunks over 100 units: %d periods", len(ep))
+	}
+	es := e.EqualSplit(4)
+	if got := e.Episode(es); len(got) != 4 {
+		t.Errorf("equal split: %d periods", len(got))
+	}
+	if e.FixedChunk(0) == nil {
+		t.Error("degenerate chunk should clamp, not nil")
+	}
+}

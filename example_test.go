@@ -1,0 +1,74 @@
+package cyclesteal_test
+
+import (
+	"fmt"
+	"log"
+
+	"cyclesteal"
+)
+
+// The basic flow: describe the opportunity, pick a schedule, learn the work
+// you are guaranteed no matter when the owner interrupts.
+func Example() {
+	eng, err := cyclesteal.New(cyclesteal.Opportunity{
+		Lifespan:   10000, // time units of borrowed workstation
+		Interrupts: 1,     // the owner may reclaim it once
+		Setup:      1,     // cost of each work hand-off
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	naive, err := eng.GuaranteedWork(eng.SinglePeriod())
+	if err != nil {
+		log.Fatal(err)
+	}
+	s, err := eng.AdaptiveEqualized()
+	if err != nil {
+		log.Fatal(err)
+	}
+	smart, err := eng.GuaranteedWork(s)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("one long job guarantees %.0f; the paper's schedule guarantees %.0f\n", naive, smart)
+	// Output:
+	// one long job guarantees 0; the paper's schedule guarantees 9858
+}
+
+// Predictions come straight from the paper's closed forms, before any
+// solving: Table 2's W ≈ U − √(2cU) − c/2 at p = 1.
+func ExampleEngine_Predict() {
+	eng, err := cyclesteal.New(cyclesteal.Opportunity{Lifespan: 10000, Interrupts: 1, Setup: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	p := eng.Predict()
+	fmt.Printf("optimal ≈ %.1f; non-adaptive guideline: %d periods of %.0f\n",
+		p.OptimalP1Work, p.NonAdaptivePeriods, p.NonAdaptivePeriodLength)
+	// Output:
+	// optimal ≈ 9858.1; non-adaptive guideline: 100 periods of 100
+}
+
+// The exact worst case is replayable: extract the minimax adversary and run
+// it through the simulator; the realized work equals the guaranteed floor.
+func ExampleEngine_WorstCase() {
+	eng, err := cyclesteal.New(cyclesteal.Opportunity{Lifespan: 600, Interrupts: 2, Setup: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	s, err := eng.AdaptiveEqualized()
+	if err != nil {
+		log.Fatal(err)
+	}
+	floor, adversary, err := eng.WorstCase(s)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := eng.Simulate(s, adversary, cyclesteal.SimOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("floor %.2f, replayed %.2f, interrupts used %d\n", floor, res.Work, res.Interrupts)
+	// Output:
+	// floor 520.00, replayed 520.00, interrupts used 2
+}

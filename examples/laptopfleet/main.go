@@ -1,0 +1,93 @@
+// Laptopfleet: cluster-scale cycle-stealing — the NOW of the paper's title.
+// A department has 24 machines: offices, laptops that can be unplugged at
+// any moment, and lab machines lent overnight. A shared bag of data-parallel
+// tasks is farmed out to whatever idle time each owner offers.
+//
+// This example drives the library's NOW substrate (internal/now) directly:
+// stations run concurrently on a worker pool, each with its own deterministic
+// rng, and the fleet is scored under two scheduling policies — fixed hourly
+// chunks vs the paper's adaptive equalization schedule.
+//
+// Run: go run ./examples/laptopfleet
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cyclesteal/internal/model"
+	"cyclesteal/internal/now"
+	"cyclesteal/internal/quant"
+	"cyclesteal/internal/sched"
+	"cyclesteal/internal/task"
+)
+
+func main() {
+	const setup = quant.Tick(100) // one setup cost = 100 ticks
+
+	// Assemble the fleet: 8 offices, 12 laptops, 4 overnight lab machines.
+	var stations []now.Workstation
+	add := func(n int, owner now.OwnerModel) {
+		for i := 0; i < n; i++ {
+			stations = append(stations, now.Workstation{ID: len(stations), Owner: owner, Setup: setup})
+		}
+	}
+	add(8, now.Office{MeanIdle: 360 * setup, MaxP: 3})
+	add(12, now.Laptop{MeanIdle: 120 * setup})
+	add(4, now.Overnight{Window: 2880 * setup})
+
+	fleet := now.Fleet{Stations: stations, OpportunitiesPerStation: 20}
+
+	policies := []struct {
+		name    string
+		factory now.SchedulerFactory
+	}{
+		{"fixed 36c chunks", func(ws now.Workstation, c now.Contract) (model.EpisodeScheduler, error) {
+			return sched.FixedChunk{T: 36 * ws.Setup}, nil
+		}},
+		{"§3.1 non-adaptive", func(ws now.Workstation, c now.Contract) (model.EpisodeScheduler, error) {
+			return sched.NewNonAdaptive(c.U, c.P, ws.Setup)
+		}},
+		{"adaptive equalized", func(ws now.Workstation, c now.Contract) (model.EpisodeScheduler, error) {
+			return sched.NewAdaptiveEqualized(ws.Setup)
+		}},
+	}
+
+	runFleet := func(f now.Fleet, label string) {
+		fmt.Printf("%s\n", label)
+		fmt.Printf("%-22s %14s %12s %12s %10s\n", "policy", "work (ticks)", "utilization", "tasks done", "interrupts")
+		for _, policy := range policies {
+			res, err := f.Run(policy.factory, 2024, func(ws now.Workstation) *task.Bag {
+				return task.NewBag(task.Exponential(5000, float64(8*setup), int64(ws.ID)))
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			var interrupts int
+			for _, s := range res.Stations {
+				interrupts += s.Interrupts
+			}
+			fmt.Printf("%-22s %14d %11.1f%% %12d %10d\n",
+				policy.name, res.Work, 100*res.Utilization(), res.Tasks, interrupts)
+		}
+		fmt.Println()
+	}
+
+	fmt.Printf("fleet: %d stations × 20 opportunities each (c = %d ticks)\n\n", len(stations), setup)
+	runFleet(fleet, "benign owners (interrupts placed by their daily routines):")
+
+	// The same fleet with owners who interrupt as damagingly as they can —
+	// the guaranteed-output regime the paper optimizes for.
+	hostile := make([]now.Workstation, len(stations))
+	for i, ws := range stations {
+		hostile[i] = ws
+		hostile[i].Owner = now.Malicious{Base: ws.Owner, Setup: ws.Setup}
+	}
+	runFleet(now.Fleet{Stations: hostile, OpportunitiesPerStation: 20},
+		"malicious owners (same contracts, worst-timed interrupts):")
+
+	fmt.Println("reading the tables: under benign owners every sensible chunking lands within")
+	fmt.Println("~1% — the insurance of guaranteed-output scheduling is nearly free. Under")
+	fmt.Println("worst-timed interrupts the adaptive equalization policy keeps the most work,")
+	fmt.Println("capping each loss at ≈√(2c·residual) — the paper's guarantee in action.")
+}

@@ -1,0 +1,94 @@
+// Quickstart: schedule one cycle-stealing opportunity and see why the
+// paper's schedules matter.
+//
+// Scenario: a colleague lends you their workstation for an hour (3600 s)
+// while they're in meetings. They might come back early — up to twice — and
+// when they do, whatever is running dies (the draconian contract). Every
+// work hand-off costs 5 s of communication setup. How much computation can
+// you *guarantee*, no matter how inconveniently they return?
+//
+// Run: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cyclesteal"
+)
+
+func main() {
+	eng, err := cyclesteal.New(cyclesteal.Opportunity{
+		Lifespan:   3600, // seconds of borrowed time
+		Interrupts: 2,    // owner may reclaim twice
+		Setup:      5,    // seconds per work hand-off
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// What the theory predicts before touching the solver.
+	pred := eng.Predict()
+	fmt.Printf("predictions: optimal ≈ %.0f s of the 3600 s lifespan; naive big chunks lose √2× more\n\n",
+		pred.AdaptiveWork)
+
+	// The naive plan: run everything as one job. The owner kills it at the
+	// last instant — guaranteed output zero.
+	naive, err := eng.GuaranteedWork(eng.SinglePeriod())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-28s guarantees %7.1f s\n", "one long job", naive)
+
+	// The paper's schedules.
+	for _, s := range []struct {
+		name  string
+		build func() (cyclesteal.Scheduler, error)
+	}{
+		{"non-adaptive (§3.1)", eng.NonAdaptive},
+		{"adaptive guideline (§3.2)", eng.AdaptiveGuideline},
+		{"adaptive equalized (Thm 4.3)", eng.AdaptiveEqualized},
+	} {
+		sch, err := s.build()
+		if err != nil {
+			log.Fatal(err)
+		}
+		w, err := eng.GuaranteedWork(sch)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-28s guarantees %7.1f s\n", s.name, w)
+	}
+
+	// The exact optimum, from the game solver.
+	opt, err := eng.OptimalWork()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-28s guarantees %7.1f s\n\n", "exact optimum W(2)[U]", opt)
+
+	// Watch the worst case actually happen: extract the minimax adversary
+	// and replay it through the simulator.
+	eq, err := eng.AdaptiveEqualized()
+	if err != nil {
+		log.Fatal(err)
+	}
+	floor, worst, err := eng.WorstCase(eq)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := eng.Simulate(eq, worst, cyclesteal.SimOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("worst-case replay of the equalized schedule:\n")
+	fmt.Printf("  banked %.1f s (floor %.1f s) across %d episodes; %d interrupts destroyed %.1f s; %.1f s went to setups\n",
+		res.Work, floor, res.Episodes, res.Interrupts, res.KilledTime, res.SetupTime)
+
+	// And a friendly owner for contrast.
+	friendly, err := eng.Simulate(eq, eng.PoissonAdversary(1800, 42), cyclesteal.SimOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("same schedule, easygoing owner: banked %.1f s\n", friendly.Work)
+}

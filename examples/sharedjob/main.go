@@ -1,0 +1,78 @@
+// Sharedjob: one data-parallel computation farmed across a whole NOW — the
+// full setting of the paper's title. A genomics group has 40,000 sequence-
+// alignment tasks and no cluster budget; they steal cycles from 16 machines
+// whose owners come and go. Stations drain one shared bag concurrently;
+// killed periods return their in-flight tasks to the bag so another machine
+// can pick them up.
+//
+// The example compares period-sizing policies by job completion and by how
+// much borrowed lifespan interrupts destroyed — the farm-level view of the
+// paper's guarantee.
+//
+// Run: go run ./examples/sharedjob
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cyclesteal/internal/farm"
+	"cyclesteal/internal/model"
+	"cyclesteal/internal/now"
+	"cyclesteal/internal/quant"
+	"cyclesteal/internal/sched"
+	"cyclesteal/internal/task"
+)
+
+func main() {
+	const setup = quant.Tick(100)
+
+	var stations []now.Workstation
+	for i := 0; i < 10; i++ {
+		stations = append(stations, now.Workstation{ID: i, Owner: now.Office{MeanIdle: 250 * setup, MaxP: 2}, Setup: setup})
+	}
+	for i := 10; i < 16; i++ {
+		stations = append(stations, now.Workstation{ID: i, Owner: now.Laptop{MeanIdle: 100 * setup}, Setup: setup})
+	}
+
+	// 40k alignment tasks, exponentially distributed around 2c.
+	job := farm.Job{Tasks: task.Exponential(40000, float64(2*setup), 99)}
+	fmt.Printf("job: %d tasks, %d ticks of work; fleet: %d stations (c = %d ticks)\n\n",
+		len(job.Tasks), job.TotalWork(), len(stations), setup)
+
+	policies := []struct {
+		name    string
+		factory now.SchedulerFactory
+	}{
+		{"one period per visit", func(ws now.Workstation, c now.Contract) (model.EpisodeScheduler, error) {
+			return sched.SinglePeriod{}, nil
+		}},
+		{"fixed 25c chunks", func(ws now.Workstation, c now.Contract) (model.EpisodeScheduler, error) {
+			return sched.FixedChunk{T: 25 * ws.Setup}, nil
+		}},
+		{"adaptive equalized", func(ws now.Workstation, c now.Contract) (model.EpisodeScheduler, error) {
+			return sched.NewAdaptiveEqualized(ws.Setup)
+		}},
+	}
+
+	fmt.Printf("%-22s %12s %12s %12s %12s %10s\n",
+		"policy", "tasks done", "completion", "killed(c)", "interrupts", "imbalance")
+	for _, p := range policies {
+		f := farm.Farm{Stations: stations, OpportunitiesPerStation: 40}
+		res, err := f.Run(job, p.factory, 2026)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var killed quant.Tick
+		for _, s := range res.Stations {
+			killed += s.KilledTicks
+		}
+		fmt.Printf("%-22s %12d %11.1f%% %12d %12d %10.2f\n",
+			p.name, res.TasksCompleted, 100*res.CompletionFraction(job),
+			killed/setup, res.Interrupts, res.Imbalance())
+	}
+
+	fmt.Println("\nsingle-period visits lose whole opportunities to one badly timed interrupt;")
+	fmt.Println("the adaptive schedule caps every loss at ≈√(2c·residual), so the same fleet")
+	fmt.Println("finishes more of the job with the same borrowed time.")
+}

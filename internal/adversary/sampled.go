@@ -1,0 +1,72 @@
+package adversary
+
+import (
+	"math"
+	"math/rand"
+
+	"cyclesteal/internal/model"
+	"cyclesteal/internal/quant"
+)
+
+// SampledWorst approximates the malicious adversary on instances too large
+// for the exact minimax evaluator: at each episode it considers K candidate
+// interrupt placements — every period boundary if the episode is short,
+// otherwise a random sample of boundaries — scores each by the p = 1
+// equalization damage t_k + k·c plus a √(2c·residual) estimate of future
+// leverage, and fires at the worst. Its damage lower-bounds the exact
+// adversary's, so realized work under SampledWorst upper-bounds the true
+// guaranteed work; tests sandwich it between the exact floor and the benign
+// ceiling.
+type SampledWorst struct {
+	Rng *rand.Rand
+	C   quant.Tick
+	K   int // candidate placements per episode (default 32)
+}
+
+// NextInterrupt implements the simulator's Interrupter contract.
+func (s *SampledWorst) NextInterrupt(p int, L quant.Tick, ep model.TickSchedule) (quant.Tick, bool) {
+	if p <= 0 || len(ep) == 0 {
+		return 0, false
+	}
+	k := s.K
+	if k <= 0 {
+		k = 32
+	}
+	prefix := ep.PrefixSums()
+	m := len(ep)
+
+	damage := func(idx int) float64 {
+		// Killing period idx (0-based) costs its length plus the setup of
+		// every completed period before it, and leaves the scheduler facing
+		// the √-law deficit on the residual.
+		residual := L - prefix[idx+1]
+		d := float64(ep[idx]) + float64(idx+1)*float64(s.C)
+		if p > 1 && residual > 0 {
+			d += math.Sqrt(2 * float64(s.C) * float64(residual))
+		}
+		return d
+	}
+
+	bestIdx := -1
+	bestDamage := 0.0
+	consider := func(idx int) {
+		if d := damage(idx); bestIdx < 0 || d > bestDamage {
+			bestIdx, bestDamage = idx, d
+		}
+	}
+	if m <= k {
+		for idx := 0; idx < m; idx++ {
+			consider(idx)
+		}
+	} else {
+		consider(0)     // the longest period in the paper's schedules
+		consider(m - 1) // the last-instant classic
+		for i := 0; i < k-2; i++ {
+			consider(s.Rng.Intn(m))
+		}
+	}
+	return prefix[bestIdx+1], true
+}
+
+// Name labels the strategy in experiment tables.
+func (s *SampledWorst) Name() string { return "sampled-worst" }

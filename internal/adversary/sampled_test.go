@@ -1,0 +1,121 @@
+package adversary
+
+import (
+	"math/rand"
+	"testing"
+
+	"cyclesteal/internal/game"
+	"cyclesteal/internal/model"
+	"cyclesteal/internal/quant"
+	"cyclesteal/internal/sched"
+	"cyclesteal/internal/sim"
+)
+
+func TestSampledWorstContract(t *testing.T) {
+	s := &SampledWorst{Rng: rand.New(rand.NewSource(1)), C: 10}
+	ep := model.TickSchedule{300, 200, 100}
+	at, ok := s.NextInterrupt(2, 1000, ep)
+	if !ok {
+		t.Fatal("did not interrupt")
+	}
+	// Must fire at a period boundary within the episode.
+	valid := map[quant.Tick]bool{300: true, 500: true, 600: true}
+	if !valid[at] {
+		t.Errorf("offset %d is not a period boundary", at)
+	}
+	if _, ok := s.NextInterrupt(0, 1000, ep); ok {
+		t.Error("interrupted with no budget")
+	}
+	if _, ok := s.NextInterrupt(1, 1000, nil); ok {
+		t.Error("interrupted an empty episode")
+	}
+	if s.Name() == "" {
+		t.Error("empty name")
+	}
+}
+
+func TestSampledWorstSamplesLongEpisodes(t *testing.T) {
+	s := &SampledWorst{Rng: rand.New(rand.NewSource(2)), C: 10, K: 8}
+	ep := make(model.TickSchedule, 200)
+	for i := range ep {
+		ep[i] = 50
+	}
+	prefix := ep.PrefixSums()
+	at, ok := s.NextInterrupt(1, ep.Total(), ep)
+	if !ok {
+		t.Fatal("did not interrupt")
+	}
+	found := false
+	for _, b := range prefix[1:] {
+		if at == b {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("offset %d not on a boundary", at)
+	}
+}
+
+// Sandwich: realized work under SampledWorst lies between the exact
+// guaranteed floor and the uninterrupted ceiling, and for the non-adaptive
+// guideline at p = 1 it should land close to the floor (the heuristic's
+// damage currency is exact there).
+func TestSampledWorstSandwich(t *testing.T) {
+	c := quant.Tick(10)
+	U := quant.Tick(10000)
+	na, err := sched.NewNonAdaptive(U, 1, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	floor, err := game.Evaluate(na, 1, U, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ceiling, err := game.Evaluate(na, 0, U, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adv := &SampledWorst{Rng: rand.New(rand.NewSource(3)), C: c}
+	res, err := sim.Run(na, adv, sim.Opportunity{U: U, P: 1, C: c}, sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Work < floor || res.Work > ceiling {
+		t.Fatalf("realized %d outside [floor %d, ceiling %d]", res.Work, floor, ceiling)
+	}
+	// Equal periods ⇒ the exact best kill is among the heuristic's
+	// candidates: expect the floor within a period's worth.
+	if res.Work > floor+U/quant.Tick(na.M()) {
+		t.Errorf("heuristic left too much on the table: %d vs floor %d", res.Work, floor)
+	}
+}
+
+// Against the equalized schedule, more candidates can only help (weakly):
+// K = all boundaries should do at least as much damage as K = 2 on average.
+func TestSampledWorstMoreCandidatesMoreDamage(t *testing.T) {
+	c := quant.Tick(10)
+	U := quant.Tick(20000)
+	eq, err := sched.NewAdaptiveEqualized(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := func(k int, seed int64) float64 {
+		var sum float64
+		const trials = 40
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < trials; i++ {
+			adv := &SampledWorst{Rng: rng, C: c, K: k}
+			res, err := sim.Run(eq, adv, sim.Opportunity{U: U, P: 2, C: c}, sim.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += float64(res.Work)
+		}
+		return sum / trials
+	}
+	few := mean(2, 5)
+	many := mean(1000, 5) // covers every boundary
+	if many > few+1 {
+		t.Errorf("full-coverage adversary (%g) did less damage than 2-sample (%g)", many, few)
+	}
+}

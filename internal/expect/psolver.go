@@ -1,0 +1,158 @@
+package expect
+
+import (
+	"fmt"
+	"math"
+
+	"cyclesteal/internal/model"
+	"cyclesteal/internal/quant"
+)
+
+// PSolver solves the *multi-interrupt* expected-output model: the exact
+// stochastic mirror of the guaranteed-output game. The owner returns with
+// memoryless per-tick probability q while at most p returns remain; a return
+// kills the period in progress (draconian), consumes no lifespan, and the
+// opportunity continues adaptively with one fewer return outstanding:
+//
+//	E(0, L) = L ⊖ c
+//	E(p, L) = max_t [ (1−q)^t·((t ⊖ c) + E(p, L−t))
+//	                  + Σ_{j=1..t} q(1−q)^{j−1}·E(p−1, L−j) ]
+//
+// Replacing nature (the Σ term, an expectation over placements) with an
+// adversary (a minimum over placements) recovers exactly the recursion of
+// internal/game — so E(p, L) ≥ W(p)[L] for every state, which the tests
+// assert across modules. This is the reproduction's stand-in for the
+// companion paper's expected-output submodel [9], extended to p interrupts.
+type PSolver struct {
+	c quant.Tick
+	u quant.Tick
+	p int
+	q float64
+	e [][]float64
+}
+
+// SolveExpectedP builds the expected-output tables for up to P owner returns
+// with per-tick return probability q ∈ [0, 1).
+func SolveExpectedP(P int, U, c quant.Tick, q float64) (*PSolver, error) {
+	if P < 0 || U < 0 || c < 1 || q < 0 || q >= 1 {
+		return nil, fmt.Errorf("expect: bad parameters P=%d U=%d c=%d q=%g", P, U, c, q)
+	}
+	if entries := (int64(P) + 1) * (int64(U) + 1); entries > 1<<26 {
+		return nil, fmt.Errorf("expect: table would need %d entries; coarsen the quantum", entries)
+	}
+	s := &PSolver{c: c, u: U, p: P, q: q, e: make([][]float64, P+1)}
+	for i := range s.e {
+		s.e[i] = make([]float64, U+1)
+	}
+	for L := quant.Tick(0); L <= U; L++ {
+		s.e[0][L] = float64(quant.PosSub(L, c))
+	}
+	if q == 0 {
+		// No risk: every level is the single long period.
+		for p := 1; p <= P; p++ {
+			copy(s.e[p], s.e[0])
+		}
+		return s, nil
+	}
+	// Beyond ~40 half-lives the survival factor is numerically dead; the
+	// residual tail of the interrupted-sum is equally negligible.
+	window := quant.Tick(math.Ceil(40/q)) + 2*c
+	for p := 1; p <= P; p++ {
+		for L := quant.Tick(1); L <= U; L++ {
+			tmax := L
+			if tmax > window {
+				tmax = window
+			}
+			best := 0.0
+			surv := 1.0   // (1−q)^t as t grows
+			intSum := 0.0 // Σ_{j≤t} q(1−q)^{j−1} E(p−1, L−j)
+			for t := quant.Tick(1); t <= tmax; t++ {
+				intSum += s.q * surv * s.e[p-1][L-t] // j = t term uses (1−q)^{t−1}
+				surv *= 1 - s.q
+				v := surv*(float64(quant.PosSub(t, s.c))+s.e[p][L-t]) + intSum
+				if v > best {
+					best = v
+				}
+			}
+			s.e[p][L] = best
+		}
+	}
+	return s, nil
+}
+
+// Value returns E(p, L).
+func (s *PSolver) Value(p int, L quant.Tick) float64 {
+	if p < 0 || p > s.p || L < 0 || L > s.u {
+		panic(fmt.Sprintf("expect: Value(%d, %d) outside solved range p≤%d L≤%d", p, L, s.p, s.u))
+	}
+	return s.e[p][L]
+}
+
+// FirstPeriod returns the maximizing first period at (p, L), recomputed on
+// demand (the tables store only values).
+func (s *PSolver) FirstPeriod(p int, L quant.Tick) quant.Tick {
+	if p <= 0 || L < 1 {
+		return L
+	}
+	if p > s.p {
+		p = s.p
+	}
+	if s.q == 0 {
+		return L
+	}
+	window := quant.Tick(math.Ceil(40/s.q)) + 2*s.c
+	tmax := L
+	if tmax > window {
+		tmax = window
+	}
+	best, bestT := -1.0, L
+	surv := 1.0
+	intSum := 0.0
+	for t := quant.Tick(1); t <= tmax; t++ {
+		intSum += s.q * surv * s.e[p-1][L-t]
+		surv *= 1 - s.q
+		v := surv*(float64(quant.PosSub(t, s.c))+s.e[p][L-t]) + intSum
+		if v > best {
+			best, bestT = v, t
+		}
+	}
+	return bestT
+}
+
+// Episode extracts the expected-optimal episode at (p, L) by following
+// FirstPeriod greedily (valid because completing a period yields the same
+// state the extraction assumes).
+func (s *PSolver) Episode(p int, L quant.Tick) model.TickSchedule {
+	if L < 1 {
+		return nil
+	}
+	var out model.TickSchedule
+	for L > 0 {
+		t := s.FirstPeriod(p, L)
+		if t < 1 {
+			t = L
+		}
+		out = append(out, t)
+		L -= t
+	}
+	return out
+}
+
+// Scheduler adapts the solver to the adaptive scheduling interface.
+func (s *PSolver) Scheduler() model.EpisodeScheduler {
+	return pScheduler{s}
+}
+
+type pScheduler struct{ s *PSolver }
+
+func (p pScheduler) Episode(q int, L quant.Tick) model.TickSchedule {
+	if L > p.s.u {
+		L = p.s.u
+	}
+	if q > p.s.p {
+		q = p.s.p
+	}
+	return p.s.Episode(q, L)
+}
+
+func (p pScheduler) Name() string { return "expected-optimal-p" }

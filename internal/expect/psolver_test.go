@@ -1,0 +1,199 @@
+package expect
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cyclesteal/internal/adversary"
+	"cyclesteal/internal/game"
+	"cyclesteal/internal/quant"
+	"cyclesteal/internal/sim"
+	"cyclesteal/internal/stats"
+)
+
+func TestSolveExpectedPValidation(t *testing.T) {
+	if _, err := SolveExpectedP(-1, 100, 10, 0.01); err == nil {
+		t.Error("P<0 accepted")
+	}
+	if _, err := SolveExpectedP(1, 100, 0, 0.01); err == nil {
+		t.Error("c=0 accepted")
+	}
+	if _, err := SolveExpectedP(1, 100, 10, 1.0); err == nil {
+		t.Error("q=1 accepted")
+	}
+	if _, err := SolveExpectedP(1, 100, 10, -0.1); err == nil {
+		t.Error("q<0 accepted")
+	}
+	if _, err := SolveExpectedP(1<<14, 1<<14, 10, 0.01); err == nil {
+		t.Error("oversized table accepted")
+	}
+}
+
+func TestPSolverZeroRisk(t *testing.T) {
+	s, err := SolveExpectedP(3, 500, 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p <= 3; p++ {
+		for _, L := range []quant.Tick{0, 5, 100, 500} {
+			if got, want := s.Value(p, L), float64(quant.PosSub(L, 10)); got != want {
+				t.Errorf("q=0: E(%d,%d) = %g, want %g", p, L, got, want)
+			}
+		}
+	}
+	if got := s.FirstPeriod(2, 400); got != 400 {
+		t.Errorf("q=0 first period = %d, want the whole residual", got)
+	}
+}
+
+func TestPSolverP0IsDeterministic(t *testing.T) {
+	s, err := SolveExpectedP(2, 300, 10, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for L := quant.Tick(0); L <= 300; L++ {
+		if got, want := s.Value(0, L), float64(quant.PosSub(L, 10)); got != want {
+			t.Fatalf("E(0,%d) = %g, want %g", L, got, want)
+		}
+	}
+}
+
+func TestPSolverMonotone(t *testing.T) {
+	s, err := SolveExpectedP(3, 1000, 10, 0.005)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p <= 3; p++ {
+		for L := quant.Tick(1); L <= 1000; L++ {
+			if s.Value(p, L) < s.Value(p, L-1)-1e-9 {
+				t.Fatalf("E(%d,·) decreased at %d", p, L)
+			}
+		}
+	}
+	// More outstanding returns = more risk: E decreasing in p.
+	for p := 1; p <= 3; p++ {
+		for L := quant.Tick(0); L <= 1000; L += 9 {
+			if s.Value(p, L) > s.Value(p-1, L)+1e-9 {
+				t.Fatalf("E(%d,%d) = %g > E(%d,%d) = %g", p, L, s.Value(p, L), p-1, L, s.Value(p-1, L))
+			}
+		}
+	}
+}
+
+// Cross-module: expectation over random placements dominates the minimum
+// over adversarial placements, state by state.
+func TestExpectedDominatesGuaranteed(t *testing.T) {
+	U, c := quant.Tick(2000), quant.Tick(10)
+	es, err := SolveExpectedP(2, U, c, 0.002)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs, err := game.Solve(2, U, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p <= 2; p++ {
+		for L := quant.Tick(0); L <= U; L += 13 {
+			if es.Value(p, L) < float64(gs.Value(p, L))-1e-6 {
+				t.Fatalf("E(%d,%d) = %g below guaranteed optimum %d", p, L, es.Value(p, L), gs.Value(p, L))
+			}
+		}
+	}
+}
+
+func TestPSolverEpisodeSums(t *testing.T) {
+	s, err := SolveExpectedP(2, 3000, 10, 0.003)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, L := range []quant.Tick{1, 50, 777, 3000} {
+		ep := s.Episode(2, L)
+		if ep.Total() != L {
+			t.Errorf("L=%d: episode totals %d", L, ep.Total())
+		}
+	}
+	if s.Episode(1, 0) != nil {
+		t.Error("L=0 should be nil")
+	}
+}
+
+// The DP value is validated against Monte-Carlo: simulate the extracted
+// policy under the exact process it optimizes for (memoryless returns,
+// budget p) and check the sample mean brackets the predicted expectation.
+func TestPSolverMatchesMonteCarlo(t *testing.T) {
+	U, c := quant.Tick(1500), quant.Tick(10)
+	q := 0.004
+	P := 2
+	s, err := SolveExpectedP(P, U, c, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	policy := s.Scheduler()
+	rng := rand.New(rand.NewSource(17))
+	var works []float64
+	const trials = 1500
+	for i := 0; i < trials; i++ {
+		// Geometric inter-arrival with per-tick probability q is an
+		// exponential of mean 1/q up to discretization.
+		adv := &adversary.Poisson{Rng: rng, Mean: 1 / q}
+		res, err := sim.Run(policy, adv, sim.Opportunity{U: U, P: P, C: c}, sim.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		works = append(works, float64(res.Work))
+	}
+	sum := stats.Summarize(works)
+	want := s.Value(P, U)
+	// Allow the CI plus a small discretization bias (geometric vs rounded
+	// exponential arrivals).
+	slack := 4*sum.SE + 0.01*want
+	if math.Abs(sum.Mean-want) > slack {
+		t.Errorf("Monte-Carlo mean %g vs DP expectation %g (slack %g)", sum.Mean, want, slack)
+	}
+}
+
+func TestPSolverValuePanics(t *testing.T) {
+	s, err := SolveExpectedP(1, 100, 10, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	s.Value(2, 50)
+}
+
+func TestPSchedulerClamps(t *testing.T) {
+	s, err := SolveExpectedP(1, 500, 10, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep := s.Scheduler().Episode(5, 9999)
+	if ep.Total() != 500 {
+		t.Errorf("clamped episode totals %d", ep.Total())
+	}
+}
+
+// Risk shortens periods: the expected-optimal first period shrinks as q
+// grows, and with interrupts outstanding it is shorter than the residual.
+func TestPSolverPeriodShrinksWithRisk(t *testing.T) {
+	U, c := quant.Tick(2000), quant.Tick(10)
+	var prev quant.Tick = math.MaxInt64
+	for _, q := range []float64{0.001, 0.005, 0.02} {
+		s, err := SolveExpectedP(1, U, c, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t1 := s.FirstPeriod(1, U)
+		if t1 >= prev {
+			t.Errorf("q=%g: first period %d did not shrink (prev %d)", q, t1, prev)
+		}
+		if t1 >= U {
+			t.Errorf("q=%g: no hedging at all", q)
+		}
+		prev = t1
+	}
+}

@@ -1,0 +1,101 @@
+// Package experiments regenerates every evaluation artifact of the paper —
+// Table 1, Table 2, and the quantitative claims of §3.1, §5.1–5.2 and
+// Prop. 4.1 — plus the ablations DESIGN.md commits to. Each driver returns a
+// tab.Table; cmd/cstealtables prints them and bench_test.go wraps them as
+// benchmarks. EXPERIMENTS.md records paper-vs-measured for each.
+package experiments
+
+import (
+	"fmt"
+
+	"cyclesteal/internal/quant"
+	"cyclesteal/internal/tab"
+)
+
+// Config carries the grid parameters shared by all experiments. Times are in
+// ticks; C is both the setup cost and the grid resolution (c ticks per setup
+// cost — the natural unit of the model, in which every result is a function
+// of U/c and p).
+type Config struct {
+	C    quant.Tick // setup cost in ticks (default 100)
+	Seed int64      // rng seed for Monte-Carlo experiments
+}
+
+// DefaultConfig returns the configuration used throughout EXPERIMENTS.md.
+func DefaultConfig() Config { return Config{C: 100, Seed: 1} }
+
+func (c Config) normalize() Config {
+	if c.C < 1 {
+		c.C = 100
+	}
+	return c
+}
+
+// Experiment pairs an identifier with its driver, for the CLI registry.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(Config) (*tab.Table, error)
+}
+
+// All returns every experiment in DESIGN.md order, with default shapes.
+func All() []Experiment {
+	return []Experiment{
+		{"table1", "E1: Table 1 — consequences of the adversary's options", func(c Config) (*tab.Table, error) {
+			return Table1(c, 2000*c.normalize().C, 2)
+		}},
+		{"table2", "E2: Table 2 — parameter values for p = 1", func(c Config) (*tab.Table, error) {
+			return Table2(c, []quant.Tick{100, 1000, 10000, 30000})
+		}},
+		{"nonadaptive", "E3: §3.1 — non-adaptive guideline analysis", func(c Config) (*tab.Table, error) {
+			return NonAdaptiveAnalysis(c, []int{1, 2, 4, 8}, []quant.Tick{100, 1000, 10000, 100000})
+		}},
+		{"equalization", "E4: Thm 5.1 — adaptive deficits and the K_p recursion", func(c Config) (*tab.Table, error) {
+			return EqualizationStudy(c, 6, []quant.Tick{1000, 10000})
+		}},
+		{"optgap", "E5: §5.2 — optimality gaps at p = 1", func(c Config) (*tab.Table, error) {
+			return OptimalityGap(c, []quant.Tick{100, 1000, 10000, 30000})
+		}},
+		{"prop41", "E6: Prop 4.1 — value-table properties", func(c Config) (*tab.Table, error) {
+			return Prop41Grid(c, 4, 500*c.normalize().C)
+		}},
+		{"structure", "E7: Thm 4.2 / Obs (a) — optimal schedule structure", func(c Config) (*tab.Table, error) {
+			return OptimalStructure(c, 1000*c.normalize().C)
+		}},
+		{"guarexp", "E8: guaranteed vs expected output", func(c Config) (*tab.Table, error) {
+			return GuaranteedVsExpected(c, 500*c.normalize().C, 2, 300)
+		}},
+		{"ablation-quantum", "E9a: ablation — grid resolution", func(c Config) (*tab.Table, error) {
+			return AblationQuantum(c, []quant.Tick{10, 30, 100, 300}, 1000)
+		}},
+		{"ablation-guideline", "E9b: ablation — §3.2 design choices", func(c Config) (*tab.Table, error) {
+			return AblationGuideline(c, []int{1, 2, 3}, 2000*c.normalize().C)
+		}},
+		{"ablation-solver", "E9c: ablation — fast vs reference solver", func(c Config) (*tab.Table, error) {
+			return AblationSolver(c, []quant.Tick{200, 400, 800})
+		}},
+		{"tasks", "E10: task granularity — fluid vs packed work", func(c Config) (*tab.Table, error) {
+			cc := c.normalize().C
+			return TaskGranularity(c, 1000*cc, []quant.Tick{1, cc / 10, cc, 10 * cc, 30 * cc})
+		}},
+		{"farm", "E11: one shared job across the NOW (extension)", func(c Config) (*tab.Table, error) {
+			// Job sized to slightly exceed the fleet's effective capacity so
+			// completion fraction differentiates the policies.
+			return FarmStudy(c, 12, 30, 50000)
+		}},
+	}
+}
+
+// Lookup finds an experiment by ID.
+func Lookup(id string) (Experiment, error) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q", id)
+}
+
+// ticksPerC renders a tick quantity in units of the setup cost c, the
+// natural unit for cross-resolution comparison.
+func inC(x quant.Tick, c quant.Tick) float64 { return float64(x) / float64(c) }

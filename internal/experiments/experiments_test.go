@@ -1,0 +1,412 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+
+	"cyclesteal/internal/quant"
+)
+
+// smallCfg keeps experiment tests fast: 20 ticks per c.
+func smallCfg() Config { return Config{C: 20, Seed: 1} }
+
+func TestLookup(t *testing.T) {
+	if _, err := Lookup("table1"); err != nil {
+		t.Errorf("table1 missing: %v", err)
+	}
+	if _, err := Lookup("nope"); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	seen := map[string]bool{}
+	for _, e := range All() {
+		if e.ID == "" || e.Title == "" || e.Run == nil {
+			t.Errorf("malformed experiment %+v", e)
+		}
+		if seen[e.ID] {
+			t.Errorf("duplicate experiment ID %q", e.ID)
+		}
+		seen[e.ID] = true
+	}
+}
+
+func TestTable1EqualizationAndValue(t *testing.T) {
+	cfg := smallCfg()
+	tb, err := Table1(cfg, 500*cfg.C, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) < 5 {
+		t.Fatalf("too few rows: %d", len(tb.Rows))
+	}
+	// The notes must confirm min == game value.
+	found := false
+	for _, n := range tb.Notes {
+		if strings.Contains(n, "equal: true") {
+			found = true
+		}
+		if strings.Contains(n, "equal: false") {
+			t.Fatalf("Table 1 minimum does not match the game value: %s", n)
+		}
+	}
+	if !found {
+		t.Error("no equality note emitted")
+	}
+	// Production column (last) is ≈ constant across interrupt rows
+	// (equalization): spread within a few c of each other.
+	var lo, hi float64
+	first := true
+	for _, row := range tb.Rows {
+		if row[0] == "no interrupt" {
+			continue
+		}
+		v, err := strconv.ParseFloat(row[len(row)-1], 64)
+		if err != nil {
+			t.Fatalf("bad production cell %q", row[len(row)-1])
+		}
+		if first {
+			lo, hi = v, v
+			first = false
+		}
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi-lo > 3 { // units of c
+		t.Errorf("production column spreads %g c across interrupt options; equalization should keep it ≈ constant", hi-lo)
+	}
+}
+
+func TestTable1RejectsP0(t *testing.T) {
+	if _, err := Table1(smallCfg(), 1000, 0); err == nil {
+		t.Error("p=0 accepted")
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	tb, err := Table2(smallCfg(), []quant.Tick{100, 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 7 parameters per ratio.
+	if len(tb.Rows) != 2*7 {
+		t.Fatalf("rows = %d, want 14", len(tb.Rows))
+	}
+	// The deficit-coefficient rows must sit near 1 for the measured DP
+	// optimum at the larger ratio.
+	var coeffRow []string
+	for _, row := range tb.Rows {
+		if row[0] == "1000" && row[1] == "(U−W)/√(2cU)" {
+			coeffRow = row
+		}
+	}
+	if coeffRow == nil {
+		t.Fatal("no deficit-coefficient row for ratio 1000")
+	}
+	v, err := strconv.ParseFloat(coeffRow[3], 64)
+	if err != nil {
+		t.Fatalf("bad coefficient cell %q", coeffRow[3])
+	}
+	if v < 0.9 || v > 1.2 {
+		t.Errorf("measured p=1 deficit coefficient %g, want ≈ 1", v)
+	}
+}
+
+func TestNonAdaptiveAnalysisAdjudicates(t *testing.T) {
+	tb, err := NonAdaptiveAnalysis(smallCfg(), []int{1, 2}, []quant.Tick{1000, 10000, 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The deficit must follow the √U law: exponent ≈ 0.5 in the fit notes.
+	slopes := 0
+	for _, n := range tb.Notes {
+		var p int
+		var slope, r2 float64
+		if _, err := fmt.Sscanf(n, "p=%d: deficit scaling exponent %f (r²=%f)", &p, &slope, &r2); err == nil {
+			slopes++
+			if slope < 0.47 || slope > 0.53 {
+				t.Errorf("p=%d: deficit exponent %g, want ≈ 0.5", p, slope)
+			}
+			if r2 < 0.999 {
+				t.Errorf("p=%d: poor fit r²=%g", p, r2)
+			}
+		}
+	}
+	if slopes != 2 {
+		t.Errorf("expected 2 scaling notes, found %d", slopes)
+	}
+	// In every row, the 2√(pcU) reading must fit better than √(2pcU).
+	for _, row := range tb.Rows {
+		err2, e1 := strconv.ParseFloat(row[6], 64)
+		errRt, e2 := strconv.ParseFloat(row[7], 64)
+		if e1 != nil || e2 != nil {
+			t.Fatalf("bad error cells %v", row)
+		}
+		if err2 >= errRt {
+			t.Errorf("row %v: recomputed form (err %g%%) should beat printed form (err %g%%)", row, err2, errRt)
+		}
+		if err2 > 5 {
+			t.Errorf("row %v: recomputed form off by %g%% (> 5%%)", row, err2)
+		}
+	}
+}
+
+func TestEqualizationStudyTracksKp(t *testing.T) {
+	tb, err := EqualizationStudy(smallCfg(), 4, []quant.Tick{10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		kp, _ := strconv.ParseFloat(row[2], 64)
+		opt, _ := strconv.ParseFloat(row[4], 64)
+		eq, _ := strconv.ParseFloat(row[5], 64)
+		if opt > kp+0.15 || opt < kp-0.15 {
+			t.Errorf("p=%s: DP coefficient %g strays from K_p %g", row[0], opt, kp)
+		}
+		if eq < opt-1e-9 {
+			t.Errorf("p=%s: equalized coefficient %g below optimal %g (impossible)", row[0], eq, opt)
+		}
+		if eq > opt+0.2 {
+			t.Errorf("p=%s: equalized coefficient %g far above optimal %g", row[0], eq, opt)
+		}
+	}
+}
+
+func TestOptimalityGapOrdering(t *testing.T) {
+	tb, err := OptimalityGap(smallCfg(), []quant.Tick{1000, 10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tb.Rows {
+		wOpt, _ := strconv.ParseFloat(row[1], 64)
+		gapCf, _ := strconv.ParseFloat(row[3], 64)
+		gapEq, _ := strconv.ParseFloat(row[5], 64)
+		gapNa, _ := strconv.ParseFloat(row[9], 64)
+		single, _ := strconv.ParseFloat(row[10], 64)
+		if gapCf < 0 || gapEq < 0 || gapNa < 0 {
+			t.Errorf("row %v: negative gap — a schedule beat the optimum", row)
+		}
+		if single != 0 {
+			t.Errorf("single period guaranteed %g, want 0", single)
+		}
+		// Non-adaptive must lose more than the adaptive closed form.
+		if gapNa <= gapCf {
+			t.Errorf("row %v: non-adaptive gap %g should exceed closed-form gap %g", row, gapNa, gapCf)
+		}
+		if wOpt <= 0 {
+			t.Errorf("row %v: nonpositive optimum", row)
+		}
+	}
+}
+
+func TestProp41GridClean(t *testing.T) {
+	cfg := smallCfg()
+	tb, err := Prop41Grid(cfg, 3, 200*cfg.C)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tb.Rows {
+		if row[1] != "0" || row[2] != "0" {
+			t.Errorf("row %v: monotonicity violations reported", row)
+		}
+		if row[0] == "0" && row[6] != "0" {
+			t.Errorf("row %v: W(0) violations reported", row)
+		}
+	}
+}
+
+func TestOptimalStructure(t *testing.T) {
+	cfg := smallCfg()
+	tb, err := OptimalStructure(cfg, 500*cfg.C)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tb.Rows {
+		if row[6] != "true" {
+			t.Errorf("row %v: terminal period outside (c, 2c]", row)
+		}
+		if row[7] != "true" {
+			t.Errorf("row %v: non-productive optimal episode", row)
+		}
+	}
+	for _, n := range tb.Notes {
+		if strings.Contains(n, "equal: false") {
+			t.Errorf("Obs (a) violated: %s", n)
+		}
+	}
+}
+
+func TestGuaranteedVsExpected(t *testing.T) {
+	cfg := smallCfg()
+	tb, err := GuaranteedVsExpected(cfg, 300*cfg.C, 2, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := map[string][]string{}
+	for _, row := range tb.Rows {
+		rows[row[0]] = row
+	}
+	eq, ok := rows["adaptive-equalized"]
+	if !ok {
+		t.Fatal("equalized row missing")
+	}
+	sp, ok := rows["single-period"]
+	if !ok {
+		t.Fatal("single-period row missing")
+	}
+	eqG, _ := strconv.ParseFloat(eq[1], 64)
+	spG, _ := strconv.ParseFloat(sp[1], 64)
+	if eqG <= spG {
+		t.Errorf("equalized guaranteed %g should beat single period %g", eqG, spG)
+	}
+	// Every scheduler's Monte-Carlo mean must be ≥ its guaranteed floor.
+	for name, row := range rows {
+		g, _ := strconv.ParseFloat(row[1], 64)
+		mp, _ := strconv.ParseFloat(row[2], 64)
+		if mp < g-1e-9 {
+			t.Errorf("%s: Monte-Carlo mean %g below guaranteed floor %g", name, mp, g)
+		}
+	}
+}
+
+func TestAblationQuantumStable(t *testing.T) {
+	tb, err := AblationQuantum(smallCfg(), []quant.Tick{10, 40}, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Coefficients for the same p across resolutions stay within a band.
+	byP := map[string][]float64{}
+	for _, row := range tb.Rows {
+		v, _ := strconv.ParseFloat(row[3], 64)
+		byP[row[2]] = append(byP[row[2]], v)
+	}
+	for p, vs := range byP {
+		for i := 1; i < len(vs); i++ {
+			if d := vs[i] - vs[0]; d > 0.2 || d < -0.2 {
+				t.Errorf("p=%s: coefficient drifts across resolutions: %v", p, vs)
+			}
+		}
+	}
+}
+
+func TestAblationGuideline(t *testing.T) {
+	cfg := smallCfg()
+	tb, err := AblationGuideline(cfg, []int{1, 2}, 1000*cfg.C)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At p = 2 the α²c slope must beat the printed 4^{1−p}c slope.
+	var printed, alpha float64
+	for _, row := range tb.Rows {
+		if row[0] != "2" {
+			continue
+		}
+		v, _ := strconv.ParseFloat(row[2], 64)
+		switch row[1] {
+		case "printed δ=4^{1−p}c":
+			printed = v
+		case "slope α_p²·c":
+			alpha = v
+		}
+	}
+	if printed == 0 || alpha == 0 {
+		t.Fatal("missing ablation rows")
+	}
+	if alpha >= printed {
+		t.Errorf("α²c slope coefficient %g should beat printed slope %g at p=2", alpha, printed)
+	}
+}
+
+func TestAblationSolverEqual(t *testing.T) {
+	tb, err := AblationSolver(smallCfg(), []quant.Tick{150, 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tb.Rows {
+		if row[3] != "true" {
+			t.Errorf("row %v: solvers disagree", row)
+		}
+	}
+}
+
+func TestTaskGranularityLossGrows(t *testing.T) {
+	cfg := smallCfg()
+	tb, err := TaskGranularity(cfg, 500*cfg.C, []quant.Tick{1, cfg.C, 10 * cfg.C})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var losses []float64
+	for _, row := range tb.Rows {
+		fluid, _ := strconv.ParseFloat(row[1], 64)
+		taskW, _ := strconv.ParseFloat(row[2], 64)
+		loss, _ := strconv.ParseFloat(row[4], 64)
+		if taskW > fluid+1e-9 {
+			t.Errorf("row %v: task work exceeds fluid work", row)
+		}
+		losses = append(losses, loss)
+	}
+	if losses[0] > 2 {
+		t.Errorf("tiny tasks should pack with ≈no loss, got %g%%", losses[0])
+	}
+	if losses[len(losses)-1] <= losses[0] {
+		t.Errorf("loss should grow with task size: %v", losses)
+	}
+}
+
+func TestAllExperimentsRunSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long: runs every registered experiment")
+	}
+	cfg := Config{C: 10, Seed: 1}
+	for _, e := range All() {
+		tb, err := e.Run(cfg)
+		if err != nil {
+			t.Errorf("%s: %v", e.ID, err)
+			continue
+		}
+		if tb == nil || len(tb.Rows) == 0 {
+			t.Errorf("%s: empty table", e.ID)
+		}
+		if tb.Render() == "" {
+			t.Errorf("%s: empty render", e.ID)
+		}
+	}
+}
+
+func TestFarmStudy(t *testing.T) {
+	cfg := smallCfg()
+	// Job sized beyond the fleet's capacity so completion differentiates.
+	tb, err := FarmStudy(cfg, 6, 5, 8000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(tb.Rows))
+	}
+	var single, adaptive float64
+	for _, row := range tb.Rows {
+		comp, err := strconv.ParseFloat(row[2], 64)
+		if err != nil {
+			t.Fatalf("bad completion cell %q", row[2])
+		}
+		if comp < 0 || comp > 100 {
+			t.Errorf("row %v: completion %g%% out of range", row, comp)
+		}
+		switch row[0] {
+		case "single-period":
+			single = comp
+		case "adaptive equalized":
+			adaptive = comp
+		}
+	}
+	if adaptive <= single {
+		t.Errorf("adaptive completion %g%% should beat single-period %g%%", adaptive, single)
+	}
+}

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+
+	"cyclesteal/internal/farm"
+	"cyclesteal/internal/model"
+	"cyclesteal/internal/now"
+	"cyclesteal/internal/quant"
+	"cyclesteal/internal/sched"
+	"cyclesteal/internal/tab"
+	"cyclesteal/internal/task"
+)
+
+// FarmStudy is experiment E11 (an extension beyond the paper's single-
+// workstation analysis): one shared data-parallel job farmed across a NOW,
+// comparing period-sizing policies by job completion, lifespan destroyed by
+// kills, and load balance. It closes the loop on the paper's title — the
+// per-opportunity guarantees of §3–5 compose into fleet-level throughput.
+func FarmStudy(cfg Config, stations, opportunitiesPer int, jobTasks int) (*tab.Table, error) {
+	cfg = cfg.normalize()
+	c := cfg.C
+
+	fleet := make([]now.Workstation, stations)
+	for i := range fleet {
+		switch i % 3 {
+		case 0:
+			fleet[i] = now.Workstation{ID: i, Owner: now.Office{MeanIdle: 250 * c, MaxP: 2}, Setup: c}
+		case 1:
+			fleet[i] = now.Workstation{ID: i, Owner: now.Laptop{MeanIdle: 100 * c}, Setup: c}
+		default:
+			fleet[i] = now.Workstation{ID: i, Owner: now.Overnight{Window: 400 * c}, Setup: c}
+		}
+	}
+	job := farm.Job{Tasks: task.Exponential(jobTasks, float64(2*c), cfg.Seed)}
+
+	policies := []struct {
+		name    string
+		factory now.SchedulerFactory
+	}{
+		{"single-period", func(ws now.Workstation, ct now.Contract) (model.EpisodeScheduler, error) {
+			return sched.SinglePeriod{}, nil
+		}},
+		{"fixed-chunk 25c", func(ws now.Workstation, ct now.Contract) (model.EpisodeScheduler, error) {
+			return sched.FixedChunk{T: 25 * ws.Setup}, nil
+		}},
+		{"non-adaptive §3.1", func(ws now.Workstation, ct now.Contract) (model.EpisodeScheduler, error) {
+			return sched.NewNonAdaptive(ct.U, ct.P, ws.Setup)
+		}},
+		{"adaptive equalized", func(ws now.Workstation, ct now.Contract) (model.EpisodeScheduler, error) {
+			return sched.NewAdaptiveEqualized(ws.Setup)
+		}},
+	}
+
+	t := tab.New(
+		fmt.Sprintf("E11: shared job across a NOW (%d stations, %d tasks ≈ %s·c of work, c = %d ticks)",
+			stations, jobTasks, tab.FormatFloat(inC(job.TotalWork(), c)), c),
+		"policy", "tasks done", "completion %", "killed/c", "interrupts", "imbalance",
+	)
+	for _, p := range policies {
+		f := farm.Farm{Stations: fleet, OpportunitiesPerStation: opportunitiesPer}
+		res, err := f.Run(job, p.factory, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		var killed quant.Tick
+		for _, s := range res.Stations {
+			killed += s.KilledTicks
+		}
+		t.Row(p.name,
+			res.TasksCompleted,
+			100*res.CompletionFraction(job),
+			inC(killed, c),
+			res.Interrupts,
+			res.Imbalance(),
+		)
+	}
+	t.Note("killed/c = borrowed lifespan destroyed by draconian interrupts, in setup-cost units")
+	t.Note("against stochastic owners the period-sized policies tie within ~1%% while the single period forfeits whole visits;")
+	t.Note("the adaptive schedule's distinguishing edge is its worst-case floor (E4/E5), bought at no expected-throughput cost (E8)")
+	return t, nil
+}

@@ -1,0 +1,15 @@
+package experiments
+
+import (
+	"cyclesteal/internal/game"
+	"cyclesteal/internal/model"
+	"cyclesteal/internal/quant"
+	"cyclesteal/internal/sim"
+	"cyclesteal/internal/task"
+)
+
+// simulateWithBag replays a recorded best-response adversary through the
+// simulator with a task bag attached.
+func simulateWithBag(s model.EpisodeScheduler, br *game.BestResponse, U quant.Tick, p int, c quant.Tick, bag *task.Bag) (sim.Result, error) {
+	return sim.Run(s, br, sim.Opportunity{U: U, P: p, C: c}, sim.Config{Bag: bag})
+}

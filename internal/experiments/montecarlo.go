@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cyclesteal/internal/adversary"
+	"cyclesteal/internal/expect"
+	"cyclesteal/internal/game"
+	"cyclesteal/internal/model"
+	"cyclesteal/internal/quant"
+	"cyclesteal/internal/sched"
+	"cyclesteal/internal/sim"
+	"cyclesteal/internal/stats"
+	"cyclesteal/internal/tab"
+)
+
+// GuaranteedVsExpected is experiment E8: the two submodels side by side. Each
+// scheduler is scored on (a) its guaranteed output against the minimax
+// adversary and (b) its Monte-Carlo mean against benign stochastic owners.
+// The guaranteed-output schedules give up a little expected yield to buy a
+// dramatically better floor; the expected-optimal schedule (companion
+// submodel, internal/expect) and the single long period are fragile.
+func GuaranteedVsExpected(cfg Config, U quant.Tick, p int, trials int) (*tab.Table, error) {
+	cfg = cfg.normalize()
+	c := cfg.C
+	if trials < 1 {
+		trials = 100
+	}
+	lambda := 3.0 / float64(U) // mean owner return ≈ U/3
+
+	eq, err := sched.NewAdaptiveEqualized(c)
+	if err != nil {
+		return nil, err
+	}
+	ag, err := sched.NewAdaptiveGuideline(c)
+	if err != nil {
+		return nil, err
+	}
+	na, err := sched.NewNonAdaptive(U, p, c)
+	if err != nil {
+		return nil, err
+	}
+	es, err := expect.SolveExpected(U, c, lambda)
+	if err != nil {
+		return nil, err
+	}
+	schedulers := []model.EpisodeScheduler{
+		eq, ag, na, es.Scheduler(), sched.SinglePeriod{}, sched.EqualSplit{M: 10},
+	}
+
+	t := tab.New(
+		fmt.Sprintf("E8: guaranteed vs expected output (U/c = %s, p = %d, λ = 3/U, %d trials, c = %d ticks; units of c)",
+			tab.FormatFloat(inC(U, c)), p, trials, c),
+		"scheduler", "guaranteed", "mean vs poisson", "±95%", "mean vs random", "±95%", "min observed",
+	)
+	for _, s := range schedulers {
+		guaranteed, err := game.Evaluate(s, p, U, c)
+		if err != nil {
+			return nil, err
+		}
+		poisson, err := monteCarlo(s, U, p, c, trials, func(rng *rand.Rand) sim.Interrupter {
+			return &adversary.Poisson{Rng: rng, Mean: 1 / lambda}
+		}, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		random, err := monteCarlo(s, U, p, c, trials, func(rng *rand.Rand) sim.Interrupter {
+			return &adversary.Random{Rng: rng, Prob: 0.7}
+		}, cfg.Seed+1)
+		if err != nil {
+			return nil, err
+		}
+		minObs := poisson.Min
+		if random.Min < minObs {
+			minObs = random.Min
+		}
+		t.Row(model.NameOf(s),
+			inC(guaranteed, c),
+			poisson.Mean/float64(c), 1.96*poisson.SE/float64(c),
+			random.Mean/float64(c), 1.96*random.SE/float64(c),
+			minObs/float64(c),
+		)
+	}
+	t.Note("guaranteed = exact minimax floor; means are Monte-Carlo over stochastic owners (draconian kills, opportunity continues after each interrupt)")
+	t.Note("expected-optimal comes from the companion expected-output submodel (extension; see internal/expect)")
+	return t, nil
+}
+
+func monteCarlo(s model.EpisodeScheduler, U quant.Tick, p int, c quant.Tick, trials int,
+	mk func(*rand.Rand) sim.Interrupter, seed int64) (stats.Summary, error) {
+	rng := rand.New(rand.NewSource(seed))
+	works := make([]float64, 0, trials)
+	for i := 0; i < trials; i++ {
+		adv := mk(rng)
+		res, err := sim.Run(s, adv, sim.Opportunity{U: U, P: p, C: c}, sim.Config{})
+		if err != nil {
+			return stats.Summary{}, err
+		}
+		works = append(works, float64(res.Work))
+	}
+	return stats.Summarize(works), nil
+}

@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"cyclesteal/internal/game"
+	"cyclesteal/internal/quant"
+	"cyclesteal/internal/sched"
+	"cyclesteal/internal/tab"
+	"cyclesteal/internal/theory"
+)
+
+// Table2 reproduces the paper's Table 2 — "parameter values for the case
+// p = 1" — across a sweep of U/c ratios. For each parameter it prints the
+// paper's approximate value for S_opt^(1) and S_a^(1) next to the measured
+// value from (a) the exact DP optimum, (b) the closed-form §5.2 schedule, and
+// (c) the reconstructed §3.2 guideline.
+func Table2(cfg Config, ratios []quant.Tick) (*tab.Table, error) {
+	cfg = cfg.normalize()
+	c := cfg.C
+	t := tab.New(
+		fmt.Sprintf("Table 2 (measured): parameters for p = 1, c = %d ticks", c),
+		"U/c", "parameter", "paper S_opt", "measured DP-opt", "closed-form S_opt", "paper S_a", "measured S_a",
+	)
+	for _, ratio := range ratios {
+		U := ratio * c
+		solver, err := game.Solve(1, U, c)
+		if err != nil {
+			return nil, err
+		}
+		uf, cf := float64(U), float64(c)
+
+		dpEp := solver.OptimalEpisode(1, U)
+		op1, err := sched.NewOptimalP1(c)
+		if err != nil {
+			return nil, err
+		}
+		cfEp := op1.Episode(1, U)
+		gdEp := (&sched.AdaptiveGuideline{C: c}).Episode(1, U)
+
+		// m(1)[U].
+		mPaperOpt := theory.OptimalP1M(uf, cf)
+		mPaperA := theory.GuidelineM(uf, 1, cf)
+		t.Row(ratio, "m(1)[U]", mPaperOpt, len(dpEp), len(cfEp), mPaperA, len(gdEp))
+
+		// ε ∈ (0, 1].
+		mAdj := theory.OptimalP1MAdjusted(uf, cf)
+		t.Row(ratio, "ε", theory.OptimalP1Epsilon(uf, cf, mAdj), "n/a", theory.OptimalP1Epsilon(uf, cf, mAdj), "n/a", "n/a")
+
+		// First period t_1 ≈ √(2cU) − c (k = 1), in units of c.
+		t.Row(ratio, "t_1/c",
+			theory.OptimalP1PeriodApprox(uf, cf, 1)/cf,
+			inC(first(dpEp), c),
+			inC(first(cfEp), c),
+			theory.GuidelineP1PeriodApprox(uf, cf, 1)/cf,
+			inC(first(gdEp), c),
+		)
+
+		// Terminal periods ≈ 3c/2.
+		t.Row(ratio, "t_m/c", 1.5, inC(last(dpEp, 0), c), inC(last(cfEp, 0), c), 1.5, inC(last(gdEp, 0), c))
+		t.Row(ratio, "t_{m-1}/c", 1.5, inC(last(dpEp, 1), c), inC(last(cfEp, 1), c), 1.5, inC(last(gdEp, 1), c))
+
+		// W^(1)[U], in units of c.
+		wPaperOpt := theory.OptimalP1Work(uf, cf) / cf
+		wPaperA := theory.GuidelineP1Work(uf, cf) / cf
+		vOpt := inC(solver.Value(1, U), c)
+		wCf, err := game.Evaluate(op1, 1, U, c)
+		if err != nil {
+			return nil, err
+		}
+		wGd, err := game.Evaluate(&sched.AdaptiveGuideline{C: c}, 1, U, c)
+		if err != nil {
+			return nil, err
+		}
+		t.Row(ratio, "W(1)[U]/c", wPaperOpt, vOpt, inC(wCf, c), wPaperA, inC(wGd, c))
+
+		// Deficit coefficient (U−W)/√(2cU): the paper's is exactly 1.
+		root := math.Sqrt(2 * cf * uf)
+		t.Row(ratio, "(U−W)/√(2cU)",
+			(uf-theory.OptimalP1Work(uf, cf))/root,
+			(uf-float64(solver.Value(1, U)))/root,
+			(uf-float64(wCf))/root,
+			(uf-theory.GuidelineP1Work(uf, cf))/root,
+			(uf-float64(wGd))/root,
+		)
+	}
+	t.Note("paper columns: Table 2 approximations m ≈ √(2U/c)−..., t_k ≈ √(2cU)−kc, W ≈ U−√(2cU)−c/2")
+	t.Note("measured columns: exact DP optimum, §5.2 closed form, reconstructed §3.2 guideline, on the %d-ticks-per-c grid", cfg.C)
+	return t, nil
+}
+
+func first(s []quant.Tick) quant.Tick {
+	if len(s) == 0 {
+		return 0
+	}
+	return s[0]
+}
+
+func last(s []quant.Tick, back int) quant.Tick {
+	if len(s) <= back {
+		return 0
+	}
+	return s[len(s)-1-back]
+}

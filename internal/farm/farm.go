@@ -1,0 +1,243 @@
+// Package farm implements the setting of the paper's title: *data-parallel*
+// cycle-stealing in a *network* of workstations. One job — a bag of
+// indivisible tasks — is farmed out across every opportunity the fleet's
+// owners offer, concurrently: stations draw work from a shared bag as their
+// periods open, and killed periods return their in-flight tasks to the bag
+// for rescheduling elsewhere.
+//
+// This is the layer a downstream user runs: internal/now models who offers
+// time and when they interrupt; internal/sched decides period sizing on each
+// opportunity; this package binds them to a single shared workload and
+// reports job-level outcomes (completion fraction, work distribution across
+// stations, lost-to-kills accounting).
+package farm
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+
+	"cyclesteal/internal/now"
+	"cyclesteal/internal/quant"
+	"cyclesteal/internal/sim"
+	"cyclesteal/internal/task"
+)
+
+// SharedBag is a mutex-guarded task source that many concurrently simulated
+// stations can drain. It satisfies sim.TaskSource.
+type SharedBag struct {
+	mu  sync.Mutex
+	bag *task.Bag
+}
+
+// NewSharedBag wraps a task set in a shared source.
+func NewSharedBag(tasks []task.Task) *SharedBag {
+	return &SharedBag{bag: task.NewBag(tasks)}
+}
+
+// Take implements sim.TaskSource.
+func (s *SharedBag) Take(capacity quant.Tick) []task.Task {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bag.Take(capacity)
+}
+
+// Return implements sim.TaskSource.
+func (s *SharedBag) Return(tasks []task.Task) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.bag.Return(tasks)
+}
+
+// Remaining reports the tasks still unscheduled.
+func (s *SharedBag) Remaining() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bag.Remaining()
+}
+
+// RemainingWork reports the total duration still unscheduled.
+func (s *SharedBag) RemainingWork() quant.Tick {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bag.RemainingWork()
+}
+
+// Job is one data-parallel computation to farm across the fleet.
+type Job struct {
+	Tasks []task.Task
+}
+
+// TotalWork returns the job's total task time.
+func (j Job) TotalWork() quant.Tick { return task.Durations(j.Tasks) }
+
+// StationReport describes one station's contribution to the job.
+type StationReport struct {
+	Station        int
+	Opportunities  int
+	FluidWork      quant.Tick // Σ (t ⊖ c) over completed periods
+	TasksCompleted int
+	TaskWork       quant.Tick
+	Interrupts     int
+	KilledTicks    quant.Tick
+}
+
+// Result aggregates a farmed job.
+type Result struct {
+	Stations       []StationReport
+	TasksCompleted int
+	TaskWork       quant.Tick
+	TasksLeft      int
+	FluidWork      quant.Tick
+	Interrupts     int
+}
+
+// CompletionFraction is completed task work over the job's total.
+func (r Result) CompletionFraction(j Job) float64 {
+	total := j.TotalWork()
+	if total == 0 {
+		return 1
+	}
+	return float64(r.TaskWork) / float64(total)
+}
+
+// Imbalance returns max/mean of per-station completed task work (1 = perfect
+// balance); stations that completed nothing are included in the mean.
+func (r Result) Imbalance() float64 {
+	if len(r.Stations) == 0 {
+		return 1
+	}
+	var sum, max quant.Tick
+	for _, s := range r.Stations {
+		sum += s.TaskWork
+		if s.TaskWork > max {
+			max = s.TaskWork
+		}
+	}
+	if sum == 0 {
+		return 1
+	}
+	mean := float64(sum) / float64(len(r.Stations))
+	return float64(max) / mean
+}
+
+// Farm binds a fleet to a shared job.
+type Farm struct {
+	Stations []now.Workstation
+	// OpportunitiesPerStation is how many owner contracts each station works
+	// through (the job may finish earlier; stations then idle).
+	OpportunitiesPerStation int
+	// Workers bounds the worker pool; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// Run farms the job across the fleet. Stations simulate their opportunities
+// concurrently, drawing from one shared bag; scheduling policy is supplied
+// per (station, contract) as in now.Fleet. Determinism: each station derives
+// its rng from seed and its ID, so contract sequences are reproducible; task
+// *assignment* to stations depends on scheduling interleaving and is
+// intentionally not deterministic across runs (the aggregate accounting
+// invariants are, and tests check those).
+func (f Farm) Run(job Job, factory now.SchedulerFactory, seed int64) (Result, error) {
+	if len(f.Stations) == 0 {
+		return Result{}, fmt.Errorf("farm: empty fleet")
+	}
+	n := f.OpportunitiesPerStation
+	if n < 1 {
+		n = 1
+	}
+	workers := f.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(f.Stations) {
+		workers = len(f.Stations)
+	}
+
+	shared := NewSharedBag(job.Tasks)
+	reports := make([]StationReport, len(f.Stations))
+	jobs := make(chan int)
+	errs := make(chan error, len(f.Stations))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				rep, err := f.runStation(f.Stations[idx], n, factory, seed, shared)
+				if err != nil {
+					errs <- err
+					continue
+				}
+				reports[idx] = rep
+			}
+		}()
+	}
+	for idx := range f.Stations {
+		jobs <- idx
+	}
+	close(jobs)
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		return Result{}, err
+	}
+
+	res := Result{Stations: reports, TasksLeft: shared.Remaining()}
+	for _, r := range reports {
+		res.TasksCompleted += r.TasksCompleted
+		res.TaskWork += r.TaskWork
+		res.FluidWork += r.FluidWork
+		res.Interrupts += r.Interrupts
+	}
+	return res, nil
+}
+
+func (f Farm) runStation(ws now.Workstation, n int, factory now.SchedulerFactory, seed int64, shared *SharedBag) (StationReport, error) {
+	rep := StationReport{Station: ws.ID}
+	rng := rand.New(rand.NewSource(seed ^ (int64(ws.ID)+1)*0x5851F42D4C957F2D))
+	for i := 0; i < n; i++ {
+		if shared.Remaining() == 0 {
+			break // job done; no point borrowing more time
+		}
+		contract := ws.Owner.Sample(rng)
+		if contract.U < 1 {
+			continue
+		}
+		s, err := factory(ws, contract)
+		if err != nil {
+			return rep, fmt.Errorf("farm: station %d: %w", ws.ID, err)
+		}
+		adv := ws.Owner.Interrupter(rng, contract)
+		r, err := sim.Run(s, adv, sim.Opportunity{U: contract.U, P: contract.P, C: ws.Setup}, sim.Config{Bag: shared})
+		if err != nil {
+			return rep, fmt.Errorf("farm: station %d: %w", ws.ID, err)
+		}
+		rep.Opportunities++
+		rep.FluidWork += r.Work
+		rep.TasksCompleted += r.TasksCompleted
+		rep.TaskWork += r.TaskWork
+		rep.Interrupts += r.Interrupts
+		rep.KilledTicks += r.KilledTicks
+	}
+	return rep, nil
+}
+
+// TopContributors returns the station IDs sorted by completed task work,
+// descending — the fleet-utilization view operators ask for.
+func (r Result) TopContributors() []int {
+	ids := make([]int, len(r.Stations))
+	for i := range r.Stations {
+		ids[i] = i
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		return r.Stations[ids[a]].TaskWork > r.Stations[ids[b]].TaskWork
+	})
+	out := make([]int, len(ids))
+	for i, idx := range ids {
+		out[i] = r.Stations[idx].Station
+	}
+	return out
+}

@@ -1,0 +1,206 @@
+package farm
+
+import (
+	"sync"
+	"testing"
+
+	"cyclesteal/internal/model"
+	"cyclesteal/internal/now"
+	"cyclesteal/internal/quant"
+	"cyclesteal/internal/sched"
+	"cyclesteal/internal/task"
+)
+
+func equalizedFactory(ws now.Workstation, c now.Contract) (model.EpisodeScheduler, error) {
+	return sched.NewAdaptiveEqualized(ws.Setup)
+}
+
+func testFarm(n int, owner now.OwnerModel) Farm {
+	stations := make([]now.Workstation, n)
+	for i := range stations {
+		stations[i] = now.Workstation{ID: i, Owner: owner, Setup: 10}
+	}
+	return Farm{Stations: stations, OpportunitiesPerStation: 10}
+}
+
+func TestSharedBagBasics(t *testing.T) {
+	s := NewSharedBag(task.Fixed(10, 5))
+	if s.Remaining() != 10 || s.RemainingWork() != 50 {
+		t.Fatalf("remaining %d/%d", s.Remaining(), s.RemainingWork())
+	}
+	got := s.Take(12)
+	if len(got) != 2 {
+		t.Fatalf("Take(12) = %v", got)
+	}
+	s.Return(got)
+	if s.Remaining() != 10 {
+		t.Errorf("after return: %d", s.Remaining())
+	}
+}
+
+func TestSharedBagConcurrentDrainConserves(t *testing.T) {
+	const n = 500
+	s := NewSharedBag(task.Fixed(n, 3))
+	var mu sync.Mutex
+	taken := 0
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				got := s.Take(9) // up to 3 tasks
+				if len(got) == 0 {
+					return
+				}
+				mu.Lock()
+				taken += len(got)
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if taken != n || s.Remaining() != 0 {
+		t.Errorf("drained %d, remaining %d; want %d/0", taken, s.Remaining(), n)
+	}
+}
+
+func TestFarmCompletesSmallJob(t *testing.T) {
+	f := testFarm(6, now.Overnight{Window: 20000})
+	job := Job{Tasks: task.Uniform(200, 5, 50, 1)}
+	res, err := f.Run(job, equalizedFactory, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 6 stations × 10 × 20000 ticks of lifespan dwarf the job: it must finish.
+	if res.TasksLeft != 0 {
+		t.Errorf("%d tasks left of %d", res.TasksLeft, len(job.Tasks))
+	}
+	if res.TasksCompleted != len(job.Tasks) {
+		t.Errorf("completed %d, want %d", res.TasksCompleted, len(job.Tasks))
+	}
+	if got := res.CompletionFraction(job); got != 1 {
+		t.Errorf("completion fraction %g", got)
+	}
+	if res.TaskWork != job.TotalWork() {
+		t.Errorf("task work %d ≠ job total %d", res.TaskWork, job.TotalWork())
+	}
+}
+
+// Accounting invariant: completed + left == job size, and per-station reports
+// sum to the aggregate, under every worker count.
+func TestFarmConservationAcrossWorkerCounts(t *testing.T) {
+	job := Job{Tasks: task.Uniform(3000, 5, 80, 2)}
+	for _, workers := range []int{1, 2, 8} {
+		f := testFarm(8, now.Laptop{MeanIdle: 3000})
+		f.Workers = workers
+		res, err := f.Run(job, equalizedFactory, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.TasksCompleted+res.TasksLeft != len(job.Tasks) {
+			t.Errorf("workers=%d: %d + %d ≠ %d", workers, res.TasksCompleted, res.TasksLeft, len(job.Tasks))
+		}
+		var sumTasks int
+		var sumWork quant.Tick
+		for _, s := range res.Stations {
+			sumTasks += s.TasksCompleted
+			sumWork += s.TaskWork
+		}
+		if sumTasks != res.TasksCompleted || sumWork != res.TaskWork {
+			t.Errorf("workers=%d: station totals %d/%d vs aggregate %d/%d",
+				workers, sumTasks, sumWork, res.TasksCompleted, res.TaskWork)
+		}
+		// Task work never exceeds fluid capacity.
+		if res.TaskWork > res.FluidWork {
+			t.Errorf("workers=%d: task work %d > fluid %d", workers, res.TaskWork, res.FluidWork)
+		}
+	}
+}
+
+func TestFarmEmptyFleet(t *testing.T) {
+	if _, err := (Farm{}).Run(Job{}, equalizedFactory, 1); err == nil {
+		t.Error("empty fleet accepted")
+	}
+}
+
+func TestFarmFactoryErrorPropagates(t *testing.T) {
+	f := testFarm(3, now.Laptop{MeanIdle: 2000})
+	_, err := f.Run(Job{Tasks: task.Fixed(100, 5)}, func(ws now.Workstation, c now.Contract) (model.EpisodeScheduler, error) {
+		return nil, errBoom
+	}, 1)
+	if err == nil {
+		t.Error("factory error swallowed")
+	}
+}
+
+var errBoom = &boomError{}
+
+type boomError struct{}
+
+func (*boomError) Error() string { return "boom" }
+
+func TestFarmStopsBorrowingWhenJobDone(t *testing.T) {
+	// A tiny job against a huge fleet: most opportunities should never start.
+	f := testFarm(4, now.Overnight{Window: 50000})
+	f.OpportunitiesPerStation = 50
+	job := Job{Tasks: task.Fixed(5, 10)}
+	res, err := f.Run(job, equalizedFactory, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TasksLeft != 0 {
+		t.Fatalf("tiny job unfinished: %d left", res.TasksLeft)
+	}
+	var opportunities int
+	for _, s := range res.Stations {
+		opportunities += s.Opportunities
+	}
+	if opportunities >= 4*50 {
+		t.Errorf("farm kept borrowing after the job finished: %d opportunities", opportunities)
+	}
+}
+
+func TestImbalanceAndTopContributors(t *testing.T) {
+	r := Result{Stations: []StationReport{
+		{Station: 0, TaskWork: 100},
+		{Station: 1, TaskWork: 300},
+		{Station: 2, TaskWork: 200},
+	}}
+	if got := r.Imbalance(); got != 1.5 {
+		t.Errorf("imbalance = %g, want 1.5 (300 / mean 200)", got)
+	}
+	top := r.TopContributors()
+	if len(top) != 3 || top[0] != 1 || top[1] != 2 || top[2] != 0 {
+		t.Errorf("top contributors = %v", top)
+	}
+	if (Result{}).Imbalance() != 1 {
+		t.Error("empty imbalance should be 1")
+	}
+	zero := Result{Stations: []StationReport{{Station: 0}}}
+	if zero.Imbalance() != 1 {
+		t.Error("all-zero imbalance should be 1")
+	}
+}
+
+func TestCompletionFractionEmptyJob(t *testing.T) {
+	if (Result{}).CompletionFraction(Job{}) != 1 {
+		t.Error("empty job should read complete")
+	}
+}
+
+func TestFarmMaliciousOwnersStillFinish(t *testing.T) {
+	base := now.Overnight{Window: 30000}
+	f := testFarm(5, now.Malicious{Base: base, Setup: 10})
+	job := Job{Tasks: task.Uniform(500, 5, 40, 9)}
+	res, err := f.Run(job, equalizedFactory, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TasksLeft != 0 {
+		t.Errorf("malicious owners prevented completion: %d left (interrupts %d)", res.TasksLeft, res.Interrupts)
+	}
+	if res.Interrupts == 0 {
+		t.Error("malicious fleet never interrupted")
+	}
+}

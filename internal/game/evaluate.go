@@ -1,0 +1,206 @@
+package game
+
+import (
+	"fmt"
+
+	"cyclesteal/internal/model"
+	"cyclesteal/internal/quant"
+)
+
+// stateKey packs (p, L) for memoization. Lifespans are far below 2^48.
+type stateKey struct {
+	p int
+	l quant.Tick
+}
+
+// episodeChoice records the adversary's minimizing move in one state: whether
+// to interrupt and, if so, at the end of which elapsed offset within the
+// episode.
+type episodeChoice struct {
+	interrupt bool
+	at        quant.Tick // episode-relative elapsed time T_k of the interrupt
+}
+
+// BestResponse is the adversary strategy extracted by EvaluateWithStrategy:
+// for each reachable game state it knows the minimizing move against the
+// scheduler it was computed for. It implements the simulator's Interrupter
+// contract (see internal/sim); replaying it in the simulator reproduces the
+// guaranteed-work value exactly.
+type BestResponse struct {
+	choices map[stateKey]episodeChoice
+}
+
+// NextInterrupt returns the episode-relative time at which the owner
+// interrupts in state (p, L), or ok = false to let the episode run out.
+func (b *BestResponse) NextInterrupt(p int, L quant.Tick, _ model.TickSchedule) (quant.Tick, bool) {
+	ch, ok := b.choices[stateKey{p, L}]
+	if !ok || !ch.interrupt {
+		return 0, false
+	}
+	return ch.at, true
+}
+
+// States returns the number of game states the strategy covers.
+func (b *BestResponse) States() int { return len(b.choices) }
+
+// schedulerError is the panic payload used to surface contract violations
+// from deep inside the memoized recursion.
+type schedulerError struct{ err error }
+
+// Evaluate returns the exact guaranteed output of scheduler sch in an
+// opportunity of U ticks with at most P interrupts and setup cost c: the
+// minimum, over all adversary strategies that interrupt only at last instants
+// of periods (Observation (a)), of the work the schedule banks.
+//
+// It returns an error if the scheduler violates its contract (a period < 1
+// tick, or an episode exceeding the residual lifespan).
+func Evaluate(sch model.EpisodeScheduler, P int, U, c quant.Tick) (quant.Tick, error) {
+	w, _, err := evaluate(sch, P, U, c, false)
+	return w, err
+}
+
+// EvaluateWithStrategy is Evaluate, additionally returning the adversary's
+// minimizing strategy for replay.
+func EvaluateWithStrategy(sch model.EpisodeScheduler, P int, U, c quant.Tick) (quant.Tick, *BestResponse, error) {
+	return evaluate(sch, P, U, c, true)
+}
+
+func evaluate(sch model.EpisodeScheduler, P int, U, c quant.Tick, record bool) (work quant.Tick, br *BestResponse, err error) {
+	if c < 1 || U < 0 || P < 0 {
+		return 0, nil, fmt.Errorf("game: bad evaluation parameters P=%d U=%d c=%d", P, U, c)
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			se, ok := r.(schedulerError)
+			if !ok {
+				panic(r)
+			}
+			work, br, err = 0, nil, se.err
+		}
+	}()
+	memo := make(map[stateKey]quant.Tick)
+	var choices map[stateKey]episodeChoice
+	if record {
+		choices = make(map[stateKey]episodeChoice)
+	}
+
+	var eval func(p int, L quant.Tick) quant.Tick
+	eval = func(p int, L quant.Tick) quant.Tick {
+		if L <= c {
+			return 0 // no period fitting in L can bank anything
+		}
+		key := stateKey{p, L}
+		if v, ok := memo[key]; ok {
+			return v
+		}
+		ep := fetchEpisode(sch, p, L)
+		best := ep.UninterruptedWork(c)
+		choice := episodeChoice{}
+		if p > 0 {
+			var banked, elapsed quant.Tick
+			for _, t := range ep {
+				elapsed += t
+				// Interrupt at the last instant of this period: the work in
+				// progress dies, periods 1..k-1 stay banked, residual L−T_k.
+				cand := banked + eval(p-1, L-elapsed)
+				if cand < best {
+					best = cand
+					choice = episodeChoice{interrupt: true, at: elapsed}
+				}
+				banked += quant.PosSub(t, c)
+			}
+		}
+		memo[key] = best
+		if record {
+			choices[key] = choice
+		}
+		return best
+	}
+
+	total := eval(P, U)
+	if record {
+		br = &BestResponse{choices: choices}
+	}
+	return total, br, nil
+}
+
+// EvaluateExhaustive returns the guaranteed output of sch against an
+// adversary allowed to interrupt at *every* tick of the lifespan, not only at
+// last instants of periods. Observation (a) asserts the two coincide; tests
+// verify that on the paper's schedulers. Runtime is O(states × U); use small
+// lifespans.
+func EvaluateExhaustive(sch model.EpisodeScheduler, P int, U, c quant.Tick) (work quant.Tick, err error) {
+	if c < 1 || U < 0 || P < 0 {
+		return 0, fmt.Errorf("game: bad evaluation parameters P=%d U=%d c=%d", P, U, c)
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			se, ok := r.(schedulerError)
+			if !ok {
+				panic(r)
+			}
+			work, err = 0, se.err
+		}
+	}()
+	memo := make(map[stateKey]quant.Tick)
+
+	var eval func(p int, L quant.Tick) quant.Tick
+	eval = func(p int, L quant.Tick) quant.Tick {
+		if L <= c {
+			return 0
+		}
+		key := stateKey{p, L}
+		if v, ok := memo[key]; ok {
+			return v
+		}
+		// Mark the state before recursing: an adversary interrupting at
+		// elapsed time 0 revisits lifespan L with p−1, which is finite
+		// because p strictly decreases.
+		ep := fetchEpisode(sch, p, L)
+		best := ep.UninterruptedWork(c)
+		if p > 0 {
+			var banked, start quant.Tick
+			for _, t := range ep {
+				// Interrupt anywhere in [start, start+t): period dies,
+				// residual L−τ. The worst τ within the period is its last
+				// tick offset, but we scan all placements on the grid.
+				for tau := start; tau < start+t; tau++ {
+					cand := banked + eval(p-1, L-tau)
+					if cand < best {
+						best = cand
+					}
+				}
+				// The continuum's last-instant limit τ → T_k is represented
+				// on the grid by residual exactly L−T_k.
+				cand := banked + eval(p-1, L-start-t)
+				if cand < best {
+					best = cand
+				}
+				start += t
+				banked += quant.PosSub(t, c)
+			}
+			// Interrupts during trailing idle time are dominated: the full
+			// episode work is already banked, so the value can only rise.
+		}
+		memo[key] = best
+		return best
+	}
+	return eval(P, U), nil
+}
+
+// fetchEpisode obtains and validates an episode from the scheduler: periods
+// ≥ 1 tick, total at most the residual lifespan (shortfall is idle time).
+func fetchEpisode(sch model.EpisodeScheduler, p int, L quant.Tick) model.TickSchedule {
+	ep := sch.Episode(p, L)
+	var total quant.Tick
+	for i, t := range ep {
+		if t < 1 {
+			panic(schedulerError{fmt.Errorf("game: scheduler %s emitted period %d of %d ticks at (p=%d, L=%d)", model.NameOf(sch), i+1, t, p, L)})
+		}
+		total += t
+	}
+	if total > L {
+		panic(schedulerError{fmt.Errorf("game: scheduler %s overcommitted %d ticks into residual %d at p=%d", model.NameOf(sch), total, L, p)})
+	}
+	return ep
+}

@@ -1,0 +1,387 @@
+package game
+
+import (
+	"math/rand"
+	"testing"
+
+	"cyclesteal/internal/model"
+	"cyclesteal/internal/quant"
+	"cyclesteal/internal/sched"
+	"cyclesteal/internal/theory"
+)
+
+func TestEvaluateValidation(t *testing.T) {
+	if _, err := Evaluate(sched.SinglePeriod{}, -1, 100, 10); err == nil {
+		t.Error("P<0 accepted")
+	}
+	if _, err := Evaluate(sched.SinglePeriod{}, 1, 100, 0); err == nil {
+		t.Error("c=0 accepted")
+	}
+}
+
+// A single long period is worth U−c with no interrupts and exactly 0 against
+// one malicious interrupt (killed at the last instant).
+func TestEvaluateSinglePeriod(t *testing.T) {
+	w, err := Evaluate(sched.SinglePeriod{}, 0, 1000, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 990 {
+		t.Errorf("p=0 single period = %d, want 990", w)
+	}
+	w, err = Evaluate(sched.SinglePeriod{}, 1, 1000, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 0 {
+		t.Errorf("p=1 single period = %d, want 0", w)
+	}
+}
+
+// Hand-computable case: two equal periods, p=1, the adversary kills the
+// larger... they're equal, so killing either costs U/2; then the survivor is
+// rescheduled as one long period of U/2, worth U/2 − c.
+func TestEvaluateEqualSplitHandCase(t *testing.T) {
+	// U=1000, c=10, periods [500, 500]. Interrupt at end of period 1:
+	// banked 0, residual 500, rescheduled single period → 490.
+	// Interrupt at end of period 2: banked 490, residual 0 → 490.
+	// No interrupt: 980. Worst case 490.
+	na, err := sched.NonAdaptiveFromPeriods(model.TickSchedule{500, 500}, 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := Evaluate(na, 1, 1000, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 490 {
+		t.Errorf("worst case = %d, want 490", w)
+	}
+}
+
+func TestEvaluateOvercommittingSchedulerErrors(t *testing.T) {
+	bad := model.EpisodeFunc(func(p int, L quant.Tick) model.TickSchedule {
+		return model.TickSchedule{L + 1}
+	})
+	if _, err := Evaluate(bad, 1, 100, 10); err == nil {
+		t.Error("overcommitting scheduler accepted")
+	}
+	zero := model.EpisodeFunc(func(p int, L quant.Tick) model.TickSchedule {
+		return model.TickSchedule{0, L}
+	})
+	if _, err := Evaluate(zero, 1, 100, 10); err == nil {
+		t.Error("zero-length period accepted")
+	}
+}
+
+// No scheduler can beat the game value (optimality of the DP).
+func TestNoSchedulerBeatsGameValue(t *testing.T) {
+	c := quant.Tick(10)
+	U := quant.Tick(2000)
+	for _, P := range []int{1, 2, 3} {
+		s, err := Solve(P, U, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		na, err := sched.NewNonAdaptive(U, P, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ag, err := sched.NewAdaptiveGuideline(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		op1, err := sched.NewOptimalP1(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		schedulers := []model.EpisodeScheduler{
+			na, ag, op1,
+			sched.SinglePeriod{},
+			sched.EqualSplit{M: 10},
+			sched.FixedChunk{T: 150},
+		}
+		for _, sc := range schedulers {
+			w, err := Evaluate(sc, P, U, c)
+			if err != nil {
+				t.Fatalf("%s: %v", model.NameOf(sc), err)
+			}
+			if v := s.Value(P, U); w > v {
+				t.Errorf("P=%d: %s guarantees %d > game value %d", P, model.NameOf(sc), w, v)
+			}
+		}
+	}
+}
+
+// The generic minimax evaluator on the tail-semantics wrapper must agree
+// exactly with the direct non-adaptive kill-set DP.
+func TestNonAdaptiveEvaluatorsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 300; trial++ {
+		c := quant.Tick(1 + rng.Intn(15))
+		m := 1 + rng.Intn(10)
+		periods := make(model.TickSchedule, m)
+		for i := range periods {
+			periods[i] = quant.Tick(1 + rng.Intn(60))
+		}
+		P := rng.Intn(4)
+		na, err := sched.NonAdaptiveFromPeriods(periods, P, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		generic, err := Evaluate(na, P, periods.Total(), c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		direct, err := EvaluateNonAdaptive(periods, P, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if generic != direct {
+			t.Fatalf("trial %d (c=%d P=%d periods=%v): generic %d ≠ direct %d",
+				trial, c, P, periods, generic, direct)
+		}
+	}
+}
+
+// Brute force over every interrupt subset, for small schedules, as a third
+// independent implementation of the non-adaptive worst case.
+func bruteForceNonAdaptive(periods model.TickSchedule, P int, c quant.Tick) quant.Tick {
+	m := len(periods)
+	U := periods.Total()
+	prefix := periods.PrefixSums()
+	gains := make([]quant.Tick, m)
+	var full quant.Tick
+	for i, tk := range periods {
+		gains[i] = quant.PosSub(tk, c)
+		full += gains[i]
+	}
+	best := full
+	// Enumerate subsets by bitmask (m ≤ ~14).
+	for mask := 1; mask < 1<<m; mask++ {
+		a := 0
+		last := -1
+		var killed quant.Tick
+		for i := 0; i < m; i++ {
+			if mask>>i&1 == 1 {
+				a++
+				last = i
+				killed += gains[i]
+			}
+		}
+		if a > P {
+			continue
+		}
+		var w quant.Tick
+		if a < P {
+			w = full - killed
+		} else {
+			// Work before the last interrupt, minus earlier kills, plus the
+			// long replacement period.
+			var before quant.Tick
+			for i := 0; i < last; i++ {
+				if mask>>i&1 == 0 {
+					before += gains[i]
+				}
+			}
+			w = before + quant.PosSub(U-prefix[last+1], c)
+		}
+		if w < best {
+			best = w
+		}
+	}
+	return best
+}
+
+func TestEvaluateNonAdaptiveMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	for trial := 0; trial < 400; trial++ {
+		c := quant.Tick(1 + rng.Intn(10))
+		m := 1 + rng.Intn(9)
+		periods := make(model.TickSchedule, m)
+		for i := range periods {
+			periods[i] = quant.Tick(1 + rng.Intn(40))
+		}
+		P := rng.Intn(4)
+		got, err := EvaluateNonAdaptive(periods, P, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteForceNonAdaptive(periods, P, c)
+		if got != want {
+			t.Fatalf("trial %d (c=%d P=%d periods=%v): got %d, brute force %d",
+				trial, c, P, periods, got, want)
+		}
+	}
+}
+
+func TestEvaluateNonAdaptiveValidation(t *testing.T) {
+	if _, err := EvaluateNonAdaptive(nil, 1, 10); err == nil {
+		t.Error("empty periods accepted")
+	}
+	if _, err := EvaluateNonAdaptive(model.TickSchedule{5}, -1, 10); err == nil {
+		t.Error("P<0 accepted")
+	}
+	if _, err := EvaluateNonAdaptive(model.TickSchedule{0}, 1, 10); err == nil {
+		t.Error("zero period accepted")
+	}
+}
+
+// §3.1 analysis: the guideline's guaranteed output equals (m−p)(t−c) up to
+// the tick-remainder spread, and the worst case really is killing the last p
+// periods.
+func TestNonAdaptiveGuidelineWorstCase(t *testing.T) {
+	c := quant.Tick(100)
+	for _, tc := range []struct {
+		U quant.Tick
+		p int
+	}{
+		{100000, 1}, {100000, 2}, {100000, 4}, {250000, 3},
+	} {
+		na, err := sched.NewNonAdaptive(tc.U, tc.p, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := EvaluateNonAdaptive(na.Periods(), tc.p, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := theory.NonAdaptiveWorkExact(float64(tc.U), tc.p, float64(c))
+		slack := float64(na.M()) // remainder spread: ≤ 1 tick per period
+		if d := float64(got) - want; d > slack || d < -slack {
+			t.Errorf("U=%d p=%d: worst case %d vs closed form %g (slack %g)", tc.U, tc.p, got, want, slack)
+		}
+	}
+}
+
+// Observation (a): allowing the adversary to interrupt at every tick (not
+// just last instants) changes nothing against the paper's schedulers.
+func TestExhaustiveMatchesBoundaryAdversary(t *testing.T) {
+	c := quant.Tick(5)
+	U := quant.Tick(300)
+	for _, P := range []int{1, 2} {
+		na, err := sched.NewNonAdaptive(U, P, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ag, err := sched.NewAdaptiveGuideline(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		op1, err := sched.NewOptimalP1(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, sc := range []model.EpisodeScheduler{na, ag, op1} {
+			boundary, err := Evaluate(sc, P, U, c)
+			if err != nil {
+				t.Fatalf("%s: %v", model.NameOf(sc), err)
+			}
+			exhaustive, err := EvaluateExhaustive(sc, P, U, c)
+			if err != nil {
+				t.Fatalf("%s: %v", model.NameOf(sc), err)
+			}
+			if boundary != exhaustive {
+				t.Errorf("P=%d %s: boundary adversary %d ≠ exhaustive adversary %d",
+					P, model.NameOf(sc), boundary, exhaustive)
+			}
+		}
+	}
+}
+
+// The exhaustive adversary can never do worse (from its own perspective) than
+// the boundary adversary: its option set is a superset.
+func TestExhaustiveNeverAboveBoundary(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for trial := 0; trial < 30; trial++ {
+		c := quant.Tick(1 + rng.Intn(6))
+		U := quant.Tick(40 + rng.Intn(160))
+		P := 1 + rng.Intn(2)
+		m := 1 + rng.Intn(5)
+		sc := sched.EqualSplit{M: m}
+		boundary, err := Evaluate(sc, P, U, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exhaustive, err := EvaluateExhaustive(sc, P, U, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if exhaustive > boundary {
+			t.Fatalf("trial %d: exhaustive %d > boundary %d (c=%d U=%d P=%d m=%d)",
+				trial, exhaustive, boundary, c, U, P, m)
+		}
+	}
+}
+
+func TestEvaluateWithStrategyRecordsChoices(t *testing.T) {
+	c := quant.Tick(10)
+	U := quant.Tick(1000)
+	na, err := sched.NewNonAdaptive(U, 2, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, br, err := EvaluateWithStrategy(na, 2, U, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if br == nil || br.States() == 0 {
+		t.Fatal("no strategy recorded")
+	}
+	// The root state must be recorded, and against the §3.1 guideline the
+	// adversary certainly interrupts (Observation (b)).
+	at, ok := br.NextInterrupt(2, U, nil)
+	if !ok {
+		t.Fatal("adversary abstains at the root against the non-adaptive guideline")
+	}
+	if at < 1 || at > U {
+		t.Errorf("interrupt offset %d outside episode", at)
+	}
+	_ = w
+}
+
+// Replaying the recorded best response through the work accounting reproduces
+// the evaluated guaranteed work exactly.
+func TestBestResponseReplayReproducesValue(t *testing.T) {
+	c := quant.Tick(10)
+	U := quant.Tick(2000)
+	for _, P := range []int{1, 2, 3} {
+		ag, err := sched.NewAdaptiveGuideline(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, br, err := EvaluateWithStrategy(ag, P, U, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Manual replay of the game.
+		var work quant.Tick
+		L := U
+		p := P
+		for L > 0 {
+			ep := ag.Episode(p, L)
+			if len(ep) == 0 {
+				break
+			}
+			at, interrupt := br.NextInterrupt(p, L, ep)
+			if !interrupt || p == 0 {
+				work += ep.UninterruptedWork(c)
+				break
+			}
+			// Bank completed periods strictly before the interrupt offset.
+			var elapsed quant.Tick
+			for _, tk := range ep {
+				if elapsed+tk > at-1 {
+					break
+				}
+				elapsed += tk
+				work += quant.PosSub(tk, c)
+			}
+			L -= at
+			p--
+		}
+		if work != want {
+			t.Errorf("P=%d: replay banked %d, evaluator said %d", P, work, want)
+		}
+	}
+}

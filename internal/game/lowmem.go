@@ -1,0 +1,60 @@
+package game
+
+import "cyclesteal/internal/quant"
+
+// SolveValueRow computes the top value row V(P, ·) using rolling storage —
+// two rows of U+1 ticks instead of P+1 — for large-lifespan value queries
+// where schedule extraction is not needed. The recursion only ever consults
+// the previous interrupt level in full and the current level at smaller
+// lifespans, so two rows suffice.
+//
+// The returned slice r satisfies r[L] == Solve(P, U, c).Value(P, L).
+func SolveValueRow(P int, U, c quant.Tick) ([]quant.Tick, error) {
+	if err := validate(P, U, c); err != nil {
+		return nil, err
+	}
+	prev := make([]quant.Tick, U+1)
+	for L := quant.Tick(0); L <= U; L++ {
+		prev[L] = quant.PosSub(L, c)
+	}
+	if P == 0 {
+		return prev, nil
+	}
+	cur := make([]quant.Tick, U+1)
+	for q := 1; q <= P; q++ {
+		cur[0] = 0
+		for L := quant.Tick(1); L <= U; L++ {
+			cur[L] = solveCellRows(cur, prev, L, c)
+		}
+		prev, cur = cur, prev
+	}
+	return prev, nil
+}
+
+// solveCellRows is solveCell against explicit rows (cur = level q filled up
+// to L−1, prev = level q−1 complete). See Solver.solveCell for the
+// crossing-point argument.
+func solveCellRows(cur, prev []quant.Tick, L, c quant.Tick) quant.Tick {
+	tmin := c + 1
+	if tmin > L {
+		return 0
+	}
+	complete := func(t quant.Tick) quant.Tick { return (t - c) + cur[L-t] }
+	interrupt := func(t quant.Tick) quant.Tick { return prev[L-t] }
+	lo, hi := tmin, L
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if complete(mid) >= interrupt(mid) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	best := min(complete(lo), interrupt(lo))
+	if lo > tmin {
+		if cand := min(complete(lo-1), interrupt(lo-1)); cand > best {
+			best = cand
+		}
+	}
+	return best
+}

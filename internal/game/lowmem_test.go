@@ -1,0 +1,73 @@
+package game
+
+import (
+	"math/rand"
+	"testing"
+
+	"cyclesteal/internal/quant"
+)
+
+func TestSolveValueRowMatchesFullSolver(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 20; trial++ {
+		P := rng.Intn(5)
+		U := quant.Tick(100 + rng.Intn(900))
+		c := quant.Tick(1 + rng.Intn(25))
+		row, err := SolveValueRow(P, U, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		full, err := Solve(P, U, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for L := quant.Tick(0); L <= U; L++ {
+			if row[L] != full.Value(P, L) {
+				t.Fatalf("trial %d (P=%d U=%d c=%d): row[%d] = %d ≠ %d",
+					trial, P, U, c, L, row[L], full.Value(P, L))
+			}
+		}
+	}
+}
+
+func TestSolveValueRowValidation(t *testing.T) {
+	if _, err := SolveValueRow(-1, 100, 10); err == nil {
+		t.Error("P<0 accepted")
+	}
+	if _, err := SolveValueRow(1, 100, 0); err == nil {
+		t.Error("c=0 accepted")
+	}
+}
+
+func TestSolveValueRowP0(t *testing.T) {
+	row, err := SolveValueRow(0, 50, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for L := quant.Tick(0); L <= 50; L++ {
+		if row[L] != quant.PosSub(L, 7) {
+			t.Fatalf("row[%d] = %d", L, row[L])
+		}
+	}
+}
+
+func TestSolveValueRowLargeLifespan(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long: million-tick value row")
+	}
+	// A lifespan whose full table would be 5 rows; the rolling solver needs 2.
+	row, err := SolveValueRow(4, 1_000_000, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := row[1_000_000]
+	if v <= 0 || v >= 1_000_000 {
+		t.Fatalf("implausible value %d", v)
+	}
+	// Spot-check monotonicity at the top end.
+	for L := quant.Tick(999_000); L < 1_000_000; L++ {
+		if row[L+1] < row[L] {
+			t.Fatalf("row not monotone at %d", L)
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package game
+
+import (
+	"fmt"
+
+	"cyclesteal/internal/model"
+	"cyclesteal/internal/quant"
+)
+
+// EvaluateNonAdaptive computes the exact guaranteed output of a *fixed*
+// period list t_1..t_m under the paper's non-adaptive semantics (§2.2):
+//
+//   - if the adversary interrupts during period i, the tail t_{i+1}, …, t_m
+//     runs verbatim for the remainder of the opportunity;
+//   - after the p-th interrupt the remainder of the opportunity is
+//     rescheduled as one long period;
+//   - an interrupt in period k forfeits exactly that period's work, so the
+//     worst placement within a period is its last instant, and interrupt sets
+//     are identified with period index sets I = {i_1 < … < i_p}.
+//
+// For a < p interrupts the output is Σ_{k∉I}(t_k ⊖ c); for a = p it is
+// Σ_{k∉I, k<i_p}(t_k ⊖ c) + (U−T_{i_p}) ⊖ c. The adversary minimizes over
+// both regimes. This closed computation is O(m·p) and serves as an
+// independent cross-check of the generic minimax evaluator applied to the
+// tail-semantics wrapper (sched.NonAdaptive).
+func EvaluateNonAdaptive(periods model.TickSchedule, P int, c quant.Tick) (quant.Tick, error) {
+	if len(periods) == 0 {
+		return 0, model.ErrEmptySchedule
+	}
+	if c < 1 || P < 0 {
+		return 0, fmt.Errorf("game: bad parameters P=%d c=%d", P, c)
+	}
+	m := len(periods)
+	U := periods.Total()
+	gains := make([]quant.Tick, m) // t_k ⊖ c
+	var full quant.Tick
+	for i, t := range periods {
+		if t < 1 {
+			return 0, fmt.Errorf("game: period %d has illegal length %d", i+1, t)
+		}
+		gains[i] = quant.PosSub(t, c)
+		full += gains[i]
+	}
+
+	best := full // adversary abstains entirely
+
+	// Regime 1: a < p interrupts, no long-period replacement. Killing the a
+	// largest gains is optimal; a ranges 1..min(p−1, m).
+	if P > 0 {
+		sorted := make([]quant.Tick, m)
+		copy(sorted, gains)
+		sortTicksDesc(sorted)
+		var killed quant.Tick
+		for a := 1; a <= P-1 && a <= m; a++ {
+			killed += sorted[a-1]
+			if cand := full - killed; cand < best {
+				best = cand
+			}
+		}
+	}
+
+	// Regime 2: exactly p interrupts, the last at the end of period j; the
+	// other p−1 kill the largest gains among periods 1..j−1; periods after j
+	// are replaced by the single long period (U − T_j) ⊖ c.
+	if P > 0 && P <= m {
+		top := newTopK(P - 1)
+		var prefixGain, prefixTime quant.Tick
+		for j := 1; j <= m; j++ {
+			// Work of periods before j, minus the p−1 biggest kills there.
+			prefixTime += periods[j-1]
+			cand := prefixGain - top.Sum() + quant.PosSub(U-prefixTime, c)
+			if cand < best {
+				best = cand
+			}
+			prefixGain += gains[j-1]
+			top.Offer(gains[j-1])
+		}
+	}
+	if best < 0 {
+		best = 0
+	}
+	return best, nil
+}
+
+// topK maintains the k largest ticks offered, with their running sum, via a
+// small binary min-heap.
+type topK struct {
+	k    int
+	heap []quant.Tick
+	sum  quant.Tick
+}
+
+func newTopK(k int) *topK { return &topK{k: k} }
+
+// Sum returns the sum of the (at most k) largest values offered so far.
+func (t *topK) Sum() quant.Tick { return t.sum }
+
+// Offer considers v for membership in the top-k multiset.
+func (t *topK) Offer(v quant.Tick) {
+	if t.k <= 0 {
+		return
+	}
+	if len(t.heap) < t.k {
+		t.heap = append(t.heap, v)
+		t.sum += v
+		t.siftUp(len(t.heap) - 1)
+		return
+	}
+	if v <= t.heap[0] {
+		return
+	}
+	t.sum += v - t.heap[0]
+	t.heap[0] = v
+	t.siftDown(0)
+}
+
+func (t *topK) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if t.heap[parent] <= t.heap[i] {
+			return
+		}
+		t.heap[parent], t.heap[i] = t.heap[i], t.heap[parent]
+		i = parent
+	}
+}
+
+func (t *topK) siftDown(i int) {
+	n := len(t.heap)
+	for {
+		left, right := 2*i+1, 2*i+2
+		smallest := i
+		if left < n && t.heap[left] < t.heap[smallest] {
+			smallest = left
+		}
+		if right < n && t.heap[right] < t.heap[smallest] {
+			smallest = right
+		}
+		if smallest == i {
+			return
+		}
+		t.heap[i], t.heap[smallest] = t.heap[smallest], t.heap[i]
+		i = smallest
+	}
+}
+
+// sortTicksDesc sorts in place, descending. Insertion sort is fine for the
+// schedule lengths (m ≈ √(pU/c)) this is applied to; no need to pull in
+// sort's interface machinery for a hot path that isn't hot.
+func sortTicksDesc(a []quant.Tick) {
+	for i := 1; i < len(a); i++ {
+		v := a[i]
+		j := i - 1
+		for j >= 0 && a[j] < v {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = v
+	}
+}

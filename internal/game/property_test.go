@@ -1,0 +1,152 @@
+package game
+
+import (
+	"math/rand"
+	"testing"
+
+	"cyclesteal/internal/model"
+	"cyclesteal/internal/quant"
+)
+
+// randomScheduler emits arbitrary-but-legal episodes: random period counts
+// and lengths partitioning the residual. Deterministic per (p, L) so the
+// memoized evaluator sees a consistent strategy.
+type randomScheduler struct {
+	seed int64
+}
+
+func (r randomScheduler) Episode(p int, L quant.Tick) model.TickSchedule {
+	if L < 1 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(r.seed ^ int64(p)<<40 ^ int64(L)))
+	var out model.TickSchedule
+	rem := L
+	for rem > 0 {
+		t := 1 + quant.Tick(rng.Int63n(int64(rem)))
+		// Bias toward a handful of periods.
+		if rng.Intn(3) == 0 {
+			t = rem
+		}
+		out = append(out, t)
+		rem -= t
+		if len(out) > 30 {
+			out = append(out, rem)
+			break
+		}
+	}
+	if out[len(out)-1] == 0 {
+		out = out[:len(out)-1]
+	}
+	return out
+}
+
+func (r randomScheduler) Name() string { return "random-scheduler" }
+
+// No strategy — however weird — beats the game value; and every strategy's
+// guaranteed work is nonnegative and at most the p=0 ideal U−c.
+func TestRandomSchedulersBoundedByGameValue(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 40; trial++ {
+		P := rng.Intn(4)
+		U := quant.Tick(20 + rng.Intn(500))
+		c := quant.Tick(1 + rng.Intn(12))
+		solver, err := Solve(P, U, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := randomScheduler{seed: int64(trial)}
+		w, err := Evaluate(s, P, U, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w < 0 {
+			t.Fatalf("trial %d: negative guaranteed work %d", trial, w)
+		}
+		if v := solver.Value(P, U); w > v {
+			t.Fatalf("trial %d (P=%d U=%d c=%d): random scheduler guarantees %d > V = %d",
+				trial, P, U, c, w, v)
+		}
+		if w > quant.PosSub(U, c) {
+			t.Fatalf("trial %d: guaranteed work %d exceeds the interrupt-free ideal", trial, w)
+		}
+	}
+}
+
+// The exhaustive adversary never reports more than the boundary adversary
+// even against adversarially weird schedulers (superset of options).
+func TestExhaustiveDominanceRandomSchedulers(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 15; trial++ {
+		P := 1 + rng.Intn(2)
+		U := quant.Tick(20 + rng.Intn(120))
+		c := quant.Tick(1 + rng.Intn(6))
+		s := randomScheduler{seed: int64(1000 + trial)}
+		boundary, err := Evaluate(s, P, U, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exhaustive, err := EvaluateExhaustive(s, P, U, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if exhaustive > boundary {
+			t.Fatalf("trial %d: exhaustive %d > boundary %d", trial, exhaustive, boundary)
+		}
+	}
+}
+
+// Evaluating the best-response strategy against a *different* lifespan must
+// simply not fire (unknown states), never panic.
+func TestBestResponseUnknownStates(t *testing.T) {
+	s := randomScheduler{seed: 9}
+	_, br, err := EvaluateWithStrategy(s, 2, 300, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := br.NextInterrupt(2, 299, nil); ok {
+		t.Error("strategy fired in a state it never evaluated")
+	}
+}
+
+// Value tables scale linearly with the grid: solving (U, c) and (kU, kc)
+// gives k-scaled values — the model has no intrinsic time unit. (Exactness
+// up to the ±1-tick integrality of period choices.)
+func TestValueGridScaling(t *testing.T) {
+	const k = 4
+	small, err := Solve(2, 500, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Solve(2, 500*k, 5*k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, L := range []quant.Tick{100, 250, 500} {
+		lo := small.Value(2, L)
+		hi := big.Value(2, L*k)
+		// hi/k can exceed lo slightly: the finer grid offers more period
+		// choices. It can never be worse by more than a few ticks.
+		if hi < lo*k-2*k || hi > lo*k+2*k {
+			t.Errorf("L=%d: scaled value %d vs %d×%d", L, hi, lo, k)
+		}
+	}
+}
+
+// A scheduler returning an episode that undershoots the residual is legal;
+// the shortfall is idle and the evaluator accounts it as zero work.
+func TestEvaluateUndershootingScheduler(t *testing.T) {
+	half := model.EpisodeFunc(func(p int, L quant.Tick) model.TickSchedule {
+		if L < 2 {
+			return model.TickSchedule{L}
+		}
+		return model.TickSchedule{L / 2}
+	})
+	w, err := Evaluate(half, 0, 1000, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 490 {
+		t.Errorf("undershooting scheduler banks %d, want 490", w)
+	}
+}

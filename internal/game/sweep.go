@@ -1,0 +1,78 @@
+package game
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"cyclesteal/internal/quant"
+)
+
+// SweepPoint names one cell of a parameter study: an opportunity shape on
+// the tick grid.
+type SweepPoint struct {
+	U quant.Tick
+	P int
+	C quant.Tick
+}
+
+// SweepResult carries one solved cell.
+type SweepResult struct {
+	SweepPoint
+	Value quant.Tick // W(p)[U]
+	Err   error
+}
+
+// Sweep solves many independent game instances concurrently on a bounded
+// worker pool — the standard shape of the paper's parameter studies (E3–E5
+// sweep U/c and p). Cells are independent, which is exactly the parallelism
+// the problem has; each worker uses the low-memory rolling solver so a wide
+// sweep does not multiply full value tables across cores.
+//
+// workers ≤ 0 means GOMAXPROCS. Results arrive in input order.
+func Sweep(points []SweepPoint, workers int) []SweepResult {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(points) {
+		workers = len(points)
+	}
+	results := make([]SweepResult, len(points))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				pt := points[idx]
+				res := SweepResult{SweepPoint: pt}
+				row, err := SolveValueRow(pt.P, pt.U, pt.C)
+				if err != nil {
+					res.Err = fmt.Errorf("game: sweep cell (U=%d p=%d c=%d): %w", pt.U, pt.P, pt.C, err)
+				} else {
+					res.Value = row[pt.U]
+				}
+				results[idx] = res
+			}
+		}()
+	}
+	for idx := range points {
+		jobs <- idx
+	}
+	close(jobs)
+	wg.Wait()
+	return results
+}
+
+// Grid builds the cross product of lifespans and interrupt bounds at a fixed
+// setup cost — the usual sweep shape.
+func Grid(Us []quant.Tick, Ps []int, c quant.Tick) []SweepPoint {
+	out := make([]SweepPoint, 0, len(Us)*len(Ps))
+	for _, p := range Ps {
+		for _, u := range Us {
+			out = append(out, SweepPoint{U: u, P: p, C: c})
+		}
+	}
+	return out
+}

@@ -1,0 +1,57 @@
+package game
+
+import (
+	"testing"
+
+	"cyclesteal/internal/quant"
+)
+
+func TestGridShape(t *testing.T) {
+	pts := Grid([]quant.Tick{100, 200}, []int{0, 1, 2}, 10)
+	if len(pts) != 6 {
+		t.Fatalf("grid size %d, want 6", len(pts))
+	}
+	for _, pt := range pts {
+		if pt.C != 10 {
+			t.Errorf("cell %v lost its setup cost", pt)
+		}
+	}
+}
+
+func TestSweepMatchesDirectSolve(t *testing.T) {
+	pts := Grid([]quant.Tick{150, 400, 900}, []int{0, 1, 3}, 7)
+	for _, workers := range []int{1, 4, 16} {
+		results := Sweep(pts, workers)
+		if len(results) != len(pts) {
+			t.Fatalf("workers=%d: %d results", workers, len(results))
+		}
+		for i, res := range results {
+			if res.Err != nil {
+				t.Fatalf("workers=%d cell %d: %v", workers, i, res.Err)
+			}
+			if res.SweepPoint != pts[i] {
+				t.Fatalf("workers=%d: result %d out of order", workers, i)
+			}
+			s, err := Solve(res.P, res.U, res.C)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := s.Value(res.P, res.U); res.Value != want {
+				t.Errorf("cell %v: sweep %d ≠ solve %d", res.SweepPoint, res.Value, want)
+			}
+		}
+	}
+}
+
+func TestSweepPropagatesErrors(t *testing.T) {
+	results := Sweep([]SweepPoint{{U: 100, P: 1, C: 0}}, 2)
+	if results[0].Err == nil {
+		t.Error("invalid cell did not error")
+	}
+}
+
+func TestSweepEmpty(t *testing.T) {
+	if got := Sweep(nil, 4); len(got) != 0 {
+		t.Errorf("empty sweep returned %v", got)
+	}
+}

@@ -1,0 +1,340 @@
+// Package model defines the formal objects of Rosenberg's guaranteed-output
+// cycle-stealing model (IPPS 1999, §2): opportunities, episode-schedules in
+// both the continuous and the tick domain, work accounting under positive
+// subtraction, and the scheduler interfaces the rest of the system builds on.
+//
+// Vocabulary (paper §2):
+//
+//   - An *opportunity* is a usable lifespan U punctuated by at most p
+//     owner interrupts; each interrupt kills the work of the period it lands
+//     in (draconian contract).
+//   - An *episode* is a maximal interrupt-free prefix of the remaining
+//     lifespan; the scheduler partitions it into *periods* t_1, …, t_m with
+//     Σ t_i equal to the residual lifespan.
+//   - A completed period of length t banks t ⊖ c work units, where c is the
+//     setup cost of the paired send-work/return-results communications.
+package model
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"cyclesteal/internal/quant"
+)
+
+// Opportunity describes one cycle-stealing opportunity in continuous time
+// units: workstation B is usable for Lifespan units, its owner may interrupt
+// at most Interrupts times, and every period pays the communication setup
+// cost Setup (the paper's c).
+type Opportunity struct {
+	Lifespan   float64 // U > 0, in time units
+	Interrupts int     // p ≥ 0, upper bound on owner interrupts
+	Setup      float64 // c > 0, per-period communication setup cost
+}
+
+// Validate reports whether the opportunity parameters are in the model's
+// domain (U > 0, p ≥ 0, c > 0, all finite).
+func (o Opportunity) Validate() error {
+	switch {
+	case math.IsNaN(o.Lifespan) || math.IsInf(o.Lifespan, 0) || o.Lifespan <= 0:
+		return fmt.Errorf("model: lifespan U must be positive and finite, got %v", o.Lifespan)
+	case o.Interrupts < 0:
+		return fmt.Errorf("model: interrupt bound p must be nonnegative, got %d", o.Interrupts)
+	case math.IsNaN(o.Setup) || math.IsInf(o.Setup, 0) || o.Setup <= 0:
+		return fmt.Errorf("model: setup cost c must be positive and finite, got %v", o.Setup)
+	}
+	return nil
+}
+
+// Ratio returns U/c, the natural size parameter of the model: every bound in
+// the paper is a function of U/c and p once times are measured in units of c.
+func (o Opportunity) Ratio() float64 { return o.Lifespan / o.Setup }
+
+// ZeroWorkRegime reports whether the opportunity is so short that the
+// adversary can kill every productive period: Prop. 4.1(c) shows the
+// guaranteed output is 0 whenever U ≤ (p+1)c.
+func (o Opportunity) ZeroWorkRegime() bool {
+	return o.Lifespan <= float64(o.Interrupts+1)*o.Setup
+}
+
+// String implements fmt.Stringer.
+func (o Opportunity) String() string {
+	return fmt.Sprintf("opportunity(U=%g, p=%d, c=%g)", o.Lifespan, o.Interrupts, o.Setup)
+}
+
+// ErrEmptySchedule is returned when an episode-schedule has no periods.
+var ErrEmptySchedule = errors.New("model: episode-schedule has no periods")
+
+// Schedule is an episode-schedule in continuous time: the ordered period
+// lengths t_1, …, t_m chosen for one episode. Period k occupies
+// [T_{k-1}, T_k) with T_k = t_1 + … + t_k.
+type Schedule []float64
+
+// Total returns T_m = Σ t_i, the lifespan the schedule consumes.
+func (s Schedule) Total() float64 {
+	var sum float64
+	for _, t := range s {
+		sum += t
+	}
+	return sum
+}
+
+// PrefixSums returns the period boundaries T_0 = 0, T_1, …, T_m
+// (length m+1).
+func (s Schedule) PrefixSums() []float64 {
+	sums := make([]float64, len(s)+1)
+	for i, t := range s {
+		sums[i+1] = sums[i] + t
+	}
+	return sums
+}
+
+// Validate checks that the schedule is a legal partition of a lifespan of
+// length total: every period strictly positive and finite, and Σ t_i within
+// tol of total.
+func (s Schedule) Validate(total, tol float64) error {
+	if len(s) == 0 {
+		return ErrEmptySchedule
+	}
+	for i, t := range s {
+		if math.IsNaN(t) || math.IsInf(t, 0) || t <= 0 {
+			return fmt.Errorf("model: period %d has illegal length %v", i+1, t)
+		}
+	}
+	if got := s.Total(); !quant.ApproxEqual(got, total, tol) {
+		return fmt.Errorf("model: schedule totals %v, want %v (tol %v)", got, total, tol)
+	}
+	return nil
+}
+
+// UninterruptedWork returns the work banked if no interrupt occurs: the
+// episode runs to completion and every period k contributes t_k ⊖ c.
+func (s Schedule) UninterruptedWork(c float64) float64 {
+	var w float64
+	for _, t := range s {
+		w += quant.PosSubF(t, c)
+	}
+	return w
+}
+
+// WorkBeforePeriod returns the work banked by periods 1..k-1, i.e. the
+// episode's output if the adversary interrupts during period k (paper §2.2).
+// k is 1-based; k = 1 yields 0.
+func (s Schedule) WorkBeforePeriod(k int, c float64) float64 {
+	if k < 1 {
+		return 0
+	}
+	var w float64
+	for i := 0; i < k-1 && i < len(s); i++ {
+		w += quant.PosSubF(s[i], c)
+	}
+	return w
+}
+
+// IsProductive reports whether every nonterminal period strictly exceeds c
+// (paper Thm 4.1's "productive" normal form). The final period is exempt.
+func (s Schedule) IsProductive(c float64) bool {
+	for i := 0; i < len(s)-1; i++ {
+		if s[i] <= c {
+			return false
+		}
+	}
+	return true
+}
+
+// IsFullyProductive reports whether every period, including the last,
+// strictly exceeds c (paper §4.1's stronger normal form).
+func (s Schedule) IsFullyProductive(c float64) bool {
+	for _, t := range s {
+		if t <= c {
+			return false
+		}
+	}
+	return true
+}
+
+// MakeProductive applies the transformation of Theorem 4.1: any nonterminal
+// period of length ≤ c is merged with its successor, repeatedly, until the
+// schedule is productive. The result consumes the same lifespan and (Theorem
+// 4.1) guarantees at least as much work against every adversary.
+func (s Schedule) MakeProductive(c float64) Schedule {
+	out := make(Schedule, 0, len(s))
+	carry := 0.0
+	for i, t := range s {
+		t += carry
+		carry = 0
+		if t <= c && i < len(s)-1 {
+			// Nonproductive nonterminal period: fold into the successor.
+			carry = t
+			continue
+		}
+		out = append(out, t)
+	}
+	if carry > 0 {
+		// Everything folded into a trailing remnant; merge it with the last
+		// emitted period, or emit it alone if nothing was emitted.
+		if len(out) > 0 {
+			out[len(out)-1] += carry
+		} else {
+			out = append(out, carry)
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy of the schedule.
+func (s Schedule) Clone() Schedule {
+	out := make(Schedule, len(s))
+	copy(out, s)
+	return out
+}
+
+// TickSchedule is an episode-schedule on the integer tick grid. The exact
+// game solver and the simulator operate in this domain so that worst-case
+// values are computed without floating-point ambiguity.
+type TickSchedule []quant.Tick
+
+// Total returns Σ t_i in ticks.
+func (s TickSchedule) Total() quant.Tick {
+	var sum quant.Tick
+	for _, t := range s {
+		sum += t
+	}
+	return sum
+}
+
+// PrefixSums returns T_0 = 0, T_1, …, T_m in ticks (length m+1).
+func (s TickSchedule) PrefixSums() []quant.Tick {
+	sums := make([]quant.Tick, len(s)+1)
+	for i, t := range s {
+		sums[i+1] = sums[i] + t
+	}
+	return sums
+}
+
+// UninterruptedWork returns Σ (t_k ⊖ c) in ticks.
+func (s TickSchedule) UninterruptedWork(c quant.Tick) quant.Tick {
+	var w quant.Tick
+	for _, t := range s {
+		w += quant.PosSub(t, c)
+	}
+	return w
+}
+
+// WorkBeforePeriod returns the ticks of work banked by periods 1..k-1
+// (the episode output when period k is interrupted). k is 1-based.
+func (s TickSchedule) WorkBeforePeriod(k int, c quant.Tick) quant.Tick {
+	if k < 1 {
+		return 0
+	}
+	var w quant.Tick
+	for i := 0; i < k-1 && i < len(s); i++ {
+		w += quant.PosSub(s[i], c)
+	}
+	return w
+}
+
+// Validate checks the tick schedule partitions exactly total ticks with
+// every period ≥ 1.
+func (s TickSchedule) Validate(total quant.Tick) error {
+	if len(s) == 0 {
+		return ErrEmptySchedule
+	}
+	for i, t := range s {
+		if t < 1 {
+			return fmt.Errorf("model: tick period %d has illegal length %d", i+1, t)
+		}
+	}
+	if got := s.Total(); got != total {
+		return fmt.Errorf("model: tick schedule totals %d, want %d", got, total)
+	}
+	return nil
+}
+
+// Units converts the tick schedule back to continuous time.
+func (s TickSchedule) Units(q quant.Quantum) Schedule {
+	out := make(Schedule, len(s))
+	for i, t := range s {
+		out[i] = q.ToUnits(t)
+	}
+	return out
+}
+
+// Clone returns a deep copy.
+func (s TickSchedule) Clone() TickSchedule {
+	out := make(TickSchedule, len(s))
+	copy(out, s)
+	return out
+}
+
+// Quantize converts a continuous schedule to the tick grid so that the tick
+// periods are each ≥ 1 and sum exactly to total. Rounding residue is absorbed
+// by the longest period, which perturbs any single period by at most m ticks
+// — an O(resolution) perturbation of the work functional.
+func Quantize(s Schedule, q quant.Quantum, total quant.Tick) (TickSchedule, error) {
+	if len(s) == 0 {
+		return nil, ErrEmptySchedule
+	}
+	if total < quant.Tick(len(s)) {
+		return nil, fmt.Errorf("model: cannot fit %d periods into %d ticks", len(s), total)
+	}
+	out := make(TickSchedule, len(s))
+	var sum quant.Tick
+	longest := 0
+	for i, t := range s {
+		ticks := q.ToTicks(t)
+		if ticks < 1 {
+			ticks = 1
+		}
+		out[i] = ticks
+		sum += ticks
+		if out[i] > out[longest] {
+			longest = i
+		}
+	}
+	diff := total - sum
+	if out[longest]+diff < 1 {
+		// Residue would annihilate the longest period; spread it instead.
+		return nil, fmt.Errorf("model: quantization residue %d exceeds schedule capacity", diff)
+	}
+	out[longest] += diff
+	return out, nil
+}
+
+// EpisodeScheduler is the adaptive-scheduling interface of §2.2: given the
+// number of interrupts the adversary still holds and the residual lifespan in
+// ticks, produce the episode-schedule to run until the next interrupt (or the
+// end of the opportunity). Implementations must return a schedule whose
+// periods are ≥ 1 tick and sum exactly to the residual lifespan.
+//
+// Non-adaptive schedules are expressed in this interface too: because
+// interrupts consume no time, the elapsed lifespan U−L identifies the point
+// of interruption, so "continue with the tail" is a pure function of (p, L)
+// (see sched.NonAdaptive).
+type EpisodeScheduler interface {
+	// Episode returns the period lengths for an episode beginning with
+	// p potential interrupts outstanding and L ticks of residual lifespan.
+	// L ≥ 1.
+	Episode(p int, L quant.Tick) TickSchedule
+}
+
+// EpisodeFunc adapts a plain function to the EpisodeScheduler interface.
+type EpisodeFunc func(p int, L quant.Tick) TickSchedule
+
+// Episode implements EpisodeScheduler.
+func (f EpisodeFunc) Episode(p int, L quant.Tick) TickSchedule { return f(p, L) }
+
+// Namer is implemented by schedulers that can report a human-readable name
+// for experiment tables.
+type Namer interface {
+	Name() string
+}
+
+// NameOf returns s's name if it implements Namer, else a generic label.
+func NameOf(s EpisodeScheduler) string {
+	if n, ok := s.(Namer); ok {
+		return n.Name()
+	}
+	return fmt.Sprintf("%T", s)
+}

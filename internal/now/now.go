@@ -1,0 +1,271 @@
+// Package now simulates the network of workstations the paper's schedules
+// live in: a fleet of machines whose owners lend idle time under the
+// draconian contract, each described by an owner model that samples
+// cycle-stealing contracts (usable lifespan U, interrupt bound p) and an
+// interrupt temperament.
+//
+// This is the substitution for the physical NOW of the 1990s testbed (see
+// DESIGN.md §4 item 1): the scheduling model is architecture-independent, so
+// a simulated fleet exercises exactly the code paths the analysis governs.
+// The cluster driver runs stations concurrently on a bounded worker pool —
+// stations are independent, which is the parallelism the domain actually has.
+package now
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"cyclesteal/internal/adversary"
+	"cyclesteal/internal/model"
+	"cyclesteal/internal/quant"
+	"cyclesteal/internal/sim"
+	"cyclesteal/internal/task"
+)
+
+// Contract is one cycle-stealing opportunity offered by a workstation owner:
+// the guaranteed lifespan and the interrupt allowance of §2.1.
+type Contract struct {
+	U quant.Tick
+	P int
+}
+
+// OwnerModel samples the contracts a workstation owner offers and the
+// interrupter that plays the owner during the opportunity.
+type OwnerModel interface {
+	// Sample draws the next contract. rng is owned by the caller's station.
+	Sample(rng *rand.Rand) Contract
+	// Interrupter builds the owner's in-opportunity behavior for a contract.
+	Interrupter(rng *rand.Rand, c Contract) sim.Interrupter
+	// Name labels the model in reports.
+	Name() string
+}
+
+// Office models a nine-to-five owner: moderately long idle stretches
+// (meetings, lunch) with a couple of possible returns, interrupting at
+// exponentially distributed times.
+type Office struct {
+	MeanIdle quant.Tick // mean usable lifespan
+	MaxP     int        // interrupt allowance per contract
+}
+
+// Sample implements OwnerModel.
+func (o Office) Sample(rng *rand.Rand) Contract {
+	u := quant.Tick(rng.ExpFloat64()*float64(o.MeanIdle)) + 1
+	return Contract{U: u, P: o.MaxP}
+}
+
+// Interrupter implements OwnerModel: returns come as a Poisson stream with
+// mean spacing half the lifespan — interruptions are likely but not certain.
+func (o Office) Interrupter(rng *rand.Rand, c Contract) sim.Interrupter {
+	return &adversary.Poisson{Rng: rng, Mean: float64(c.U) / 2}
+}
+
+// Name implements OwnerModel.
+func (o Office) Name() string { return "office" }
+
+// Laptop models the paper's motivating case: a machine that can be unplugged
+// at any moment. Short lifespans, a single fatal interrupt, uniformly placed.
+type Laptop struct {
+	MeanIdle quant.Tick
+}
+
+// Sample implements OwnerModel.
+func (l Laptop) Sample(rng *rand.Rand) Contract {
+	u := quant.Tick(rng.ExpFloat64()*float64(l.MeanIdle)) + 1
+	return Contract{U: u, P: 1}
+}
+
+// Interrupter implements OwnerModel.
+func (l Laptop) Interrupter(rng *rand.Rand, c Contract) sim.Interrupter {
+	return &adversary.Random{Rng: rng, Prob: 0.8}
+}
+
+// Name implements OwnerModel.
+func (l Laptop) Name() string { return "laptop" }
+
+// Overnight models lab machines lent for a fixed nightly window with a small
+// chance of an early-morning return.
+type Overnight struct {
+	Window quant.Tick
+}
+
+// Sample implements OwnerModel.
+func (o Overnight) Sample(rng *rand.Rand) Contract {
+	return Contract{U: o.Window, P: 1}
+}
+
+// Interrupter implements OwnerModel.
+func (o Overnight) Interrupter(rng *rand.Rand, c Contract) sim.Interrupter {
+	return &adversary.Random{Rng: rng, Prob: 0.15}
+}
+
+// Name implements OwnerModel.
+func (o Overnight) Name() string { return "overnight" }
+
+// Malicious wraps any owner model with worst-case in-opportunity behavior:
+// contracts are sampled from the base model, but the owner plays the
+// equalization-damage heuristic. Used to measure guaranteed-style floors on
+// fleet throughput.
+type Malicious struct {
+	Base  OwnerModel
+	Setup quant.Tick
+}
+
+// Sample implements OwnerModel.
+func (m Malicious) Sample(rng *rand.Rand) Contract { return m.Base.Sample(rng) }
+
+// Interrupter implements OwnerModel.
+func (m Malicious) Interrupter(rng *rand.Rand, c Contract) sim.Interrupter {
+	return adversary.GreedyEqualization{C: m.Setup}
+}
+
+// Name implements OwnerModel.
+func (m Malicious) Name() string { return "malicious(" + m.Base.Name() + ")" }
+
+// Workstation is one machine in the fleet.
+type Workstation struct {
+	ID    int
+	Owner OwnerModel
+	Setup quant.Tick // per-period communication setup cost c to this machine
+}
+
+// SchedulerFactory builds a scheduler for a specific contract on a specific
+// workstation (schedules depend on U, p and c).
+type SchedulerFactory func(ws Workstation, c Contract) (model.EpisodeScheduler, error)
+
+// StationResult aggregates one workstation's simulated opportunities.
+type StationResult struct {
+	Station        int
+	Opportunities  int
+	LifespanTicks  quant.Tick
+	Work           quant.Tick
+	TaskWork       quant.Tick
+	TasksCompleted int
+	Interrupts     int
+	IdleTicks      quant.Tick
+	KilledTicks    quant.Tick
+	Err            error
+}
+
+// FleetResult aggregates a whole cluster run.
+type FleetResult struct {
+	Stations []StationResult
+	Work     quant.Tick
+	Lifespan quant.Tick
+	TaskWork quant.Tick
+	Tasks    int
+}
+
+// Utilization is banked work divided by offered lifespan, the fleet-level
+// figure of merit.
+func (f FleetResult) Utilization() float64 {
+	if f.Lifespan == 0 {
+		return 0
+	}
+	return float64(f.Work) / float64(f.Lifespan)
+}
+
+// Fleet is a collection of workstations driven over a horizon of
+// opportunities.
+type Fleet struct {
+	Stations []Workstation
+	// OpportunitiesPerStation is how many contracts each station runs.
+	OpportunitiesPerStation int
+	// Workers bounds the worker pool; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// Run simulates every station's opportunities concurrently. Each station gets
+// a deterministic rng derived from seed and its ID, so runs are reproducible
+// regardless of scheduling order. If tasksPer is non-nil, it supplies each
+// station's private task bag.
+func (f Fleet) Run(factory SchedulerFactory, seed int64, tasksPer func(ws Workstation) *task.Bag) (FleetResult, error) {
+	if len(f.Stations) == 0 {
+		return FleetResult{}, fmt.Errorf("now: empty fleet")
+	}
+	n := f.OpportunitiesPerStation
+	if n < 1 {
+		n = 1
+	}
+	workers := f.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(f.Stations) {
+		workers = len(f.Stations)
+	}
+
+	results := make([]StationResult, len(f.Stations))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				results[idx] = f.runStation(f.Stations[idx], n, factory, seed, tasksPer)
+			}
+		}()
+	}
+	for idx := range f.Stations {
+		jobs <- idx
+	}
+	close(jobs)
+	wg.Wait()
+
+	var out FleetResult
+	out.Stations = results
+	for _, r := range results {
+		if r.Err != nil {
+			return out, fmt.Errorf("now: station %d: %w", r.Station, r.Err)
+		}
+		out.Work += r.Work
+		out.Lifespan += r.LifespanTicks
+		out.TaskWork += r.TaskWork
+		out.Tasks += r.TasksCompleted
+	}
+	return out, nil
+}
+
+func (f Fleet) runStation(ws Workstation, n int, factory SchedulerFactory, seed int64, tasksPer func(Workstation) *task.Bag) StationResult {
+	res := StationResult{Station: ws.ID}
+	rng := rand.New(rand.NewSource(seed ^ (int64(ws.ID)+1)*0x5851F42D4C957F2D))
+	var bag *task.Bag
+	if tasksPer != nil {
+		bag = tasksPer(ws)
+	}
+	for i := 0; i < n; i++ {
+		contract := ws.Owner.Sample(rng)
+		if contract.U < 1 {
+			continue
+		}
+		s, err := factory(ws, contract)
+		if err != nil {
+			res.Err = err
+			return res
+		}
+		adv := ws.Owner.Interrupter(rng, contract)
+		cfg := sim.Config{}
+		if bag != nil {
+			// Assign only when non-nil: a nil *task.Bag stored in the
+			// TaskSource interface would not compare equal to nil.
+			cfg.Bag = bag
+		}
+		r, err := sim.Run(s, adv, sim.Opportunity{U: contract.U, P: contract.P, C: ws.Setup}, cfg)
+		if err != nil {
+			res.Err = err
+			return res
+		}
+		res.Opportunities++
+		res.LifespanTicks += contract.U
+		res.Work += r.Work
+		res.TaskWork += r.TaskWork
+		res.TasksCompleted += r.TasksCompleted
+		res.Interrupts += r.Interrupts
+		res.IdleTicks += r.IdleTicks
+		res.KilledTicks += r.KilledTicks
+	}
+	return res
+}

@@ -1,0 +1,253 @@
+package now
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"cyclesteal/internal/model"
+	"cyclesteal/internal/quant"
+	"cyclesteal/internal/sched"
+	"cyclesteal/internal/task"
+)
+
+func testFleet(nStations int, owner OwnerModel) Fleet {
+	stations := make([]Workstation, nStations)
+	for i := range stations {
+		stations[i] = Workstation{ID: i, Owner: owner, Setup: 10}
+	}
+	return Fleet{Stations: stations, OpportunitiesPerStation: 5}
+}
+
+func equalizedFactory(ws Workstation, c Contract) (model.EpisodeScheduler, error) {
+	return sched.NewAdaptiveEqualized(ws.Setup)
+}
+
+func TestOwnerModelsSampleSanely(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	models := []OwnerModel{
+		Office{MeanIdle: 5000, MaxP: 3},
+		Laptop{MeanIdle: 2000},
+		Overnight{Window: 30000},
+		Malicious{Base: Laptop{MeanIdle: 2000}, Setup: 10},
+	}
+	for _, m := range models {
+		if m.Name() == "" {
+			t.Errorf("%T: empty name", m)
+		}
+		for i := 0; i < 100; i++ {
+			c := m.Sample(rng)
+			if c.U < 1 {
+				t.Fatalf("%s sampled lifespan %d", m.Name(), c.U)
+			}
+			if c.P < 0 {
+				t.Fatalf("%s sampled interrupt bound %d", m.Name(), c.P)
+			}
+			if m.Interrupter(rng, c) == nil {
+				t.Fatalf("%s returned nil interrupter", m.Name())
+			}
+		}
+	}
+}
+
+func TestOvernightIsDeterministicWindow(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	o := Overnight{Window: 12345}
+	for i := 0; i < 10; i++ {
+		if c := o.Sample(rng); c.U != 12345 || c.P != 1 {
+			t.Fatalf("sample = %+v", c)
+		}
+	}
+}
+
+func TestFleetRunAggregates(t *testing.T) {
+	f := testFleet(8, Office{MeanIdle: 5000, MaxP: 2})
+	res, err := f.Run(equalizedFactory, 42, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Stations) != 8 {
+		t.Fatalf("stations = %d", len(res.Stations))
+	}
+	var work, lifespan quant.Tick
+	for _, s := range res.Stations {
+		if s.Err != nil {
+			t.Fatalf("station %d: %v", s.Station, s.Err)
+		}
+		if s.Opportunities == 0 {
+			t.Errorf("station %d ran no opportunities", s.Station)
+		}
+		work += s.Work
+		lifespan += s.LifespanTicks
+	}
+	if work != res.Work || lifespan != res.Lifespan {
+		t.Errorf("aggregation mismatch: %d/%d vs %d/%d", work, lifespan, res.Work, res.Lifespan)
+	}
+	if res.Work < 1 {
+		t.Error("fleet banked no work")
+	}
+	u := res.Utilization()
+	if u <= 0 || u >= 1 {
+		t.Errorf("utilization = %g, want within (0, 1)", u)
+	}
+}
+
+func TestFleetRunDeterministicAcrossWorkerCounts(t *testing.T) {
+	base := testFleet(10, Laptop{MeanIdle: 3000})
+	for _, workers := range []int{1, 4, 32} {
+		f := base
+		f.Workers = workers
+		res, err := f.Run(equalizedFactory, 7, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := base
+		ref.Workers = 1
+		want, err := ref.Run(equalizedFactory, 7, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Work != want.Work || res.Lifespan != want.Lifespan {
+			t.Errorf("workers=%d: (%d, %d) differs from single-worker (%d, %d)",
+				workers, res.Work, res.Lifespan, want.Work, want.Lifespan)
+		}
+	}
+}
+
+func TestFleetRunWithTasks(t *testing.T) {
+	f := testFleet(4, Overnight{Window: 20000})
+	res, err := f.Run(equalizedFactory, 3, func(ws Workstation) *task.Bag {
+		return task.NewBag(task.Uniform(500, 10, 100, int64(ws.ID)))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tasks == 0 {
+		t.Error("no tasks completed fleet-wide")
+	}
+	if res.TaskWork > res.Work {
+		t.Errorf("task work %d exceeds fluid work %d", res.TaskWork, res.Work)
+	}
+}
+
+func TestFleetEmpty(t *testing.T) {
+	if _, err := (Fleet{}).Run(equalizedFactory, 1, nil); err == nil {
+		t.Error("empty fleet accepted")
+	}
+}
+
+func TestFleetFactoryErrorPropagates(t *testing.T) {
+	f := testFleet(2, Laptop{MeanIdle: 1000})
+	_, err := f.Run(func(ws Workstation, c Contract) (model.EpisodeScheduler, error) {
+		return nil, errTest
+	}, 1, nil)
+	if err == nil {
+		t.Error("factory error swallowed")
+	}
+}
+
+var errTest = &testError{}
+
+type testError struct{}
+
+func (*testError) Error() string { return "test error" }
+
+func TestMaliciousFleetUnderperformsBenign(t *testing.T) {
+	benign := testFleet(6, Overnight{Window: 20000})
+	benignRes, err := benign.Run(equalizedFactory, 11, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	malicious := testFleet(6, Malicious{Base: Overnight{Window: 20000}, Setup: 10})
+	maliciousRes, err := malicious.Run(equalizedFactory, 11, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maliciousRes.Work >= benignRes.Work {
+		t.Errorf("malicious owners (%d) should cost work vs benign (%d)", maliciousRes.Work, benignRes.Work)
+	}
+}
+
+// --- trace round trip ---------------------------------------------------------
+
+func TestGenerateTraceValid(t *testing.T) {
+	stations := testFleet(3, Office{MeanIdle: 4000, MaxP: 3}).Stations
+	trace := GenerateTrace(stations, 4, 800, 5)
+	if len(trace) != 12 {
+		t.Fatalf("trace length = %d, want 12", len(trace))
+	}
+	if err := ValidateTrace(trace); err != nil {
+		t.Fatal(err)
+	}
+	interrupted := 0
+	for _, e := range trace {
+		interrupted += len(e.Interrupts)
+	}
+	if interrupted == 0 {
+		t.Error("trace has no interrupts at all; mean return 800 over ≈4000-tick lifespans should interrupt often")
+	}
+}
+
+func TestTraceCSVRoundTrip(t *testing.T) {
+	stations := testFleet(2, Laptop{MeanIdle: 3000}).Stations
+	trace := GenerateTrace(stations, 3, 500, 9)
+	var buf bytes.Buffer
+	if err := WriteTraceCSV(&buf, trace); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTraceCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(trace) {
+		t.Fatalf("round trip length %d vs %d", len(back), len(trace))
+	}
+	for i := range trace {
+		a, b := trace[i], back[i]
+		if a.Station != b.Station || a.U != b.U || a.P != b.P || len(a.Interrupts) != len(b.Interrupts) {
+			t.Fatalf("entry %d differs: %+v vs %+v", i, a, b)
+		}
+		for j := range a.Interrupts {
+			if a.Interrupts[j] != b.Interrupts[j] {
+				t.Fatalf("entry %d interrupt %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestReadTraceCSVErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"station,lifespan,interrupt_bound,interrupts\nx,5,1,\n",
+		"station,lifespan,interrupt_bound,interrupts\n1,x,1,\n",
+		"station,lifespan,interrupt_bound,interrupts\n1,5,x,\n",
+		"station,lifespan,interrupt_bound,interrupts\n1,5,1,x\n",
+	}
+	for i, in := range cases {
+		if _, err := ReadTraceCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d: malformed trace accepted", i)
+		}
+	}
+}
+
+func TestValidateTraceErrors(t *testing.T) {
+	bad := []TraceEntry{
+		{Station: 0, U: 0, P: 1},
+	}
+	if err := ValidateTrace(bad); err == nil {
+		t.Error("zero lifespan accepted")
+	}
+	bad = []TraceEntry{{Station: 0, U: 100, P: 0, Interrupts: []quant.Tick{5}}}
+	if err := ValidateTrace(bad); err == nil {
+		t.Error("interrupt count beyond bound accepted")
+	}
+	bad = []TraceEntry{{Station: 0, U: 100, P: 2, Interrupts: []quant.Tick{50, 40}}}
+	if err := ValidateTrace(bad); err == nil {
+		t.Error("ill-ordered interrupts accepted")
+	}
+	bad = []TraceEntry{{Station: 0, U: 100, P: 2, Interrupts: []quant.Tick{50, 200}}}
+	if err := ValidateTrace(bad); err == nil {
+		t.Error("interrupt beyond lifespan accepted")
+	}
+}

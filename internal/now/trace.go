@@ -1,0 +1,155 @@
+package now
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math/rand"
+	"strconv"
+
+	"cyclesteal/internal/quant"
+)
+
+// TraceEntry is one recorded cycle-stealing opportunity in an availability
+// trace: which station offered it, the contract, and when the owner actually
+// interrupted (absolute elapsed offsets within the opportunity). It is the
+// synthetic stand-in for the workstation-usage traces a 1990s NOW deployment
+// would have collected.
+type TraceEntry struct {
+	Station    int
+	U          quant.Tick
+	P          int
+	Interrupts []quant.Tick
+}
+
+// GenerateTrace samples a synthetic availability trace: n opportunities per
+// station, with owner-return times drawn as a Poisson stream of the given
+// mean spacing, truncated to at most the contract's interrupt allowance.
+func GenerateTrace(stations []Workstation, nPer int, meanReturn float64, seed int64) []TraceEntry {
+	var out []TraceEntry
+	for _, ws := range stations {
+		rng := rand.New(rand.NewSource(seed ^ (int64(ws.ID)+1)*0x517CC1B727220A95))
+		for i := 0; i < nPer; i++ {
+			contract := ws.Owner.Sample(rng)
+			e := TraceEntry{Station: ws.ID, U: contract.U, P: contract.P}
+			if meanReturn > 0 {
+				at := quant.Tick(0)
+				for len(e.Interrupts) < contract.P {
+					at += quant.Tick(rng.ExpFloat64()*meanReturn) + 1
+					if at > contract.U {
+						break
+					}
+					e.Interrupts = append(e.Interrupts, at)
+				}
+			}
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// WriteTraceCSV encodes a trace as CSV rows:
+// station,U,p,interrupt1;interrupt2;…
+func WriteTraceCSV(w io.Writer, trace []TraceEntry) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"station", "lifespan", "interrupt_bound", "interrupts"}); err != nil {
+		return err
+	}
+	for _, e := range trace {
+		ints := ""
+		for i, t := range e.Interrupts {
+			if i > 0 {
+				ints += ";"
+			}
+			ints += strconv.FormatInt(int64(t), 10)
+		}
+		row := []string{
+			strconv.Itoa(e.Station),
+			strconv.FormatInt(int64(e.U), 10),
+			strconv.Itoa(e.P),
+			ints,
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadTraceCSV decodes a trace written by WriteTraceCSV.
+func ReadTraceCSV(r io.Reader) ([]TraceEntry, error) {
+	cr := csv.NewReader(r)
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("now: reading trace: %w", err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("now: empty trace")
+	}
+	var out []TraceEntry
+	for i, rec := range records[1:] { // skip header
+		if len(rec) != 4 {
+			return nil, fmt.Errorf("now: trace row %d has %d fields, want 4", i+2, len(rec))
+		}
+		station, err := strconv.Atoi(rec[0])
+		if err != nil {
+			return nil, fmt.Errorf("now: trace row %d station: %w", i+2, err)
+		}
+		u, err := strconv.ParseInt(rec[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("now: trace row %d lifespan: %w", i+2, err)
+		}
+		p, err := strconv.Atoi(rec[2])
+		if err != nil {
+			return nil, fmt.Errorf("now: trace row %d interrupt bound: %w", i+2, err)
+		}
+		e := TraceEntry{Station: station, U: quant.Tick(u), P: p}
+		if rec[3] != "" {
+			for _, part := range splitSemis(rec[3]) {
+				t, err := strconv.ParseInt(part, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("now: trace row %d interrupts: %w", i+2, err)
+				}
+				e.Interrupts = append(e.Interrupts, quant.Tick(t))
+			}
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+func splitSemis(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == ';' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	return append(out, s[start:])
+}
+
+// Validate checks a trace for well-formed entries.
+func ValidateTrace(trace []TraceEntry) error {
+	for i, e := range trace {
+		if e.U < 1 {
+			return fmt.Errorf("now: trace entry %d has lifespan %d", i, e.U)
+		}
+		if e.P < 0 {
+			return fmt.Errorf("now: trace entry %d has interrupt bound %d", i, e.P)
+		}
+		if len(e.Interrupts) > e.P {
+			return fmt.Errorf("now: trace entry %d has %d interrupts, bound %d", i, len(e.Interrupts), e.P)
+		}
+		prev := quant.Tick(0)
+		for _, t := range e.Interrupts {
+			if t <= prev || t > e.U {
+				return fmt.Errorf("now: trace entry %d has ill-ordered interrupt %d", i, t)
+			}
+			prev = t
+		}
+	}
+	return nil
+}

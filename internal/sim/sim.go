@@ -1,0 +1,252 @@
+// Package sim executes cycle-stealing opportunities: it binds an adaptive
+// scheduler (model.EpisodeScheduler), an interrupt strategy (Interrupter) and
+// optionally a bag of data-parallel tasks, and plays out the draconian
+// contract of §1–2 tick by tick:
+//
+//   - each period starts by paying the setup cost c (shipping work to B) and
+//     ends with B returning results — the checkpoint;
+//   - an interrupt kills the period in progress, losing all its work (and
+//     returning its in-flight tasks to the bag);
+//   - interrupts consume no lifespan themselves; the residual lifespan after
+//     an interrupt at elapsed time τ is L − τ;
+//   - after each interrupt the scheduler is asked for a fresh episode.
+//
+// The simulator is the ground truth the analytical evaluators are tested
+// against: replaying game.BestResponse through Run reproduces the minimax
+// guaranteed work exactly, and stochastic Interrupters give the Monte-Carlo
+// expected-output view (experiment E8).
+package sim
+
+import (
+	"fmt"
+
+	"cyclesteal/internal/model"
+	"cyclesteal/internal/quant"
+	"cyclesteal/internal/task"
+)
+
+// Interrupter decides when the owner of the borrowed workstation reclaims
+// it. At the start of each episode it sees the remaining interrupt budget p,
+// the residual lifespan L, and the episode about to run; it returns the
+// episode-relative elapsed time at which it will interrupt (1 ≤ at ≤ L), or
+// ok = false to let the episode run out. Returning at > episode total means
+// the interrupt falls into trailing idle time: it kills nothing but still
+// consumes budget and lifespan.
+type Interrupter interface {
+	NextInterrupt(p int, L quant.Tick, episode model.TickSchedule) (at quant.Tick, ok bool)
+}
+
+// Opportunity is a cycle-stealing opportunity on the tick grid.
+type Opportunity struct {
+	U quant.Tick // usable lifespan
+	P int        // interrupt budget
+	C quant.Tick // per-period setup cost
+}
+
+// Validate reports whether the opportunity is well-formed.
+func (o Opportunity) Validate() error {
+	if o.U < 1 || o.P < 0 || o.C < 1 {
+		return fmt.Errorf("sim: bad opportunity U=%d P=%d C=%d", o.U, o.P, o.C)
+	}
+	return nil
+}
+
+// PeriodOutcome classifies what happened to one scheduled period.
+type PeriodOutcome int
+
+// Period outcomes.
+const (
+	Completed PeriodOutcome = iota // ran to the end; work banked
+	Killed                         // interrupted; work destroyed
+	Unreached                      // episode ended (by interrupt) before it started
+)
+
+// String implements fmt.Stringer.
+func (o PeriodOutcome) String() string {
+	switch o {
+	case Completed:
+		return "completed"
+	case Killed:
+		return "killed"
+	case Unreached:
+		return "unreached"
+	default:
+		return fmt.Sprintf("PeriodOutcome(%d)", int(o))
+	}
+}
+
+// PeriodRecord is one row of the audit log.
+type PeriodRecord struct {
+	Episode int        // episode index, 0-based
+	Index   int        // period index within the episode, 0-based
+	Start   quant.Tick // absolute elapsed lifespan at period start
+	Length  quant.Tick // scheduled length
+	Outcome PeriodOutcome
+	Work    quant.Tick // fluid work banked (t ⊖ c if completed)
+	Tasks   int        // tasks completed in this period (bag runs only)
+}
+
+// Result aggregates one opportunity run.
+type Result struct {
+	Work           quant.Tick // fluid work banked: Σ (t ⊖ c) over completed periods
+	TaskWork       quant.Tick // total duration of completed tasks (bag runs)
+	TasksCompleted int
+	Episodes       int        // episodes started
+	Interrupts     int        // interrupts that actually occurred
+	SetupTicks     quant.Tick // lifespan spent on completed periods' setups
+	KilledTicks    quant.Tick // lifespan consumed by killed periods (incl. partial progress)
+	IdleTicks      quant.Tick // lifespan never scheduled (tail slack, post-schedule gaps)
+	Periods        []PeriodRecord
+}
+
+// TaskSource supplies indivisible tasks to pack into periods. *task.Bag
+// implements it for single-station runs; farm.SharedBag implements it with a
+// mutex so many concurrently simulated stations can drain one job.
+type TaskSource interface {
+	// Take removes and returns tasks fitting within capacity (first-fit).
+	Take(capacity quant.Tick) []task.Task
+	// Return puts killed tasks back for rescheduling.
+	Return(tasks []task.Task)
+}
+
+// Config controls optional simulator features.
+type Config struct {
+	// RecordPeriods turns on the per-period audit log.
+	RecordPeriods bool
+	// Bag, when non-nil, runs the opportunity against a real task source:
+	// each period's capacity t−c is packed with tasks; killed periods return
+	// their tasks.
+	Bag TaskSource
+}
+
+// Run plays one opportunity to completion and returns the accounting. It
+// errors if the scheduler or interrupter violates its contract.
+func Run(s model.EpisodeScheduler, adv Interrupter, opp Opportunity, cfg Config) (Result, error) {
+	if err := opp.Validate(); err != nil {
+		return Result{}, err
+	}
+	var res Result
+	L := opp.U
+	p := opp.P
+
+	for L > 0 {
+		ep := s.Episode(p, L)
+		if len(ep) == 0 {
+			// Scheduler has nothing to run (e.g. a non-adaptive tail after a
+			// final-period interrupt): the rest of the lifespan idles away.
+			res.IdleTicks += L
+			break
+		}
+		total, err := validateEpisode(s, ep, p, L)
+		if err != nil {
+			return Result{}, err
+		}
+		res.Episodes++
+
+		at, interrupted := adv.NextInterrupt(p, L, ep)
+		if interrupted {
+			if p <= 0 {
+				return Result{}, fmt.Errorf("sim: interrupter %T fired with no budget left", adv)
+			}
+			if at < 1 || at > L {
+				return Result{}, fmt.Errorf("sim: interrupter %T returned offset %d outside (0, %d]", adv, at, L)
+			}
+		}
+
+		// Play the episode's periods against the (possible) interrupt.
+		var elapsed quant.Tick // episode-relative
+		killedInEpisode := false
+		for i, t := range ep {
+			start := elapsed
+			end := elapsed + t
+			rec := PeriodRecord{Episode: res.Episodes - 1, Index: i, Start: opp.U - L + start, Length: t}
+			switch {
+			case interrupted && at <= start:
+				// Interrupt fell before this period began.
+				rec.Outcome = Unreached
+			case interrupted && at <= end:
+				// Interrupt lands inside (or at the last instant of) this
+				// period: its work and in-flight tasks die. The tasks were
+				// shipped with the period; they go back in the bag for
+				// rescheduling (draconian kill, not task loss).
+				rec.Outcome = Killed
+				res.KilledTicks += at - start
+				killedInEpisode = true
+				if cfg.Bag != nil {
+					if capacity := quant.PosSub(t, opp.C); capacity > 0 {
+						cfg.Bag.Return(cfg.Bag.Take(capacity))
+					}
+				}
+			default:
+				rec.Outcome = Completed
+				work := quant.PosSub(t, opp.C)
+				rec.Work = work
+				res.Work += work
+				if work > 0 {
+					res.SetupTicks += opp.C
+				} else {
+					res.SetupTicks += t // a period ≤ c is pure overhead
+				}
+				if cfg.Bag != nil && work > 0 {
+					done := cfg.Bag.Take(work)
+					rec.Tasks = len(done)
+					res.TasksCompleted += len(done)
+					res.TaskWork += task.Durations(done)
+				}
+			}
+			if cfg.RecordPeriods {
+				res.Periods = append(res.Periods, rec)
+			}
+			elapsed = end
+		}
+
+		if !interrupted {
+			// Episode ran out; any shortfall between the schedule and the
+			// residual lifespan is idle tail time, and the opportunity ends
+			// (an adaptive scheduler always consumes L exactly; only
+			// non-adaptive tails undershoot, and they do so terminally).
+			res.IdleTicks += L - total
+			L = 0
+			break
+		}
+
+		res.Interrupts++
+		if at > total {
+			// Interrupt fell into trailing idle time after the episode
+			// completed: nothing killed, but lifespan up to `at` is gone.
+			res.IdleTicks += at - total
+		} else if !killedInEpisode {
+			return Result{}, fmt.Errorf("sim: internal accounting: interrupt at %d killed nothing in episode of %d", at, total)
+		}
+		L -= at
+		p--
+	}
+	return res, nil
+}
+
+func validateEpisode(s model.EpisodeScheduler, ep model.TickSchedule, p int, L quant.Tick) (quant.Tick, error) {
+	var total quant.Tick
+	for i, t := range ep {
+		if t < 1 {
+			return 0, fmt.Errorf("sim: scheduler %s emitted period %d of length %d at (p=%d, L=%d)",
+				model.NameOf(s), i+1, t, p, L)
+		}
+		total += t
+	}
+	if total > L {
+		return 0, fmt.Errorf("sim: scheduler %s overcommitted %d ticks into residual %d",
+			model.NameOf(s), total, L)
+	}
+	return total, nil
+}
+
+// GuaranteedReplay runs the schedule against a recorded best-response
+// adversary and returns the fluid work — a convenience for verifying that a
+// minimax evaluation is achieved by an actual execution.
+func GuaranteedReplay(s model.EpisodeScheduler, adv Interrupter, opp Opportunity) (quant.Tick, error) {
+	res, err := Run(s, adv, opp, Config{})
+	if err != nil {
+		return 0, err
+	}
+	return res.Work, nil
+}

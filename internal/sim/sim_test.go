@@ -1,0 +1,358 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"cyclesteal/internal/adversary"
+	"cyclesteal/internal/game"
+	"cyclesteal/internal/model"
+	"cyclesteal/internal/quant"
+	"cyclesteal/internal/sched"
+	"cyclesteal/internal/task"
+)
+
+func TestOpportunityValidate(t *testing.T) {
+	if err := (Opportunity{U: 0, P: 0, C: 1}).Validate(); err == nil {
+		t.Error("U=0 accepted")
+	}
+	if err := (Opportunity{U: 10, P: -1, C: 1}).Validate(); err == nil {
+		t.Error("P<0 accepted")
+	}
+	if err := (Opportunity{U: 10, P: 0, C: 0}).Validate(); err == nil {
+		t.Error("C=0 accepted")
+	}
+	if err := (Opportunity{U: 10, P: 1, C: 1}).Validate(); err != nil {
+		t.Errorf("valid opportunity rejected: %v", err)
+	}
+}
+
+func TestRunNoInterrupts(t *testing.T) {
+	res, err := Run(sched.SinglePeriod{}, adversary.None{}, Opportunity{U: 1000, P: 2, C: 10}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Work != 990 {
+		t.Errorf("Work = %d, want 990", res.Work)
+	}
+	if res.Episodes != 1 || res.Interrupts != 0 {
+		t.Errorf("Episodes=%d Interrupts=%d, want 1/0", res.Episodes, res.Interrupts)
+	}
+	if res.SetupTicks != 10 || res.IdleTicks != 0 || res.KilledTicks != 0 {
+		t.Errorf("accounting: setup=%d idle=%d killed=%d", res.SetupTicks, res.IdleTicks, res.KilledTicks)
+	}
+}
+
+func TestRunSinglePeriodKilledAtLastInstant(t *testing.T) {
+	res, err := Run(sched.SinglePeriod{}, adversary.LastPeriod{}, Opportunity{U: 1000, P: 1, C: 10}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First episode [1000] killed at its last instant: residual 0.
+	if res.Work != 0 {
+		t.Errorf("Work = %d, want 0", res.Work)
+	}
+	if res.Interrupts != 1 || res.KilledTicks != 1000 {
+		t.Errorf("Interrupts=%d KilledTicks=%d, want 1/1000", res.Interrupts, res.KilledTicks)
+	}
+}
+
+func TestRunScriptedMidPeriodInterrupt(t *testing.T) {
+	// Two periods of 500; interrupt at offset 700 (inside period 2).
+	na, err := sched.NonAdaptiveFromPeriods(model.TickSchedule{500, 500}, 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adv := &adversary.Scripted{Offsets: []quant.Tick{700}}
+	res, err := Run(na, adv, Opportunity{U: 1000, P: 1, C: 10}, Config{RecordPeriods: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Period 1 completes (490); period 2 dies with 200 ticks of progress.
+	// Residual after interrupt: 300, rescheduled as one long period (p=0):
+	// banks 290.
+	if res.Work != 780 {
+		t.Errorf("Work = %d, want 780", res.Work)
+	}
+	if res.KilledTicks != 200 {
+		t.Errorf("KilledTicks = %d, want 200", res.KilledTicks)
+	}
+	if res.Episodes != 2 || res.Interrupts != 1 {
+		t.Errorf("Episodes=%d Interrupts=%d, want 2/1", res.Episodes, res.Interrupts)
+	}
+	if len(res.Periods) != 3 {
+		t.Fatalf("period log has %d rows, want 3", len(res.Periods))
+	}
+	if res.Periods[0].Outcome != Completed || res.Periods[1].Outcome != Killed || res.Periods[2].Outcome != Completed {
+		t.Errorf("outcomes: %v %v %v", res.Periods[0].Outcome, res.Periods[1].Outcome, res.Periods[2].Outcome)
+	}
+	if res.Periods[1].Start != 500 || res.Periods[2].Start != 700 {
+		t.Errorf("absolute starts: %d, %d; want 500, 700", res.Periods[1].Start, res.Periods[2].Start)
+	}
+}
+
+func TestRunUnreachedPeriods(t *testing.T) {
+	na, err := sched.NonAdaptiveFromPeriods(model.TickSchedule{100, 100, 100}, 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adv := &adversary.Scripted{Offsets: []quant.Tick{50}}
+	res, err := Run(na, adv, Opportunity{U: 300, P: 1, C: 10}, Config{RecordPeriods: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interrupt at 50 kills period 1; periods 2,3 of episode 1 are unreached;
+	// residual 250 rescheduled as one long period (240 work).
+	if res.Work != 240 {
+		t.Errorf("Work = %d, want 240", res.Work)
+	}
+	var unreached int
+	for _, r := range res.Periods {
+		if r.Outcome == Unreached {
+			unreached++
+		}
+	}
+	if unreached != 2 {
+		t.Errorf("unreached rows = %d, want 2", unreached)
+	}
+}
+
+// Conservation: every tick of lifespan is banked as work, spent on setup,
+// destroyed by a kill, or idled away.
+func TestLifespanConservation(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	c := quant.Tick(10)
+	ag, err := sched.NewAdaptiveGuideline(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq, err := sched.NewAdaptiveEqualized(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 200; trial++ {
+		U := quant.Tick(100 + rng.Int63n(20000))
+		P := rng.Intn(4)
+		na, err := sched.NewNonAdaptive(U, P, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		schedulers := []model.EpisodeScheduler{ag, eq, na, sched.SinglePeriod{}, sched.EqualSplit{M: 7}}
+		s := schedulers[rng.Intn(len(schedulers))]
+		adv := &adversary.Random{Rng: rng, Prob: 0.7}
+		res, err := Run(s, adv, Opportunity{U: U, P: P, C: c}, Config{})
+		if err != nil {
+			t.Fatalf("trial %d (%s U=%d P=%d): %v", trial, model.NameOf(s), U, P, err)
+		}
+		total := res.Work + res.SetupTicks + res.KilledTicks + res.IdleTicks
+		if total != U {
+			t.Fatalf("trial %d (%s U=%d P=%d): conservation broken: %d+%d+%d+%d = %d ≠ %d",
+				trial, model.NameOf(s), U, P, res.Work, res.SetupTicks, res.KilledTicks, res.IdleTicks, total, U)
+		}
+		if res.Interrupts > P {
+			t.Fatalf("trial %d: %d interrupts exceed budget %d", trial, res.Interrupts, P)
+		}
+	}
+}
+
+// Replaying the minimax best response through the simulator reproduces the
+// evaluator's guaranteed work exactly — the evaluators and the simulator
+// agree on the model.
+func TestBestResponseReplayMatchesEvaluator(t *testing.T) {
+	c := quant.Tick(10)
+	U := quant.Tick(5000)
+	for _, P := range []int{0, 1, 2, 3} {
+		ag, err := sched.NewAdaptiveGuideline(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eq, err := sched.NewAdaptiveEqualized(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		na, err := sched.NewNonAdaptive(U, P, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range []model.EpisodeScheduler{ag, eq, na} {
+			want, br, err := game.EvaluateWithStrategy(s, P, U, c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := GuaranteedReplay(s, br, Opportunity{U: U, P: P, C: c})
+			if err != nil {
+				t.Fatalf("%s: %v", model.NameOf(s), err)
+			}
+			if got != want {
+				t.Errorf("P=%d %s: replay %d ≠ evaluator %d", P, model.NameOf(s), got, want)
+			}
+		}
+	}
+}
+
+// Against any adversary, realized work is at least the guaranteed work.
+func TestRealizedAtLeastGuaranteed(t *testing.T) {
+	c := quant.Tick(10)
+	U := quant.Tick(3000)
+	P := 2
+	eq, err := sched.NewAdaptiveEqualized(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	guaranteed, err := game.Evaluate(eq, P, U, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	advs := []Interrupter{
+		adversary.None{},
+		adversary.LastPeriod{},
+		adversary.GreedyEqualization{C: c},
+		&adversary.Random{Rng: rng, Prob: 0.9},
+		&adversary.Poisson{Rng: rng, Mean: 500},
+		adversary.Periodic{U: U, Every: 700},
+	}
+	for _, adv := range advs {
+		for trial := 0; trial < 20; trial++ {
+			res, err := Run(eq, adv, Opportunity{U: U, P: P, C: c}, Config{})
+			if err != nil {
+				t.Fatalf("%T: %v", adv, err)
+			}
+			if res.Work < guaranteed {
+				t.Errorf("%T: realized %d < guaranteed %d", adv, res.Work, guaranteed)
+			}
+		}
+	}
+}
+
+func TestRunWithTaskBag(t *testing.T) {
+	c := quant.Tick(10)
+	bag := task.NewBag(task.Fixed(100, 25))
+	eq, err := sched.NewAdaptiveEqualized(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(eq, adversary.None{}, Opportunity{U: 2000, P: 1, C: c}, Config{Bag: bag})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TasksCompleted == 0 {
+		t.Fatal("no tasks completed")
+	}
+	if res.TaskWork != quant.Tick(res.TasksCompleted)*25 {
+		t.Errorf("TaskWork = %d for %d tasks of 25", res.TaskWork, res.TasksCompleted)
+	}
+	// Task work can never exceed fluid work (packing loses, never gains).
+	if res.TaskWork > res.Work {
+		t.Errorf("TaskWork %d > fluid Work %d", res.TaskWork, res.Work)
+	}
+	if bag.Remaining()+res.TasksCompleted != 100 {
+		t.Errorf("tasks leaked: %d remaining + %d done ≠ 100", bag.Remaining(), res.TasksCompleted)
+	}
+}
+
+func TestKilledPeriodReturnsTasks(t *testing.T) {
+	c := quant.Tick(10)
+	bag := task.NewBag(task.Fixed(50, 20))
+	na, err := sched.NonAdaptiveFromPeriods(model.TickSchedule{500, 500}, 1, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adv := &adversary.Scripted{Offsets: []quant.Tick{500}} // kill period 1 at last instant
+	res, err := Run(na, adv, Opportunity{U: 1000, P: 1, C: c}, Config{Bag: bag})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Period 1's tasks died with it; period 2 and the long tail bank tasks.
+	if bag.Remaining()+res.TasksCompleted != 50 {
+		t.Errorf("tasks leaked after a kill: %d + %d ≠ 50", bag.Remaining(), res.TasksCompleted)
+	}
+	if res.TasksCompleted == 0 {
+		t.Error("no tasks completed in surviving periods")
+	}
+}
+
+func TestRunContractViolations(t *testing.T) {
+	over := model.EpisodeFunc(func(p int, L quant.Tick) model.TickSchedule {
+		return model.TickSchedule{L + 1}
+	})
+	if _, err := Run(over, adversary.None{}, Opportunity{U: 100, P: 0, C: 10}, Config{}); err == nil {
+		t.Error("overcommitting scheduler accepted")
+	}
+	zero := model.EpisodeFunc(func(p int, L quant.Tick) model.TickSchedule {
+		return model.TickSchedule{0}
+	})
+	if _, err := Run(zero, adversary.None{}, Opportunity{U: 100, P: 0, C: 10}, Config{}); err == nil {
+		t.Error("zero-length period accepted")
+	}
+	// Interrupter fires with no budget.
+	eager := interrupterFunc(func(p int, L quant.Tick, ep model.TickSchedule) (quant.Tick, bool) {
+		return 1, true
+	})
+	if _, err := Run(sched.SinglePeriod{}, eager, Opportunity{U: 100, P: 0, C: 10}, Config{}); err == nil {
+		t.Error("budgetless interrupt accepted")
+	}
+	// Interrupter fires beyond the residual lifespan.
+	far := interrupterFunc(func(p int, L quant.Tick, ep model.TickSchedule) (quant.Tick, bool) {
+		return L + 1, true
+	})
+	if _, err := Run(sched.SinglePeriod{}, far, Opportunity{U: 100, P: 1, C: 10}, Config{}); err == nil {
+		t.Error("beyond-lifespan interrupt accepted")
+	}
+	if _, err := Run(sched.SinglePeriod{}, adversary.None{}, Opportunity{U: 0, P: 0, C: 1}, Config{}); err == nil {
+		t.Error("invalid opportunity accepted")
+	}
+}
+
+type interrupterFunc func(p int, L quant.Tick, ep model.TickSchedule) (quant.Tick, bool)
+
+func (f interrupterFunc) NextInterrupt(p int, L quant.Tick, ep model.TickSchedule) (quant.Tick, bool) {
+	return f(p, L, ep)
+}
+
+func TestInterruptInTrailingIdle(t *testing.T) {
+	// Non-adaptive tail undershoots after a mid-period interrupt; a second
+	// interrupt into the idle gap must kill nothing.
+	na, err := sched.NonAdaptiveFromPeriods(model.TickSchedule{400, 400, 200}, 2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First interrupt mid-period-1 at 100: tail = periods 2,3 (600 ticks),
+	// residual 900 → 300 ticks of trailing idle. Second interrupt at 700
+	// falls into... 600 < 700 ≤ 900: trailing idle.
+	adv := &adversary.Scripted{Offsets: []quant.Tick{100, 700}}
+	res, err := Run(na, adv, Opportunity{U: 1000, P: 2, C: 10}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Periods 2 (390) and 3 (190) complete; after the idle interrupt,
+	// residual 200 is rescheduled as one long period (p exhausted): 190.
+	if res.Work != 770 {
+		t.Errorf("Work = %d, want 770", res.Work)
+	}
+	if res.KilledTicks != 100 {
+		t.Errorf("KilledTicks = %d, want 100", res.KilledTicks)
+	}
+	if res.IdleTicks != 100 {
+		t.Errorf("IdleTicks = %d, want 100 (idle before the second interrupt)", res.IdleTicks)
+	}
+}
+
+func TestPeriodOutcomeString(t *testing.T) {
+	for _, o := range []PeriodOutcome{Completed, Killed, Unreached, PeriodOutcome(42)} {
+		if o.String() == "" {
+			t.Errorf("empty String for %d", int(o))
+		}
+	}
+}
+
+func TestRunEmptyEpisodeIdlesOut(t *testing.T) {
+	empty := model.EpisodeFunc(func(p int, L quant.Tick) model.TickSchedule { return nil })
+	res, err := Run(empty, adversary.None{}, Opportunity{U: 500, P: 1, C: 10}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IdleTicks != 500 || res.Work != 0 {
+		t.Errorf("idle=%d work=%d, want 500/0", res.IdleTicks, res.Work)
+	}
+}

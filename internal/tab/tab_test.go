@@ -1,0 +1,141 @@
+package tab
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func sample() *Table {
+	t := New("Table X. Sample", "U/c", "W_opt", "W_na")
+	t.Row(100, 81.37, "n/a")
+	t.Row(1000.0, 936.0, 900.25)
+	t.Note("c = %d", 1)
+	return t
+}
+
+func TestRowFormatting(t *testing.T) {
+	tb := sample()
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	if tb.Rows[0][0] != "100" {
+		t.Errorf("int cell = %q", tb.Rows[0][0])
+	}
+	if tb.Rows[0][1] != "81.37" {
+		t.Errorf("float cell = %q", tb.Rows[0][1])
+	}
+	if tb.Rows[1][0] != "1000" {
+		t.Errorf("whole float cell = %q, want trimmed", tb.Rows[1][0])
+	}
+	if tb.Rows[1][2] != "900.25" {
+		t.Errorf("float cell = %q", tb.Rows[1][2])
+	}
+	if tb.Rows[0][2] != "n/a" {
+		t.Errorf("string cell = %q", tb.Rows[0][2])
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{0, "0"},
+		{3, "3"},
+		{-2, "-2"},
+		{3.14159, "3.1416"},
+		{2.5000, "2.5"},
+		{0.0001, "0.0001"},
+		{0.00001, "0"},
+	}
+	for _, c := range cases {
+		if got := FormatFloat(c.in); got != c.want {
+			t.Errorf("FormatFloat(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestWriteTextAligned(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sample().WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Table X. Sample") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "note: c = 1") {
+		t.Error("note missing")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title, header, rule, 2 rows, note
+	if len(lines) != 6 {
+		t.Fatalf("line count = %d: %q", len(lines), out)
+	}
+	// Columns align: the header and data rows have the same column starts.
+	if !strings.HasPrefix(lines[1], "U/c ") {
+		t.Errorf("header row: %q", lines[1])
+	}
+	if len(lines[2]) < len(lines[1]) {
+		t.Errorf("rule shorter than header: %q vs %q", lines[2], lines[1])
+	}
+}
+
+func TestWriteCSVRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sample().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 3 {
+		t.Fatalf("records = %d", len(records))
+	}
+	if records[0][0] != "U/c" || records[2][1] != "936" {
+		t.Errorf("CSV content wrong: %v", records)
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sample().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded Table
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Title != "Table X. Sample" || len(decoded.Rows) != 2 || len(decoded.Notes) != 1 {
+		t.Errorf("JSON round trip: %+v", decoded)
+	}
+}
+
+func TestRender(t *testing.T) {
+	if sample().Render() == "" {
+		t.Error("empty Render")
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	tb := New("empty")
+	var buf bytes.Buffer
+	if err := tb.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Error("no output for empty table")
+	}
+}
+
+func TestRowWithOtherTypes(t *testing.T) {
+	tb := New("t", "a", "b")
+	tb.Row(int64(7), true)
+	if tb.Rows[0][0] != "7" || tb.Rows[0][1] != "true" {
+		t.Errorf("row = %v", tb.Rows[0])
+	}
+}

@@ -1,0 +1,184 @@
+// Package task models the data-parallel workload the paper's schedules carry:
+// a bag of indivisible tasks whose running times are known perfectly and
+// include the marginal cost of shipping their inputs and outputs (§2.1).
+//
+// The fluid model banks t ⊖ c work units per completed period; a real
+// data-parallel job banks whole tasks only. The Packer fills each period's
+// capacity with tasks and the simulator accounts the difference — the
+// quantization loss — which experiment E10 measures against task granularity.
+package task
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cyclesteal/internal/quant"
+)
+
+// Task is one indivisible unit of data-parallel work. Duration includes the
+// marginal input/output transfer time, per the paper's accounting.
+type Task struct {
+	ID       int
+	Duration quant.Tick
+}
+
+// Bag is an ordered multiset of pending tasks. Take removes a prefix-greedy
+// fitting set; Return puts killed tasks back at the front (they were in
+// flight and remain next in line). Bag is not safe for concurrent use; the
+// cluster driver gives each workstation its own bag or shards one.
+type Bag struct {
+	pending []Task
+	nextID  int
+}
+
+// NewBag builds a bag from explicit tasks.
+func NewBag(tasks []Task) *Bag {
+	b := &Bag{pending: make([]Task, len(tasks))}
+	copy(b.pending, tasks)
+	for _, t := range tasks {
+		if t.ID >= b.nextID {
+			b.nextID = t.ID + 1
+		}
+	}
+	return b
+}
+
+// Remaining reports how many tasks are still pending.
+func (b *Bag) Remaining() int { return len(b.pending) }
+
+// RemainingWork reports the total duration of pending tasks.
+func (b *Bag) RemainingWork() quant.Tick {
+	var sum quant.Tick
+	for _, t := range b.pending {
+		sum += t.Duration
+	}
+	return sum
+}
+
+// Take removes and returns a set of tasks that fits within capacity, scanning
+// the bag in order and skipping tasks that do not fit (first-fit). The
+// returned tasks' durations sum to at most capacity.
+func (b *Bag) Take(capacity quant.Tick) []Task {
+	if capacity < 1 || len(b.pending) == 0 {
+		return nil
+	}
+	var taken []Task
+	var kept []Task
+	for _, t := range b.pending {
+		if t.Duration <= capacity {
+			taken = append(taken, t)
+			capacity -= t.Duration
+		} else {
+			kept = append(kept, t)
+		}
+	}
+	if taken == nil {
+		return nil
+	}
+	b.pending = append(kept[:0:0], kept...)
+	return taken
+}
+
+// Return puts tasks back at the front of the bag, preserving their order —
+// used when an interrupt kills the period that was running them.
+func (b *Bag) Return(tasks []Task) {
+	if len(tasks) == 0 {
+		return
+	}
+	b.pending = append(append(make([]Task, 0, len(tasks)+len(b.pending)), tasks...), b.pending...)
+}
+
+// Durations sums the durations of a task set.
+func Durations(tasks []Task) quant.Tick {
+	var sum quant.Tick
+	for _, t := range tasks {
+		sum += t.Duration
+	}
+	return sum
+}
+
+// --- generators ---------------------------------------------------------------
+
+// Fixed returns n tasks of identical duration d — the workload shape of the
+// coscheduling auction baseline [1].
+func Fixed(n int, d quant.Tick) []Task {
+	if d < 1 {
+		d = 1
+	}
+	out := make([]Task, n)
+	for i := range out {
+		out[i] = Task{ID: i, Duration: d}
+	}
+	return out
+}
+
+// Uniform returns n tasks with durations uniform in [lo, hi].
+func Uniform(n int, lo, hi quant.Tick, seed int64) []Task {
+	if lo < 1 {
+		lo = 1
+	}
+	if hi < lo {
+		hi = lo
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Task, n)
+	for i := range out {
+		out[i] = Task{ID: i, Duration: lo + quant.Tick(rng.Int63n(int64(hi-lo+1)))}
+	}
+	return out
+}
+
+// Bimodal returns n tasks that are `small` with probability 1−fracLarge and
+// `large` otherwise — render-farm style workloads (cheap frames, expensive
+// hero frames).
+func Bimodal(n int, small, large quant.Tick, fracLarge float64, seed int64) []Task {
+	if small < 1 {
+		small = 1
+	}
+	if large < small {
+		large = small
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Task, n)
+	for i := range out {
+		d := small
+		if rng.Float64() < fracLarge {
+			d = large
+		}
+		out[i] = Task{ID: i, Duration: d}
+	}
+	return out
+}
+
+// Exponential returns n tasks with (clamped) exponentially distributed
+// durations of the given mean — heavy-ish tails without unbounded outliers.
+func Exponential(n int, mean float64, seed int64) []Task {
+	if mean < 1 {
+		mean = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Task, n)
+	for i := range out {
+		d := quant.Tick(rng.ExpFloat64() * mean)
+		if d < 1 {
+			d = 1
+		}
+		out[i] = Task{ID: i, Duration: d}
+	}
+	return out
+}
+
+// Validate checks a task set for legal durations and distinct IDs.
+func Validate(tasks []Task) error {
+	seen := make(map[int]bool, len(tasks))
+	for i, t := range tasks {
+		if t.Duration < 1 {
+			return fmt.Errorf("task: task %d (index %d) has illegal duration %d", t.ID, i, t.Duration)
+		}
+		if seen[t.ID] {
+			return fmt.Errorf("task: duplicate task ID %d", t.ID)
+		}
+		seen[t.ID] = true
+	}
+	return nil
+}

@@ -1,0 +1,213 @@
+package task
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cyclesteal/internal/quant"
+)
+
+func TestNewBagAndRemaining(t *testing.T) {
+	b := NewBag(Fixed(5, 10))
+	if b.Remaining() != 5 {
+		t.Errorf("Remaining = %d, want 5", b.Remaining())
+	}
+	if b.RemainingWork() != 50 {
+		t.Errorf("RemainingWork = %d, want 50", b.RemainingWork())
+	}
+}
+
+func TestTakeRespectsCapacity(t *testing.T) {
+	b := NewBag(Fixed(10, 7))
+	got := b.Take(20) // fits 2 tasks of 7 (14), third would exceed
+	if len(got) != 2 || Durations(got) != 14 {
+		t.Errorf("Take(20) = %v (total %d), want 2 tasks totalling 14", got, Durations(got))
+	}
+	if b.Remaining() != 8 {
+		t.Errorf("Remaining = %d, want 8", b.Remaining())
+	}
+}
+
+func TestTakeFirstFitSkipsOversized(t *testing.T) {
+	b := NewBag([]Task{{ID: 0, Duration: 50}, {ID: 1, Duration: 5}, {ID: 2, Duration: 5}})
+	got := b.Take(12)
+	if len(got) != 2 || got[0].ID != 1 || got[1].ID != 2 {
+		t.Errorf("Take(12) = %v, want tasks 1 and 2", got)
+	}
+	if b.Remaining() != 1 || b.RemainingWork() != 50 {
+		t.Errorf("big task should remain, got %d tasks / %d work", b.Remaining(), b.RemainingWork())
+	}
+}
+
+func TestTakeEdgeCases(t *testing.T) {
+	b := NewBag(Fixed(3, 10))
+	if got := b.Take(0); got != nil {
+		t.Errorf("Take(0) = %v, want nil", got)
+	}
+	if got := b.Take(5); got != nil {
+		t.Errorf("Take(5) with all tasks of 10 = %v, want nil", got)
+	}
+	empty := NewBag(nil)
+	if got := empty.Take(100); got != nil {
+		t.Errorf("Take from empty bag = %v, want nil", got)
+	}
+}
+
+func TestReturnPutsTasksAtFront(t *testing.T) {
+	b := NewBag([]Task{{ID: 0, Duration: 5}, {ID: 1, Duration: 5}})
+	taken := b.Take(5)
+	if len(taken) != 1 || taken[0].ID != 0 {
+		t.Fatalf("Take = %v", taken)
+	}
+	b.Return(taken)
+	again := b.Take(5)
+	if len(again) != 1 || again[0].ID != 0 {
+		t.Errorf("returned task should be next in line, got %v", again)
+	}
+	b.Return(nil) // no-op
+	if b.Remaining() != 1 {
+		t.Errorf("Remaining = %d, want 1", b.Remaining())
+	}
+}
+
+func TestTakeReturnConservesWork(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tasks := Uniform(30, 1, 40, seed)
+		b := NewBag(tasks)
+		totalBefore := b.RemainingWork()
+		var inFlight []Task
+		for i := 0; i < 10; i++ {
+			cap := quant.Tick(1 + rng.Int63n(100))
+			got := b.Take(cap)
+			if Durations(got) > cap {
+				return false
+			}
+			if rng.Intn(2) == 0 {
+				b.Return(got) // killed period
+			} else {
+				inFlight = append(inFlight, got...) // completed
+			}
+		}
+		return b.RemainingWork()+Durations(inFlight) == totalBefore
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFixedGenerator(t *testing.T) {
+	tasks := Fixed(4, 25)
+	if len(tasks) != 4 {
+		t.Fatalf("len = %d", len(tasks))
+	}
+	for _, tk := range tasks {
+		if tk.Duration != 25 {
+			t.Errorf("duration %d, want 25", tk.Duration)
+		}
+	}
+	if err := Validate(tasks); err != nil {
+		t.Error(err)
+	}
+	if Fixed(1, 0)[0].Duration != 1 {
+		t.Error("Fixed should clamp duration to ≥ 1")
+	}
+}
+
+func TestUniformGenerator(t *testing.T) {
+	tasks := Uniform(200, 5, 15, 42)
+	if err := Validate(tasks); err != nil {
+		t.Fatal(err)
+	}
+	for _, tk := range tasks {
+		if tk.Duration < 5 || tk.Duration > 15 {
+			t.Errorf("duration %d outside [5,15]", tk.Duration)
+		}
+	}
+	// Deterministic for a fixed seed.
+	again := Uniform(200, 5, 15, 42)
+	for i := range tasks {
+		if tasks[i] != again[i] {
+			t.Fatal("Uniform not deterministic for fixed seed")
+		}
+	}
+	// Degenerate bounds.
+	for _, tk := range Uniform(5, 9, 3, 1) {
+		if tk.Duration != 9 {
+			t.Errorf("hi<lo should clamp to lo, got %d", tk.Duration)
+		}
+	}
+	if Uniform(1, 0, 0, 1)[0].Duration != 1 {
+		t.Error("lo<1 should clamp to 1")
+	}
+}
+
+func TestBimodalGenerator(t *testing.T) {
+	tasks := Bimodal(500, 5, 100, 0.2, 7)
+	if err := Validate(tasks); err != nil {
+		t.Fatal(err)
+	}
+	large := 0
+	for _, tk := range tasks {
+		switch tk.Duration {
+		case 5:
+		case 100:
+			large++
+		default:
+			t.Fatalf("unexpected duration %d", tk.Duration)
+		}
+	}
+	if large < 50 || large > 150 {
+		t.Errorf("large fraction %d/500, want ≈ 100", large)
+	}
+	if Bimodal(1, 0, 0, 0, 1)[0].Duration != 1 {
+		t.Error("degenerate bounds should clamp")
+	}
+}
+
+func TestExponentialGenerator(t *testing.T) {
+	tasks := Exponential(1000, 20, 3)
+	if err := Validate(tasks); err != nil {
+		t.Fatal(err)
+	}
+	var sum quant.Tick
+	for _, tk := range tasks {
+		sum += tk.Duration
+	}
+	mean := float64(sum) / 1000
+	if mean < 15 || mean > 25 {
+		t.Errorf("sample mean %g, want ≈ 20", mean)
+	}
+	if Exponential(1, 0, 1)[0].Duration < 1 {
+		t.Error("durations must be ≥ 1")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := Validate([]Task{{ID: 1, Duration: 0}}); err == nil {
+		t.Error("zero duration accepted")
+	}
+	if err := Validate([]Task{{ID: 1, Duration: 5}, {ID: 1, Duration: 5}}); err == nil {
+		t.Error("duplicate ID accepted")
+	}
+	if err := Validate(nil); err != nil {
+		t.Errorf("empty set rejected: %v", err)
+	}
+}
+
+func TestNewBagAssignsNextID(t *testing.T) {
+	b := NewBag([]Task{{ID: 7, Duration: 3}})
+	if b.nextID != 8 {
+		t.Errorf("nextID = %d, want 8", b.nextID)
+	}
+}
+
+func TestDurations(t *testing.T) {
+	if Durations(nil) != 0 {
+		t.Error("Durations(nil) != 0")
+	}
+	if Durations([]Task{{Duration: 3}, {Duration: 4}}) != 7 {
+		t.Error("Durations sum wrong")
+	}
+}
