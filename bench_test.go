@@ -130,9 +130,41 @@ func BenchmarkTaskGranularity(b *testing.B) {
 // BenchmarkFarmStudy regenerates the shared-job NOW study (E11).
 func BenchmarkFarmStudy(b *testing.B) {
 	runExperiment(b, func(cfg experiments.Config) (*tab.Table, error) {
-		return experiments.FarmStudy(cfg, 8, 10, 5000)
+		return experiments.FarmStudy(cfg, 8, 10, 5000, 3)
 	})
 }
+
+// --- replication-engine benchmarks ----------------------------------------------
+//
+// BenchmarkMC* measure experiment E8 riding the internal/mc engine at 10k
+// trials per (scheduler, owner) study. By the engine's seed-stream contract
+// the two variants compute bit-identical tables; only wall-clock differs.
+// Compare with:
+//
+//	go test -bench='BenchmarkMCGuaranteedVsExpected' -benchtime=3x
+//
+// On a single-core machine the variants tie; with ≥ 8 cores the parallel
+// variant approaches an 8× speedup (trials are embarrassingly parallel and
+// the merge is O(shards)).
+
+func benchE8Workers(b *testing.B, workers int) {
+	b.Helper()
+	b.ReportAllocs()
+	cfg := experiments.Config{C: 25, Seed: 1, Workers: workers}
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.GuaranteedVsExpected(cfg, 100*cfg.C, 2, 10000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkTable = t
+	}
+}
+
+// BenchmarkMCGuaranteedVsExpected10kSerial is E8 at 10k trials on one worker.
+func BenchmarkMCGuaranteedVsExpected10kSerial(b *testing.B) { benchE8Workers(b, 1) }
+
+// BenchmarkMCGuaranteedVsExpected10kParallel8 is the same study on 8 workers.
+func BenchmarkMCGuaranteedVsExpected10kParallel8(b *testing.B) { benchE8Workers(b, 8) }
 
 // --- micro-benchmarks -----------------------------------------------------------
 

@@ -2,20 +2,36 @@
 // one owner temperament, optional data-parallel task bag, repeated trials
 // with summary statistics.
 //
+// Trials run on the internal/mc replication engine: trial i always draws
+// from the seed stream -seed+i, so the summaries are reproducible and
+// bit-identical at any -workers setting; -workers only changes wall-clock
+// time.
+//
 // Usage:
 //
 //	cstealsim -U 3600 -p 2 -c 5 -sched equalized -adv poisson -trials 100
 //	cstealsim -sched nonadaptive -adv worst          # minimax replay
 //	cstealsim -sched equalized -tasks 500 -tasksize 8
+//	cstealsim -trials 100000 -workers 8              # large replication study
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 
 	"cyclesteal"
-	"cyclesteal/internal/stats"
+	"cyclesteal/internal/mc"
+)
+
+// metric indexes of the replication study
+const (
+	mWork = iota
+	mTaskWork
+	mInterrupts
+	mExhausted
+	numMetrics
 )
 
 func main() {
@@ -26,7 +42,8 @@ func main() {
 		schedStr = flag.String("sched", "equalized", "schedule: equalized, guideline, optimalp1, nonadaptive, optimal, single, equalsplit, fixedchunk")
 		advStr   = flag.String("adv", "poisson", "owner: worst, greedy, last, poisson, random, periodic, none")
 		trials   = flag.Int("trials", 100, "number of simulated opportunities")
-		seed     = flag.Int64("seed", 1, "rng seed")
+		seed     = flag.Int64("seed", 1, "base rng seed (trial i uses seed+i)")
+		workers  = flag.Int("workers", 0, "worker pool size for the trials (0 = GOMAXPROCS)")
 		nTasks   = flag.Int("tasks", 0, "attach a bag of this many tasks (0 = fluid only)")
 		taskSize = flag.Float64("tasksize", 10, "task duration (time units)")
 	)
@@ -55,32 +72,36 @@ func main() {
 		}
 	}
 
-	works := make([]float64, 0, *trials)
-	taskWorks := make([]float64, 0, *trials)
-	interrupts, exhausted := 0, 0
-	for i := 0; i < *trials; i++ {
-		adv, err := buildAdversary(eng, s, *advStr, *U, *seed+int64(i))
-		if err != nil {
-			fatal(err)
-		}
-		res, err := eng.Simulate(s, adv, opts)
-		if err != nil {
-			fatal(err)
-		}
-		works = append(works, res.Work)
-		taskWorks = append(taskWorks, res.TaskWork)
-		interrupts += res.Interrupts
-		if *nTasks > 0 && res.TasksRemaining == 0 {
-			exhausted++
-		}
+	sums, err := mc.RunVec(mc.Config{Trials: *trials, Seed: *seed, Workers: *workers}, numMetrics,
+		func(rng *rand.Rand) ([]float64, error) {
+			adv, err := buildAdversary(eng, s, *advStr, *U, rng.Int63())
+			if err != nil {
+				return nil, err
+			}
+			res, err := eng.Simulate(s, adv, opts)
+			if err != nil {
+				return nil, err
+			}
+			out := make([]float64, numMetrics)
+			out[mWork] = res.Work
+			out[mTaskWork] = res.TaskWork
+			out[mInterrupts] = float64(res.Interrupts)
+			if *nTasks > 0 && res.TasksRemaining == 0 {
+				out[mExhausted] = 1
+			}
+			return out, nil
+		})
+	if err != nil {
+		fatal(err)
 	}
 
-	sum := stats.Summarize(works)
+	sum := sums[mWork]
 	fmt.Printf("owner %s over %d trials: work %s\n", *advStr, *trials, sum)
 	fmt.Printf("  floor check: min observed %.4g ≥ guaranteed %.4g: %v\n", sum.Min, floor, sum.Min >= floor-1e-9)
-	fmt.Printf("  interrupts per opportunity: %.2f\n", float64(interrupts)/float64(*trials))
+	fmt.Printf("  interrupts per opportunity: %.2f\n", sums[mInterrupts].Mean)
 	if *nTasks > 0 {
-		ts := stats.Summarize(taskWorks)
+		ts := sums[mTaskWork]
+		exhausted := int(sums[mExhausted].Mean*float64(*trials) + 0.5)
 		if exhausted == *trials {
 			fmt.Printf("  task-granular work: %s (bag exhausted every trial — add tasks to measure packing loss)\n", ts)
 		} else {

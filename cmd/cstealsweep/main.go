@@ -3,21 +3,35 @@
 // parameter-study entry point backing capacity-planning questions like "how
 // does the guarantee scale as owners get twitchier?".
 //
+// With -trials > 0 each cell additionally gets a Monte-Carlo column: the
+// optimal schedule's expected output against a Poisson owner (mean return
+// U/3, the E8 convention), replicated on the internal/mc engine with
+// deterministic per-trial seed streams — reproducible for a fixed -seed at
+// any -workers setting.
+//
 // Usage:
 //
 //	cstealsweep -c 100 -ratios 100,1000,10000 -ps 1,2,4 -workers 8
+//	cstealsweep -ratios 100,1000 -ps 1,2 -trials 1000 -seed 7
 package main
 
 import (
 	"flag"
 	"fmt"
 	"math"
+	"math/rand"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
+	"sync"
 
+	"cyclesteal/internal/adversary"
 	"cyclesteal/internal/game"
+	"cyclesteal/internal/mc"
 	"cyclesteal/internal/quant"
+	"cyclesteal/internal/sim"
+	"cyclesteal/internal/stats"
 	"cyclesteal/internal/tab"
 	"cyclesteal/internal/theory"
 )
@@ -27,7 +41,9 @@ func main() {
 		c       = flag.Int64("c", 100, "setup cost in ticks (grid resolution)")
 		ratios  = flag.String("ratios", "100,1000,10000", "comma-separated U/c ratios")
 		ps      = flag.String("ps", "1,2,4", "comma-separated interrupt bounds")
-		workers = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		workers = flag.Int("workers", 0, "worker pool size for cells and trials (0 = GOMAXPROCS)")
+		trials  = flag.Int("trials", 0, "Monte-Carlo trials per cell vs a Poisson owner (0 = exact sweep only)")
+		seed    = flag.Int64("seed", 1, "base rng seed for the Monte-Carlo trials (trial i uses seed+i)")
 		format  = flag.String("format", "text", "output format: text, csv, or json")
 	)
 	flag.Parse()
@@ -48,24 +64,45 @@ func main() {
 	points := game.Grid(us, pl, quant.Tick(*c))
 	results := game.Sweep(points, *workers)
 
+	var mcSums []stats.Summary
+	if *trials > 0 {
+		var err error
+		mcSums, err = sweepMonteCarlo(points, *trials, *seed, *workers)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	cols := []string{"p", "U/c", "W/c", "W/U %", "deficit coeff", "K_p"}
+	if *trials > 0 {
+		cols = append(cols, "E[W]/c poisson", "±95%")
+	}
 	t := tab.New(
 		fmt.Sprintf("optimal guaranteed output W(p)[U] (c = %d ticks; %d cells)", *c, len(points)),
-		"p", "U/c", "W/c", "W/U %", "deficit coeff", "K_p",
+		cols...,
 	)
-	for _, res := range results {
+	for i, res := range results {
 		if res.Err != nil {
 			fatal(res.Err)
 		}
 		uf, cf := float64(res.U), float64(res.C)
 		deficit := (uf - float64(res.Value)) / math.Sqrt(2*cf*uf)
-		t.Row(res.P, res.U/res.C,
-			float64(res.Value)/cf,
-			100*float64(res.Value)/uf,
+		row := []any{res.P, res.U / res.C,
+			float64(res.Value) / cf,
+			100 * float64(res.Value) / uf,
 			deficit,
 			theory.OptimalDeficitCoefficient(res.P),
-		)
+		}
+		if *trials > 0 {
+			sum := mcSums[i]
+			row = append(row, sum.Mean/cf, stats.TCritical95(sum.N-1)*sum.SE/cf)
+		}
+		t.Row(row...)
 	}
 	t.Note("deficit coeff = (U−W)/√(2cU); K_p is the equalization prediction it converges to")
+	if *trials > 0 {
+		t.Note("E[W] = optimal schedule vs Poisson owner (mean return U/3), %d trials on the internal/mc engine", *trials)
+	}
 	switch *format {
 	case "text":
 		err = t.WriteText(os.Stdout)
@@ -79,6 +116,67 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+}
+
+// sweepMonteCarlo replays every cell's optimal schedule against a stochastic
+// Poisson owner, trials times per cell on the replication engine. Cells run
+// concurrently (each pays its own full game.Solve — Sweep's low-memory value
+// rows cannot yield a schedule), with the worker budget split between the
+// cell pool and each cell's trial pool so the total stays ≈ workers. The
+// solver is dropped as soon as its cell's trials finish, so resident memory
+// is one value table per in-flight cell, not per cell.
+func sweepMonteCarlo(points []game.SweepPoint, trials int, seed int64, workers int) ([]stats.Summary, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	cellPool := workers
+	if cellPool > len(points) {
+		cellPool = len(points)
+	}
+	trialWorkers := workers / cellPool
+	if trialWorkers < 1 {
+		trialWorkers = 1
+	}
+
+	sums := make([]stats.Summary, len(points))
+	errs := make([]error, len(points))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < cellPool; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				pt := points[i]
+				solver, err := game.Solve(pt.P, pt.U, pt.C)
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				s := solver.Scheduler()
+				mean := float64(pt.U) / 3
+				sums[i], errs[i] = mc.Run(mc.Config{Trials: trials, Seed: seed, Workers: trialWorkers},
+					func(rng *rand.Rand) (float64, error) {
+						res, err := sim.Run(s, &adversary.Poisson{Rng: rng, Mean: mean}, sim.Opportunity{U: pt.U, P: pt.P, C: pt.C}, sim.Config{})
+						if err != nil {
+							return 0, err
+						}
+						return float64(res.Work), nil
+					})
+			}
+		}()
+	}
+	for i := range points {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("cell (U=%d p=%d): %w", points[i].U, points[i].P, err)
+		}
+	}
+	return sums, nil
 }
 
 func parseTicks(s string) ([]quant.Tick, error) {

@@ -27,7 +27,8 @@ func main() {
 		format     = flag.String("format", "text", "output format: text, csv, or json")
 		list       = flag.Bool("list", false, "list experiment IDs and exit")
 		c          = flag.Int64("c", 100, "grid resolution: ticks per setup cost")
-		seed       = flag.Int64("seed", 1, "seed for Monte-Carlo experiments")
+		seed       = flag.Int64("seed", 1, "base seed for Monte-Carlo experiments (per-trial streams derive from it)")
+		workers    = flag.Int("workers", 0, "Monte-Carlo worker pool size (0 = GOMAXPROCS; affects speed only, never values)")
 	)
 	flag.Parse()
 
@@ -38,7 +39,7 @@ func main() {
 		return
 	}
 
-	cfg := experiments.Config{C: quant.Tick(*c), Seed: *seed}
+	cfg := experiments.Config{C: quant.Tick(*c), Seed: *seed, Workers: *workers}
 	var selected []experiments.Experiment
 	if *experiment == "" {
 		selected = experiments.All()

@@ -1,0 +1,3 @@
+module cyclesteal
+
+go 1.22

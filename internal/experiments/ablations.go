@@ -3,11 +3,15 @@ package experiments
 import (
 	"fmt"
 	"math"
+	"math/rand"
 	"time"
 
+	"cyclesteal/internal/adversary"
 	"cyclesteal/internal/game"
 	"cyclesteal/internal/quant"
 	"cyclesteal/internal/sched"
+	"cyclesteal/internal/sim"
+	"cyclesteal/internal/stats"
 	"cyclesteal/internal/tab"
 	"cyclesteal/internal/task"
 	"cyclesteal/internal/theory"
@@ -125,6 +129,61 @@ func AblationSolver(cfg Config, Us []quant.Tick) (*tab.Table, error) {
 		t.Row(U, fastMs, refMs, equal)
 	}
 	t.Note("the fast solver exploits that complete(t) is nondecreasing (V is 1-Lipschitz) and interrupt(t) nonincreasing: binary-search the crossing")
+	return t, nil
+}
+
+// AblationReplication is E9d: the replication engine's contract, measured.
+// The same Monte-Carlo study (equalized schedule vs a Poisson owner) runs at
+// several worker counts; the summary must be bit-identical every time —
+// internal/mc's fixed shard partition at work — while wall-clock time is
+// free to improve with cores. This is the determinism evidence E8 and E11
+// lean on when they quote means from a parallel engine.
+func AblationReplication(cfg Config, U quant.Tick, trials int) (*tab.Table, error) {
+	cfg = cfg.normalize()
+	c := cfg.C
+	if trials < 1 {
+		return nil, fmt.Errorf("experiments: E9d needs trials ≥ 1, got %d", trials)
+	}
+	eq, err := sched.NewAdaptiveEqualized(c)
+	if err != nil {
+		return nil, err
+	}
+	p := 2
+	mean := float64(U) / 3
+	study := func(workers int) (stats.Summary, error) {
+		return monteCarlo(eq, U, p, c, trials, func(rng *rand.Rand) sim.Interrupter {
+			return &adversary.Poisson{Rng: rng, Mean: mean}
+		}, cfg.Seed, workers)
+	}
+	start := time.Now()
+	base, err := study(1)
+	if err != nil {
+		return nil, err
+	}
+	baseMs := float64(time.Since(start).Microseconds()) / 1000
+	t := tab.New(
+		fmt.Sprintf("E9d: replication-engine ablation (U/c = %s, p = %d, λ = 3/U, %d trials, c = %d ticks)",
+			tab.FormatFloat(inC(U, c)), p, trials, c),
+		"workers", "mean W/c", "±95%", "min W/c", "identical to serial", "wall ms",
+	)
+	tcrit := stats.TCritical95(trials - 1)
+	t.Row(1, base.Mean/float64(c), tcrit*base.SE/float64(c), base.Min/float64(c), true, baseMs)
+	for _, workers := range []int{2, 4, 8} {
+		start := time.Now()
+		s, err := study(workers)
+		if err != nil {
+			return nil, err
+		}
+		ms := float64(time.Since(start).Microseconds()) / 1000
+		identical := s.N == base.N && s.Mean == base.Mean && s.Std == base.Std &&
+			s.Min == base.Min && s.Max == base.Max && s.Median == base.Median
+		if !identical {
+			return nil, fmt.Errorf("experiments: mc determinism violated at %d workers: %+v vs %+v", workers, s, base)
+		}
+		t.Row(workers, s.Mean/float64(c), tcrit*s.SE/float64(c), s.Min/float64(c), identical, ms)
+	}
+	t.Note("identical = every summary field bit-equal to the 1-worker run (the internal/mc seed-stream contract)")
+	t.Note("wall times depend on available cores; determinism does not")
 	return t, nil
 }
 

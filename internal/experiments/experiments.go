@@ -18,7 +18,11 @@ import (
 // of U/c and p).
 type Config struct {
 	C    quant.Tick // setup cost in ticks (default 100)
-	Seed int64      // rng seed for Monte-Carlo experiments
+	Seed int64      // base seed for Monte-Carlo experiments (per-trial streams derive from it; see internal/mc)
+	// Workers bounds the Monte-Carlo worker pool (0 = GOMAXPROCS). By the
+	// internal/mc seed-stream contract it affects wall-clock time only,
+	// never a table value.
+	Workers int
 }
 
 // DefaultConfig returns the configuration used throughout EXPERIMENTS.md.
@@ -74,6 +78,9 @@ func All() []Experiment {
 		{"ablation-solver", "E9c: ablation — fast vs reference solver", func(c Config) (*tab.Table, error) {
 			return AblationSolver(c, []quant.Tick{200, 400, 800})
 		}},
+		{"ablation-mc", "E9d: ablation — replication engine determinism and scaling", func(c Config) (*tab.Table, error) {
+			return AblationReplication(c, 300*c.normalize().C, 2000)
+		}},
 		{"tasks", "E10: task granularity — fluid vs packed work", func(c Config) (*tab.Table, error) {
 			cc := c.normalize().C
 			return TaskGranularity(c, 1000*cc, []quant.Tick{1, cc / 10, cc, 10 * cc, 30 * cc})
@@ -81,7 +88,7 @@ func All() []Experiment {
 		{"farm", "E11: one shared job across the NOW (extension)", func(c Config) (*tab.Table, error) {
 			// Job sized to slightly exceed the fleet's effective capacity so
 			// completion fraction differentiates the policies.
-			return FarmStudy(c, 12, 30, 50000)
+			return FarmStudy(c, 12, 30, 50000, 5)
 		}},
 	}
 }
@@ -99,3 +106,7 @@ func Lookup(id string) (Experiment, error) {
 // ticksPerC renders a tick quantity in units of the setup cost c, the
 // natural unit for cross-resolution comparison.
 func inC(x quant.Tick, c quant.Tick) float64 { return float64(x) / float64(c) }
+
+// inCf is inC for quantities that are already float averages (Monte-Carlo
+// means of tick metrics).
+func inCf(x float64, c quant.Tick) float64 { return x / float64(c) }

@@ -383,7 +383,7 @@ func TestAllExperimentsRunSmall(t *testing.T) {
 func TestFarmStudy(t *testing.T) {
 	cfg := smallCfg()
 	// Job sized beyond the fleet's capacity so completion differentiates.
-	tb, err := FarmStudy(cfg, 6, 5, 8000)
+	tb, err := FarmStudy(cfg, 6, 5, 8000, 3)
 	if err != nil {
 		t.Fatal(err)
 	}

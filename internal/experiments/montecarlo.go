@@ -7,6 +7,7 @@ import (
 	"cyclesteal/internal/adversary"
 	"cyclesteal/internal/expect"
 	"cyclesteal/internal/game"
+	"cyclesteal/internal/mc"
 	"cyclesteal/internal/model"
 	"cyclesteal/internal/quant"
 	"cyclesteal/internal/sched"
@@ -21,11 +22,19 @@ import (
 // The guaranteed-output schedules give up a little expected yield to buy a
 // dramatically better floor; the expected-optimal schedule (companion
 // submodel, internal/expect) and the single long period are fragile.
+//
+// The Monte-Carlo columns run on the internal/mc replication engine: trial i
+// of the Poisson study draws from seed stream cfg.Seed+i and the uniform-
+// random study from the disjoint range starting at cfg.Seed+2³², so the
+// table is a pure function of (cfg, U, p, trials) at any cfg.Workers, and
+// widening trials extends both studies instead of rebasing them. All
+// schedulers share the same adversary streams (common random numbers), which
+// tightens the between-scheduler comparison.
 func GuaranteedVsExpected(cfg Config, U quant.Tick, p int, trials int) (*tab.Table, error) {
 	cfg = cfg.normalize()
 	c := cfg.C
 	if trials < 1 {
-		trials = 100
+		return nil, fmt.Errorf("experiments: E8 needs trials ≥ 1, got %d", trials)
 	}
 	lambda := 3.0 / float64(U) // mean owner return ≈ U/3
 
@@ -61,13 +70,13 @@ func GuaranteedVsExpected(cfg Config, U quant.Tick, p int, trials int) (*tab.Tab
 		}
 		poisson, err := monteCarlo(s, U, p, c, trials, func(rng *rand.Rand) sim.Interrupter {
 			return &adversary.Poisson{Rng: rng, Mean: 1 / lambda}
-		}, cfg.Seed)
+		}, cfg.Seed, cfg.Workers)
 		if err != nil {
 			return nil, err
 		}
 		random, err := monteCarlo(s, U, p, c, trials, func(rng *rand.Rand) sim.Interrupter {
 			return &adversary.Random{Rng: rng, Prob: 0.7}
-		}, cfg.Seed+1)
+		}, cfg.Seed+1<<32, cfg.Workers)
 		if err != nil {
 			return nil, err
 		}
@@ -75,29 +84,30 @@ func GuaranteedVsExpected(cfg Config, U quant.Tick, p int, trials int) (*tab.Tab
 		if random.Min < minObs {
 			minObs = random.Min
 		}
+		tcrit := stats.TCritical95(trials - 1)
 		t.Row(model.NameOf(s),
 			inC(guaranteed, c),
-			poisson.Mean/float64(c), 1.96*poisson.SE/float64(c),
-			random.Mean/float64(c), 1.96*random.SE/float64(c),
+			poisson.Mean/float64(c), tcrit*poisson.SE/float64(c),
+			random.Mean/float64(c), tcrit*random.SE/float64(c),
 			minObs/float64(c),
 		)
 	}
 	t.Note("guaranteed = exact minimax floor; means are Monte-Carlo over stochastic owners (draconian kills, opportunity continues after each interrupt)")
 	t.Note("expected-optimal comes from the companion expected-output submodel (extension; see internal/expect)")
+	t.Note("Monte-Carlo trials run on internal/mc: deterministic per-trial seed streams, bit-identical at any worker count")
 	return t, nil
 }
 
+// monteCarlo replicates one (scheduler, owner) pairing on the mc engine:
+// each trial builds a fresh interrupter from its private seed stream and
+// plays one opportunity.
 func monteCarlo(s model.EpisodeScheduler, U quant.Tick, p int, c quant.Tick, trials int,
-	mk func(*rand.Rand) sim.Interrupter, seed int64) (stats.Summary, error) {
-	rng := rand.New(rand.NewSource(seed))
-	works := make([]float64, 0, trials)
-	for i := 0; i < trials; i++ {
-		adv := mk(rng)
-		res, err := sim.Run(s, adv, sim.Opportunity{U: U, P: p, C: c}, sim.Config{})
+	mk func(*rand.Rand) sim.Interrupter, seed int64, workers int) (stats.Summary, error) {
+	return mc.Run(mc.Config{Trials: trials, Seed: seed, Workers: workers}, func(rng *rand.Rand) (float64, error) {
+		res, err := sim.Run(s, mk(rng), sim.Opportunity{U: U, P: p, C: c}, sim.Config{})
 		if err != nil {
-			return stats.Summary{}, err
+			return 0, err
 		}
-		works = append(works, float64(res.Work))
-	}
-	return stats.Summarize(works), nil
+		return float64(res.Work), nil
+	})
 }

@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"math"
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"cyclesteal/internal/adversary"
+	"cyclesteal/internal/sched"
+	"cyclesteal/internal/sim"
+	"cyclesteal/internal/stats"
+)
+
+func TestGuaranteedVsExpectedRejectsBadTrials(t *testing.T) {
+	if _, err := GuaranteedVsExpected(smallCfg(), 100*20, 2, 0); err == nil {
+		t.Error("trials=0 accepted; the old code silently clamped to 100")
+	}
+	if _, err := GuaranteedVsExpected(smallCfg(), 100*20, 2, -5); err == nil {
+		t.Error("negative trials accepted")
+	}
+	if _, err := FarmStudy(smallCfg(), 4, 3, 100, 0); err == nil {
+		t.Error("E11 trials=0 accepted")
+	}
+}
+
+// TestGuaranteedVsExpectedDeterministicAcrossWorkers is the table-level form
+// of the mc seed-stream contract: the rendered E8 table must be bit-identical
+// at every worker count for a fixed seed.
+func TestGuaranteedVsExpectedDeterministicAcrossWorkers(t *testing.T) {
+	cfg := smallCfg()
+	render := func(workers int) string {
+		c := Config{C: cfg.C, Seed: cfg.Seed, Workers: workers}
+		tb, err := GuaranteedVsExpected(c, 150*cfg.C, 2, 40)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tb.Render()
+	}
+	base := render(1)
+	for _, w := range []int{2, 8, 0} {
+		if got := render(w); got != base {
+			t.Errorf("workers=%d: E8 table differs from the serial run\n--- serial ---\n%s\n--- workers=%d ---\n%s", w, base, w, got)
+		}
+	}
+}
+
+// TestE8RegressionAgainstSerialLoop pins the refactor: the engine-backed E8
+// means must agree with the pre-refactor serial trial loop (one shared rng
+// across trials) within overlapping 95% confidence bounds — the loops walk
+// different random streams, so only the distributions, not the draws, can
+// be compared.
+func TestE8RegressionAgainstSerialLoop(t *testing.T) {
+	cfg := smallCfg()
+	c := cfg.C
+	U := 150 * c
+	p := 2
+	trials := 120
+	lambda := 3.0 / float64(U)
+
+	eq, err := sched.NewAdaptiveEqualized(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The old implementation, verbatim in miniature: one rng shared by every
+	// trial, values collected into a slice.
+	oldLoop := func(seed int64) stats.Summary {
+		rng := rand.New(rand.NewSource(seed))
+		works := make([]float64, 0, trials)
+		for i := 0; i < trials; i++ {
+			adv := &adversary.Poisson{Rng: rng, Mean: 1 / lambda}
+			res, err := sim.Run(eq, adv, sim.Opportunity{U: U, P: p, C: c}, sim.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			works = append(works, float64(res.Work))
+		}
+		return stats.Summarize(works)
+	}
+
+	oldSum := oldLoop(cfg.Seed)
+	newSum, err := monteCarlo(eq, U, p, c, trials, func(rng *rand.Rand) sim.Interrupter {
+		return &adversary.Poisson{Rng: rng, Mean: 1 / lambda}
+	}, cfg.Seed, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if newSum.N != oldSum.N {
+		t.Fatalf("trial counts differ: %d vs %d", newSum.N, oldSum.N)
+	}
+	if diff := math.Abs(newSum.Mean - oldSum.Mean); diff > 1.96*(newSum.SE+oldSum.SE) {
+		t.Errorf("E8 mean moved outside CI bounds after the refactor: old %v ± %v, new %v ± %v",
+			oldSum.Mean, 1.96*oldSum.SE, newSum.Mean, 1.96*newSum.SE)
+	}
+}
+
+// TestE8FloorInvariant re-checks the paper's core inequality on the
+// refactored path: no observed Monte-Carlo run may fall below the minimax
+// floor of its scheduler.
+func TestE8FloorInvariant(t *testing.T) {
+	cfg := smallCfg()
+	tb, err := GuaranteedVsExpected(cfg, 200*cfg.C, 2, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tb.Rows {
+		g, err1 := strconv.ParseFloat(row[1], 64)
+		minObs, err2 := strconv.ParseFloat(row[6], 64)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("bad cells in row %v", row)
+		}
+		if minObs < g-1e-9 {
+			t.Errorf("%s: min observed %g below guaranteed floor %g", row[0], minObs, g)
+		}
+	}
+}
+
+func TestFarmStudyDeterministicAcrossWorkers(t *testing.T) {
+	cfg := smallCfg()
+	render := func(workers int) string {
+		c := Config{C: cfg.C, Seed: cfg.Seed, Workers: workers}
+		tb, err := FarmStudy(c, 4, 3, 2000, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tb.Render()
+	}
+	if a, b := render(1), render(8); a != b {
+		t.Errorf("E11 table depends on worker count:\n--- serial ---\n%s\n--- workers=8 ---\n%s", a, b)
+	}
+}
+
+func TestAblationReplication(t *testing.T) {
+	cfg := smallCfg()
+	tb, err := AblationReplication(cfg, 100*cfg.C, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		if row[4] != "true" {
+			t.Errorf("workers=%s: summary not identical to serial", row[0])
+		}
+	}
+}

@@ -19,9 +19,11 @@ import (
 	"sort"
 	"sync"
 
+	"cyclesteal/internal/mc"
 	"cyclesteal/internal/now"
 	"cyclesteal/internal/quant"
 	"cyclesteal/internal/sim"
+	"cyclesteal/internal/stats"
 	"cyclesteal/internal/task"
 )
 
@@ -223,6 +225,49 @@ func (f Farm) runStation(ws now.Workstation, n int, factory now.SchedulerFactory
 		rep.KilledTicks += r.KilledTicks
 	}
 	return rep, nil
+}
+
+// Replication metric indexes: the order of the summaries Replicate returns.
+const (
+	MetricTasksCompleted = iota // tasks completed fleet-wide
+	MetricCompletionFrac        // completed task work / job total, in [0, 1]
+	MetricFluidWork             // Σ (t ⊖ c) over completed periods, ticks
+	MetricKilledTicks           // lifespan destroyed by draconian kills, ticks
+	MetricInterrupts            // interrupts fleet-wide
+	MetricImbalance             // max/mean per-station completed task work
+	NumMetrics
+)
+
+// Replicate replays the farmed job cfg.Trials times on the internal/mc
+// replication engine and returns one summary per metric, indexed by the
+// Metric* constants. Trial i derives its farm seed from the engine's
+// deterministic stream for cfg.Seed+i, and each trial's farm runs its
+// stations sequentially (Workers = 1): trial-level parallelism replaces
+// station-level, which both avoids oversubscribing the pool and makes every
+// trial — and therefore the whole study — reproducible at any worker count,
+// unlike a single parallel Run whose task assignment depends on scheduling
+// interleaving.
+func (f Farm) Replicate(job Job, factory now.SchedulerFactory, cfg mc.Config) ([]stats.Summary, error) {
+	sequential := f
+	sequential.Workers = 1
+	return mc.RunVec(cfg, NumMetrics, func(rng *rand.Rand) ([]float64, error) {
+		res, err := sequential.Run(job, factory, rng.Int63())
+		if err != nil {
+			return nil, err
+		}
+		var killed quant.Tick
+		for _, s := range res.Stations {
+			killed += s.KilledTicks
+		}
+		out := make([]float64, NumMetrics)
+		out[MetricTasksCompleted] = float64(res.TasksCompleted)
+		out[MetricCompletionFrac] = res.CompletionFraction(job)
+		out[MetricFluidWork] = float64(res.FluidWork)
+		out[MetricKilledTicks] = float64(killed)
+		out[MetricInterrupts] = float64(res.Interrupts)
+		out[MetricImbalance] = res.Imbalance()
+		return out, nil
+	})
 }
 
 // TopContributors returns the station IDs sorted by completed task work,

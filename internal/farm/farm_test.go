@@ -4,10 +4,12 @@ import (
 	"sync"
 	"testing"
 
+	"cyclesteal/internal/mc"
 	"cyclesteal/internal/model"
 	"cyclesteal/internal/now"
 	"cyclesteal/internal/quant"
 	"cyclesteal/internal/sched"
+	"cyclesteal/internal/stats"
 	"cyclesteal/internal/task"
 )
 
@@ -202,5 +204,56 @@ func TestFarmMaliciousOwnersStillFinish(t *testing.T) {
 	}
 	if res.Interrupts == 0 {
 		t.Error("malicious fleet never interrupted")
+	}
+}
+
+func TestReplicateDeterministicAcrossWorkers(t *testing.T) {
+	f := testFarm(5, now.Office{MeanIdle: 500, MaxP: 2})
+	job := Job{Tasks: task.Exponential(400, 20, 3)}
+	run := func(workers int) []stats.Summary {
+		sums, err := f.Replicate(job, equalizedFactory, mc.Config{Trials: 6, Seed: 9, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sums
+	}
+	a, b := run(1), run(8)
+	if len(a) != NumMetrics || len(b) != NumMetrics {
+		t.Fatalf("metric counts %d/%d, want %d", len(a), len(b), NumMetrics)
+	}
+	for m := range a {
+		if a[m].Mean != b[m].Mean || a[m].Std != b[m].Std || a[m].Min != b[m].Min || a[m].Max != b[m].Max {
+			t.Errorf("metric %d differs across worker counts: %+v vs %+v", m, a[m], b[m])
+		}
+	}
+}
+
+func TestReplicateMetricSanity(t *testing.T) {
+	f := testFarm(4, now.Office{MeanIdle: 400, MaxP: 2})
+	job := Job{Tasks: task.Exponential(300, 20, 7)}
+	sums, err := f.Replicate(job, equalizedFactory, mc.Config{Trials: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac := sums[MetricCompletionFrac]
+	if frac.Min < 0 || frac.Max > 1 {
+		t.Errorf("completion fraction outside [0,1]: %+v", frac)
+	}
+	if sums[MetricImbalance].Min < 1 {
+		t.Errorf("imbalance below 1: %+v", sums[MetricImbalance])
+	}
+	if sums[MetricTasksCompleted].Mean <= 0 {
+		t.Errorf("no tasks completed on average: %+v", sums[MetricTasksCompleted])
+	}
+	if sums[MetricTasksCompleted].N != 5 {
+		t.Errorf("trial count %d, want 5", sums[MetricTasksCompleted].N)
+	}
+}
+
+func TestReplicateRejectsBadConfig(t *testing.T) {
+	f := testFarm(2, now.Office{MeanIdle: 100, MaxP: 1})
+	job := Job{Tasks: task.Fixed(10, 5)}
+	if _, err := f.Replicate(job, equalizedFactory, mc.Config{Trials: 0, Seed: 1}); err == nil {
+		t.Error("trials=0 accepted")
 	}
 }

@@ -1,0 +1,67 @@
+package mc
+
+// BenchmarkMC* benchmarks quantify the replication engine itself on a
+// synthetic trial of known cost; the end-to-end experiment speedups
+// (E8 on the engine vs the old serial loop) live in the repo-root
+// bench_test.go as BenchmarkMCGuaranteedVsExpected*. CI runs every
+// BenchmarkMC* once per PR as a compile-and-execute smoke test.
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchTrial is a synthetic trial of a few microseconds — comparable to one
+// simulated opportunity — whose value depends on the whole rng stream.
+func benchTrial(rng *rand.Rand) (float64, error) {
+	v := 0.0
+	for i := 0; i < 2000; i++ {
+		v += rng.NormFloat64()
+	}
+	return v, nil
+}
+
+var sinkMean float64
+
+func benchRun(b *testing.B, workers int) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sum, err := Run(Config{Trials: 10000, Seed: 1, Workers: workers}, benchTrial)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkMean = sum.Mean
+	}
+}
+
+// BenchmarkMCEngineSerial is the single-worker baseline.
+func BenchmarkMCEngineSerial(b *testing.B) { benchRun(b, 1) }
+
+// BenchmarkMCEngineParallel2 measures 2 workers.
+func BenchmarkMCEngineParallel2(b *testing.B) { benchRun(b, 2) }
+
+// BenchmarkMCEngineParallel4 measures 4 workers.
+func BenchmarkMCEngineParallel4(b *testing.B) { benchRun(b, 4) }
+
+// BenchmarkMCEngineParallel8 measures 8 workers — the shape the acceptance
+// speedup (≥ 4× over serial) is quoted at.
+func BenchmarkMCEngineParallel8(b *testing.B) { benchRun(b, 8) }
+
+// BenchmarkMCEngineParallelMax measures GOMAXPROCS workers.
+func BenchmarkMCEngineParallelMax(b *testing.B) { benchRun(b, 0) }
+
+// BenchmarkMCVec measures the multi-metric path (4 metrics per trial).
+func BenchmarkMCVec(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sums, err := RunVec(Config{Trials: 10000, Seed: 1, Workers: 0}, 4, func(rng *rand.Rand) ([]float64, error) {
+			v, _ := benchTrial(rng)
+			return []float64{v, v * v, -v, 1}, nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkMean = sums[0].Mean
+	}
+}

@@ -1,0 +1,178 @@
+// Package mc is the parallel Monte-Carlo replication engine behind every
+// stochastic experiment: it executes a run closure once per trial across a
+// bounded worker pool and streams the results into mergeable summary
+// statistics (internal/stats.Accumulator), so memory stays proportional to a
+// small fixed shard count rather than the trial count.
+//
+// # Seed-stream contract
+//
+// Trial i always draws its randomness from rand.New(rand.NewSource(seed+i)),
+// where seed is Config.Seed — one independent deterministic stream per
+// trial, never a shared source. Two consequences the rest of the repo relies
+// on:
+//
+//   - Reproducibility: a (seed, trials) pair names the exact same set of
+//     trial executions forever, independent of scheduling. Changing Workers
+//     changes only wall-clock time, never a single bit of the summaries.
+//   - Extensibility: raising Trials re-runs the same prefix of trials and
+//     appends new ones, so studies can be widened without invalidating
+//     earlier numbers.
+//
+// Bit-identical summaries at any worker count are achieved by partitioning
+// trials into a fixed number of shards (trial i belongs to shard i mod
+// Shards, processed in increasing i within a shard) and merging the shard
+// accumulators in shard order. Both the partition and the merge order are
+// independent of Workers, and floating-point association is therefore fixed.
+//
+// Closures run concurrently: a closure may freely use its private *rand.Rand
+// and anything it creates, but shared inputs (schedulers, solvers) must be
+// treated as read-only.
+package mc
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"cyclesteal/internal/stats"
+)
+
+// Shards is the fixed partition width of the trial space. It bounds both
+// usable parallelism and resident accumulator memory; 64 comfortably covers
+// every machine the experiments target while keeping the per-metric memory
+// footprint (64 accumulators × reservoir) trivial.
+const Shards = 64
+
+// reservoirCap is the per-shard quantile reservoir size. Pooled across
+// shards a summary draws on up to Shards×reservoirCap retained values.
+const reservoirCap = 64
+
+// Config shapes one replication study.
+type Config struct {
+	Trials  int   // number of trials; must be ≥ 1
+	Seed    int64 // base seed; trial i uses Seed+i
+	Workers int   // worker pool bound; ≤ 0 means GOMAXPROCS (capped at Shards)
+}
+
+// RunFunc is a single-metric trial: it receives the trial's private rng and
+// returns the observed value.
+type RunFunc func(rng *rand.Rand) (float64, error)
+
+// VecFunc is a multi-metric trial: it returns one value per metric, in a
+// fixed order of the caller's choosing. The returned slice must have exactly
+// the length the caller declared to RunVec.
+type VecFunc func(rng *rand.Rand) ([]float64, error)
+
+// Run replicates a single-metric trial and returns its summary.
+func Run(cfg Config, fn RunFunc) (stats.Summary, error) {
+	sums, err := RunVec(cfg, 1, func(rng *rand.Rand) ([]float64, error) {
+		v, err := fn(rng)
+		return []float64{v}, err
+	})
+	if err != nil {
+		return stats.Summary{}, err
+	}
+	return sums[0], nil
+}
+
+// RunVec replicates a multi-metric trial and returns one summary per metric,
+// in the closure's metric order. On failure the reported error is the one
+// from the lowest-numbered failing trial — like the summaries, a pure
+// function of (Seed, Trials), independent of Workers. Each shard stops at
+// its own first error; the others run to completion (errors signal contract
+// violations and are fatal, so the extra work on the failure path is not
+// worth giving up deterministic reporting for).
+func RunVec(cfg Config, metrics int, fn VecFunc) ([]stats.Summary, error) {
+	if cfg.Trials < 1 {
+		return nil, fmt.Errorf("mc: trials must be ≥ 1, got %d", cfg.Trials)
+	}
+	if metrics < 1 {
+		return nil, fmt.Errorf("mc: metrics must be ≥ 1, got %d", metrics)
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > Shards {
+		workers = Shards
+	}
+
+	type shardState struct {
+		accs  []*stats.Accumulator
+		err   error
+		trial int // trial index of err, for deterministic first-error selection
+	}
+	shards := make([]shardState, Shards)
+
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for s := range jobs {
+				st := &shards[s]
+				st.accs = make([]*stats.Accumulator, metrics)
+				for m := range st.accs {
+					st.accs[m] = stats.NewAccumulator(reservoirCap)
+				}
+				for i := s; i < cfg.Trials; i += Shards {
+					rng := rand.New(rand.NewSource(cfg.Seed + int64(i)))
+					vals, err := fn(rng)
+					if err == nil && len(vals) != metrics {
+						err = fmt.Errorf("mc: trial %d returned %d metrics, want %d", i, len(vals), metrics)
+					}
+					if err != nil {
+						st.err = fmt.Errorf("mc: trial %d: %w", i, err)
+						st.trial = i
+						break
+					}
+					for m, v := range vals {
+						st.accs[m].Add(v)
+					}
+				}
+			}
+		}()
+	}
+	for s := 0; s < Shards; s++ {
+		jobs <- s
+	}
+	close(jobs)
+	wg.Wait()
+
+	var first error
+	firstTrial := -1
+	for s := range shards {
+		if shards[s].err != nil && (firstTrial < 0 || shards[s].trial < firstTrial) {
+			first, firstTrial = shards[s].err, shards[s].trial
+		}
+	}
+	if first != nil {
+		return nil, first
+	}
+
+	merged := make([]*stats.Accumulator, metrics)
+	for m := range merged {
+		merged[m] = stats.NewAccumulator(reservoirCap)
+	}
+	for s := range shards {
+		for m, acc := range shards[s].accs {
+			merged[m].Merge(acc)
+		}
+	}
+	out := make([]stats.Summary, metrics)
+	for m := range out {
+		out[m] = merged[m].Summary()
+	}
+	return out, nil
+}
+
+// RunSerial is the reference implementation: the same seed-stream contract
+// executed on one goroutine with the same shard partition. It exists for
+// differential tests and as the baseline the BenchmarkMC* speedup numbers
+// are measured against.
+func RunSerial(cfg Config, fn RunFunc) (stats.Summary, error) {
+	cfg.Workers = 1
+	return Run(cfg, fn)
+}

@@ -1,0 +1,171 @@
+package mc
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"cyclesteal/internal/stats"
+)
+
+// summariesEqual demands bit-identical floating-point fields.
+func summariesEqual(a, b stats.Summary) bool {
+	return a.N == b.N && a.Mean == b.Mean && a.Std == b.Std &&
+		a.Min == b.Min && a.Max == b.Max && a.Median == b.Median &&
+		a.SE == b.SE && a.CI95Lo == b.CI95Lo && a.CI95Hi == b.CI95Hi
+}
+
+func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
+	fn := func(rng *rand.Rand) (float64, error) {
+		// A workload whose value depends on the whole stream, so any seed
+		// or ordering slip shows up immediately.
+		v := 0.0
+		for i := 0; i < 10; i++ {
+			v += rng.NormFloat64()
+		}
+		return v, nil
+	}
+	base, err := Run(Config{Trials: 1000, Seed: 42, Workers: 1}, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 3, 8, 64, 0} {
+		got, err := Run(Config{Trials: 1000, Seed: 42, Workers: workers}, fn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !summariesEqual(base, got) {
+			t.Errorf("workers=%d: summary diverged\n  w1: %+v\n  got: %+v", workers, base, got)
+		}
+	}
+}
+
+func TestRunSeedStreamContract(t *testing.T) {
+	// Trial i must see exactly rand.New(rand.NewSource(seed+i)).
+	const seed, trials = 99, 257
+	want := make([]float64, trials)
+	for i := range want {
+		want[i] = rand.New(rand.NewSource(seed + int64(i))).Float64()
+	}
+	sum, err := Run(Config{Trials: trials, Seed: seed, Workers: 8}, func(rng *rand.Rand) (float64, error) {
+		return rng.Float64(), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := stats.Summarize(want)
+	if sum.N != trials {
+		t.Fatalf("n=%d want %d", sum.N, trials)
+	}
+	if math.Abs(sum.Mean-ref.Mean) > 1e-12 || sum.Min != ref.Min || sum.Max != ref.Max {
+		t.Errorf("summary does not match the promised per-trial streams:\n  got %+v\n  want %+v", sum, ref)
+	}
+}
+
+func TestRunPrefixStability(t *testing.T) {
+	// Widening a study keeps the old trials: min over 100 trials can only
+	// go down (never change) when trials grows to 300 with the same seed.
+	fn := func(rng *rand.Rand) (float64, error) { return rng.ExpFloat64(), nil }
+	small, err := Run(Config{Trials: 100, Seed: 5, Workers: 4}, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Run(Config{Trials: 300, Seed: 5, Workers: 4}, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Min > small.Min {
+		t.Errorf("prefix not stable: min rose from %v to %v when widening", small.Min, big.Min)
+	}
+	if big.Max < small.Max {
+		t.Errorf("prefix not stable: max fell from %v to %v when widening", small.Max, big.Max)
+	}
+}
+
+func TestRunVecMultiMetric(t *testing.T) {
+	sums, err := RunVec(Config{Trials: 500, Seed: 3, Workers: 8}, 2, func(rng *rand.Rand) ([]float64, error) {
+		x := rng.Float64()
+		return []float64{x, 2 * x}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sums) != 2 {
+		t.Fatalf("want 2 summaries, got %d", len(sums))
+	}
+	if math.Abs(sums[1].Mean-2*sums[0].Mean) > 1e-12 {
+		t.Errorf("metric coupling lost: %v vs 2×%v", sums[1].Mean, sums[0].Mean)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if _, err := Run(Config{Trials: 0, Seed: 1}, func(*rand.Rand) (float64, error) { return 0, nil }); err == nil {
+		t.Error("trials=0 accepted")
+	}
+	if _, err := RunVec(Config{Trials: 1, Seed: 1}, 0, func(*rand.Rand) ([]float64, error) { return nil, nil }); err == nil {
+		t.Error("metrics=0 accepted")
+	}
+	boom := errors.New("boom")
+	_, err := Run(Config{Trials: 100, Seed: 1, Workers: 8}, func(rng *rand.Rand) (float64, error) {
+		if rng.Float64() < 0.5 {
+			return 0, boom
+		}
+		return 1, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Errorf("trial error not propagated: %v", err)
+	}
+	// Deterministic first-error selection: the reported trial index must be
+	// the same at every worker count.
+	failAt := func(workers int) string {
+		_, err := Run(Config{Trials: 200, Seed: 17, Workers: workers}, func(rng *rand.Rand) (float64, error) {
+			if rng.Float64() < 0.10 {
+				return 0, boom
+			}
+			return 1, nil
+		})
+		if err == nil {
+			t.Fatal("expected failure")
+		}
+		return err.Error()
+	}
+	if a, b := failAt(1), failAt(8); a != b {
+		t.Errorf("error not deterministic: %q vs %q", a, b)
+	}
+}
+
+func TestRunVecLengthMismatch(t *testing.T) {
+	_, err := RunVec(Config{Trials: 10, Seed: 1, Workers: 2}, 3, func(rng *rand.Rand) ([]float64, error) {
+		return []float64{1}, nil
+	})
+	if err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestRunFewTrialsManyWorkers(t *testing.T) {
+	sum, err := Run(Config{Trials: 3, Seed: 1, Workers: 64}, func(rng *rand.Rand) (float64, error) {
+		return 1, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.N != 3 || sum.Mean != 1 {
+		t.Errorf("got %+v", sum)
+	}
+}
+
+func ExampleRun() {
+	// Estimate E[max(Z,0)] for a standard normal Z with 10k deterministic
+	// trials; the answer is 1/√(2π) ≈ 0.3989.
+	sum, err := Run(Config{Trials: 10000, Seed: 1}, func(rng *rand.Rand) (float64, error) {
+		return math.Max(rng.NormFloat64(), 0), nil
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("mean ≈ %.2f\n", sum.Mean)
+	// Output: mean ≈ 0.40
+}

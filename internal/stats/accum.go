@@ -1,0 +1,266 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Accumulator is a single-pass, mergeable statistics accumulator: Welford's
+// online algorithm for mean and variance, exact min/max, and an optional
+// fixed-size quantile reservoir. Partial accumulators built over disjoint
+// sample streams combine with Merge (Chan et al.'s parallel variance
+// formula), so a replication engine can keep memory proportional to its
+// worker count instead of its trial count.
+//
+// Merging is exact for N, Min and Max; mean and variance are exact up to
+// floating-point association order, so a *fixed* partition of the sample into
+// accumulators plus a *fixed* merge order yields bit-identical results run
+// over run (the property internal/mc builds its determinism contract on).
+type Accumulator struct {
+	n        int
+	mean, m2 float64
+	min, max float64
+	res      *Reservoir
+}
+
+// NewAccumulator returns an empty accumulator with a quantile reservoir of
+// the given capacity; capacity ≤ 0 disables quantile tracking.
+func NewAccumulator(reservoirCap int) *Accumulator {
+	a := &Accumulator{}
+	if reservoirCap > 0 {
+		a.res = NewReservoir(reservoirCap)
+	}
+	return a
+}
+
+// Add folds one observation into the accumulator.
+func (a *Accumulator) Add(x float64) {
+	a.n++
+	if a.n == 1 {
+		a.min, a.max = x, x
+	} else {
+		if x < a.min {
+			a.min = x
+		}
+		if x > a.max {
+			a.max = x
+		}
+	}
+	d := x - a.mean
+	a.mean += d / float64(a.n)
+	a.m2 += d * (x - a.mean)
+	if a.res != nil {
+		a.res.Add(x)
+	}
+}
+
+// Merge folds another accumulator into this one. The other accumulator is
+// left untouched. Merging b into a then c differs from merging c then b only
+// by floating-point association; callers wanting reproducibility must fix
+// the merge order.
+func (a *Accumulator) Merge(b *Accumulator) {
+	if b == nil || b.n == 0 {
+		return
+	}
+	if a.n == 0 {
+		a.n, a.mean, a.m2, a.min, a.max = b.n, b.mean, b.m2, b.min, b.max
+		if a.res != nil {
+			a.res.Merge(b.res)
+		}
+		return
+	}
+	if b.min < a.min {
+		a.min = b.min
+	}
+	if b.max > a.max {
+		a.max = b.max
+	}
+	na, nb := float64(a.n), float64(b.n)
+	d := b.mean - a.mean
+	n := na + nb
+	a.mean += d * nb / n
+	a.m2 += b.m2 + d*d*na*nb/n
+	a.n += b.n
+	if a.res != nil {
+		a.res.Merge(b.res)
+	}
+}
+
+// N returns the number of observations folded in so far.
+func (a *Accumulator) N() int { return a.n }
+
+// Mean returns the running mean (0 for an empty accumulator).
+func (a *Accumulator) Mean() float64 { return a.mean }
+
+// Variance returns the sample variance (n−1 denominator; 0 for n < 2).
+func (a *Accumulator) Variance() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return a.m2 / float64(a.n-1)
+}
+
+// Quantile estimates the q-quantile from the reservoir; it returns 0 when no
+// reservoir is attached or no observations have been added. Estimates from a
+// merged accumulator pool the partial reservoirs with weights, so they are
+// deterministic for a fixed partition but only approximate once the
+// reservoirs have down-sampled.
+func (a *Accumulator) Quantile(q float64) float64 {
+	if a.res == nil {
+		return 0
+	}
+	return a.res.Quantile(q)
+}
+
+// Summary freezes the accumulator into the Summary the experiment tables
+// consume. Median comes from the reservoir (approximate once down-sampling
+// has begun; see Reservoir) and is 0 when quantile tracking is disabled. The
+// confidence interval uses the t-distribution critical value for small n,
+// converging to the familiar 1.96 normal approximation as n grows.
+func (a *Accumulator) Summary() Summary {
+	if a.n == 0 {
+		return Summary{}
+	}
+	s := Summary{
+		N:    a.n,
+		Mean: a.mean,
+		Min:  a.min,
+		Max:  a.max,
+	}
+	if a.n > 1 {
+		s.Std = math.Sqrt(a.Variance())
+		s.SE = s.Std / math.Sqrt(float64(a.n))
+	}
+	half := TCritical95(a.n-1) * s.SE
+	s.CI95Lo = a.mean - half
+	s.CI95Hi = a.mean + half
+	if a.res != nil {
+		s.Median = a.res.Quantile(0.5)
+	}
+	return s
+}
+
+// TCritical95 returns the two-sided 95% critical value of Student's t with
+// the given degrees of freedom: exact per-df values through 30, then the
+// conservative step values at the standard table breakpoints (40, 60, 120),
+// then the normal 1.96 (within 1% of the true value everywhere past
+// df = 30). df ≤ 0 returns the normal value, matching Summarize's behaviour
+// for degenerate samples.
+func TCritical95(df int) float64 {
+	var table = [...]float64{
+		// df = 1..30
+		12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+		2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+		2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+	}
+	switch {
+	case df <= 0:
+		return 1.96
+	case df <= len(table):
+		return table[df-1]
+	case df <= 40:
+		return 2.021
+	case df <= 60:
+		return 2.000
+	case df <= 120:
+		return 1.980
+	default:
+		return 1.96
+	}
+}
+
+// Reservoir is a deterministic fixed-capacity sample for quantile estimates.
+// Unlike the classic randomized reservoir it keeps a strided systematic
+// sample: every stride-th offered value is retained, and when the buffer
+// fills, every other retained value is dropped and the stride doubles. The
+// retained set is therefore a pure function of the input sequence — no rng —
+// which is what lets internal/mc promise bit-identical summaries for a fixed
+// seed at any worker count.
+type Reservoir struct {
+	capacity int
+	stride   int
+	seen     int
+	vals     []float64
+	weights  []float64 // observations each retained value stands for
+}
+
+// NewReservoir returns a reservoir retaining at most capacity values
+// (capacity is clamped to ≥ 2 so compaction can make progress).
+func NewReservoir(capacity int) *Reservoir {
+	if capacity < 2 {
+		capacity = 2
+	}
+	return &Reservoir{capacity: capacity, stride: 1}
+}
+
+// Add offers one value.
+func (r *Reservoir) Add(x float64) {
+	if r.seen%r.stride == 0 {
+		if len(r.vals) == r.capacity {
+			// Compact: keep even positions, double the stride.
+			kept := r.vals[:0]
+			kw := r.weights[:0]
+			for i := 0; i < len(r.vals); i += 2 {
+				kept = append(kept, r.vals[i])
+				kw = append(kw, r.weights[i]*2)
+			}
+			r.vals = kept
+			r.weights = kw
+			r.stride *= 2
+			if r.seen%r.stride != 0 {
+				r.seen++
+				return
+			}
+		}
+		r.vals = append(r.vals, x)
+		r.weights = append(r.weights, float64(r.stride))
+	}
+	r.seen++
+}
+
+// Merge pools another reservoir's retained values (with their weights) into
+// this one. The pooled set may temporarily exceed capacity; a merged
+// reservoir is meant for reading quantiles, not further Adds.
+func (r *Reservoir) Merge(o *Reservoir) {
+	if o == nil {
+		return
+	}
+	r.vals = append(r.vals, o.vals...)
+	r.weights = append(r.weights, o.weights...)
+	r.seen += o.seen
+}
+
+// Quantile returns the weighted q-quantile of the retained sample (q clamped
+// to [0, 1]); 0 for an empty reservoir.
+func (r *Reservoir) Quantile(q float64) float64 {
+	if len(r.vals) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	idx := make([]int, len(r.vals))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return r.vals[idx[a]] < r.vals[idx[b]] })
+	var total float64
+	for _, w := range r.weights {
+		total += w
+	}
+	target := q * total
+	var cum float64
+	for _, i := range idx {
+		cum += r.weights[i]
+		if cum >= target {
+			return r.vals[i]
+		}
+	}
+	return r.vals[idx[len(idx)-1]]
+}
+
+// Len reports how many values the reservoir currently retains.
+func (r *Reservoir) Len() int { return len(r.vals) }

@@ -1,0 +1,167 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestAccumulatorMatchesSummarize(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*3 + 10
+	}
+	a := NewAccumulator(0)
+	for _, x := range xs {
+		a.Add(x)
+	}
+	ref := Summarize(xs)
+	got := a.Summary()
+	if got.N != ref.N || got.Min != ref.Min || got.Max != ref.Max {
+		t.Fatalf("n/min/max mismatch: got %+v want %+v", got, ref)
+	}
+	if math.Abs(got.Mean-ref.Mean) > 1e-12 {
+		t.Errorf("mean: got %v want %v", got.Mean, ref.Mean)
+	}
+	if math.Abs(got.Std-ref.Std) > 1e-10 {
+		t.Errorf("std: got %v want %v", got.Std, ref.Std)
+	}
+	if math.Abs(got.SE-ref.SE) > 1e-12 {
+		t.Errorf("se: got %v want %v", got.SE, ref.SE)
+	}
+}
+
+func TestAccumulatorMergeMatchesWhole(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	xs := make([]float64, 777)
+	for i := range xs {
+		xs[i] = rng.ExpFloat64()
+	}
+	whole := NewAccumulator(0)
+	for _, x := range xs {
+		whole.Add(x)
+	}
+	// Split into uneven parts, merge in order.
+	parts := []int{0, 100, 101, 500, 777}
+	merged := NewAccumulator(0)
+	for i := 0; i+1 < len(parts); i++ {
+		p := NewAccumulator(0)
+		for _, x := range xs[parts[i]:parts[i+1]] {
+			p.Add(x)
+		}
+		merged.Merge(p)
+	}
+	w, m := whole.Summary(), merged.Summary()
+	if m.N != w.N || m.Min != w.Min || m.Max != w.Max {
+		t.Fatalf("n/min/max mismatch after merge: got %+v want %+v", m, w)
+	}
+	if math.Abs(m.Mean-w.Mean) > 1e-12 {
+		t.Errorf("merged mean %v vs whole %v", m.Mean, w.Mean)
+	}
+	if math.Abs(m.Std-w.Std) > 1e-10 {
+		t.Errorf("merged std %v vs whole %v", m.Std, w.Std)
+	}
+}
+
+func TestAccumulatorMergeEmptyCases(t *testing.T) {
+	a := NewAccumulator(8)
+	a.Merge(nil)
+	a.Merge(NewAccumulator(8))
+	if a.N() != 0 {
+		t.Fatalf("empty merges should stay empty, n=%d", a.N())
+	}
+	b := NewAccumulator(8)
+	b.Add(3)
+	b.Add(5)
+	a.Merge(b)
+	if a.N() != 2 || a.Mean() != 4 {
+		t.Fatalf("merge into empty: n=%d mean=%v", a.N(), a.Mean())
+	}
+}
+
+func TestTCritical95(t *testing.T) {
+	if got := TCritical95(1); got != 12.706 {
+		t.Errorf("df=1: %v", got)
+	}
+	if got := TCritical95(1000); got != 1.96 {
+		t.Errorf("df=1000: %v", got)
+	}
+	if got := TCritical95(0); got != 1.96 {
+		t.Errorf("df=0: %v", got)
+	}
+	// Monotone nonincreasing in df.
+	prev := math.Inf(1)
+	for df := 1; df <= 40; df++ {
+		v := TCritical95(df)
+		if v > prev {
+			t.Fatalf("t table not monotone at df=%d: %v > %v", df, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestReservoirExactBelowCapacity(t *testing.T) {
+	r := NewReservoir(64)
+	xs := []float64{9, 1, 7, 3, 5}
+	for _, x := range xs {
+		r.Add(x)
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if got := r.Quantile(0); got != 1 {
+		t.Errorf("q0: %v", got)
+	}
+	if got := r.Quantile(1); got != 9 {
+		t.Errorf("q1: %v", got)
+	}
+	if got := r.Quantile(0.5); got != 5 {
+		t.Errorf("median: %v", got)
+	}
+}
+
+func TestReservoirDownsamplesDeterministically(t *testing.T) {
+	run := func() []float64 {
+		r := NewReservoir(32)
+		for i := 0; i < 10000; i++ {
+			r.Add(float64(i))
+		}
+		return append([]float64(nil), r.vals...)
+	}
+	a, b := run(), run()
+	if len(a) == 0 || len(a) > 32 {
+		t.Fatalf("reservoir size %d out of bounds", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("reservoir not deterministic at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestReservoirQuantileAccuracy(t *testing.T) {
+	r := NewReservoir(256)
+	n := 100000
+	for i := 0; i < n; i++ {
+		r.Add(float64(i))
+	}
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9} {
+		got := r.Quantile(q)
+		want := q * float64(n)
+		if math.Abs(got-want) > float64(n)*0.02 {
+			t.Errorf("q=%.2f: got %v want ≈%v", q, got, want)
+		}
+	}
+}
+
+func TestAccumulatorSummaryMedian(t *testing.T) {
+	a := NewAccumulator(128)
+	for i := 1; i <= 101; i++ {
+		a.Add(float64(i))
+	}
+	s := a.Summary()
+	if s.Median != 51 {
+		t.Errorf("median: got %v want 51", s.Median)
+	}
+}
