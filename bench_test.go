@@ -134,6 +134,15 @@ func BenchmarkFarmStudy(b *testing.B) {
 	})
 }
 
+// BenchmarkFarmFleetScale regenerates the fleet-scaling study (E12) at a
+// bench-sized shape — the two-level deterministic engine end to end, with
+// the 1000-station row exercising the sharded queues at depth.
+func BenchmarkFarmFleetScale(b *testing.B) {
+	runExperiment(b, func(cfg experiments.Config) (*tab.Table, error) {
+		return experiments.FleetScale(cfg, []int{10, 100, 1000}, 4, 100, 2)
+	})
+}
+
 // --- replication-engine benchmarks ----------------------------------------------
 //
 // BenchmarkMC* measure experiment E8 riding the internal/mc engine at 10k

@@ -1,0 +1,170 @@
+// Command benchjson converts `go test -bench` text output on stdin into the
+// stable JSON document CI archives per commit (BENCH_<sha>.json) — the
+// repo's perf trajectory, one artifact per push, diffable across commits.
+//
+// Repeated runs of the same benchmark (-count > 1) aggregate into
+// mean/min/max per metric, so regressions can be judged against min (least
+// noisy) while mean shows the typical cost.
+//
+// Usage:
+//
+//	go test -run='^$' -bench='^(BenchmarkMC|BenchmarkFarm)' -benchmem -count=3 ./... | benchjson -commit "$SHA" > BENCH_$SHA.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Stat aggregates one metric over a benchmark's repeated runs.
+type Stat struct {
+	Mean float64 `json:"mean"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+}
+
+// Benchmark is one benchmark's aggregated record.
+type Benchmark struct {
+	Name       string `json:"name"`
+	Runs       int    `json:"runs"`
+	Iterations int64  `json:"iterations"` // summed over runs
+	NsPerOp    *Stat  `json:"ns_per_op,omitempty"`
+	BPerOp     *Stat  `json:"b_per_op,omitempty"`
+	AllocsOp   *Stat  `json:"allocs_per_op,omitempty"`
+}
+
+// Document is the archived artifact.
+type Document struct {
+	Commit     string      `json:"commit,omitempty"`
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	commit := flag.String("commit", "", "commit SHA recorded in the document")
+	flag.Parse()
+
+	doc, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	doc.Commit = *commit
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// sample is one parsed benchmark output line.
+type sample struct {
+	iterations int64
+	metrics    map[string]float64 // unit → value
+}
+
+// parse consumes `go test -bench` output. Benchmark result lines look like
+//
+//	BenchmarkName-8   	 100	 12345 ns/op	 67 B/op	 8 allocs/op
+//
+// everything else (pkg headers, PASS/ok, log lines) is metadata or noise.
+func parse(sc *bufio.Scanner) (*Document, error) {
+	doc := &Document{}
+	runs := map[string][]sample{}
+	var order []string
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			doc.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			doc.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			doc.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			continue
+		}
+		// Strip the -GOMAXPROCS suffix so artifacts compare across runners.
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue // a log line that happens to start with "Benchmark"
+		}
+		s := sample{iterations: iters, metrics: map[string]float64{}}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad metric value %q in line %q", fields[i], line)
+			}
+			s.metrics[fields[i+1]] = v
+		}
+		if _, seen := runs[name]; !seen {
+			order = append(order, name)
+		}
+		runs[name] = append(runs[name], s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	sort.Strings(order)
+	for _, name := range order {
+		b := Benchmark{Name: name, Runs: len(runs[name])}
+		for _, s := range runs[name] {
+			b.Iterations += s.iterations
+		}
+		b.NsPerOp = aggregate(runs[name], "ns/op")
+		b.BPerOp = aggregate(runs[name], "B/op")
+		b.AllocsOp = aggregate(runs[name], "allocs/op")
+		doc.Benchmarks = append(doc.Benchmarks, b)
+	}
+	return doc, nil
+}
+
+// aggregate folds one unit's values across runs; nil when no run reported it.
+func aggregate(samples []sample, unit string) *Stat {
+	var st *Stat
+	n := 0
+	for _, s := range samples {
+		v, ok := s.metrics[unit]
+		if !ok {
+			continue
+		}
+		if st == nil {
+			st = &Stat{Mean: 0, Min: v, Max: v}
+		}
+		st.Mean += v
+		if v < st.Min {
+			st.Min = v
+		}
+		if v > st.Max {
+			st.Max = v
+		}
+		n++
+	}
+	if st != nil {
+		st.Mean /= float64(n)
+	}
+	return st
+}

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: cyclesteal/internal/farm
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkFarmBagShardedContended-8   	       3	   1716510 ns/op	 1922224 B/op	    9378 allocs/op
+BenchmarkFarmBagShardedContended-8   	       3	   1800000 ns/op	 1900000 B/op	    9000 allocs/op
+BenchmarkMCEngineSerial-8            	       2	 150000000 ns/op
+Benchmarking is fun: this log line must be ignored
+PASS
+ok  	cyclesteal/internal/farm	2.974s
+`
+
+func TestParse(t *testing.T) {
+	doc, err := parse(bufio.NewScanner(strings.NewReader(sampleOutput)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Goos != "linux" || doc.Goarch != "amd64" || !strings.Contains(doc.CPU, "Xeon") {
+		t.Errorf("metadata: %+v", doc)
+	}
+	if len(doc.Benchmarks) != 2 {
+		t.Fatalf("benchmarks = %d, want 2", len(doc.Benchmarks))
+	}
+	sharded := doc.Benchmarks[0]
+	if sharded.Name != "BenchmarkFarmBagShardedContended" {
+		t.Fatalf("name with -8 suffix not stripped: %q", sharded.Name)
+	}
+	if sharded.Runs != 2 || sharded.Iterations != 6 {
+		t.Errorf("runs/iterations: %d/%d", sharded.Runs, sharded.Iterations)
+	}
+	if sharded.NsPerOp == nil || sharded.NsPerOp.Min != 1716510 || sharded.NsPerOp.Max != 1800000 {
+		t.Errorf("ns/op aggregate: %+v", sharded.NsPerOp)
+	}
+	if want := (1716510.0 + 1800000.0) / 2; sharded.NsPerOp.Mean != want {
+		t.Errorf("ns/op mean %v, want %v", sharded.NsPerOp.Mean, want)
+	}
+	if sharded.AllocsOp == nil || sharded.AllocsOp.Min != 9000 {
+		t.Errorf("allocs aggregate: %+v", sharded.AllocsOp)
+	}
+	serial := doc.Benchmarks[1]
+	if serial.Name != "BenchmarkMCEngineSerial" || serial.BPerOp != nil {
+		t.Errorf("no-benchmem run should omit B/op: %+v", serial)
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	doc, err := parse(bufio.NewScanner(strings.NewReader("PASS\n")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Benchmarks) != 0 {
+		t.Errorf("benchmarks from empty input: %+v", doc.Benchmarks)
+	}
+}

@@ -7,12 +7,20 @@
 // bit-identical at any -workers setting; -workers only changes wall-clock
 // time.
 //
+// With -fleet N the single station becomes a network of N workstations
+// (mixed office/laptop/overnight owners) farming one shared job on the
+// sharded task bag; -shards picks the bag layout (0 = auto, 1 = the single
+// shared-bag baseline) and each trial replays the whole farmed job on the
+// deterministic two-level farm engine.
+//
 // Usage:
 //
 //	cstealsim -U 3600 -p 2 -c 5 -sched equalized -adv poisson -trials 100
 //	cstealsim -sched nonadaptive -adv worst          # minimax replay
 //	cstealsim -sched equalized -tasks 500 -tasksize 8
 //	cstealsim -trials 100000 -workers 8              # large replication study
+//	cstealsim -fleet 1000 -trials 20 -workers 8      # fleet-scale farmed job
+//	cstealsim -fleet 64 -shards 1                    # contended-bag baseline
 package main
 
 import (
@@ -22,7 +30,14 @@ import (
 	"os"
 
 	"cyclesteal"
+	"cyclesteal/internal/farm"
 	"cyclesteal/internal/mc"
+	"cyclesteal/internal/model"
+	"cyclesteal/internal/now"
+	"cyclesteal/internal/quant"
+	"cyclesteal/internal/sched"
+	"cyclesteal/internal/stats"
+	"cyclesteal/internal/task"
 )
 
 // metric indexes of the replication study
@@ -44,10 +59,20 @@ func main() {
 		trials   = flag.Int("trials", 100, "number of simulated opportunities")
 		seed     = flag.Int64("seed", 1, "base rng seed (trial i uses seed+i)")
 		workers  = flag.Int("workers", 0, "worker pool size for the trials (0 = GOMAXPROCS)")
-		nTasks   = flag.Int("tasks", 0, "attach a bag of this many tasks (0 = fluid only)")
+		nTasks   = flag.Int("tasks", 0, "attach a bag of this many tasks (0 = fluid only; fleet mode defaults to 50 per station)")
 		taskSize = flag.Float64("tasksize", 10, "task duration (time units)")
+		fleetN   = flag.Int("fleet", 0, "farm one shared job across this many stations (0 = single-station mode)")
+		shards   = flag.Int("shards", 0, "task-bag shards in fleet mode: 0 = auto, 1 = single shared bag, n = n stripes")
+		opps     = flag.Int("opportunities", 10, "owner contracts per station in fleet mode")
 	)
 	flag.Parse()
+
+	if *fleetN > 0 {
+		if err := runFleet(*fleetN, *shards, *opps, *schedStr, *c, *taskSize, *nTasks, *trials, *seed, *workers); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	eng, err := cyclesteal.New(cyclesteal.Opportunity{Lifespan: *U, Interrupts: *p, Setup: *c})
 	if err != nil {
@@ -108,6 +133,92 @@ func main() {
 			fmt.Printf("  task-granular work: %s (packing loss %.2f%%; bag exhausted in %d/%d trials)\n",
 				ts, 100*(1-safeDiv(ts.Mean, sum.Mean)), exhausted, *trials)
 		}
+	}
+}
+
+// runFleet is the -fleet mode: one shared job farmed across a mixed-owner
+// NOW on farm.Replicate's deterministic two-level engine. Times are read as
+// ticks here (the farm layer lives on the tick grid); completion, balance
+// and tail-risk summaries print per metric.
+func runFleet(stations, shards, opps int, schedName string, c, taskSize float64, nTasks, trials int, seed int64, workers int) error {
+	ct := quant.Tick(c)
+	if ct < 1 {
+		ct = 1
+	}
+	dur := quant.Tick(taskSize)
+	if dur < 1 {
+		dur = 1
+	}
+	if nTasks <= 0 {
+		nTasks = 50 * stations
+	}
+	factory, err := fleetFactory(schedName)
+	if err != nil {
+		return err
+	}
+
+	fleet := now.MixedFleet(stations, ct)
+	job := farm.Job{Tasks: task.Fixed(nTasks, dur)}
+	f := farm.Farm{Stations: fleet, OpportunitiesPerStation: opps, Shards: shards}
+
+	sums, err := f.Replicate(job, factory, mc.Config{Trials: trials, Seed: seed, Workers: workers})
+	if err != nil {
+		return err
+	}
+	completion := sums[farm.MetricCompletionFrac]
+	tcrit := stats.TCritical95(completion.N - 1)
+	fmt.Printf("fleet %d stations (bag shards %s), job %d tasks × %d ticks, schedule %s, %d trials\n",
+		stations, shardLabel(shards), nTasks, dur, schedName, trials)
+	fmt.Printf("  completion:    mean %.2f%% ±%.2f  (min %.2f%%)\n",
+		100*completion.Mean, 100*tcrit*completion.SE, 100*completion.Min)
+	fmt.Printf("  tasks done:    mean %.1f of %d\n", sums[farm.MetricTasksCompleted].Mean, nTasks)
+	fmt.Printf("  killed ticks:  mean %.4g  p99 %.4g  (lifespan destroyed by kills)\n",
+		sums[farm.MetricKilledTicks].Mean, sums[farm.MetricKilledTicks].P99)
+	fmt.Printf("  imbalance:     mean %.3f  p99 %.3f  (max/mean station work)\n",
+		sums[farm.MetricImbalance].Mean, sums[farm.MetricImbalance].P99)
+	fmt.Printf("  interrupts:    mean %.1f per trial\n", sums[farm.MetricInterrupts].Mean)
+	fmt.Printf("  steals:        mean %.1f cross-queue migrations per trial\n", sums[farm.MetricSteals].Mean)
+	fmt.Println("  (summaries are bit-identical at any -workers; p99 from the bounded-error quantile sketch)")
+	return nil
+}
+
+func shardLabel(shards int) string {
+	switch {
+	case shards == 1:
+		return "1 (shared-bag baseline)"
+	case shards <= 0:
+		return "auto"
+	default:
+		return fmt.Sprint(shards)
+	}
+}
+
+// fleetFactory maps a -sched name onto a per-(station, contract) scheduler
+// factory; fleet mode supports the schedules that need no full game solve.
+func fleetFactory(name string) (now.SchedulerFactory, error) {
+	switch name {
+	case "equalized":
+		return func(ws now.Workstation, ct now.Contract) (model.EpisodeScheduler, error) {
+			return sched.NewAdaptiveEqualized(ws.Setup)
+		}, nil
+	case "guideline":
+		return func(ws now.Workstation, ct now.Contract) (model.EpisodeScheduler, error) {
+			return sched.NewAdaptiveGuideline(ws.Setup)
+		}, nil
+	case "nonadaptive":
+		return func(ws now.Workstation, ct now.Contract) (model.EpisodeScheduler, error) {
+			return sched.NewNonAdaptive(ct.U, ct.P, ws.Setup)
+		}, nil
+	case "single":
+		return func(ws now.Workstation, ct now.Contract) (model.EpisodeScheduler, error) {
+			return sched.SinglePeriod{}, nil
+		}, nil
+	case "fixedchunk":
+		return func(ws now.Workstation, ct now.Contract) (model.EpisodeScheduler, error) {
+			return sched.FixedChunk{T: 25 * ws.Setup}, nil
+		}, nil
+	default:
+		return nil, fmt.Errorf("schedule %q not supported in fleet mode (want equalized, guideline, nonadaptive, single, or fixedchunk)", name)
 	}
 }
 

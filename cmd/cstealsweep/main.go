@@ -9,10 +9,18 @@
 // deterministic per-trial seed streams — reproducible for a fixed -seed at
 // any -workers setting.
 //
+// With -fleet N > 1 (and -trials > 0) the Monte-Carlo view scales out: each
+// cell farms one shared data-parallel job across N identical stations
+// offering the cell's (U, p) contract under Poisson owners, on the
+// deterministic two-level farm engine with the bag sharding picked by
+// -shards — answering "what does this per-opportunity guarantee compose to
+// at fleet size N?" per cell.
+//
 // Usage:
 //
 //	cstealsweep -c 100 -ratios 100,1000,10000 -ps 1,2,4 -workers 8
 //	cstealsweep -ratios 100,1000 -ps 1,2 -trials 1000 -seed 7
+//	cstealsweep -ratios 100,1000 -ps 1,2 -trials 50 -fleet 500
 package main
 
 import (
@@ -27,12 +35,16 @@ import (
 	"sync"
 
 	"cyclesteal/internal/adversary"
+	"cyclesteal/internal/farm"
 	"cyclesteal/internal/game"
 	"cyclesteal/internal/mc"
+	"cyclesteal/internal/model"
+	"cyclesteal/internal/now"
 	"cyclesteal/internal/quant"
 	"cyclesteal/internal/sim"
 	"cyclesteal/internal/stats"
 	"cyclesteal/internal/tab"
+	"cyclesteal/internal/task"
 	"cyclesteal/internal/theory"
 )
 
@@ -44,6 +56,8 @@ func main() {
 		workers = flag.Int("workers", 0, "worker pool size for cells and trials (0 = GOMAXPROCS)")
 		trials  = flag.Int("trials", 0, "Monte-Carlo trials per cell vs a Poisson owner (0 = exact sweep only)")
 		seed    = flag.Int64("seed", 1, "base rng seed for the Monte-Carlo trials (trial i uses seed+i)")
+		fleetN  = flag.Int("fleet", 0, "farm a shared job across this many stations per cell (needs -trials; ≤ 1 = single-station MC)")
+		shards  = flag.Int("shards", 0, "task-bag shards in fleet mode: 0 = auto, 1 = single shared bag")
 		format  = flag.String("format", "text", "output format: text, csv, or json")
 	)
 	flag.Parse()
@@ -65,17 +79,27 @@ func main() {
 	results := game.Sweep(points, *workers)
 
 	var mcSums []stats.Summary
+	var fleetCells []fleetCell
 	if *trials > 0 {
 		var err error
 		mcSums, err = sweepMonteCarlo(points, *trials, *seed, *workers)
 		if err != nil {
 			fatal(err)
 		}
+		if *fleetN > 1 {
+			fleetCells, err = sweepFleet(points, *trials, *seed, *workers, *fleetN, *shards)
+			if err != nil {
+				fatal(err)
+			}
+		}
 	}
 
 	cols := []string{"p", "U/c", "W/c", "W/U %", "deficit coeff", "K_p"}
 	if *trials > 0 {
 		cols = append(cols, "E[W]/c poisson", "±95%")
+	}
+	if fleetCells != nil {
+		cols = append(cols, fmt.Sprintf("fleet%d compl %%", *fleetN), "imbalance", "steals")
 	}
 	t := tab.New(
 		fmt.Sprintf("optimal guaranteed output W(p)[U] (c = %d ticks; %d cells)", *c, len(points)),
@@ -97,11 +121,18 @@ func main() {
 			sum := mcSums[i]
 			row = append(row, sum.Mean/cf, stats.TCritical95(sum.N-1)*sum.SE/cf)
 		}
+		if fleetCells != nil {
+			fc := fleetCells[i]
+			row = append(row, 100*fc.completion.Mean, fc.imbalance.Mean, fc.steals.Mean)
+		}
 		t.Row(row...)
 	}
 	t.Note("deficit coeff = (U−W)/√(2cU); K_p is the equalization prediction it converges to")
 	if *trials > 0 {
 		t.Note("E[W] = optimal schedule vs Poisson owner (mean return U/3), %d trials on the internal/mc engine", *trials)
+	}
+	if fleetCells != nil {
+		t.Note("fleet columns: %d identical stations farm one shared job (a full U/c size-c tasks per station) on the two-level farm engine; completion ≈ the fleet-achievable fraction of the contract, with max/mean balance and cross-queue steals, means over %d trials", *fleetN, *trials)
 	}
 	switch *format {
 	case "text":
@@ -177,6 +208,68 @@ func sweepMonteCarlo(points []game.SweepPoint, trials int, seed int64, workers i
 		}
 	}
 	return sums, nil
+}
+
+// fleetCell is one sweep cell's fleet-composition view.
+type fleetCell struct {
+	completion stats.Summary
+	imbalance  stats.Summary
+	steals     stats.Summary
+}
+
+// fixedOwner offers the sweep cell's exact contract every time and plays the
+// E8 Poisson temperament (mean return U/3) inside it.
+type fixedOwner struct {
+	u quant.Tick
+	p int
+}
+
+func (o fixedOwner) Sample(*rand.Rand) now.Contract { return now.Contract{U: o.u, P: o.p} }
+
+func (o fixedOwner) Interrupter(rng *rand.Rand, c now.Contract) sim.Interrupter {
+	return &adversary.Poisson{Rng: rng, Mean: float64(c.U) / 3}
+}
+
+func (o fixedOwner) Name() string { return "fixed+poisson" }
+
+// sweepFleet farms each cell's contract across fleet identical stations: the
+// cell's exactly optimal schedule (shared read-only across stations) works a
+// job of U/c size-c tasks per station — a full lifespan's worth, more than
+// any visit can yield, so the completion column reads as the fleet-level
+// achievable fraction of the cell's (U, p) contract. Cells run sequentially;
+// the worker budget goes to farm.Replicate's two-level trial × station-group
+// pool, and every cell is bit-identical at any -workers by the mc and farm
+// determinism contracts.
+func sweepFleet(points []game.SweepPoint, trials int, seed int64, workers, fleet, shards int) ([]fleetCell, error) {
+	out := make([]fleetCell, len(points))
+	for i, pt := range points {
+		solver, err := game.Solve(pt.P, pt.U, pt.C)
+		if err != nil {
+			return nil, err
+		}
+		s := solver.Scheduler()
+		factory := func(ws now.Workstation, ct now.Contract) (model.EpisodeScheduler, error) { return s, nil }
+		stations := make([]now.Workstation, fleet)
+		for j := range stations {
+			stations[j] = now.Workstation{ID: j, Owner: fixedOwner{u: pt.U, p: pt.P}, Setup: pt.C}
+		}
+		perStation := int(pt.U / pt.C)
+		if perStation < 1 {
+			perStation = 1
+		}
+		job := farm.Job{Tasks: task.Fixed(fleet*perStation, pt.C)}
+		f := farm.Farm{Stations: stations, OpportunitiesPerStation: 1, Shards: shards}
+		sums, err := f.Replicate(job, factory, mc.Config{Trials: trials, Seed: seed + int64(i)<<32, Workers: workers})
+		if err != nil {
+			return nil, fmt.Errorf("cell (U=%d p=%d) fleet: %w", pt.U, pt.P, err)
+		}
+		out[i] = fleetCell{
+			completion: sums[farm.MetricCompletionFrac],
+			imbalance:  sums[farm.MetricImbalance],
+			steals:     sums[farm.MetricSteals],
+		}
+	}
+	return out, nil
 }
 
 func parseTicks(s string) ([]quant.Tick, error) {

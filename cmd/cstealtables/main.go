@@ -9,6 +9,7 @@
 //	cstealtables -list                # list experiment IDs
 //	cstealtables -format csv          # machine-readable output
 //	cstealtables -c 50 -seed 7        # grid resolution / Monte-Carlo seed
+//	cstealtables -trials 1000         # widen every replicated experiment
 package main
 
 import (
@@ -29,6 +30,7 @@ func main() {
 		c          = flag.Int64("c", 100, "grid resolution: ticks per setup cost")
 		seed       = flag.Int64("seed", 1, "base seed for Monte-Carlo experiments (per-trial streams derive from it)")
 		workers    = flag.Int("workers", 0, "Monte-Carlo worker pool size (0 = GOMAXPROCS; affects speed only, never values)")
+		trials     = flag.Int("trials", 0, "override every replicated experiment's trial count (0 = per-experiment defaults; raising it widens studies without rebasing, per mc prefix stability)")
 	)
 	flag.Parse()
 
@@ -39,7 +41,7 @@ func main() {
 		return
 	}
 
-	cfg := experiments.Config{C: quant.Tick(*c), Seed: *seed, Workers: *workers}
+	cfg := experiments.Config{C: quant.Tick(*c), Seed: *seed, Workers: *workers, Trials: *trials}
 	var selected []experiments.Experiment
 	if *experiment == "" {
 		selected = experiments.All()

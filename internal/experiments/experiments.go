@@ -23,6 +23,10 @@ type Config struct {
 	// internal/mc seed-stream contract it affects wall-clock time only,
 	// never a table value.
 	Workers int
+	// Trials overrides every replicated experiment's default trial count
+	// when > 0 (cstealtables -trials). By mc prefix stability, raising it
+	// widens each study without rebasing the trials already summarized.
+	Trials int
 }
 
 // DefaultConfig returns the configuration used throughout EXPERIMENTS.md.
@@ -33,6 +37,15 @@ func (c Config) normalize() Config {
 		c.C = 100
 	}
 	return c
+}
+
+// trialsOr returns the experiment's default trial count unless the user
+// overrode it (Config.Trials > 0).
+func (c Config) trialsOr(def int) int {
+	if c.Trials > 0 {
+		return c.Trials
+	}
+	return def
 }
 
 // Experiment pairs an identifier with its driver, for the CLI registry.
@@ -67,7 +80,7 @@ func All() []Experiment {
 			return OptimalStructure(c, 1000*c.normalize().C)
 		}},
 		{"guarexp", "E8: guaranteed vs expected output", func(c Config) (*tab.Table, error) {
-			return GuaranteedVsExpected(c, 500*c.normalize().C, 2, 300)
+			return GuaranteedVsExpected(c, 500*c.normalize().C, 2, c.trialsOr(300))
 		}},
 		{"ablation-quantum", "E9a: ablation — grid resolution", func(c Config) (*tab.Table, error) {
 			return AblationQuantum(c, []quant.Tick{10, 30, 100, 300}, 1000)
@@ -79,7 +92,7 @@ func All() []Experiment {
 			return AblationSolver(c, []quant.Tick{200, 400, 800})
 		}},
 		{"ablation-mc", "E9d: ablation — replication engine determinism and scaling", func(c Config) (*tab.Table, error) {
-			return AblationReplication(c, 300*c.normalize().C, 2000)
+			return AblationReplication(c, 300*c.normalize().C, c.trialsOr(2000))
 		}},
 		{"tasks", "E10: task granularity — fluid vs packed work", func(c Config) (*tab.Table, error) {
 			cc := c.normalize().C
@@ -88,7 +101,10 @@ func All() []Experiment {
 		{"farm", "E11: one shared job across the NOW (extension)", func(c Config) (*tab.Table, error) {
 			// Job sized to slightly exceed the fleet's effective capacity so
 			// completion fraction differentiates the policies.
-			return FarmStudy(c, 12, 30, 50000, 5)
+			return FarmStudy(c, 12, 30, 50000, c.trialsOr(5))
+		}},
+		{"fleetscale", "E12: fleet-scale farm — completion, imbalance and engine wall-clock vs fleet size (extension)", func(c Config) (*tab.Table, error) {
+			return FleetScale(c, []int{10, 50, 250, 1000, 5000}, 6, 400, c.trialsOr(3))
 		}},
 	}
 }

@@ -30,17 +30,7 @@ func FarmStudy(cfg Config, stations, opportunitiesPer int, jobTasks int, trials 
 		return nil, fmt.Errorf("experiments: E11 needs trials ≥ 1, got %d", trials)
 	}
 
-	fleet := make([]now.Workstation, stations)
-	for i := range fleet {
-		switch i % 3 {
-		case 0:
-			fleet[i] = now.Workstation{ID: i, Owner: now.Office{MeanIdle: 250 * c, MaxP: 2}, Setup: c}
-		case 1:
-			fleet[i] = now.Workstation{ID: i, Owner: now.Laptop{MeanIdle: 100 * c}, Setup: c}
-		default:
-			fleet[i] = now.Workstation{ID: i, Owner: now.Overnight{Window: 400 * c}, Setup: c}
-		}
-	}
+	fleet := now.MixedFleet(stations, c)
 	job := farm.Job{Tasks: task.Exponential(jobTasks, float64(2*c), cfg.Seed)}
 
 	policies := []struct {

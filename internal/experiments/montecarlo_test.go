@@ -3,8 +3,11 @@ package experiments
 import (
 	"math"
 	"math/rand"
+	"os"
+	"runtime"
 	"strconv"
 	"testing"
+	"time"
 
 	"cyclesteal/internal/adversary"
 	"cyclesteal/internal/sched"
@@ -144,5 +147,110 @@ func TestAblationReplication(t *testing.T) {
 		if row[4] != "true" {
 			t.Errorf("workers=%s: summary not identical to serial", row[0])
 		}
+	}
+}
+
+func TestFleetScaleDeterministicAcrossWorkers(t *testing.T) {
+	cfg := smallCfg()
+	render := func(workers int) string {
+		c := Config{C: cfg.C, Seed: cfg.Seed, Workers: workers}
+		tb, err := FleetScale(c, []int{5, 40}, 3, 20, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The wall-clock column is the one column allowed to vary; blank it.
+		for _, row := range tb.Rows {
+			row[len(row)-1] = "-"
+		}
+		return tb.Render()
+	}
+	if a, b := render(1), render(8); a != b {
+		t.Errorf("E12 table depends on worker count:\n--- serial ---\n%s\n--- workers=8 ---\n%s", a, b)
+	}
+}
+
+func TestFleetScaleRejectsBadShapes(t *testing.T) {
+	if _, err := FleetScale(smallCfg(), []int{4}, 3, 10, 0); err == nil {
+		t.Error("trials=0 accepted")
+	}
+	if _, err := FleetScale(smallCfg(), nil, 3, 10, 2); err == nil {
+		t.Error("empty fleet list accepted")
+	}
+	if _, err := FleetScale(smallCfg(), []int{0}, 3, 10, 2); err == nil {
+		t.Error("zero-station fleet accepted")
+	}
+}
+
+// TestConfigTrialsOverride pins the cstealtables -trials plumbing: a Config
+// with Trials set must change the registry experiments' replication counts.
+func TestConfigTrialsOverride(t *testing.T) {
+	cfg := Config{C: 20, Seed: 1, Trials: 7}
+	if got := cfg.trialsOr(300); got != 7 {
+		t.Fatalf("trialsOr ignored the override: %d", got)
+	}
+	if got := (Config{}).trialsOr(300); got != 300 {
+		t.Fatalf("default trials: %d", got)
+	}
+	e, err := Lookup("fleetscale")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.ID != "fleetscale" {
+		t.Fatalf("registry lookup: %+v", e)
+	}
+}
+
+// TestParallelSpeedupFloor is E9d promoted from reporting to asserting: on a
+// multi-core runner (env-gated so single-core local runs skip it) the
+// replication engine must beat its own serial wall-clock by the factor in
+// CYCLESTEAL_MIN_SPEEDUP on the E9d study shape.
+func TestParallelSpeedupFloor(t *testing.T) {
+	spec := os.Getenv("CYCLESTEAL_MIN_SPEEDUP")
+	if spec == "" {
+		t.Skip("set CYCLESTEAL_MIN_SPEEDUP=<factor> (multi-core CI) to assert the E9d speedup floor")
+	}
+	min, err := strconv.ParseFloat(spec, 64)
+	if err != nil || min <= 0 {
+		t.Fatalf("bad CYCLESTEAL_MIN_SPEEDUP %q: %v", spec, err)
+	}
+	if runtime.GOMAXPROCS(0) < 2 {
+		t.Skip("single-core machine cannot exhibit a parallel speedup")
+	}
+
+	cfg := DefaultConfig()
+	c := cfg.C
+	U := 300 * c
+	eq, err := sched.NewAdaptiveEqualized(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := float64(U) / 3
+	study := func(workers int) time.Duration {
+		start := time.Now()
+		if _, err := monteCarlo(eq, U, 2, c, 2000, func(rng *rand.Rand) sim.Interrupter {
+			return &adversary.Poisson{Rng: rng, Mean: mean}
+		}, cfg.Seed, workers); err != nil {
+			t.Fatal(err)
+		}
+		return time.Since(start)
+	}
+
+	// Best of three per variant: CI runners are noisy, and the contract is
+	// about capability, not a single draw.
+	best := func(workers int) time.Duration {
+		b := study(workers)
+		for i := 0; i < 2; i++ {
+			if d := study(workers); d < b {
+				b = d
+			}
+		}
+		return b
+	}
+	serial, parallel := best(1), best(0)
+	speedup := float64(serial) / float64(parallel)
+	t.Logf("serial %v, parallel %v: speedup %.2f× on %d cores (floor %.2f×)",
+		serial, parallel, speedup, runtime.GOMAXPROCS(0), min)
+	if speedup < min {
+		t.Errorf("parallel speedup %.2f× below the asserted floor %.2f×", speedup, min)
 	}
 }

@@ -1,18 +1,47 @@
 // Package farm implements the setting of the paper's title: *data-parallel*
 // cycle-stealing in a *network* of workstations. One job — a bag of
 // indivisible tasks — is farmed out across every opportunity the fleet's
-// owners offer, concurrently: stations draw work from a shared bag as their
-// periods open, and killed periods return their in-flight tasks to the bag
-// for rescheduling elsewhere.
+// owners offer, concurrently: stations draw work from the job's task pool as
+// their periods open, and killed periods return their in-flight tasks for
+// rescheduling elsewhere.
 //
 // This is the layer a downstream user runs: internal/now models who offers
 // time and when they interrupt; internal/sched decides period sizing on each
 // opportunity; this package binds them to a single shared workload and
 // reports job-level outcomes (completion fraction, work distribution across
 // stations, lost-to-kills accounting).
+//
+// # Task pools and the sharded bag
+//
+// Two pool implementations back a farmed run. SharedBag is the original
+// single mutex-guarded bag: simple, and fine for a dozen stations. ShardedBag
+// is the fleet-scale pool: tasks are dealt round-robin across lock-striped
+// per-shard queues, each station drains its home shard, and a dry station
+// steals from the other shards in deterministic cyclic order — the
+// work-stealing idiom of Gast–Khatiri–Trystram, with killed-period tasks
+// returned to the thief's own queue. Farm.Shards selects between them
+// (0 = auto-sharded); BenchmarkFarmBag* quantifies the gap on the contended
+// path.
+//
+// # Determinism contract
+//
+// Run is the live engine: stations free-run on a bounded pool, so aggregate
+// accounting invariants are deterministic but task *assignment* depends on
+// scheduling interleaving. RunDeterministic is the replication engine: the
+// same fleet semantics executed in synchronized rounds — within a round each
+// queue is touched by exactly one sequential station group, and queues
+// rebalance by stealing only at round barriers, in station-group order. Every
+// station draws contracts from its own rng stream derived from (seed,
+// station ID), so the entire result is a pure function of (fleet, job,
+// factory, seed, Shards): any inner worker count produces bit-identical
+// results. Replicate stacks that inside internal/mc's seed-stream contract —
+// trial-level parallelism outside, station-group parallelism inside, split by
+// mc.SplitWorkers — so fleet summaries stay bit-identical at any -workers
+// setting while fleets scale to thousands of stations.
 package farm
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -27,8 +56,23 @@ import (
 	"cyclesteal/internal/task"
 )
 
+// TaskPool is the job-wide task state one farmed run drains: per-station
+// task-source views over a shared underlying bag, plus the global accounting
+// the farm driver polls.
+type TaskPool interface {
+	// Station returns station i's view; its Take/Return feed the simulator.
+	Station(i int) sim.TaskSource
+	// Remaining reports the tasks still unscheduled.
+	Remaining() int
+	// RemainingWork reports the total duration still unscheduled.
+	RemainingWork() quant.Tick
+	// Steals reports cross-queue task movements (0 for an unsharded pool).
+	Steals() int
+}
+
 // SharedBag is a mutex-guarded task source that many concurrently simulated
-// stations can drain. It satisfies sim.TaskSource.
+// stations can drain — the single-stripe baseline pool. It satisfies both
+// sim.TaskSource and TaskPool.
 type SharedBag struct {
 	mu  sync.Mutex
 	bag *task.Bag
@@ -52,6 +96,12 @@ func (s *SharedBag) Return(tasks []task.Task) {
 	defer s.mu.Unlock()
 	s.bag.Return(tasks)
 }
+
+// Station implements TaskPool: every station shares the one bag.
+func (s *SharedBag) Station(int) sim.TaskSource { return s }
+
+// Steals implements TaskPool: an unsharded pool never steals.
+func (s *SharedBag) Steals() int { return 0 }
 
 // Remaining reports the tasks still unscheduled.
 func (s *SharedBag) Remaining() int {
@@ -94,6 +144,9 @@ type Result struct {
 	TasksLeft      int
 	FluidWork      quant.Tick
 	Interrupts     int
+	// Steals counts cross-queue task movements: non-home Takes under Run on
+	// a sharded pool, round-barrier migrations under RunDeterministic.
+	Steals int
 }
 
 // CompletionFraction is completed task work over the job's total.
@@ -131,17 +184,49 @@ type Farm struct {
 	// OpportunitiesPerStation is how many owner contracts each station works
 	// through (the job may finish earlier; stations then idle).
 	OpportunitiesPerStation int
-	// Workers bounds the worker pool; 0 means GOMAXPROCS.
+	// Workers bounds Run's worker pool; 0 means GOMAXPROCS.
 	Workers int
+	// Shards picks the task-pool layout: 0 = auto (min(DefaultShards,
+	// len(Stations)) lock-striped queues), 1 = the single mutex-guarded
+	// SharedBag baseline, n = exactly n stripes (clamped to the fleet size).
+	// Under RunDeterministic the same number also fixes the station-group
+	// partition, so it is part of that engine's determinism key.
+	Shards int
 }
 
-// Run farms the job across the fleet. Stations simulate their opportunities
-// concurrently, drawing from one shared bag; scheduling policy is supplied
-// per (station, contract) as in now.Fleet. Determinism: each station derives
-// its rng from seed and its ID, so contract sequences are reproducible; task
-// *assignment* to stations depends on scheduling interleaving and is
-// intentionally not deterministic across runs (the aggregate accounting
-// invariants are, and tests check those).
+// shardCount resolves the Shards field against the fleet size.
+func (f Farm) shardCount() int {
+	s := f.Shards
+	if s == 0 {
+		s = DefaultShards
+	}
+	if s > len(f.Stations) {
+		s = len(f.Stations)
+	}
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// newPool builds the task pool Run drains.
+func (f Farm) newPool(job Job) TaskPool {
+	if n := f.shardCount(); n > 1 {
+		return NewShardedBag(job.Tasks, n)
+	}
+	return NewSharedBag(job.Tasks)
+}
+
+// Run farms the job across the fleet at full speed. Stations simulate their
+// opportunities concurrently, drawing from the job's task pool (sharded per
+// f.Shards); scheduling policy is supplied per (station, contract) as in
+// now.Fleet. Determinism: each station derives its rng from seed and its ID,
+// so contract sequences are reproducible; task *assignment* to stations
+// depends on scheduling interleaving and is intentionally not deterministic
+// across runs (the aggregate accounting invariants are, and tests check
+// those; RunDeterministic trades peak throughput for full reproducibility).
+// When several stations fail, the returned error joins every station's
+// failure, in station order.
 func (f Farm) Run(job Job, factory now.SchedulerFactory, seed int64) (Result, error) {
 	if len(f.Stations) == 0 {
 		return Result{}, fmt.Errorf("farm: empty fleet")
@@ -158,19 +243,19 @@ func (f Farm) Run(job Job, factory now.SchedulerFactory, seed int64) (Result, er
 		workers = len(f.Stations)
 	}
 
-	shared := NewSharedBag(job.Tasks)
+	pool := f.newPool(job)
 	reports := make([]StationReport, len(f.Stations))
+	errs := make([]error, len(f.Stations))
 	jobs := make(chan int)
-	errs := make(chan error, len(f.Stations))
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for idx := range jobs {
-				rep, err := f.runStation(f.Stations[idx], n, factory, seed, shared)
+				rep, err := f.runStation(f.Stations[idx], n, factory, seed, pool, pool.Station(idx))
 				if err != nil {
-					errs <- err
+					errs[idx] = err
 					continue
 				}
 				reports[idx] = rep
@@ -182,49 +267,189 @@ func (f Farm) Run(job Job, factory now.SchedulerFactory, seed int64) (Result, er
 	}
 	close(jobs)
 	wg.Wait()
-	close(errs)
-	if err := <-errs; err != nil {
+	if err := errors.Join(errs...); err != nil {
 		return Result{}, err
 	}
+	return f.assemble(reports, pool.Remaining(), pool.Steals()), nil
+}
 
-	res := Result{Stations: reports, TasksLeft: shared.Remaining()}
+// assemble folds station reports into the job-level result.
+func (f Farm) assemble(reports []StationReport, left, steals int) Result {
+	res := Result{Stations: reports, TasksLeft: left, Steals: steals}
 	for _, r := range reports {
 		res.TasksCompleted += r.TasksCompleted
 		res.TaskWork += r.TaskWork
 		res.FluidWork += r.FluidWork
 		res.Interrupts += r.Interrupts
 	}
-	return res, nil
+	return res
 }
 
-func (f Farm) runStation(ws now.Workstation, n int, factory now.SchedulerFactory, seed int64, shared *SharedBag) (StationReport, error) {
+// stationRNG derives a station's private contract stream from the run seed —
+// the per-station half of the determinism contract.
+func stationRNG(seed int64, id int) *rand.Rand {
+	return rand.New(rand.NewSource(seed ^ (int64(id)+1)*0x5851F42D4C957F2D))
+}
+
+func (f Farm) runStation(ws now.Workstation, n int, factory now.SchedulerFactory, seed int64, pool TaskPool, src sim.TaskSource) (StationReport, error) {
 	rep := StationReport{Station: ws.ID}
-	rng := rand.New(rand.NewSource(seed ^ (int64(ws.ID)+1)*0x5851F42D4C957F2D))
+	rng := stationRNG(seed, ws.ID)
 	for i := 0; i < n; i++ {
-		if shared.Remaining() == 0 {
+		if pool.Remaining() == 0 {
 			break // job done; no point borrowing more time
 		}
-		contract := ws.Owner.Sample(rng)
-		if contract.U < 1 {
-			continue
+		if err := f.playOpportunity(&rep, ws, rng, factory, src); err != nil {
+			return rep, err
 		}
-		s, err := factory(ws, contract)
-		if err != nil {
-			return rep, fmt.Errorf("farm: station %d: %w", ws.ID, err)
-		}
-		adv := ws.Owner.Interrupter(rng, contract)
-		r, err := sim.Run(s, adv, sim.Opportunity{U: contract.U, P: contract.P, C: ws.Setup}, sim.Config{Bag: shared})
-		if err != nil {
-			return rep, fmt.Errorf("farm: station %d: %w", ws.ID, err)
-		}
-		rep.Opportunities++
-		rep.FluidWork += r.Work
-		rep.TasksCompleted += r.TasksCompleted
-		rep.TaskWork += r.TaskWork
-		rep.Interrupts += r.Interrupts
-		rep.KilledTicks += r.KilledTicks
 	}
 	return rep, nil
+}
+
+// playOpportunity samples one owner contract and simulates it against the
+// station's task source — the shared inner step of Run and RunDeterministic.
+func (f Farm) playOpportunity(rep *StationReport, ws now.Workstation, rng *rand.Rand, factory now.SchedulerFactory, src sim.TaskSource) error {
+	contract := ws.Owner.Sample(rng)
+	if contract.U < 1 {
+		return nil
+	}
+	s, err := factory(ws, contract)
+	if err != nil {
+		return fmt.Errorf("farm: station %d: %w", ws.ID, err)
+	}
+	adv := ws.Owner.Interrupter(rng, contract)
+	r, err := sim.Run(s, adv, sim.Opportunity{U: contract.U, P: contract.P, C: ws.Setup}, sim.Config{Bag: src})
+	if err != nil {
+		return fmt.Errorf("farm: station %d: %w", ws.ID, err)
+	}
+	rep.Opportunities++
+	rep.FluidWork += r.Work
+	rep.TasksCompleted += r.TasksCompleted
+	rep.TaskWork += r.TaskWork
+	rep.Interrupts += r.Interrupts
+	rep.KilledTicks += r.KilledTicks
+	return nil
+}
+
+// RunDeterministic farms the job with fully reproducible semantics at any
+// worker count — the engine Replicate runs inside the mc trial pool.
+//
+// Stations are partitioned into shardCount() groups (station i in group
+// i mod groups), each group owning one local task queue dealt round-robin
+// from the job. Execution proceeds in synchronized rounds, one opportunity
+// per station per round: within a round, groups run concurrently but each
+// group plays its stations *sequentially* against its own queue, so no queue
+// is ever touched by two goroutines; at the round barrier, empty queues
+// steal half the tasks of the first non-empty victim in deterministic cyclic
+// group order; stations stop borrowing when a barrier finds the whole job
+// done. Killed-period tasks return to the front of the running group's own
+// queue, as in the live sharded bag.
+//
+// Every mutation is therefore ordered by (round, group, station index) — a
+// pure function of (fleet, job, factory, seed, Shards). workers ≤ 0 means
+// GOMAXPROCS; like mc.Config.Workers it changes wall-clock time only, never
+// a bit of the result.
+func (f Farm) RunDeterministic(job Job, factory now.SchedulerFactory, seed int64, workers int) (Result, error) {
+	n := len(f.Stations)
+	if n == 0 {
+		return Result{}, fmt.Errorf("farm: empty fleet")
+	}
+	rounds := f.OpportunitiesPerStation
+	if rounds < 1 {
+		rounds = 1
+	}
+	groups := f.shardCount()
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > groups {
+		workers = groups
+	}
+
+	queues := make([]*task.Bag, groups)
+	for g, hand := range task.Deal(job.Tasks, groups) {
+		queues[g] = task.NewBag(hand)
+	}
+	reports := make([]StationReport, n)
+	rngs := make([]*rand.Rand, n)
+	for i, ws := range f.Stations {
+		reports[i] = StationReport{Station: ws.ID}
+		rngs[i] = stationRNG(seed, ws.ID)
+	}
+	errs := make([]error, n)
+	steals := 0
+
+	for round := 0; round < rounds; round++ {
+		remaining := 0
+		for _, q := range queues {
+			remaining += q.Remaining()
+		}
+		if remaining == 0 {
+			break
+		}
+
+		gjobs := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for g := range gjobs {
+					for i := g; i < n; i += groups {
+						if errs[i] != nil {
+							continue
+						}
+						errs[i] = f.playOpportunity(&reports[i], f.Stations[i], rngs[i], factory, queues[g])
+					}
+				}
+			}()
+		}
+		for g := 0; g < groups; g++ {
+			gjobs <- g
+		}
+		close(gjobs)
+		wg.Wait()
+		if err := errors.Join(errs...); err != nil {
+			return Result{}, err
+		}
+
+		// Round-barrier rebalance: groups that arrived empty steal half the
+		// first victim's queue (rounded up, so a last lone task can still
+		// migrate off an idle group) in deterministic cyclic order. Both the
+		// thief set and the victim set are fixed by a pre-pass snapshot:
+		// without it, an empty group later in the pass would re-steal the
+		// tasks an earlier thief just received — ping-ponging a dying job's
+		// last tasks between idle groups instead of landing them on a
+		// station that works.
+		arrived := make([]int, groups)
+		for g, q := range queues {
+			arrived[g] = q.Remaining()
+		}
+		for g := 0; g < groups; g++ {
+			if arrived[g] > 0 {
+				continue
+			}
+			for d := 1; d < groups; d++ {
+				v := g + d
+				if v >= groups {
+					v -= groups
+				}
+				if arrived[v] == 0 {
+					continue
+				}
+				if half := (queues[v].Remaining() + 1) / 2; half > 0 {
+					queues[g].Append(queues[v].Steal(half))
+					steals++
+					break
+				}
+			}
+		}
+	}
+
+	left := 0
+	for _, q := range queues {
+		left += q.Remaining()
+	}
+	return f.assemble(reports, left, steals), nil
 }
 
 // Replication metric indexes: the order of the summaries Replicate returns.
@@ -235,23 +460,29 @@ const (
 	MetricKilledTicks           // lifespan destroyed by draconian kills, ticks
 	MetricInterrupts            // interrupts fleet-wide
 	MetricImbalance             // max/mean per-station completed task work
+	MetricSteals                // cross-queue task migrations per trial
 	NumMetrics
 )
 
 // Replicate replays the farmed job cfg.Trials times on the internal/mc
 // replication engine and returns one summary per metric, indexed by the
-// Metric* constants. Trial i derives its farm seed from the engine's
-// deterministic stream for cfg.Seed+i, and each trial's farm runs its
-// stations sequentially (Workers = 1): trial-level parallelism replaces
-// station-level, which both avoids oversubscribing the pool and makes every
-// trial — and therefore the whole study — reproducible at any worker count,
-// unlike a single parallel Run whose task assignment depends on scheduling
-// interleaving.
+// Metric* constants. The worker budget (cfg.Workers; 0 = GOMAXPROCS) is
+// split by mc.SplitWorkers into a two-level pool: trial-level parallelism
+// outside (saturated first — it needs no coordination) and station-group
+// parallelism inside each trial via RunDeterministic, so a thousand-station
+// fleet exploits the machine even at low trial counts. Trial i derives its
+// farm seed from the engine's deterministic stream for cfg.Seed+i, both
+// levels are free of result-affecting scheduling, and the summaries are
+// therefore bit-identical at any worker budget.
 func (f Farm) Replicate(job Job, factory now.SchedulerFactory, cfg mc.Config) ([]stats.Summary, error) {
-	sequential := f
-	sequential.Workers = 1
+	outerCap := cfg.Trials
+	if outerCap > mc.Shards {
+		outerCap = mc.Shards
+	}
+	outer, inner := mc.SplitWorkers(cfg.Workers, outerCap)
+	cfg.Workers = outer
 	return mc.RunVec(cfg, NumMetrics, func(rng *rand.Rand) ([]float64, error) {
-		res, err := sequential.Run(job, factory, rng.Int63())
+		res, err := f.RunDeterministic(job, factory, rng.Int63(), inner)
 		if err != nil {
 			return nil, err
 		}
@@ -266,6 +497,7 @@ func (f Farm) Replicate(job Job, factory now.SchedulerFactory, cfg mc.Config) ([
 		out[MetricKilledTicks] = float64(killed)
 		out[MetricInterrupts] = float64(res.Interrupts)
 		out[MetricImbalance] = res.Imbalance()
+		out[MetricSteals] = float64(res.Steals)
 		return out, nil
 	})
 }

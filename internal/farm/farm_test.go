@@ -1,7 +1,9 @@
 package farm
 
 import (
+	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"cyclesteal/internal/mc"
@@ -255,5 +257,246 @@ func TestReplicateRejectsBadConfig(t *testing.T) {
 	job := Job{Tasks: task.Fixed(10, 5)}
 	if _, err := f.Replicate(job, equalizedFactory, mc.Config{Trials: 0, Seed: 1}); err == nil {
 		t.Error("trials=0 accepted")
+	}
+}
+
+// --- sharded bag ---------------------------------------------------------------
+
+func TestShardedBagDealAndCounters(t *testing.T) {
+	b := NewShardedBag(task.Fixed(10, 5), 4)
+	if b.Shards() != 4 || b.Remaining() != 10 || b.RemainingWork() != 50 {
+		t.Fatalf("shards=%d remaining=%d work=%d", b.Shards(), b.Remaining(), b.RemainingWork())
+	}
+	src := b.Station(1)
+	got := src.Take(12) // two tasks from home shard 1 (IDs 1, 5)
+	if len(got) != 2 || got[0].ID != 1 || got[1].ID != 5 {
+		t.Fatalf("home take: %v", got)
+	}
+	if b.Remaining() != 8 || b.RemainingWork() != 40 || b.Steals() != 0 {
+		t.Errorf("counters after home take: %d/%d/%d", b.Remaining(), b.RemainingWork(), b.Steals())
+	}
+	src.Return(got)
+	if b.Remaining() != 10 || b.RemainingWork() != 50 {
+		t.Errorf("counters after return: %d/%d", b.Remaining(), b.RemainingWork())
+	}
+}
+
+func TestShardedBagStealOrderAndHomeReturn(t *testing.T) {
+	// 3 shards; drain shard 0, then station 0 must steal from shard 1 first.
+	b := NewShardedBag(task.Fixed(9, 5), 3)
+	s0 := b.Station(0)
+	if got := s0.Take(100); len(got) != 3 {
+		t.Fatalf("draining home: %v", got)
+	}
+	stolen := s0.Take(5)
+	if len(stolen) != 1 || stolen[0].ID%3 != 1 {
+		t.Fatalf("first steal should hit shard 1, got task %v", stolen)
+	}
+	if b.Steals() != 1 {
+		t.Errorf("steals = %d", b.Steals())
+	}
+	// A kill returns the stolen task to the thief's own queue, not the victim's.
+	s0.Return(stolen)
+	back := s0.Take(5)
+	if len(back) != 1 || back[0].ID != stolen[0].ID {
+		t.Fatalf("killed task not requeued at thief's home: %v", back)
+	}
+	if b.Steals() != 1 {
+		t.Errorf("home re-take counted as a steal: %d", b.Steals())
+	}
+}
+
+func TestShardedBagConcurrentDrainConserves(t *testing.T) {
+	const n = 4000
+	b := NewShardedBag(task.Fixed(n, 3), 16)
+	var taken int64
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			src := b.Station(w)
+			for {
+				got := src.Take(9)
+				if len(got) == 0 {
+					return
+				}
+				atomic.AddInt64(&taken, int64(len(got)))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if taken != n || b.Remaining() != 0 || b.RemainingWork() != 0 {
+		t.Errorf("drained %d, remaining %d/%d; want %d/0/0", taken, b.Remaining(), b.RemainingWork(), n)
+	}
+	if b.Steals() == 0 {
+		t.Error("draining 16 shards from 8 stations must have stolen")
+	}
+}
+
+// --- live Run on the sharded pool ----------------------------------------------
+
+func TestFarmRunShardedCompletesSmallJob(t *testing.T) {
+	f := testFarm(6, now.Overnight{Window: 20000}) // Shards 0 = auto-sharded
+	job := Job{Tasks: task.Uniform(200, 5, 50, 1)}
+	res, err := f.Run(job, equalizedFactory, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TasksLeft != 0 || res.TasksCompleted != len(job.Tasks) {
+		t.Errorf("sharded run left %d of %d", res.TasksLeft, len(job.Tasks))
+	}
+}
+
+func TestFarmShardsSelection(t *testing.T) {
+	f := testFarm(6, now.Overnight{Window: 1000})
+	if got := f.shardCount(); got != 6 {
+		t.Errorf("auto shards on 6 stations = %d, want 6", got)
+	}
+	f.Shards = 1
+	if _, ok := f.newPool(Job{}).(*SharedBag); !ok {
+		t.Error("Shards=1 should select the SharedBag baseline")
+	}
+	f.Shards = 4
+	pool, ok := f.newPool(Job{}).(*ShardedBag)
+	if !ok || pool.Shards() != 4 {
+		t.Errorf("Shards=4 pool: %T", pool)
+	}
+	f.Stations = f.Stations[:2]
+	f.Shards = 100
+	if got := f.shardCount(); got != 2 {
+		t.Errorf("shards clamp to fleet size: %d", got)
+	}
+}
+
+// Bugfix regression: every failing station must surface, not just the first.
+func TestFarmRunJoinsAllErrors(t *testing.T) {
+	f := testFarm(4, now.Laptop{MeanIdle: 2000})
+	f.Workers = 2
+	// A job far larger than the fleet can finish, so no station skips its
+	// opportunities (and its factory call) just because the bag drained.
+	_, err := f.Run(Job{Tasks: task.Fixed(100000, 50)}, func(ws now.Workstation, c now.Contract) (model.EpisodeScheduler, error) {
+		if ws.ID%2 == 1 {
+			return nil, errBoom
+		}
+		return sched.NewAdaptiveEqualized(ws.Setup)
+	}, 1)
+	if err == nil {
+		t.Fatal("factory errors swallowed")
+	}
+	msg := err.Error()
+	for _, want := range []string{"station 1", "station 3"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("joined error missing %q: %v", want, msg)
+		}
+	}
+}
+
+// --- deterministic engine ------------------------------------------------------
+
+func resultsEqual(a, b Result) bool {
+	if a.TasksCompleted != b.TasksCompleted || a.TaskWork != b.TaskWork ||
+		a.TasksLeft != b.TasksLeft || a.FluidWork != b.FluidWork ||
+		a.Interrupts != b.Interrupts || a.Steals != b.Steals || len(a.Stations) != len(b.Stations) {
+		return false
+	}
+	for i := range a.Stations {
+		if a.Stations[i] != b.Stations[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestRunDeterministicBitIdenticalAcrossWorkers(t *testing.T) {
+	f := testFarm(30, now.Office{MeanIdle: 800, MaxP: 2})
+	f.OpportunitiesPerStation = 6
+	job := Job{Tasks: task.Exponential(2000, 15, 3)}
+	base, err := f.RunDeterministic(job, equalizedFactory, 99, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 8, 0} {
+		got, err := f.RunDeterministic(job, equalizedFactory, 99, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !resultsEqual(base, got) {
+			t.Errorf("workers=%d: result diverged from serial", workers)
+		}
+	}
+}
+
+func TestRunDeterministicConserves(t *testing.T) {
+	f := testFarm(12, now.Laptop{MeanIdle: 3000})
+	f.OpportunitiesPerStation = 8
+	job := Job{Tasks: task.Uniform(3000, 5, 80, 2)}
+	res, err := f.RunDeterministic(job, equalizedFactory, 7, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TasksCompleted+res.TasksLeft != len(job.Tasks) {
+		t.Errorf("%d + %d ≠ %d", res.TasksCompleted, res.TasksLeft, len(job.Tasks))
+	}
+	if res.TaskWork > res.FluidWork {
+		t.Errorf("task work %d > fluid %d", res.TaskWork, res.FluidWork)
+	}
+}
+
+func TestRunDeterministicStealsRescueIdleGroupTasks(t *testing.T) {
+	// Station 1's owner offers U=1 contracts: it can never run a period, so
+	// its group's tasks are only reachable via round-barrier steals.
+	stations := []now.Workstation{
+		{ID: 0, Owner: now.Overnight{Window: 100000}, Setup: 10},
+		{ID: 1, Owner: now.Overnight{Window: 1}, Setup: 10},
+	}
+	f := Farm{Stations: stations, OpportunitiesPerStation: 10, Shards: 2}
+	job := Job{Tasks: task.Fixed(5, 10)}
+	res, err := f.RunDeterministic(job, equalizedFactory, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TasksLeft != 0 {
+		t.Fatalf("idle group stranded %d tasks", res.TasksLeft)
+	}
+	if res.Steals == 0 {
+		t.Error("completion required steals but none were counted")
+	}
+	if res.Stations[1].TasksCompleted != 0 {
+		t.Errorf("the U=1 station cannot complete tasks, reported %d", res.Stations[1].TasksCompleted)
+	}
+}
+
+// Acceptance: a 1000-station fleet replicates bit-identically at workers=1
+// and workers=8 — the two-level pool never leaks scheduling into summaries.
+func TestReplicateThousandStationsDeterministicAcrossWorkers(t *testing.T) {
+	stations := make([]now.Workstation, 1000)
+	for i := range stations {
+		switch i % 3 {
+		case 0:
+			stations[i] = now.Workstation{ID: i, Owner: now.Office{MeanIdle: 400, MaxP: 2}, Setup: 10}
+		case 1:
+			stations[i] = now.Workstation{ID: i, Owner: now.Laptop{MeanIdle: 200}, Setup: 10}
+		default:
+			stations[i] = now.Workstation{ID: i, Owner: now.Overnight{Window: 500}, Setup: 10}
+		}
+	}
+	f := Farm{Stations: stations, OpportunitiesPerStation: 3}
+	job := Job{Tasks: task.Exponential(8000, 15, 5)}
+	run := func(workers int) []stats.Summary {
+		sums, err := f.Replicate(job, equalizedFactory, mc.Config{Trials: 2, Seed: 31, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sums
+	}
+	a, b := run(1), run(8)
+	for m := range a {
+		if a[m] != b[m] {
+			t.Errorf("metric %d differs across worker budgets:\n  w1: %+v\n  w8: %+v", m, a[m], b[m])
+		}
+	}
+	if a[MetricTasksCompleted].Mean <= 0 {
+		t.Error("fleet completed nothing")
 	}
 }

@@ -1,0 +1,148 @@
+package farm
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"cyclesteal/internal/quant"
+	"cyclesteal/internal/sim"
+	"cyclesteal/internal/task"
+)
+
+// DefaultShards is the shard count Farm uses when Shards is 0 (clamped to
+// the fleet size). 64 matches internal/mc.Shards: plenty of lock striping
+// for any machine the simulations run on, while keeping the steal scan and
+// the per-queue memory trivial even at fleet sizes in the thousands.
+const DefaultShards = 64
+
+// ShardedBag is a lock-striped task source for fleets too large to funnel
+// through one mutex: the job's tasks are dealt round-robin across per-shard
+// local queues, each station is bound to a home shard, and a station whose
+// home runs dry steals from the other shards in deterministic cyclic order
+// (home+1, home+2, … mod shards). Killed-period tasks go back to the front
+// of the *thief's own* queue — they were in flight on that station and stay
+// next in line there — so kills never rebuild pressure on the victim's lock.
+//
+// Scalability comes from two effects the BenchmarkFarmBag* pair measures:
+// stations contend on len(shards) mutexes instead of one, and each Take
+// scans a shard-sized pending list instead of the whole job (Bag.Take is
+// O(pending), so sharding also wins single-threaded).
+//
+// Like SharedBag, a ShardedBag makes task *conservation* deterministic, not
+// task *assignment*: which station ends up running a task still depends on
+// scheduling interleaving. Farm.RunDeterministic gets assignment determinism
+// by confining each queue to one sequential station group between barriers
+// instead of locking.
+type ShardedBag struct {
+	shards    []bagShard
+	remaining atomic.Int64
+	work      atomic.Int64
+	steals    atomic.Int64
+}
+
+// bagShard pads each mutex+queue pair to its own cache line so neighbouring
+// shards don't false-share under contention.
+type bagShard struct {
+	mu   sync.Mutex
+	bag  *task.Bag
+	size atomic.Int64 // mirror of bag.Remaining(), readable without the lock
+	_    [40]byte
+}
+
+// NewShardedBag deals a task set round-robin across the given number of
+// shards (clamped to ≥ 1).
+func NewShardedBag(tasks []task.Task, shards int) *ShardedBag {
+	if shards < 1 {
+		shards = 1
+	}
+	b := &ShardedBag{shards: make([]bagShard, shards)}
+	for s, hand := range task.Deal(tasks, shards) {
+		b.shards[s].bag = task.NewBag(hand)
+		b.shards[s].size.Store(int64(len(hand)))
+	}
+	b.remaining.Store(int64(len(tasks)))
+	b.work.Store(int64(task.Durations(tasks)))
+	return b
+}
+
+// Station binds station i to its home shard (i mod shards) and returns the
+// station's task-source view.
+func (b *ShardedBag) Station(i int) sim.TaskSource {
+	return &stationView{b: b, home: i % len(b.shards)}
+}
+
+// Shards reports the stripe count.
+func (b *ShardedBag) Shards() int { return len(b.shards) }
+
+// Remaining reports the tasks still unscheduled, across all shards.
+func (b *ShardedBag) Remaining() int { return int(b.remaining.Load()) }
+
+// RemainingWork reports the total duration still unscheduled.
+func (b *ShardedBag) RemainingWork() quant.Tick { return b.work.Load() }
+
+// Steals reports how many Takes were served by a non-home shard.
+func (b *ShardedBag) Steals() int { return int(b.steals.Load()) }
+
+// takeFrom drains shard s under its stripe lock and settles the global
+// counters outside it.
+func (b *ShardedBag) takeFrom(s int, capacity quant.Tick) []task.Task {
+	sh := &b.shards[s]
+	sh.mu.Lock()
+	got := sh.bag.Take(capacity)
+	if got != nil {
+		sh.size.Store(int64(sh.bag.Remaining()))
+	}
+	sh.mu.Unlock()
+	if got != nil {
+		b.remaining.Add(-int64(len(got)))
+		b.work.Add(-task.Durations(got))
+	}
+	return got
+}
+
+// stationView is one station's handle on the sharded bag; it satisfies
+// sim.TaskSource.
+type stationView struct {
+	b    *ShardedBag
+	home int
+}
+
+// Take drains the home shard first and steals from the other shards in
+// deterministic cyclic order when the home yields nothing. Shards whose size
+// mirror reads empty are skipped without touching their lock; a transiently
+// stale mirror only costs a retry on the station's next period, never a lost
+// task.
+func (v *stationView) Take(capacity quant.Tick) []task.Task {
+	if got := v.b.takeFrom(v.home, capacity); got != nil {
+		return got
+	}
+	n := len(v.b.shards)
+	for d := 1; d < n; d++ {
+		s := v.home + d
+		if s >= n {
+			s -= n
+		}
+		if v.b.shards[s].size.Load() == 0 {
+			continue
+		}
+		if got := v.b.takeFrom(s, capacity); got != nil {
+			v.b.steals.Add(1)
+			return got
+		}
+	}
+	return nil
+}
+
+// Return puts killed in-flight tasks at the front of the thief's own queue.
+func (v *stationView) Return(tasks []task.Task) {
+	if len(tasks) == 0 {
+		return
+	}
+	sh := &v.b.shards[v.home]
+	sh.mu.Lock()
+	sh.bag.Return(tasks)
+	sh.size.Store(int64(sh.bag.Remaining()))
+	sh.mu.Unlock()
+	v.b.remaining.Add(int64(len(tasks)))
+	v.b.work.Add(task.Durations(tasks))
+}

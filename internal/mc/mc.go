@@ -24,6 +24,17 @@
 // accumulators in shard order. Both the partition and the merge order are
 // independent of Workers, and floating-point association is therefore fixed.
 //
+// The quantile fields of each summary (Median, P90, P99) come from per-shard
+// bounded-error sketches (stats.Sketch) pooled by level-wise union, so they
+// carry a guaranteed rank-error bound and — unlike the mean — do not even
+// depend on the shard merge order.
+//
+// Trial closures that are themselves parallel (e.g. farm.RunDeterministic)
+// compose with the engine through SplitWorkers: the budget splits into an
+// outer trial pool and an inner per-trial pool, and because neither level's
+// worker count can influence results, the combined two-level pool keeps the
+// contract.
+//
 // Closures run concurrently: a closure may freely use its private *rand.Rand
 // and anything it creates, but shared inputs (schedulers, solvers) must be
 // treated as read-only.
@@ -41,12 +52,15 @@ import (
 // Shards is the fixed partition width of the trial space. It bounds both
 // usable parallelism and resident accumulator memory; 64 comfortably covers
 // every machine the experiments target while keeping the per-metric memory
-// footprint (64 accumulators × reservoir) trivial.
+// footprint (64 accumulators × sketch) trivial.
 const Shards = 64
 
-// reservoirCap is the per-shard quantile reservoir size. Pooled across
-// shards a summary draws on up to Shards×reservoirCap retained values.
-const reservoirCap = 64
+// sketchCap is the per-level buffer capacity of each shard's quantile
+// sketch (stats.Sketch). Shard sketches merge by level-wise union, so the
+// pooled quantiles (Median/P90/P99 in the summaries) carry a guaranteed
+// rank-error bound — the sum of the shards' bounds — and are independent of
+// the merge order; memory stays O(Shards × sketch size).
+const sketchCap = 64
 
 // Config shapes one replication study.
 type Config struct {
@@ -115,7 +129,7 @@ func RunVec(cfg Config, metrics int, fn VecFunc) ([]stats.Summary, error) {
 				st := &shards[s]
 				st.accs = make([]*stats.Accumulator, metrics)
 				for m := range st.accs {
-					st.accs[m] = stats.NewAccumulator(reservoirCap)
+					st.accs[m] = stats.NewAccumulator(sketchCap)
 				}
 				for i := s; i < cfg.Trials; i += Shards {
 					rng := rand.New(rand.NewSource(cfg.Seed + int64(i)))
@@ -154,7 +168,7 @@ func RunVec(cfg Config, metrics int, fn VecFunc) ([]stats.Summary, error) {
 
 	merged := make([]*stats.Accumulator, metrics)
 	for m := range merged {
-		merged[m] = stats.NewAccumulator(reservoirCap)
+		merged[m] = stats.NewAccumulator(sketchCap)
 	}
 	for s := range shards {
 		for m, acc := range shards[s].accs {
@@ -175,4 +189,34 @@ func RunVec(cfg Config, metrics int, fn VecFunc) ([]stats.Summary, error) {
 func RunSerial(cfg Config, fn RunFunc) (stats.Summary, error) {
 	cfg.Workers = 1
 	return Run(cfg, fn)
+}
+
+// SplitWorkers divides a worker budget between two levels of parallelism:
+// an outer pool of at most outerCap concurrent tasks (e.g. trials) and an
+// inner pool each task may spawn (e.g. stations within a trial). The outer
+// level is saturated first — trial-level parallelism has no coordination
+// cost — and whatever budget remains multiplies into the inner level, so
+// outer × inner never exceeds max(budget, outerCap). budget ≤ 0 means
+// GOMAXPROCS. Both returned values are ≥ 1.
+//
+// The split affects wall-clock time only: callers pair it with engines
+// (RunVec outside, farm.RunDeterministic inside) whose results are
+// independent of their worker counts, so the two-level pool inherits the
+// seed-stream contract end to end.
+func SplitWorkers(budget, outerCap int) (outer, inner int) {
+	if budget <= 0 {
+		budget = runtime.GOMAXPROCS(0)
+	}
+	if outerCap < 1 {
+		outerCap = 1
+	}
+	outer = budget
+	if outer > outerCap {
+		outer = outerCap
+	}
+	inner = budget / outer
+	if inner < 1 {
+		inner = 1
+	}
+	return outer, inner
 }

@@ -169,3 +169,48 @@ func ExampleRun() {
 	fmt.Printf("mean ≈ %.2f\n", sum.Mean)
 	// Output: mean ≈ 0.40
 }
+
+func TestSplitWorkers(t *testing.T) {
+	cases := []struct {
+		budget, outerCap, outer, inner int
+	}{
+		{8, 64, 8, 1},  // trials dwarf the budget: all parallelism goes outer
+		{8, 3, 3, 2},   // few trials: leftover budget multiplies inward
+		{1, 64, 1, 1},  // serial stays serial at both levels
+		{16, 1, 1, 16}, // one trial: everything goes inner
+		{0, 4, -1, -1}, // budget 0 = GOMAXPROCS; just check bounds
+	}
+	for _, c := range cases {
+		outer, inner := SplitWorkers(c.budget, c.outerCap)
+		if outer < 1 || inner < 1 {
+			t.Errorf("SplitWorkers(%d,%d) = (%d,%d): levels must be ≥ 1", c.budget, c.outerCap, outer, inner)
+		}
+		if c.outer > 0 && (outer != c.outer || inner != c.inner) {
+			t.Errorf("SplitWorkers(%d,%d) = (%d,%d), want (%d,%d)", c.budget, c.outerCap, outer, inner, c.outer, c.inner)
+		}
+	}
+	if outer, inner := SplitWorkers(5, 0); outer != 1 || inner != 5 {
+		t.Errorf("outerCap 0: got (%d,%d), want (1,5)", outer, inner)
+	}
+}
+
+// Summaries now expose sketch-backed tail quantiles; they must obey the
+// seed-stream contract like every other field.
+func TestRunTailQuantilesDeterministic(t *testing.T) {
+	run := func(workers int) stats.Summary {
+		sum, err := Run(Config{Trials: 3000, Seed: 11, Workers: workers}, func(rng *rand.Rand) (float64, error) {
+			return rng.ExpFloat64(), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sum
+	}
+	a, b := run(1), run(8)
+	if a.Median != b.Median || a.P90 != b.P90 || a.P99 != b.P99 {
+		t.Errorf("tail quantiles depend on workers: %+v vs %+v", a, b)
+	}
+	if !(a.Median < a.P90 && a.P90 < a.P99 && a.P99 <= a.Max) {
+		t.Errorf("tail ordering violated: med=%v p90=%v p99=%v max=%v", a.Median, a.P90, a.P99, a.Max)
+	}
+}

@@ -135,6 +135,26 @@ type Workstation struct {
 // workstation (schedules depend on U, p and c).
 type SchedulerFactory func(ws Workstation, c Contract) (model.EpisodeScheduler, error)
 
+// MixedFleet builds the standard heterogeneous NOW used by the farm
+// experiments (E11, E12) and the fleet-mode CLIs: offices, laptops and
+// overnight lab machines round-robin, all with setup cost c. Keeping the
+// owner mix in one place keeps CLI output comparable with the experiment
+// tables.
+func MixedFleet(stations int, c quant.Tick) []Workstation {
+	fleet := make([]Workstation, stations)
+	for i := range fleet {
+		switch i % 3 {
+		case 0:
+			fleet[i] = Workstation{ID: i, Owner: Office{MeanIdle: 250 * c, MaxP: 2}, Setup: c}
+		case 1:
+			fleet[i] = Workstation{ID: i, Owner: Laptop{MeanIdle: 100 * c}, Setup: c}
+		default:
+			fleet[i] = Workstation{ID: i, Owner: Overnight{Window: 400 * c}, Setup: c}
+		}
+	}
+	return fleet
+}
+
 // StationResult aggregates one workstation's simulated opportunities.
 type StationResult struct {
 	Station        int

@@ -100,8 +100,12 @@ type Result struct {
 }
 
 // TaskSource supplies indivisible tasks to pack into periods. *task.Bag
-// implements it for single-station runs; farm.SharedBag implements it with a
-// mutex so many concurrently simulated stations can drain one job.
+// implements it for single-station runs; the farm package implements it for
+// fleets — farm.SharedBag as one mutex-guarded job bag, and the per-station
+// views of farm.ShardedBag as lock-striped local queues that steal from
+// victims in deterministic order when dry. The simulator itself is
+// indifferent: a Take that returns nothing simply packs no tasks into the
+// period, and killed periods hand their in-flight tasks back through Return.
 type TaskSource interface {
 	// Take removes and returns tasks fitting within capacity (first-fit).
 	Take(capacity quant.Tick) []task.Task

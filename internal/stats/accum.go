@@ -1,34 +1,33 @@
 package stats
 
-import (
-	"math"
-	"sort"
-)
+import "math"
 
 // Accumulator is a single-pass, mergeable statistics accumulator: Welford's
 // online algorithm for mean and variance, exact min/max, and an optional
-// fixed-size quantile reservoir. Partial accumulators built over disjoint
-// sample streams combine with Merge (Chan et al.'s parallel variance
-// formula), so a replication engine can keep memory proportional to its
-// worker count instead of its trial count.
+// bounded-error quantile sketch (see Sketch). Partial accumulators built
+// over disjoint sample streams combine with Merge (Chan et al.'s parallel
+// variance formula), so a replication engine can keep memory proportional to
+// its worker count instead of its trial count.
 //
 // Merging is exact for N, Min and Max; mean and variance are exact up to
 // floating-point association order, so a *fixed* partition of the sample into
 // accumulators plus a *fixed* merge order yields bit-identical results run
 // over run (the property internal/mc builds its determinism contract on).
+// Quantiles are stronger still: the sketch merge is a level-wise union, so
+// they do not depend on the merge order at all.
 type Accumulator struct {
 	n        int
 	mean, m2 float64
 	min, max float64
-	res      *Reservoir
+	sk       *Sketch
 }
 
-// NewAccumulator returns an empty accumulator with a quantile reservoir of
-// the given capacity; capacity ≤ 0 disables quantile tracking.
-func NewAccumulator(reservoirCap int) *Accumulator {
+// NewAccumulator returns an empty accumulator with a quantile sketch of the
+// given per-level buffer capacity; capacity ≤ 0 disables quantile tracking.
+func NewAccumulator(sketchCap int) *Accumulator {
 	a := &Accumulator{}
-	if reservoirCap > 0 {
-		a.res = NewReservoir(reservoirCap)
+	if sketchCap > 0 {
+		a.sk = NewSketch(sketchCap)
 	}
 	return a
 }
@@ -49,8 +48,8 @@ func (a *Accumulator) Add(x float64) {
 	d := x - a.mean
 	a.mean += d / float64(a.n)
 	a.m2 += d * (x - a.mean)
-	if a.res != nil {
-		a.res.Add(x)
+	if a.sk != nil {
+		a.sk.Add(x)
 	}
 }
 
@@ -64,8 +63,8 @@ func (a *Accumulator) Merge(b *Accumulator) {
 	}
 	if a.n == 0 {
 		a.n, a.mean, a.m2, a.min, a.max = b.n, b.mean, b.m2, b.min, b.max
-		if a.res != nil {
-			a.res.Merge(b.res)
+		if a.sk != nil {
+			a.sk.Merge(b.sk)
 		}
 		return
 	}
@@ -81,8 +80,8 @@ func (a *Accumulator) Merge(b *Accumulator) {
 	a.mean += d * nb / n
 	a.m2 += b.m2 + d*d*na*nb/n
 	a.n += b.n
-	if a.res != nil {
-		a.res.Merge(b.res)
+	if a.sk != nil {
+		a.sk.Merge(b.sk)
 	}
 }
 
@@ -100,23 +99,32 @@ func (a *Accumulator) Variance() float64 {
 	return a.m2 / float64(a.n-1)
 }
 
-// Quantile estimates the q-quantile from the reservoir; it returns 0 when no
-// reservoir is attached or no observations have been added. Estimates from a
-// merged accumulator pool the partial reservoirs with weights, so they are
-// deterministic for a fixed partition but only approximate once the
-// reservoirs have down-sampled.
+// Quantile estimates the q-quantile from the sketch; it returns 0 when no
+// sketch is attached or no observations have been added. The estimate's rank
+// error is bounded by the sketch's RankErrorBound (see Sketch), and for a
+// merged accumulator it is independent of the order the partials were merged
+// in.
 func (a *Accumulator) Quantile(q float64) float64 {
-	if a.res == nil {
+	if a.sk == nil {
 		return 0
 	}
-	return a.res.Quantile(q)
+	return a.sk.Quantile(q)
+}
+
+// SketchErrorBound returns the guaranteed maximum rank error of the attached
+// quantile sketch, in observations (0 when no sketch is attached).
+func (a *Accumulator) SketchErrorBound() int64 {
+	if a.sk == nil {
+		return 0
+	}
+	return a.sk.RankErrorBound()
 }
 
 // Summary freezes the accumulator into the Summary the experiment tables
-// consume. Median comes from the reservoir (approximate once down-sampling
-// has begun; see Reservoir) and is 0 when quantile tracking is disabled. The
-// confidence interval uses the t-distribution critical value for small n,
-// converging to the familiar 1.96 normal approximation as n grows.
+// consume. Median, P90 and P99 come from the sketch (rank error bounded by
+// RankErrorBound; see Sketch) and are 0 when quantile tracking is disabled.
+// The confidence interval uses the t-distribution critical value for small
+// n, converging to the familiar 1.96 normal approximation as n grows.
 func (a *Accumulator) Summary() Summary {
 	if a.n == 0 {
 		return Summary{}
@@ -134,8 +142,9 @@ func (a *Accumulator) Summary() Summary {
 	half := TCritical95(a.n-1) * s.SE
 	s.CI95Lo = a.mean - half
 	s.CI95Hi = a.mean + half
-	if a.res != nil {
-		s.Median = a.res.Quantile(0.5)
+	if a.sk != nil {
+		tails := a.sk.Quantiles(0.5, 0.9, 0.99)
+		s.Median, s.P90, s.P99 = tails[0], tails[1], tails[2]
 	}
 	return s
 }
@@ -169,98 +178,7 @@ func TCritical95(df int) float64 {
 	}
 }
 
-// Reservoir is a deterministic fixed-capacity sample for quantile estimates.
-// Unlike the classic randomized reservoir it keeps a strided systematic
-// sample: every stride-th offered value is retained, and when the buffer
-// fills, every other retained value is dropped and the stride doubles. The
-// retained set is therefore a pure function of the input sequence — no rng —
-// which is what lets internal/mc promise bit-identical summaries for a fixed
-// seed at any worker count.
-type Reservoir struct {
-	capacity int
-	stride   int
-	seen     int
-	vals     []float64
-	weights  []float64 // observations each retained value stands for
-}
-
-// NewReservoir returns a reservoir retaining at most capacity values
-// (capacity is clamped to ≥ 2 so compaction can make progress).
-func NewReservoir(capacity int) *Reservoir {
-	if capacity < 2 {
-		capacity = 2
-	}
-	return &Reservoir{capacity: capacity, stride: 1}
-}
-
-// Add offers one value.
-func (r *Reservoir) Add(x float64) {
-	if r.seen%r.stride == 0 {
-		if len(r.vals) == r.capacity {
-			// Compact: keep even positions, double the stride.
-			kept := r.vals[:0]
-			kw := r.weights[:0]
-			for i := 0; i < len(r.vals); i += 2 {
-				kept = append(kept, r.vals[i])
-				kw = append(kw, r.weights[i]*2)
-			}
-			r.vals = kept
-			r.weights = kw
-			r.stride *= 2
-			if r.seen%r.stride != 0 {
-				r.seen++
-				return
-			}
-		}
-		r.vals = append(r.vals, x)
-		r.weights = append(r.weights, float64(r.stride))
-	}
-	r.seen++
-}
-
-// Merge pools another reservoir's retained values (with their weights) into
-// this one. The pooled set may temporarily exceed capacity; a merged
-// reservoir is meant for reading quantiles, not further Adds.
-func (r *Reservoir) Merge(o *Reservoir) {
-	if o == nil {
-		return
-	}
-	r.vals = append(r.vals, o.vals...)
-	r.weights = append(r.weights, o.weights...)
-	r.seen += o.seen
-}
-
-// Quantile returns the weighted q-quantile of the retained sample (q clamped
-// to [0, 1]); 0 for an empty reservoir.
-func (r *Reservoir) Quantile(q float64) float64 {
-	if len(r.vals) == 0 {
-		return 0
-	}
-	if q < 0 {
-		q = 0
-	}
-	if q > 1 {
-		q = 1
-	}
-	idx := make([]int, len(r.vals))
-	for i := range idx {
-		idx[i] = i
-	}
-	sort.Slice(idx, func(a, b int) bool { return r.vals[idx[a]] < r.vals[idx[b]] })
-	var total float64
-	for _, w := range r.weights {
-		total += w
-	}
-	target := q * total
-	var cum float64
-	for _, i := range idx {
-		cum += r.weights[i]
-		if cum >= target {
-			return r.vals[i]
-		}
-	}
-	return r.vals[idx[len(idx)-1]]
-}
-
-// Len reports how many values the reservoir currently retains.
-func (r *Reservoir) Len() int { return len(r.vals) }
+// The strided quantile reservoir that used to live here was replaced by the
+// bounded-error Sketch (see sketch.go): the reservoir's pooled-on-merge
+// estimates carried no accuracy guarantee, while the sketch's rank error is
+// bounded and merge-order independent.

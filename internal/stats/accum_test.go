@@ -3,7 +3,6 @@ package stats
 import (
 	"math"
 	"math/rand"
-	"sort"
 	"testing"
 )
 
@@ -102,59 +101,6 @@ func TestTCritical95(t *testing.T) {
 	}
 }
 
-func TestReservoirExactBelowCapacity(t *testing.T) {
-	r := NewReservoir(64)
-	xs := []float64{9, 1, 7, 3, 5}
-	for _, x := range xs {
-		r.Add(x)
-	}
-	sorted := append([]float64(nil), xs...)
-	sort.Float64s(sorted)
-	if got := r.Quantile(0); got != 1 {
-		t.Errorf("q0: %v", got)
-	}
-	if got := r.Quantile(1); got != 9 {
-		t.Errorf("q1: %v", got)
-	}
-	if got := r.Quantile(0.5); got != 5 {
-		t.Errorf("median: %v", got)
-	}
-}
-
-func TestReservoirDownsamplesDeterministically(t *testing.T) {
-	run := func() []float64 {
-		r := NewReservoir(32)
-		for i := 0; i < 10000; i++ {
-			r.Add(float64(i))
-		}
-		return append([]float64(nil), r.vals...)
-	}
-	a, b := run(), run()
-	if len(a) == 0 || len(a) > 32 {
-		t.Fatalf("reservoir size %d out of bounds", len(a))
-	}
-	for i := range a {
-		if a[i] != b[i] {
-			t.Fatalf("reservoir not deterministic at %d: %v vs %v", i, a[i], b[i])
-		}
-	}
-}
-
-func TestReservoirQuantileAccuracy(t *testing.T) {
-	r := NewReservoir(256)
-	n := 100000
-	for i := 0; i < n; i++ {
-		r.Add(float64(i))
-	}
-	for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9} {
-		got := r.Quantile(q)
-		want := q * float64(n)
-		if math.Abs(got-want) > float64(n)*0.02 {
-			t.Errorf("q=%.2f: got %v want ≈%v", q, got, want)
-		}
-	}
-}
-
 func TestAccumulatorSummaryMedian(t *testing.T) {
 	a := NewAccumulator(128)
 	for i := 1; i <= 101; i++ {
@@ -163,5 +109,49 @@ func TestAccumulatorSummaryMedian(t *testing.T) {
 	s := a.Summary()
 	if s.Median != 51 {
 		t.Errorf("median: got %v want 51", s.Median)
+	}
+	if s.P90 != 91 || s.P99 != 100 {
+		t.Errorf("tails: P90=%v P99=%v, want 91/100", s.P90, s.P99)
+	}
+}
+
+// Merged accumulators report sketch-backed quantiles whose error stays
+// within the pooled bound, regardless of how the sample was partitioned.
+func TestAccumulatorMergedQuantilesBounded(t *testing.T) {
+	n := 64000
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	merged := NewAccumulator(64)
+	for s := 0; s < 64; s++ { // the mc shard partition: trial i → shard i mod 64
+		part := NewAccumulator(64)
+		for i := s; i < n; i += 64 {
+			part.Add(xs[i])
+		}
+		merged.Merge(part)
+	}
+	bound := float64(merged.SketchErrorBound())
+	if bound <= 0 || bound > 0.1*float64(n) {
+		t.Fatalf("pooled error bound %v out of range", bound)
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		got := merged.Quantile(q)
+		want := q * float64(n)
+		slack := bound + 1024 // + max item weight
+		if math.Abs(got-want) > slack {
+			t.Errorf("q=%.2f: got %v want ≈%v (slack %v)", q, got, want, slack)
+		}
+	}
+}
+
+func TestSummarizeTails(t *testing.T) {
+	xs := make([]float64, 200)
+	for i := range xs {
+		xs[i] = float64(i + 1)
+	}
+	s := Summarize(xs)
+	if s.P90 != 180 || s.P99 != 198 {
+		t.Errorf("P90=%v P99=%v, want 180/198", s.P90, s.P99)
 	}
 }

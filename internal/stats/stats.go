@@ -16,6 +16,7 @@ type Summary struct {
 	Std            float64 // sample standard deviation (n−1)
 	Min, Max       float64
 	Median         float64
+	P90, P99       float64 // upper-tail quantiles (tail-risk views)
 	SE             float64 // standard error of the mean
 	CI95Lo, CI95Hi float64 // normal-approximation 95% interval for the mean
 }
@@ -56,7 +57,23 @@ func Summarize(xs []float64) Summary {
 	} else {
 		s.Median = (sorted[n/2-1] + sorted[n/2]) / 2
 	}
+	s.P90 = orderStat(sorted, 0.9)
+	s.P99 = orderStat(sorted, 0.99)
 	return s
+}
+
+// orderStat returns the smallest value whose rank is ≥ q·n in a sorted
+// sample — the same convention the Sketch uses, so exact and sketched
+// summaries agree on what "P99" means.
+func orderStat(sorted []float64, q float64) float64 {
+	i := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
 }
 
 // String implements fmt.Stringer.

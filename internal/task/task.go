@@ -26,30 +26,58 @@ type Task struct {
 // fitting set; Return puts killed tasks back at the front (they were in
 // flight and remain next in line). Bag is not safe for concurrent use; the
 // cluster driver gives each workstation its own bag or shards one.
+//
+// Internally the pending list is buf[head:]: Take consumes by advancing
+// head, which leaves headroom that Return refills in place. The
+// kill-and-reschedule cycle of the simulator (Take a period's tasks, Return
+// them on interrupt) therefore costs O(tasks moved), not O(queue) — the
+// difference between linear and quadratic total work on fleet-scale queues
+// holding tens of thousands of tasks.
 type Bag struct {
-	pending []Task
-	nextID  int
+	buf    []Task
+	head   int
+	nextID int
+	// minDur is a lower bound on the smallest pending duration (0 when the
+	// bag has never held a task). Removals can only raise the true minimum,
+	// so the bound stays valid without rescanning; it lets Take reject
+	// nothing-fits periods without touching the pending list.
+	minDur quant.Tick
 }
 
 // NewBag builds a bag from explicit tasks.
 func NewBag(tasks []Task) *Bag {
-	b := &Bag{pending: make([]Task, len(tasks))}
-	copy(b.pending, tasks)
+	b := &Bag{buf: make([]Task, len(tasks))}
+	copy(b.buf, tasks)
 	for _, t := range tasks {
 		if t.ID >= b.nextID {
 			b.nextID = t.ID + 1
+		}
+		if b.minDur == 0 || t.Duration < b.minDur {
+			b.minDur = t.Duration
 		}
 	}
 	return b
 }
 
+// pending is the live queue view.
+func (b *Bag) pending() []Task { return b.buf[b.head:] }
+
+// noteAdded folds newly added tasks into the min-duration bound.
+func (b *Bag) noteAdded(tasks []Task) {
+	for _, t := range tasks {
+		if b.minDur == 0 || t.Duration < b.minDur {
+			b.minDur = t.Duration
+		}
+	}
+}
+
 // Remaining reports how many tasks are still pending.
-func (b *Bag) Remaining() int { return len(b.pending) }
+func (b *Bag) Remaining() int { return len(b.buf) - b.head }
 
 // RemainingWork reports the total duration of pending tasks.
 func (b *Bag) RemainingWork() quant.Tick {
 	var sum quant.Tick
-	for _, t := range b.pending {
+	for _, t := range b.pending() {
 		sum += t.Duration
 	}
 	return sum
@@ -58,34 +86,117 @@ func (b *Bag) RemainingWork() quant.Tick {
 // Take removes and returns a set of tasks that fits within capacity, scanning
 // the bag in order and skipping tasks that do not fit (first-fit). The
 // returned tasks' durations sum to at most capacity.
+//
+// The scan stops as soon as the residual capacity can fit nothing more
+// (durations are ≥ 1), so the common period — a handful of tasks off the
+// front of a deep queue — costs O(taken + skipped), not O(pending): consumed
+// prefixes slice off without copying and skipped tasks compact in place.
+// That bound is what keeps fleet-scale jobs (millions of pending tasks)
+// linear instead of quadratic in the task count.
 func (b *Bag) Take(capacity quant.Tick) []Task {
-	if capacity < 1 || len(b.pending) == 0 {
+	pending := b.pending()
+	if capacity < 1 || capacity < b.minDur || len(pending) == 0 {
 		return nil
 	}
 	var taken []Task
-	var kept []Task
-	for _, t := range b.pending {
+	var kept []Task // skipped tasks, allocated only if a skip happens
+	i := 0
+	for ; i < len(pending); i++ {
+		t := pending[i]
 		if t.Duration <= capacity {
 			taken = append(taken, t)
 			capacity -= t.Duration
+			if capacity < 1 || capacity < b.minDur {
+				// Nothing pending can be smaller than minDur: the period is
+				// as full as first-fit can make it, stop hunting.
+				i++
+				break
+			}
 		} else {
+			if kept == nil {
+				// Start small: skip runs are short once the min-duration
+				// cutoff binds, and a queue-sized allocation would spend
+				// O(pending) just zeroing memory.
+				kept = make([]Task, 0, 8)
+			}
 			kept = append(kept, t)
 		}
 	}
 	if taken == nil {
 		return nil
 	}
-	b.pending = append(kept[:0:0], kept...)
+	start := i - len(kept)
+	if kept != nil {
+		// Slide the skipped run back in front of the unscanned tail.
+		copy(pending[start:i], kept)
+	}
+	b.head += start
 	return taken
 }
 
 // Return puts tasks back at the front of the bag, preserving their order —
-// used when an interrupt kills the period that was running them.
+// used when an interrupt kills the period that was running them. When the
+// tasks fit in the headroom an earlier Take vacated (the overwhelmingly
+// common case: a kill returns what was just taken), they are copied back in
+// place with no allocation.
 func (b *Bag) Return(tasks []Task) {
 	if len(tasks) == 0 {
 		return
 	}
-	b.pending = append(append(make([]Task, 0, len(tasks)+len(b.pending)), tasks...), b.pending...)
+	if n := len(tasks); b.head >= n {
+		b.head -= n
+		copy(b.buf[b.head:], tasks)
+	} else {
+		pending := b.pending()
+		b.buf = append(append(make([]Task, 0, len(tasks)+len(pending)), tasks...), pending...)
+		b.head = 0
+	}
+	b.noteAdded(tasks)
+}
+
+// Append adds tasks at the back of the bag — the landing spot for work
+// migrated in from another queue (front is reserved for killed in-flight
+// tasks, which stay next in line).
+func (b *Bag) Append(tasks []Task) {
+	b.buf = append(b.buf, tasks...)
+	b.noteAdded(tasks)
+}
+
+// Steal removes and returns up to n tasks from the back of the bag, in bag
+// order — deque semantics: the owner drains the front, a thief takes the
+// back, so the two interleave minimally.
+func (b *Bag) Steal(n int) []Task {
+	pending := b.pending()
+	if n < 1 || len(pending) == 0 {
+		return nil
+	}
+	if n > len(pending) {
+		n = len(pending)
+	}
+	cut := len(pending) - n
+	stolen := append([]Task(nil), pending[cut:]...)
+	b.buf = b.buf[:b.head+cut]
+	return stolen
+}
+
+// Deal splits a task set into n hands by round-robin on task index — the
+// deterministic partition the sharded farm bag starts from. Task i lands in
+// hand i mod n, so the split is a pure function of (tasks, n): independent
+// of worker scheduling, and every hand sees a representative duration mix
+// even when the set is sorted.
+func Deal(tasks []Task, n int) [][]Task {
+	if n < 1 {
+		n = 1
+	}
+	hands := make([][]Task, n)
+	per := len(tasks)/n + 1
+	for h := range hands {
+		hands[h] = make([]Task, 0, per)
+	}
+	for i, t := range tasks {
+		hands[i%n] = append(hands[i%n], t)
+	}
+	return hands
 }
 
 // Durations sums the durations of a task set.

@@ -211,3 +211,53 @@ func TestDurations(t *testing.T) {
 		t.Error("Durations sum wrong")
 	}
 }
+
+func TestDealRoundRobin(t *testing.T) {
+	tasks := Fixed(10, 5)
+	hands := Deal(tasks, 3)
+	if len(hands) != 3 {
+		t.Fatalf("hands = %d", len(hands))
+	}
+	sizes := []int{len(hands[0]), len(hands[1]), len(hands[2])}
+	if sizes[0] != 4 || sizes[1] != 3 || sizes[2] != 3 {
+		t.Errorf("hand sizes %v, want [4 3 3]", sizes)
+	}
+	for h, hand := range hands {
+		for j, task := range hand {
+			if task.ID != h+3*j {
+				t.Errorf("hand %d[%d] = task %d, want %d", h, j, task.ID, h+3*j)
+			}
+		}
+	}
+	if got := Deal(nil, 0); len(got) != 1 || len(got[0]) != 0 {
+		t.Errorf("degenerate deal: %v", got)
+	}
+}
+
+func TestBagStealAndAppend(t *testing.T) {
+	b := NewBag(Fixed(6, 2)) // IDs 0..5
+	stolen := b.Steal(2)
+	if len(stolen) != 2 || stolen[0].ID != 4 || stolen[1].ID != 5 {
+		t.Fatalf("steal from the back: %v", stolen)
+	}
+	if b.Remaining() != 4 {
+		t.Fatalf("remaining %d", b.Remaining())
+	}
+	// Over-asking drains what's there; asking nothing steals nothing.
+	if got := b.Steal(100); len(got) != 4 {
+		t.Errorf("over-steal: %v", got)
+	}
+	if got := b.Steal(1); got != nil {
+		t.Errorf("steal from empty: %v", got)
+	}
+	b.Append(stolen)
+	if b.Remaining() != 2 || b.RemainingWork() != 4 {
+		t.Errorf("append: %d tasks, %d work", b.Remaining(), b.RemainingWork())
+	}
+	// Returned (killed) tasks still jump the queue ahead of appended ones.
+	b.Return([]Task{{ID: 99, Duration: 1}})
+	front := b.Take(1)
+	if len(front) != 1 || front[0].ID != 99 {
+		t.Errorf("killed task not at the front: %v", front)
+	}
+}
