@@ -6,9 +6,18 @@
 // mean/min/max per metric, so regressions can be judged against min (least
 // noisy) while mean shows the typical cost.
 //
+// With -baseline it becomes the trend gate CI runs per push: the new
+// document (a file argument, or stdin) is diffed against the previous
+// commit's artifact, a per-benchmark delta table prints, and the exit
+// status is non-zero when any benchmark's ns/op — min over runs, the
+// noise-resistant series — regressed by more than -threshold percent.
+// Benchmarks that only exist on one side are reported but never fail the
+// gate, so adding or retiring a benchmark doesn't block a PR.
+//
 // Usage:
 //
 //	go test -run='^$' -bench='^(BenchmarkMC|BenchmarkFarm)' -benchmem -count=3 ./... | benchjson -commit "$SHA" > BENCH_$SHA.json
+//	benchjson -baseline BENCH_prev.json -threshold 15 BENCH_$SHA.json
 package main
 
 import (
@@ -16,6 +25,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strconv"
@@ -50,7 +60,24 @@ type Document struct {
 
 func main() {
 	commit := flag.String("commit", "", "commit SHA recorded in the document")
+	baseline := flag.String("baseline", "", "trend mode: previous BENCH_*.json to diff against; the new document is the file argument (or stdin)")
+	threshold := flag.Float64("threshold", 15, "trend mode: fail when a benchmark's ns/op (min over runs) regresses by more than this percent")
 	flag.Parse()
+
+	if *baseline != "" {
+		if err := runCompare(*baseline, flag.Arg(0), *threshold); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if flag.NArg() > 0 {
+		// Convert mode reads stdin only; a stray file argument is almost
+		// always a forgotten -baseline, and silently waiting on stdin (or
+		// parsing the wrong input in a pipeline) would hide that.
+		fmt.Fprintf(os.Stderr, "benchjson: unexpected argument %q (convert mode reads stdin; did you mean -baseline?)\n", flag.Arg(0))
+		os.Exit(1)
+	}
 
 	doc, err := parse(bufio.NewScanner(os.Stdin))
 	if err != nil {
@@ -64,6 +91,98 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+// runCompare loads the two documents and fails on over-threshold
+// regressions.
+func runCompare(baselinePath, newPath string, threshold float64) error {
+	old, err := readDoc(baselinePath)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	doc, err := readDoc(newPath)
+	if err != nil {
+		return fmt.Errorf("new document: %w", err)
+	}
+	report, regressions := compare(old, doc, threshold)
+	for _, line := range report {
+		fmt.Println(line)
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed more than %g%% ns/op vs %s: %s",
+			len(regressions), threshold, labelOf(old), strings.Join(regressions, ", "))
+	}
+	return nil
+}
+
+// readDoc loads a BENCH_*.json document; "" or "-" reads stdin.
+func readDoc(path string) (*Document, error) {
+	var r io.Reader = os.Stdin
+	if path != "" && path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	var doc Document
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("decoding %s: %w", pathLabel(path), err)
+	}
+	return &doc, nil
+}
+
+func pathLabel(path string) string {
+	if path == "" || path == "-" {
+		return "stdin"
+	}
+	return path
+}
+
+func labelOf(d *Document) string {
+	if d.Commit != "" {
+		return d.Commit
+	}
+	return "baseline"
+}
+
+// compare diffs new against old benchmark by benchmark and returns the
+// human-readable report plus the names whose ns/op (min over runs, the
+// noise-resistant series) regressed past the threshold. Benchmarks present
+// on only one side are informational.
+func compare(old, doc *Document, threshold float64) (report, regressions []string) {
+	prev := make(map[string]*Stat, len(old.Benchmarks))
+	for i := range old.Benchmarks {
+		prev[old.Benchmarks[i].Name] = old.Benchmarks[i].NsPerOp
+	}
+	report = append(report, fmt.Sprintf("benchmark trend vs %s (threshold %+.0f%% ns/op, judged on min over runs):", labelOf(old), threshold))
+	seen := make(map[string]bool, len(doc.Benchmarks))
+	for _, b := range doc.Benchmarks {
+		seen[b.Name] = true
+		base, ok := prev[b.Name]
+		switch {
+		case !ok || base == nil || base.Min <= 0:
+			report = append(report, fmt.Sprintf("  %-44s new (no baseline)", b.Name))
+		case b.NsPerOp == nil:
+			report = append(report, fmt.Sprintf("  %-44s no ns/op in new run", b.Name))
+		default:
+			delta := 100 * (b.NsPerOp.Min - base.Min) / base.Min
+			verdict := "ok"
+			if delta > threshold {
+				verdict = "REGRESSION"
+				regressions = append(regressions, b.Name)
+			}
+			report = append(report, fmt.Sprintf("  %-44s %12.0f → %12.0f ns/op  %+7.1f%%  %s",
+				b.Name, base.Min, b.NsPerOp.Min, delta, verdict))
+		}
+	}
+	for _, b := range old.Benchmarks {
+		if !seen[b.Name] {
+			report = append(report, fmt.Sprintf("  %-44s removed (was in baseline)", b.Name))
+		}
+	}
+	return report, regressions
 }
 
 // sample is one parsed benchmark output line.

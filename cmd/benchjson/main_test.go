@@ -60,3 +60,64 @@ func TestParseEmpty(t *testing.T) {
 		t.Errorf("benchmarks from empty input: %+v", doc.Benchmarks)
 	}
 }
+
+// --- trend compare -------------------------------------------------------------
+
+func bench(name string, minNs float64) Benchmark {
+	return Benchmark{Name: name, Runs: 3, NsPerOp: &Stat{Mean: minNs * 1.1, Min: minNs, Max: minNs * 1.2}}
+}
+
+func TestCompareFlagsRegressions(t *testing.T) {
+	old := &Document{Commit: "aaa", Benchmarks: []Benchmark{
+		bench("BenchmarkFast", 100),
+		bench("BenchmarkSlow", 1000),
+		bench("BenchmarkGone", 50),
+	}}
+	doc := &Document{Commit: "bbb", Benchmarks: []Benchmark{
+		bench("BenchmarkFast", 110),  // +10%: inside a 15% threshold
+		bench("BenchmarkSlow", 1300), // +30%: regression
+		bench("BenchmarkNew", 10),    // no baseline: informational
+	}}
+	report, regressions := compare(old, doc, 15)
+	if len(regressions) != 1 || regressions[0] != "BenchmarkSlow" {
+		t.Fatalf("regressions = %v, want [BenchmarkSlow]", regressions)
+	}
+	joined := strings.Join(report, "\n")
+	for _, want := range []string{"REGRESSION", "new (no baseline)", "removed (was in baseline)", "BenchmarkFast"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("report missing %q:\n%s", want, joined)
+		}
+	}
+}
+
+func TestCompareImprovementAndEqualPass(t *testing.T) {
+	old := &Document{Benchmarks: []Benchmark{bench("BenchmarkA", 100), bench("BenchmarkB", 200)}}
+	doc := &Document{Benchmarks: []Benchmark{bench("BenchmarkA", 60), bench("BenchmarkB", 200)}}
+	if _, regressions := compare(old, doc, 15); len(regressions) != 0 {
+		t.Errorf("improvement flagged as regression: %v", regressions)
+	}
+}
+
+func TestCompareThresholdBoundary(t *testing.T) {
+	old := &Document{Benchmarks: []Benchmark{bench("BenchmarkA", 100)}}
+	at := &Document{Benchmarks: []Benchmark{bench("BenchmarkA", 115)}}
+	if _, regressions := compare(old, at, 15); len(regressions) != 0 {
+		t.Errorf("exactly-at-threshold flagged: %v", regressions)
+	}
+	over := &Document{Benchmarks: []Benchmark{bench("BenchmarkA", 116)}}
+	if _, regressions := compare(old, over, 15); len(regressions) != 1 {
+		t.Errorf("over-threshold not flagged: %v", regressions)
+	}
+}
+
+func TestCompareMissingNsPerOp(t *testing.T) {
+	old := &Document{Benchmarks: []Benchmark{{Name: "BenchmarkA", Runs: 1}}}
+	doc := &Document{Benchmarks: []Benchmark{bench("BenchmarkA", 10), {Name: "BenchmarkB", Runs: 1}}}
+	report, regressions := compare(old, doc, 15)
+	if len(regressions) != 0 {
+		t.Errorf("nil ns/op produced regressions: %v", regressions)
+	}
+	if len(report) < 3 {
+		t.Errorf("report too short: %v", report)
+	}
+}

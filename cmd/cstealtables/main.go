@@ -10,12 +10,15 @@
 //	cstealtables -format csv          # machine-readable output
 //	cstealtables -c 50 -seed 7        # grid resolution / Monte-Carlo seed
 //	cstealtables -trials 1000         # widen every replicated experiment
+//	cstealtables -experiment fleetscale -fleets 100,1000,10000
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"cyclesteal/internal/experiments"
 	"cyclesteal/internal/quant"
@@ -31,8 +34,14 @@ func main() {
 		seed       = flag.Int64("seed", 1, "base seed for Monte-Carlo experiments (per-trial streams derive from it)")
 		workers    = flag.Int("workers", 0, "Monte-Carlo worker pool size (0 = GOMAXPROCS; affects speed only, never values)")
 		trials     = flag.Int("trials", 0, "override every replicated experiment's trial count (0 = per-experiment defaults; raising it widens studies without rebasing, per mc prefix stability)")
+		fleets     = flag.String("fleets", "", "override E12's fleet sizes as comma-separated station counts, e.g. 100,1000,10000 (empty = the experiment's defaults)")
 	)
 	flag.Parse()
+
+	fleetList, err := parseFleets(*fleets)
+	if err != nil {
+		fatal(err)
+	}
 
 	if *list {
 		for _, e := range experiments.All() {
@@ -41,7 +50,7 @@ func main() {
 		return
 	}
 
-	cfg := experiments.Config{C: quant.Tick(*c), Seed: *seed, Workers: *workers, Trials: *trials}
+	cfg := experiments.Config{C: quant.Tick(*c), Seed: *seed, Workers: *workers, Trials: *trials, Fleets: fleetList}
 	var selected []experiments.Experiment
 	if *experiment == "" {
 		selected = experiments.All()
@@ -78,6 +87,27 @@ func emit(t *tab.Table, format string, separator bool) error {
 	default:
 		return fmt.Errorf("unknown format %q (want text, csv, or json)", format)
 	}
+}
+
+// parseFleets decodes the -fleets list: comma-separated positive station
+// counts, empty meaning "use the experiment's defaults".
+func parseFleets(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad -fleets entry %q (want comma-separated station counts)", p)
+		}
+		if n < 1 {
+			return nil, fmt.Errorf("bad -fleets entry %d: fleet sizes must be ≥ 1", n)
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }
 
 func fatal(err error) {

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+
+	"cyclesteal/internal/experiments"
+)
+
+func TestParseFleets(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []int
+		ok   bool
+	}{
+		{"", nil, true},
+		{"  ", nil, true},
+		{"10", []int{10}, true},
+		{"10,50,250", []int{10, 50, 250}, true},
+		{" 10 , 50 ", []int{10, 50}, true},
+		{"10,x", nil, false},
+		{"0", nil, false},
+		{"-5", nil, false},
+		{"10,,50", nil, false},
+	}
+	for _, c := range cases {
+		got, err := parseFleets(c.in)
+		if c.ok != (err == nil) {
+			t.Errorf("parseFleets(%q): err = %v, want ok=%v", c.in, err, c.ok)
+			continue
+		}
+		if c.ok && !reflect.DeepEqual(got, c.want) {
+			t.Errorf("parseFleets(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+// The -fleets override must reach E12 through the registry: one table row
+// per requested fleet size, first column the station count.
+func TestFleetsFlagShapesE12Table(t *testing.T) {
+	e, err := experiments.Lookup("fleetscale")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := experiments.Config{C: 20, Seed: 1, Trials: 1, Fleets: []int{2, 5}}
+	table, err := e.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 2 {
+		t.Fatalf("rows = %d, want one per fleet size in %v", len(table.Rows), cfg.Fleets)
+	}
+	for i, want := range []string{"2", "5"} {
+		if table.Rows[i][0] != want {
+			t.Errorf("row %d stations = %q, want %q", i, table.Rows[i][0], want)
+		}
+	}
+	if len(table.Header) == 0 || table.Header[0] != "stations" {
+		t.Errorf("header = %v", table.Header)
+	}
+}

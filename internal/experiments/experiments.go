@@ -27,6 +27,9 @@ type Config struct {
 	// when > 0 (cstealtables -trials). By mc prefix stability, raising it
 	// widens each study without rebasing the trials already summarized.
 	Trials int
+	// Fleets overrides E12's fleet-size list when non-empty
+	// (cstealtables -fleets). One table row per entry, in the given order.
+	Fleets []int
 }
 
 // DefaultConfig returns the configuration used throughout EXPERIMENTS.md.
@@ -44,6 +47,15 @@ func (c Config) normalize() Config {
 func (c Config) trialsOr(def int) int {
 	if c.Trials > 0 {
 		return c.Trials
+	}
+	return def
+}
+
+// fleetsOr returns the experiment's default fleet-size list unless the user
+// overrode it (Config.Fleets non-empty).
+func (c Config) fleetsOr(def []int) []int {
+	if len(c.Fleets) > 0 {
+		return c.Fleets
 	}
 	return def
 }
@@ -104,7 +116,7 @@ func All() []Experiment {
 			return FarmStudy(c, 12, 30, 50000, c.trialsOr(5))
 		}},
 		{"fleetscale", "E12: fleet-scale farm — completion, imbalance and engine wall-clock vs fleet size (extension)", func(c Config) (*tab.Table, error) {
-			return FleetScale(c, []int{10, 50, 250, 1000, 5000}, 6, 400, c.trialsOr(3))
+			return FleetScale(c, c.fleetsOr([]int{10, 50, 250, 1000, 5000}), 6, 400, c.trialsOr(3))
 		}},
 	}
 }

@@ -17,7 +17,7 @@ import (
 	"testing"
 
 	"cyclesteal/internal/mc"
-	"cyclesteal/internal/now"
+	"cyclesteal/internal/station"
 	"cyclesteal/internal/task"
 )
 
@@ -64,9 +64,9 @@ func BenchmarkFarmBagShardedContended(b *testing.B) {
 }
 
 func benchFleet(n int) Farm {
-	stations := make([]now.Workstation, n)
+	stations := make([]station.Workstation, n)
 	for i := range stations {
-		stations[i] = now.Workstation{ID: i, Owner: now.Office{MeanIdle: 2000, MaxP: 2}, Setup: 10}
+		stations[i] = station.Workstation{ID: i, Owner: station.Office{MeanIdle: 2000, MaxP: 2}, Setup: 10}
 	}
 	return Farm{Stations: stations, OpportunitiesPerStation: 8}
 }
@@ -94,6 +94,38 @@ func BenchmarkFarmRunSharedBag(b *testing.B) { benchRunPool(b, 1) }
 
 // BenchmarkFarmRunShardedBag is the live engine on the auto-sharded pool.
 func BenchmarkFarmRunShardedBag(b *testing.B) { benchRunPool(b, 0) }
+
+// benchSteal measures the idle-phase steal path at fleet scale: one rich
+// shard at the far end of the cyclic order, every other shard dry, so each
+// Take must locate the lone victim — the shape of a draining fleet-sized
+// job. The linear scan pays O(shards) mirror loads per Take; the hinted bag
+// (last-victim cache + richest-shard index) lands on the victim in O(1).
+func benchSteal(b *testing.B, shards int, linear bool) {
+	bag := NewShardedBag(nil, shards)
+	bag.linearScan = linear
+	rich := bag.Station(shards - 1)
+	rich.Return(task.Fixed(64, 1))
+	thief := bag.Station(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got := thief.Take(1)
+		if got == nil {
+			b.Fatal("steal came up empty")
+		}
+		rich.Return(got)
+	}
+}
+
+// BenchmarkFarmStealLinear* is the pre-hint cyclic scan baseline.
+func BenchmarkFarmStealLinear1k(b *testing.B) { benchSteal(b, 1024, true) }
+
+// BenchmarkFarmStealHinted* is the production path with steal-target hints.
+func BenchmarkFarmStealHinted1k(b *testing.B) { benchSteal(b, 1024, false) }
+
+func BenchmarkFarmStealLinear10k(b *testing.B) { benchSteal(b, 10240, true) }
+
+func BenchmarkFarmStealHinted10k(b *testing.B) { benchSteal(b, 10240, false) }
 
 // BenchmarkFarmReplicateTwoLevel measures the deterministic two-level
 // replication engine on a 256-station fleet — the Replicate configuration

@@ -5,23 +5,37 @@
 // their periods open, and killed periods return their in-flight tasks for
 // rescheduling elsewhere.
 //
-// This is the layer a downstream user runs: internal/now models who offers
-// time and when they interrupt; internal/sched decides period sizing on each
-// opportunity; this package binds them to a single shared workload and
-// reports job-level outcomes (completion fraction, work distribution across
-// stations, lost-to-kills accounting).
+// This is the layer a downstream user runs, and the only station-driving loop
+// in the repo: internal/station models who offers time and when they
+// interrupt; internal/sched decides period sizing on each opportunity; this
+// package binds them to a workload and reports job-level outcomes
+// (completion fraction, work distribution across stations, lost-to-kills
+// accounting). internal/now's Fleet is a thin adapter over RunPool with
+// private per-station bags.
 //
 // # Task pools and the sharded bag
 //
-// Two pool implementations back a farmed run. SharedBag is the original
+// Three pool implementations back a farmed run. SharedBag is the original
 // single mutex-guarded bag: simple, and fine for a dozen stations. ShardedBag
 // is the fleet-scale pool: tasks are dealt round-robin across lock-striped
 // per-shard queues, each station drains its home shard, and a dry station
-// steals from the other shards in deterministic cyclic order — the
-// work-stealing idiom of Gast–Khatiri–Trystram, with killed-period tasks
-// returned to the thief's own queue. Farm.Shards selects between them
-// (0 = auto-sharded); BenchmarkFarmBag* quantifies the gap on the contended
-// path.
+// steals — first from its hinted targets (last victim, richest shard), then
+// from the other shards in deterministic cyclic order — the work-stealing
+// idiom of Gast–Khatiri–Trystram, with killed-period tasks returned to the
+// thief's own queue. PrivatePools is the degenerate pool now.Fleet runs on:
+// one private bag per station, nothing shared. Farm.Shards selects between
+// the first two (0 = auto-sharded); BenchmarkFarmBag* quantifies the gap on
+// the contended path and BenchmarkFarmSteal* the hinted vs linear steal scan.
+//
+// # Early exit without starvation
+//
+// A station stops borrowing when the job is done — but "done" must account
+// for in-flight tasks: a station that quit the moment Remaining() read zero
+// could strand tasks another station's killed period Returns a tick later.
+// Run therefore tracks an unfinished counter (total tasks minus tasks whose
+// completion is settled at the end of the completing station's opportunity)
+// and stations only stop early when it reaches zero — i.e. when every task
+// has actually completed, never merely been taken.
 //
 // # Determinism contract
 //
@@ -32,12 +46,13 @@
 // queue is touched by exactly one sequential station group, and queues
 // rebalance by stealing only at round barriers, in station-group order. Every
 // station draws contracts from its own rng stream derived from (seed,
-// station ID), so the entire result is a pure function of (fleet, job,
-// factory, seed, Shards): any inner worker count produces bit-identical
-// results. Replicate stacks that inside internal/mc's seed-stream contract —
-// trial-level parallelism outside, station-group parallelism inside, split by
-// mc.SplitWorkers — so fleet summaries stay bit-identical at any -workers
-// setting while fleets scale to thousands of stations.
+// station ID) via station.RNG, so the entire result is a pure function of
+// (fleet, job, factory, seed, Shards): any inner worker count produces
+// bit-identical results. Replicate stacks that inside internal/mc's
+// seed-stream contract — trial-level parallelism outside, station-group
+// parallelism inside, split by mc.SplitWorkers — so fleet summaries stay
+// bit-identical at any -workers setting while fleets scale to thousands of
+// stations.
 package farm
 
 import (
@@ -47,11 +62,12 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"cyclesteal/internal/mc"
-	"cyclesteal/internal/now"
 	"cyclesteal/internal/quant"
 	"cyclesteal/internal/sim"
+	"cyclesteal/internal/station"
 	"cyclesteal/internal/stats"
 	"cyclesteal/internal/task"
 )
@@ -68,6 +84,11 @@ type TaskPool interface {
 	RemainingWork() quant.Tick
 	// Steals reports cross-queue task movements (0 for an unsharded pool).
 	Steals() int
+	// Exhaustible reports whether draining the pool ends the job: when true,
+	// stations stop borrowing once every task has completed; when false
+	// (fluid-mode pools like PrivatePools) stations play out every
+	// opportunity regardless.
+	Exhaustible() bool
 }
 
 // SharedBag is a mutex-guarded task source that many concurrently simulated
@@ -103,6 +124,9 @@ func (s *SharedBag) Station(int) sim.TaskSource { return s }
 // Steals implements TaskPool: an unsharded pool never steals.
 func (s *SharedBag) Steals() int { return 0 }
 
+// Exhaustible implements TaskPool: the bag is the job.
+func (s *SharedBag) Exhaustible() bool { return true }
+
 // Remaining reports the tasks still unscheduled.
 func (s *SharedBag) Remaining() int {
 	s.mu.Lock()
@@ -129,10 +153,12 @@ func (j Job) TotalWork() quant.Tick { return task.Durations(j.Tasks) }
 type StationReport struct {
 	Station        int
 	Opportunities  int
+	LifespanTicks  quant.Tick // Σ U over contracts actually played
 	FluidWork      quant.Tick // Σ (t ⊖ c) over completed periods
 	TasksCompleted int
 	TaskWork       quant.Tick
 	Interrupts     int
+	IdleTicks      quant.Tick
 	KilledTicks    quant.Tick
 }
 
@@ -180,7 +206,7 @@ func (r Result) Imbalance() float64 {
 
 // Farm binds a fleet to a shared job.
 type Farm struct {
-	Stations []now.Workstation
+	Stations []station.Workstation
 	// OpportunitiesPerStation is how many owner contracts each station works
 	// through (the job may finish earlier; stations then idle).
 	OpportunitiesPerStation int
@@ -219,15 +245,25 @@ func (f Farm) newPool(job Job) TaskPool {
 
 // Run farms the job across the fleet at full speed. Stations simulate their
 // opportunities concurrently, drawing from the job's task pool (sharded per
-// f.Shards); scheduling policy is supplied per (station, contract) as in
-// now.Fleet. Determinism: each station derives its rng from seed and its ID,
-// so contract sequences are reproducible; task *assignment* to stations
-// depends on scheduling interleaving and is intentionally not deterministic
-// across runs (the aggregate accounting invariants are, and tests check
-// those; RunDeterministic trades peak throughput for full reproducibility).
-// When several stations fail, the returned error joins every station's
-// failure, in station order.
-func (f Farm) Run(job Job, factory now.SchedulerFactory, seed int64) (Result, error) {
+// f.Shards); scheduling policy is supplied per (station, contract).
+// Determinism: each station derives its rng from seed and its ID, so
+// contract sequences are reproducible; task *assignment* to stations depends
+// on scheduling interleaving and is intentionally not deterministic across
+// runs (the aggregate accounting invariants are, and tests check those;
+// RunDeterministic trades peak throughput for full reproducibility). When
+// several stations fail, the returned error joins every station's failure,
+// in station order.
+func (f Farm) Run(job Job, factory station.SchedulerFactory, seed int64) (Result, error) {
+	if len(f.Stations) == 0 {
+		return Result{}, fmt.Errorf("farm: empty fleet")
+	}
+	return f.RunPool(f.newPool(job), factory, seed)
+}
+
+// RunPool is Run against a caller-supplied task pool — the entry point
+// now.Fleet rides with PrivatePools, and the seam for custom pool layouts.
+// The pool must be fresh: its remaining tasks are the job.
+func (f Farm) RunPool(pool TaskPool, factory station.SchedulerFactory, seed int64) (Result, error) {
 	if len(f.Stations) == 0 {
 		return Result{}, fmt.Errorf("farm: empty fleet")
 	}
@@ -243,7 +279,18 @@ func (f Farm) Run(job Job, factory now.SchedulerFactory, seed int64) (Result, er
 		workers = len(f.Stations)
 	}
 
-	pool := f.newPool(job)
+	// The early-exit ledger: total tasks minus settled completions. Taking a
+	// task does not move it (the take may yet be killed and Returned); only a
+	// completed opportunity settles its stations' takes, so the counter hits
+	// zero exactly when every task has completed — stations can then stop
+	// borrowing with nothing left in flight to strand.
+	var unfinished atomic.Int64
+	unfinished.Store(int64(pool.Remaining()))
+	var exit *atomic.Int64
+	if pool.Exhaustible() {
+		exit = &unfinished
+	}
+
 	reports := make([]StationReport, len(f.Stations))
 	errs := make([]error, len(f.Stations))
 	jobs := make(chan int)
@@ -253,7 +300,8 @@ func (f Farm) Run(job Job, factory now.SchedulerFactory, seed int64) (Result, er
 		go func() {
 			defer wg.Done()
 			for idx := range jobs {
-				rep, err := f.runStation(f.Stations[idx], n, factory, seed, pool, pool.Station(idx))
+				src := &settleSource{src: pool.Station(idx), unfinished: &unfinished}
+				rep, err := f.runStation(f.Stations[idx], n, factory, seed, src, exit)
 				if err != nil {
 					errs[idx] = err
 					continue
@@ -285,20 +333,49 @@ func (f Farm) assemble(reports []StationReport, left, steals int) Result {
 	return res
 }
 
-// stationRNG derives a station's private contract stream from the run seed —
-// the per-station half of the determinism contract.
-func stationRNG(seed int64, id int) *rand.Rand {
-	return rand.New(rand.NewSource(seed ^ (int64(id)+1)*0x5851F42D4C957F2D))
+// settleSource wraps a station's task source with the in-flight accounting
+// the early-exit ledger needs. Tasks taken but not Returned are outstanding;
+// settle, called when an opportunity ends, marks them completed (anything a
+// kill was going to Return has been Returned by then — sim.Run returns a
+// killed period's tasks before the opportunity finishes). One goroutine owns
+// each settleSource, so outstanding needs no synchronization.
+type settleSource struct {
+	src         sim.TaskSource
+	unfinished  *atomic.Int64
+	outstanding int64
 }
 
-func (f Farm) runStation(ws now.Workstation, n int, factory now.SchedulerFactory, seed int64, pool TaskPool, src sim.TaskSource) (StationReport, error) {
+// Take implements sim.TaskSource.
+func (s *settleSource) Take(capacity quant.Tick) []task.Task {
+	got := s.src.Take(capacity)
+	s.outstanding += int64(len(got))
+	return got
+}
+
+// Return implements sim.TaskSource.
+func (s *settleSource) Return(tasks []task.Task) {
+	s.src.Return(tasks)
+	s.outstanding -= int64(len(tasks))
+}
+
+// settle counts the opportunity's surviving takes as completed.
+func (s *settleSource) settle() {
+	if s.outstanding != 0 {
+		s.unfinished.Add(-s.outstanding)
+		s.outstanding = 0
+	}
+}
+
+func (f Farm) runStation(ws station.Workstation, n int, factory station.SchedulerFactory, seed int64, src *settleSource, unfinished *atomic.Int64) (StationReport, error) {
 	rep := StationReport{Station: ws.ID}
-	rng := stationRNG(seed, ws.ID)
+	rng := station.RNG(seed, ws.ID)
 	for i := 0; i < n; i++ {
-		if pool.Remaining() == 0 {
-			break // job done; no point borrowing more time
+		if unfinished != nil && unfinished.Load() == 0 {
+			break // every task completed; no point borrowing more time
 		}
-		if err := f.playOpportunity(&rep, ws, rng, factory, src); err != nil {
+		err := f.playOpportunity(&rep, ws, rng, factory, src)
+		src.settle()
+		if err != nil {
 			return rep, err
 		}
 	}
@@ -307,7 +384,7 @@ func (f Farm) runStation(ws now.Workstation, n int, factory now.SchedulerFactory
 
 // playOpportunity samples one owner contract and simulates it against the
 // station's task source — the shared inner step of Run and RunDeterministic.
-func (f Farm) playOpportunity(rep *StationReport, ws now.Workstation, rng *rand.Rand, factory now.SchedulerFactory, src sim.TaskSource) error {
+func (f Farm) playOpportunity(rep *StationReport, ws station.Workstation, rng *rand.Rand, factory station.SchedulerFactory, src sim.TaskSource) error {
 	contract := ws.Owner.Sample(rng)
 	if contract.U < 1 {
 		return nil
@@ -322,10 +399,12 @@ func (f Farm) playOpportunity(rep *StationReport, ws now.Workstation, rng *rand.
 		return fmt.Errorf("farm: station %d: %w", ws.ID, err)
 	}
 	rep.Opportunities++
+	rep.LifespanTicks += contract.U
 	rep.FluidWork += r.Work
 	rep.TasksCompleted += r.TasksCompleted
 	rep.TaskWork += r.TaskWork
 	rep.Interrupts += r.Interrupts
+	rep.IdleTicks += r.IdleTicks
 	rep.KilledTicks += r.KilledTicks
 	return nil
 }
@@ -342,13 +421,15 @@ func (f Farm) playOpportunity(rep *StationReport, ws now.Workstation, rng *rand.
 // steal half the tasks of the first non-empty victim in deterministic cyclic
 // group order; stations stop borrowing when a barrier finds the whole job
 // done. Killed-period tasks return to the front of the running group's own
-// queue, as in the live sharded bag.
+// queue, as in the live sharded bag. (Round barriers are also why this
+// engine needs no in-flight ledger: nothing is mid-opportunity when the
+// done-check runs.)
 //
 // Every mutation is therefore ordered by (round, group, station index) — a
 // pure function of (fleet, job, factory, seed, Shards). workers ≤ 0 means
 // GOMAXPROCS; like mc.Config.Workers it changes wall-clock time only, never
 // a bit of the result.
-func (f Farm) RunDeterministic(job Job, factory now.SchedulerFactory, seed int64, workers int) (Result, error) {
+func (f Farm) RunDeterministic(job Job, factory station.SchedulerFactory, seed int64, workers int) (Result, error) {
 	n := len(f.Stations)
 	if n == 0 {
 		return Result{}, fmt.Errorf("farm: empty fleet")
@@ -373,7 +454,7 @@ func (f Farm) RunDeterministic(job Job, factory now.SchedulerFactory, seed int64
 	rngs := make([]*rand.Rand, n)
 	for i, ws := range f.Stations {
 		reports[i] = StationReport{Station: ws.ID}
-		rngs[i] = stationRNG(seed, ws.ID)
+		rngs[i] = station.RNG(seed, ws.ID)
 	}
 	errs := make([]error, n)
 	steals := 0
@@ -474,13 +555,8 @@ const (
 // farm seed from the engine's deterministic stream for cfg.Seed+i, both
 // levels are free of result-affecting scheduling, and the summaries are
 // therefore bit-identical at any worker budget.
-func (f Farm) Replicate(job Job, factory now.SchedulerFactory, cfg mc.Config) ([]stats.Summary, error) {
-	outerCap := cfg.Trials
-	if outerCap > mc.Shards {
-		outerCap = mc.Shards
-	}
-	outer, inner := mc.SplitWorkers(cfg.Workers, outerCap)
-	cfg.Workers = outer
+func (f Farm) Replicate(job Job, factory station.SchedulerFactory, cfg mc.Config) ([]stats.Summary, error) {
+	cfg, inner := mc.SplitConfig(cfg)
 	return mc.RunVec(cfg, NumMetrics, func(rng *rand.Rand) ([]float64, error) {
 		res, err := f.RunDeterministic(job, factory, rng.Int63(), inner)
 		if err != nil {

@@ -8,21 +8,21 @@ import (
 
 	"cyclesteal/internal/mc"
 	"cyclesteal/internal/model"
-	"cyclesteal/internal/now"
 	"cyclesteal/internal/quant"
 	"cyclesteal/internal/sched"
+	"cyclesteal/internal/station"
 	"cyclesteal/internal/stats"
 	"cyclesteal/internal/task"
 )
 
-func equalizedFactory(ws now.Workstation, c now.Contract) (model.EpisodeScheduler, error) {
+func equalizedFactory(ws station.Workstation, c station.Contract) (model.EpisodeScheduler, error) {
 	return sched.NewAdaptiveEqualized(ws.Setup)
 }
 
-func testFarm(n int, owner now.OwnerModel) Farm {
-	stations := make([]now.Workstation, n)
+func testFarm(n int, owner station.OwnerModel) Farm {
+	stations := make([]station.Workstation, n)
 	for i := range stations {
-		stations[i] = now.Workstation{ID: i, Owner: owner, Setup: 10}
+		stations[i] = station.Workstation{ID: i, Owner: owner, Setup: 10}
 	}
 	return Farm{Stations: stations, OpportunitiesPerStation: 10}
 }
@@ -70,7 +70,7 @@ func TestSharedBagConcurrentDrainConserves(t *testing.T) {
 }
 
 func TestFarmCompletesSmallJob(t *testing.T) {
-	f := testFarm(6, now.Overnight{Window: 20000})
+	f := testFarm(6, station.Overnight{Window: 20000})
 	job := Job{Tasks: task.Uniform(200, 5, 50, 1)}
 	res, err := f.Run(job, equalizedFactory, 42)
 	if err != nil {
@@ -96,7 +96,7 @@ func TestFarmCompletesSmallJob(t *testing.T) {
 func TestFarmConservationAcrossWorkerCounts(t *testing.T) {
 	job := Job{Tasks: task.Uniform(3000, 5, 80, 2)}
 	for _, workers := range []int{1, 2, 8} {
-		f := testFarm(8, now.Laptop{MeanIdle: 3000})
+		f := testFarm(8, station.Laptop{MeanIdle: 3000})
 		f.Workers = workers
 		res, err := f.Run(job, equalizedFactory, 7)
 		if err != nil {
@@ -129,8 +129,8 @@ func TestFarmEmptyFleet(t *testing.T) {
 }
 
 func TestFarmFactoryErrorPropagates(t *testing.T) {
-	f := testFarm(3, now.Laptop{MeanIdle: 2000})
-	_, err := f.Run(Job{Tasks: task.Fixed(100, 5)}, func(ws now.Workstation, c now.Contract) (model.EpisodeScheduler, error) {
+	f := testFarm(3, station.Laptop{MeanIdle: 2000})
+	_, err := f.Run(Job{Tasks: task.Fixed(100, 5)}, func(ws station.Workstation, c station.Contract) (model.EpisodeScheduler, error) {
 		return nil, errBoom
 	}, 1)
 	if err == nil {
@@ -146,7 +146,7 @@ func (*boomError) Error() string { return "boom" }
 
 func TestFarmStopsBorrowingWhenJobDone(t *testing.T) {
 	// A tiny job against a huge fleet: most opportunities should never start.
-	f := testFarm(4, now.Overnight{Window: 50000})
+	f := testFarm(4, station.Overnight{Window: 50000})
 	f.OpportunitiesPerStation = 50
 	job := Job{Tasks: task.Fixed(5, 10)}
 	res, err := f.Run(job, equalizedFactory, 3)
@@ -194,8 +194,8 @@ func TestCompletionFractionEmptyJob(t *testing.T) {
 }
 
 func TestFarmMaliciousOwnersStillFinish(t *testing.T) {
-	base := now.Overnight{Window: 30000}
-	f := testFarm(5, now.Malicious{Base: base, Setup: 10})
+	base := station.Overnight{Window: 30000}
+	f := testFarm(5, station.Malicious{Base: base, Setup: 10})
 	job := Job{Tasks: task.Uniform(500, 5, 40, 9)}
 	res, err := f.Run(job, equalizedFactory, 5)
 	if err != nil {
@@ -210,7 +210,7 @@ func TestFarmMaliciousOwnersStillFinish(t *testing.T) {
 }
 
 func TestReplicateDeterministicAcrossWorkers(t *testing.T) {
-	f := testFarm(5, now.Office{MeanIdle: 500, MaxP: 2})
+	f := testFarm(5, station.Office{MeanIdle: 500, MaxP: 2})
 	job := Job{Tasks: task.Exponential(400, 20, 3)}
 	run := func(workers int) []stats.Summary {
 		sums, err := f.Replicate(job, equalizedFactory, mc.Config{Trials: 6, Seed: 9, Workers: workers})
@@ -231,7 +231,7 @@ func TestReplicateDeterministicAcrossWorkers(t *testing.T) {
 }
 
 func TestReplicateMetricSanity(t *testing.T) {
-	f := testFarm(4, now.Office{MeanIdle: 400, MaxP: 2})
+	f := testFarm(4, station.Office{MeanIdle: 400, MaxP: 2})
 	job := Job{Tasks: task.Exponential(300, 20, 7)}
 	sums, err := f.Replicate(job, equalizedFactory, mc.Config{Trials: 5, Seed: 1})
 	if err != nil {
@@ -253,7 +253,7 @@ func TestReplicateMetricSanity(t *testing.T) {
 }
 
 func TestReplicateRejectsBadConfig(t *testing.T) {
-	f := testFarm(2, now.Office{MeanIdle: 100, MaxP: 1})
+	f := testFarm(2, station.Office{MeanIdle: 100, MaxP: 1})
 	job := Job{Tasks: task.Fixed(10, 5)}
 	if _, err := f.Replicate(job, equalizedFactory, mc.Config{Trials: 0, Seed: 1}); err == nil {
 		t.Error("trials=0 accepted")
@@ -337,7 +337,7 @@ func TestShardedBagConcurrentDrainConserves(t *testing.T) {
 // --- live Run on the sharded pool ----------------------------------------------
 
 func TestFarmRunShardedCompletesSmallJob(t *testing.T) {
-	f := testFarm(6, now.Overnight{Window: 20000}) // Shards 0 = auto-sharded
+	f := testFarm(6, station.Overnight{Window: 20000}) // Shards 0 = auto-sharded
 	job := Job{Tasks: task.Uniform(200, 5, 50, 1)}
 	res, err := f.Run(job, equalizedFactory, 42)
 	if err != nil {
@@ -349,7 +349,7 @@ func TestFarmRunShardedCompletesSmallJob(t *testing.T) {
 }
 
 func TestFarmShardsSelection(t *testing.T) {
-	f := testFarm(6, now.Overnight{Window: 1000})
+	f := testFarm(6, station.Overnight{Window: 1000})
 	if got := f.shardCount(); got != 6 {
 		t.Errorf("auto shards on 6 stations = %d, want 6", got)
 	}
@@ -371,11 +371,11 @@ func TestFarmShardsSelection(t *testing.T) {
 
 // Bugfix regression: every failing station must surface, not just the first.
 func TestFarmRunJoinsAllErrors(t *testing.T) {
-	f := testFarm(4, now.Laptop{MeanIdle: 2000})
+	f := testFarm(4, station.Laptop{MeanIdle: 2000})
 	f.Workers = 2
 	// A job far larger than the fleet can finish, so no station skips its
 	// opportunities (and its factory call) just because the bag drained.
-	_, err := f.Run(Job{Tasks: task.Fixed(100000, 50)}, func(ws now.Workstation, c now.Contract) (model.EpisodeScheduler, error) {
+	_, err := f.Run(Job{Tasks: task.Fixed(100000, 50)}, func(ws station.Workstation, c station.Contract) (model.EpisodeScheduler, error) {
 		if ws.ID%2 == 1 {
 			return nil, errBoom
 		}
@@ -409,7 +409,7 @@ func resultsEqual(a, b Result) bool {
 }
 
 func TestRunDeterministicBitIdenticalAcrossWorkers(t *testing.T) {
-	f := testFarm(30, now.Office{MeanIdle: 800, MaxP: 2})
+	f := testFarm(30, station.Office{MeanIdle: 800, MaxP: 2})
 	f.OpportunitiesPerStation = 6
 	job := Job{Tasks: task.Exponential(2000, 15, 3)}
 	base, err := f.RunDeterministic(job, equalizedFactory, 99, 1)
@@ -428,7 +428,7 @@ func TestRunDeterministicBitIdenticalAcrossWorkers(t *testing.T) {
 }
 
 func TestRunDeterministicConserves(t *testing.T) {
-	f := testFarm(12, now.Laptop{MeanIdle: 3000})
+	f := testFarm(12, station.Laptop{MeanIdle: 3000})
 	f.OpportunitiesPerStation = 8
 	job := Job{Tasks: task.Uniform(3000, 5, 80, 2)}
 	res, err := f.RunDeterministic(job, equalizedFactory, 7, 4)
@@ -446,9 +446,9 @@ func TestRunDeterministicConserves(t *testing.T) {
 func TestRunDeterministicStealsRescueIdleGroupTasks(t *testing.T) {
 	// Station 1's owner offers U=1 contracts: it can never run a period, so
 	// its group's tasks are only reachable via round-barrier steals.
-	stations := []now.Workstation{
-		{ID: 0, Owner: now.Overnight{Window: 100000}, Setup: 10},
-		{ID: 1, Owner: now.Overnight{Window: 1}, Setup: 10},
+	stations := []station.Workstation{
+		{ID: 0, Owner: station.Overnight{Window: 100000}, Setup: 10},
+		{ID: 1, Owner: station.Overnight{Window: 1}, Setup: 10},
 	}
 	f := Farm{Stations: stations, OpportunitiesPerStation: 10, Shards: 2}
 	job := Job{Tasks: task.Fixed(5, 10)}
@@ -470,15 +470,15 @@ func TestRunDeterministicStealsRescueIdleGroupTasks(t *testing.T) {
 // Acceptance: a 1000-station fleet replicates bit-identically at workers=1
 // and workers=8 — the two-level pool never leaks scheduling into summaries.
 func TestReplicateThousandStationsDeterministicAcrossWorkers(t *testing.T) {
-	stations := make([]now.Workstation, 1000)
+	stations := make([]station.Workstation, 1000)
 	for i := range stations {
 		switch i % 3 {
 		case 0:
-			stations[i] = now.Workstation{ID: i, Owner: now.Office{MeanIdle: 400, MaxP: 2}, Setup: 10}
+			stations[i] = station.Workstation{ID: i, Owner: station.Office{MeanIdle: 400, MaxP: 2}, Setup: 10}
 		case 1:
-			stations[i] = now.Workstation{ID: i, Owner: now.Laptop{MeanIdle: 200}, Setup: 10}
+			stations[i] = station.Workstation{ID: i, Owner: station.Laptop{MeanIdle: 200}, Setup: 10}
 		default:
-			stations[i] = now.Workstation{ID: i, Owner: now.Overnight{Window: 500}, Setup: 10}
+			stations[i] = station.Workstation{ID: i, Owner: station.Overnight{Window: 500}, Setup: 10}
 		}
 	}
 	f := Farm{Stations: stations, OpportunitiesPerStation: 3}

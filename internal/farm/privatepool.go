@@ -1,0 +1,69 @@
+package farm
+
+import (
+	"cyclesteal/internal/quant"
+	"cyclesteal/internal/sim"
+	"cyclesteal/internal/task"
+)
+
+// PrivatePools is the degenerate TaskPool behind now.Fleet: station i draws
+// from its own private bag (possibly none), and no task ever crosses
+// stations. It is inexhaustible — fluid work keeps banking after the bags
+// drain, so stations play out every opportunity, which is the fleet-survey
+// semantics now.Fleet reports. Because each bag is touched only by its own
+// station's goroutine, no locking is needed; the aggregate accessors are
+// meant for before/after a run, not mid-run polling.
+type PrivatePools struct {
+	bags []*task.Bag
+}
+
+// NewPrivatePools builds the pool from per-station bags; nil entries (or a
+// nil slice — the fluid-only fleet) mean the station packs no tasks.
+func NewPrivatePools(bags []*task.Bag) *PrivatePools {
+	return &PrivatePools{bags: bags}
+}
+
+// Station implements TaskPool: station i's own bag, or an empty source.
+func (p *PrivatePools) Station(i int) sim.TaskSource {
+	if i < len(p.bags) && p.bags[i] != nil {
+		return p.bags[i]
+	}
+	return noTasks{}
+}
+
+// Remaining implements TaskPool.
+func (p *PrivatePools) Remaining() int {
+	sum := 0
+	for _, b := range p.bags {
+		if b != nil {
+			sum += b.Remaining()
+		}
+	}
+	return sum
+}
+
+// RemainingWork implements TaskPool.
+func (p *PrivatePools) RemainingWork() quant.Tick {
+	var sum quant.Tick
+	for _, b := range p.bags {
+		if b != nil {
+			sum += b.RemainingWork()
+		}
+	}
+	return sum
+}
+
+// Steals implements TaskPool: private bags never steal.
+func (p *PrivatePools) Steals() int { return 0 }
+
+// Exhaustible implements TaskPool: a fleet survey runs every opportunity.
+func (p *PrivatePools) Exhaustible() bool { return false }
+
+// noTasks is the task source of a station with no private bag.
+type noTasks struct{}
+
+// Take implements sim.TaskSource.
+func (noTasks) Take(quant.Tick) []task.Task { return nil }
+
+// Return implements sim.TaskSource.
+func (noTasks) Return([]task.Task) {}

@@ -18,10 +18,27 @@ const DefaultShards = 64
 // ShardedBag is a lock-striped task source for fleets too large to funnel
 // through one mutex: the job's tasks are dealt round-robin across per-shard
 // local queues, each station is bound to a home shard, and a station whose
-// home runs dry steals from the other shards in deterministic cyclic order
-// (home+1, home+2, … mod shards). Killed-period tasks go back to the front
-// of the *thief's own* queue — they were in flight on that station and stay
-// next in line there — so kills never rebuild pressure on the victim's lock.
+// home runs dry steals from the other shards. Killed-period tasks go back to
+// the front of the *thief's own* queue — they were in flight on that station
+// and stay next in line there — so kills never rebuild pressure on the
+// victim's lock.
+//
+// Steal-target selection is hinted: a dry station first retries the shard it
+// last stole from (steals cluster on the few queues still holding work as a
+// job drains — the localized victim-selection observation of
+// Suksompong–Leiserson–Schardl), then the richest-shard index maintained
+// opportunistically from the size mirrors, and only then falls back to the
+// deterministic cyclic scan (home+1, home+2, … mod shards). At fleet scale
+// the hints turn the idle-phase Take from O(shards) mirror loads into O(1);
+// BenchmarkFarmSteal* measures the gap at 1k–8k shards.
+//
+// If the scan comes up empty while the global remaining counter says tasks
+// exist *and* a Return completed during the scan (tracked by a return
+// epoch), Take retries the whole cycle once — home shard included, since a
+// co-homed station's kill lands tasks in the scanner's own queue — under
+// the stripe locks, so a racing Return can delay a task but never strand
+// one. Without an epoch change the miss is a genuine capacity miss
+// (mirrors are exact at quiescence) and no locked rescan is paid.
 //
 // Scalability comes from two effects the BenchmarkFarmBag* pair measures:
 // stations contend on len(shards) mutexes instead of one, and each Take
@@ -38,6 +55,21 @@ type ShardedBag struct {
 	remaining atomic.Int64
 	work      atomic.Int64
 	steals    atomic.Int64
+	// richest is the index of the shard whose size mirror was largest at its
+	// last update — a best-effort steal hint, verified against the mirror
+	// (and then the stripe lock) before use, so staleness costs a probe, not
+	// correctness.
+	richest atomic.Int64
+	// returns counts completed Return calls. A Take that found nothing
+	// retries the cycle under the locks only when this epoch moved during
+	// its scan: mirrors are exact at quiescence, so a phantom-empty read can
+	// only come from a Return racing the scan — gating on the epoch keeps
+	// capacity misses (tasks present but none fit) from paying an
+	// O(shards) locked rescan on every Take.
+	returns atomic.Int64
+	// linearScan disables the steal-target hints, forcing the original
+	// cyclic scan — the BenchmarkFarmSteal* baseline.
+	linearScan bool
 }
 
 // bagShard pads each mutex+queue pair to its own cache line so neighbouring
@@ -68,7 +100,7 @@ func NewShardedBag(tasks []task.Task, shards int) *ShardedBag {
 // Station binds station i to its home shard (i mod shards) and returns the
 // station's task-source view.
 func (b *ShardedBag) Station(i int) sim.TaskSource {
-	return &stationView{b: b, home: i % len(b.shards)}
+	return &stationView{b: b, home: i % len(b.shards), lastVictim: -1}
 }
 
 // Shards reports the stripe count.
@@ -82,6 +114,9 @@ func (b *ShardedBag) RemainingWork() quant.Tick { return b.work.Load() }
 
 // Steals reports how many Takes were served by a non-home shard.
 func (b *ShardedBag) Steals() int { return int(b.steals.Load()) }
+
+// Exhaustible implements TaskPool: the sharded bag is the job.
+func (b *ShardedBag) Exhaustible() bool { return true }
 
 // takeFrom drains shard s under its stripe lock and settles the global
 // counters outside it.
@@ -100,33 +135,104 @@ func (b *ShardedBag) takeFrom(s int, capacity quant.Tick) []task.Task {
 	return got
 }
 
-// stationView is one station's handle on the sharded bag; it satisfies
-// sim.TaskSource.
-type stationView struct {
-	b    *ShardedBag
-	home int
+// noteRichest promotes shard s to the steal hint when its mirror outgrows
+// the current candidate's. Lock-free and approximate on purpose: a lost CAS
+// or a candidate that later drains just downgrades the hint to a miss.
+func (b *ShardedBag) noteRichest(s int, size int64) {
+	r := int(b.richest.Load())
+	if r == s {
+		return
+	}
+	if size > b.shards[r].size.Load() {
+		b.richest.CompareAndSwap(int64(r), int64(s))
+	}
 }
 
-// Take drains the home shard first and steals from the other shards in
-// deterministic cyclic order when the home yields nothing. Shards whose size
-// mirror reads empty are skipped without touching their lock; a transiently
-// stale mirror only costs a retry on the station's next period, never a lost
-// task.
+// stationView is one station's handle on the sharded bag; it satisfies
+// sim.TaskSource. Each view belongs to a single station goroutine, so the
+// last-victim cache needs no synchronization.
+type stationView struct {
+	b          *ShardedBag
+	home       int
+	lastVictim int // last shard a steal succeeded on; -1 before the first
+}
+
+// Take drains the home shard first, then steals: hinted targets, the cyclic
+// mirror-guided scan, and — when a Return raced the scan while the global
+// counter says tasks remain — one forced retry of the whole cycle (home
+// included) under the locks.
 func (v *stationView) Take(capacity quant.Tick) []task.Task {
+	return v.take(capacity, v.b.returns.Load())
+}
+
+// take is Take with the caller-observed return epoch — split out so tests
+// can replay the exact interleaving of a Return landing mid-scan.
+func (v *stationView) take(capacity quant.Tick, epoch int64) []task.Task {
 	if got := v.b.takeFrom(v.home, capacity); got != nil {
 		return got
 	}
+	if !v.b.linearScan {
+		if got := v.stealHinted(capacity); got != nil {
+			return got
+		}
+	}
+	if got := v.stealScan(capacity, false); got != nil {
+		return got
+	}
+	if v.b.remaining.Load() > 0 && v.b.returns.Load() != epoch {
+		// Tasks remain and a Return completed while we scanned: a mirror
+		// (or our own earlier home probe) may have read stale-empty. Retry
+		// once ignoring the mirrors, so the race can delay a task but
+		// never turn a live bag phantom-empty. When the epoch is unchanged
+		// the miss is a capacity miss (mirrors are exact at quiescence)
+		// and a locked rescan could not help.
+		return v.retryUnderLocks(capacity)
+	}
+	return nil
+}
+
+// retryUnderLocks is the forced pass behind the epoch gate: the whole cycle
+// under the stripe locks, ignoring the mirrors — home shard first, since a
+// co-homed station's kill lands its tasks in the scanner's own queue.
+func (v *stationView) retryUnderLocks(capacity quant.Tick) []task.Task {
+	if got := v.b.takeFrom(v.home, capacity); got != nil {
+		return got
+	}
+	return v.stealScan(capacity, true)
+}
+
+// stealHinted probes the last successful victim, then the richest-shard
+// index — the O(1) fast path of a dry station at fleet scale.
+func (v *stationView) stealHinted(capacity quant.Tick) []task.Task {
+	for _, s := range [2]int{v.lastVictim, int(v.b.richest.Load())} {
+		if s < 0 || s == v.home || v.b.shards[s].size.Load() == 0 {
+			continue
+		}
+		if got := v.b.takeFrom(s, capacity); got != nil {
+			v.b.steals.Add(1)
+			v.lastVictim = s
+			return got
+		}
+	}
+	return nil
+}
+
+// stealScan walks the other shards in deterministic cyclic order. Shards
+// whose size mirror reads empty are skipped without touching their lock
+// unless force is set.
+func (v *stationView) stealScan(capacity quant.Tick, force bool) []task.Task {
 	n := len(v.b.shards)
 	for d := 1; d < n; d++ {
 		s := v.home + d
 		if s >= n {
 			s -= n
 		}
-		if v.b.shards[s].size.Load() == 0 {
+		if !force && v.b.shards[s].size.Load() == 0 {
 			continue
 		}
 		if got := v.b.takeFrom(s, capacity); got != nil {
 			v.b.steals.Add(1)
+			v.lastVictim = s
 			return got
 		}
 	}
@@ -141,8 +247,14 @@ func (v *stationView) Return(tasks []task.Task) {
 	sh := &v.b.shards[v.home]
 	sh.mu.Lock()
 	sh.bag.Return(tasks)
-	sh.size.Store(int64(sh.bag.Remaining()))
+	size := int64(sh.bag.Remaining())
+	sh.size.Store(size)
 	sh.mu.Unlock()
+	// Epoch before the counter: a Take that observes the new remaining is
+	// then guaranteed to observe the epoch bump too, so its retry gate
+	// cannot miss this Return.
+	v.b.returns.Add(1)
 	v.b.remaining.Add(int64(len(tasks)))
 	v.b.work.Add(task.Durations(tasks))
+	v.b.noteRichest(v.home, size)
 }

@@ -220,3 +220,19 @@ func SplitWorkers(budget, outerCap int) (outer, inner int) {
 	}
 	return outer, inner
 }
+
+// SplitConfig prepares a replication config for a two-level engine: the
+// returned config's Workers is the outer trial-pool budget (trial
+// parallelism is bounded by both the trial count and the engine's Shards
+// partition) and inner is the worker budget each trial's closure may spawn.
+// This is the shared prologue of farm.Replicate and now.Fleet.Replicate —
+// keeping the Shards-cap invariant in one place.
+func SplitConfig(cfg Config) (outerCfg Config, inner int) {
+	outerCap := cfg.Trials
+	if outerCap > Shards {
+		outerCap = Shards
+	}
+	outer, inner := SplitWorkers(cfg.Workers, outerCap)
+	cfg.Workers = outer
+	return cfg, inner
+}

@@ -194,6 +194,24 @@ func TestSplitWorkers(t *testing.T) {
 	}
 }
 
+func TestSplitConfig(t *testing.T) {
+	// Few trials: the outer pool is bounded by the trial count, the rest of
+	// the budget multiplies inward. Seed and Trials pass through untouched.
+	cfg, inner := SplitConfig(Config{Trials: 3, Seed: 7, Workers: 8})
+	if cfg.Workers != 3 || inner != 2 {
+		t.Errorf("few trials: outer=%d inner=%d, want 3/2", cfg.Workers, inner)
+	}
+	if cfg.Trials != 3 || cfg.Seed != 7 {
+		t.Errorf("trials/seed mangled: %+v", cfg)
+	}
+	// Many trials: the outer pool caps at the Shards partition — trial
+	// parallelism beyond it cannot exist.
+	cfg, inner = SplitConfig(Config{Trials: 10 * Shards, Workers: 2 * Shards})
+	if cfg.Workers != Shards || inner != 2 {
+		t.Errorf("many trials: outer=%d inner=%d, want %d/2", cfg.Workers, inner, Shards)
+	}
+}
+
 // Summaries now expose sketch-backed tail quantiles; they must obey the
 // seed-stream contract like every other field.
 func TestRunTailQuantilesDeterministic(t *testing.T) {

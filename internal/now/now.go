@@ -1,158 +1,57 @@
-// Package now simulates the network of workstations the paper's schedules
-// live in: a fleet of machines whose owners lend idle time under the
-// draconian contract, each described by an owner model that samples
-// cycle-stealing contracts (usable lifespan U, interrupt bound p) and an
-// interrupt temperament.
+// Package now composes workstations (internal/station) into the network of
+// workstations the paper's schedules live in: a fleet of machines whose
+// owners lend idle time under the draconian contract, plus the synthetic
+// availability traces standing in for a 1990s testbed's usage logs.
 //
-// This is the substitution for the physical NOW of the 1990s testbed (see
-// DESIGN.md §4 item 1): the scheduling model is architecture-independent, so
-// a simulated fleet exercises exactly the code paths the analysis governs.
-// The cluster driver runs stations concurrently on a bounded worker pool —
-// stations are independent, which is the parallelism the domain actually has.
+// The model types (Contract, OwnerModel, Workstation, the owner
+// temperaments, MixedFleet) live in internal/station and are aliased here,
+// so fleet code keeps reading in the domain's vocabulary. The station-driving
+// loop itself lives in internal/farm — the repo's single production engine —
+// and Fleet is a thin adapter over it: Fleet.Run is farm.Farm.RunPool on a
+// PrivatePools layout (each station drains only its own bag, so per-station
+// results are a pure function of (seed, station) and the whole FleetResult
+// is bit-identical at any worker count), and Fleet.Replicate stacks that
+// inside internal/mc's seed-stream contract.
 package now
 
 import (
 	"fmt"
 	"math/rand"
-	"runtime"
-	"sync"
 
-	"cyclesteal/internal/adversary"
-	"cyclesteal/internal/model"
+	"cyclesteal/internal/farm"
+	"cyclesteal/internal/mc"
 	"cyclesteal/internal/quant"
-	"cyclesteal/internal/sim"
+	"cyclesteal/internal/station"
+	"cyclesteal/internal/stats"
 	"cyclesteal/internal/task"
 )
 
-// Contract is one cycle-stealing opportunity offered by a workstation owner:
-// the guaranteed lifespan and the interrupt allowance of §2.1.
-type Contract struct {
-	U quant.Tick
-	P int
-}
-
-// OwnerModel samples the contracts a workstation owner offers and the
-// interrupter that plays the owner during the opportunity.
-type OwnerModel interface {
-	// Sample draws the next contract. rng is owned by the caller's station.
-	Sample(rng *rand.Rand) Contract
-	// Interrupter builds the owner's in-opportunity behavior for a contract.
-	Interrupter(rng *rand.Rand, c Contract) sim.Interrupter
-	// Name labels the model in reports.
-	Name() string
-}
-
-// Office models a nine-to-five owner: moderately long idle stretches
-// (meetings, lunch) with a couple of possible returns, interrupting at
-// exponentially distributed times.
-type Office struct {
-	MeanIdle quant.Tick // mean usable lifespan
-	MaxP     int        // interrupt allowance per contract
-}
-
-// Sample implements OwnerModel.
-func (o Office) Sample(rng *rand.Rand) Contract {
-	u := quant.Tick(rng.ExpFloat64()*float64(o.MeanIdle)) + 1
-	return Contract{U: u, P: o.MaxP}
-}
-
-// Interrupter implements OwnerModel: returns come as a Poisson stream with
-// mean spacing half the lifespan — interruptions are likely but not certain.
-func (o Office) Interrupter(rng *rand.Rand, c Contract) sim.Interrupter {
-	return &adversary.Poisson{Rng: rng, Mean: float64(c.U) / 2}
-}
-
-// Name implements OwnerModel.
-func (o Office) Name() string { return "office" }
-
-// Laptop models the paper's motivating case: a machine that can be unplugged
-// at any moment. Short lifespans, a single fatal interrupt, uniformly placed.
-type Laptop struct {
-	MeanIdle quant.Tick
-}
-
-// Sample implements OwnerModel.
-func (l Laptop) Sample(rng *rand.Rand) Contract {
-	u := quant.Tick(rng.ExpFloat64()*float64(l.MeanIdle)) + 1
-	return Contract{U: u, P: 1}
-}
-
-// Interrupter implements OwnerModel.
-func (l Laptop) Interrupter(rng *rand.Rand, c Contract) sim.Interrupter {
-	return &adversary.Random{Rng: rng, Prob: 0.8}
-}
-
-// Name implements OwnerModel.
-func (l Laptop) Name() string { return "laptop" }
-
-// Overnight models lab machines lent for a fixed nightly window with a small
-// chance of an early-morning return.
-type Overnight struct {
-	Window quant.Tick
-}
-
-// Sample implements OwnerModel.
-func (o Overnight) Sample(rng *rand.Rand) Contract {
-	return Contract{U: o.Window, P: 1}
-}
-
-// Interrupter implements OwnerModel.
-func (o Overnight) Interrupter(rng *rand.Rand, c Contract) sim.Interrupter {
-	return &adversary.Random{Rng: rng, Prob: 0.15}
-}
-
-// Name implements OwnerModel.
-func (o Overnight) Name() string { return "overnight" }
-
-// Malicious wraps any owner model with worst-case in-opportunity behavior:
-// contracts are sampled from the base model, but the owner plays the
-// equalization-damage heuristic. Used to measure guaranteed-style floors on
-// fleet throughput.
-type Malicious struct {
-	Base  OwnerModel
-	Setup quant.Tick
-}
-
-// Sample implements OwnerModel.
-func (m Malicious) Sample(rng *rand.Rand) Contract { return m.Base.Sample(rng) }
-
-// Interrupter implements OwnerModel.
-func (m Malicious) Interrupter(rng *rand.Rand, c Contract) sim.Interrupter {
-	return adversary.GreedyEqualization{C: m.Setup}
-}
-
-// Name implements OwnerModel.
-func (m Malicious) Name() string { return "malicious(" + m.Base.Name() + ")" }
-
-// Workstation is one machine in the fleet.
-type Workstation struct {
-	ID    int
-	Owner OwnerModel
-	Setup quant.Tick // per-period communication setup cost c to this machine
-}
-
-// SchedulerFactory builds a scheduler for a specific contract on a specific
-// workstation (schedules depend on U, p and c).
-type SchedulerFactory func(ws Workstation, c Contract) (model.EpisodeScheduler, error)
+// The NOW model vocabulary, re-exported from internal/station (the types
+// moved down a layer so the farm engine and this package can share them
+// without an import cycle).
+type (
+	// Contract is one cycle-stealing opportunity offered by an owner.
+	Contract = station.Contract
+	// OwnerModel samples contracts and plays the owner's interrupts.
+	OwnerModel = station.OwnerModel
+	// Workstation is one machine in the fleet.
+	Workstation = station.Workstation
+	// SchedulerFactory builds a scheduler per (workstation, contract).
+	SchedulerFactory = station.SchedulerFactory
+	// Office models a nine-to-five owner.
+	Office = station.Office
+	// Laptop models a machine that can be unplugged at any moment.
+	Laptop = station.Laptop
+	// Overnight models lab machines lent for a fixed nightly window.
+	Overnight = station.Overnight
+	// Malicious wraps an owner model with worst-case interrupt behavior.
+	Malicious = station.Malicious
+)
 
 // MixedFleet builds the standard heterogeneous NOW used by the farm
-// experiments (E11, E12) and the fleet-mode CLIs: offices, laptops and
-// overnight lab machines round-robin, all with setup cost c. Keeping the
-// owner mix in one place keeps CLI output comparable with the experiment
-// tables.
+// experiments (E11, E12) and the fleet-mode CLIs.
 func MixedFleet(stations int, c quant.Tick) []Workstation {
-	fleet := make([]Workstation, stations)
-	for i := range fleet {
-		switch i % 3 {
-		case 0:
-			fleet[i] = Workstation{ID: i, Owner: Office{MeanIdle: 250 * c, MaxP: 2}, Setup: c}
-		case 1:
-			fleet[i] = Workstation{ID: i, Owner: Laptop{MeanIdle: 100 * c}, Setup: c}
-		default:
-			fleet[i] = Workstation{ID: i, Owner: Overnight{Window: 400 * c}, Setup: c}
-		}
-	}
-	return fleet
+	return station.MixedFleet(stations, c)
 }
 
 // StationResult aggregates one workstation's simulated opportunities.
@@ -166,7 +65,6 @@ type StationResult struct {
 	Interrupts     int
 	IdleTicks      quant.Tick
 	KilledTicks    quant.Tick
-	Err            error
 }
 
 // FleetResult aggregates a whole cluster run.
@@ -188,7 +86,9 @@ func (f FleetResult) Utilization() float64 {
 }
 
 // Fleet is a collection of workstations driven over a horizon of
-// opportunities.
+// opportunities — the survey view of a NOW: every station plays out all its
+// contracts (no shared job to exhaust), optionally each against a private
+// task bag.
 type Fleet struct {
 	Stations []Workstation
 	// OpportunitiesPerStation is how many contracts each station runs.
@@ -197,95 +97,109 @@ type Fleet struct {
 	Workers int
 }
 
-// Run simulates every station's opportunities concurrently. Each station gets
-// a deterministic rng derived from seed and its ID, so runs are reproducible
-// regardless of scheduling order. If tasksPer is non-nil, it supplies each
-// station's private task bag.
+// farm binds the fleet onto the shared engine.
+func (f Fleet) farm() farm.Farm {
+	return farm.Farm{
+		Stations:                f.Stations,
+		OpportunitiesPerStation: f.OpportunitiesPerStation,
+		Workers:                 f.Workers,
+	}
+}
+
+// pools builds the degenerate per-station task pool backing a run. It is a
+// pure function of the fleet (tasksPer sees only the workstation), which is
+// what keeps Run deterministic at any worker count.
+func (f Fleet) pools(tasksPer func(ws Workstation) *task.Bag) *farm.PrivatePools {
+	if tasksPer == nil {
+		return farm.NewPrivatePools(nil)
+	}
+	bags := make([]*task.Bag, len(f.Stations))
+	for i, ws := range f.Stations {
+		bags[i] = tasksPer(ws)
+	}
+	return farm.NewPrivatePools(bags)
+}
+
+// Run simulates every station's opportunities on the farm engine
+// (farm.Farm.RunPool over private per-station bags). Each station draws its
+// contracts from station.RNG(seed, ID) and touches no shared task state, so
+// the entire FleetResult — not just the aggregates — is bit-identical at any
+// Workers setting. If tasksPer is non-nil, it supplies each station's
+// private task bag. When several stations fail, the returned error joins
+// every station's failure, in station order.
 func (f Fleet) Run(factory SchedulerFactory, seed int64, tasksPer func(ws Workstation) *task.Bag) (FleetResult, error) {
 	if len(f.Stations) == 0 {
 		return FleetResult{}, fmt.Errorf("now: empty fleet")
 	}
-	n := f.OpportunitiesPerStation
-	if n < 1 {
-		n = 1
+	res, err := f.farm().RunPool(f.pools(tasksPer), factory, seed)
+	if err != nil {
+		return FleetResult{}, err
 	}
-	workers := f.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(f.Stations) {
-		workers = len(f.Stations)
-	}
-
-	results := make([]StationResult, len(f.Stations))
-	jobs := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for idx := range jobs {
-				results[idx] = f.runStation(f.Stations[idx], n, factory, seed, tasksPer)
-			}
-		}()
-	}
-	for idx := range f.Stations {
-		jobs <- idx
-	}
-	close(jobs)
-	wg.Wait()
-
-	var out FleetResult
-	out.Stations = results
-	for _, r := range results {
-		if r.Err != nil {
-			return out, fmt.Errorf("now: station %d: %w", r.Station, r.Err)
+	out := FleetResult{Stations: make([]StationResult, len(res.Stations))}
+	for i, rep := range res.Stations {
+		out.Stations[i] = StationResult{
+			Station:        rep.Station,
+			Opportunities:  rep.Opportunities,
+			LifespanTicks:  rep.LifespanTicks,
+			Work:           rep.FluidWork,
+			TaskWork:       rep.TaskWork,
+			TasksCompleted: rep.TasksCompleted,
+			Interrupts:     rep.Interrupts,
+			IdleTicks:      rep.IdleTicks,
+			KilledTicks:    rep.KilledTicks,
 		}
-		out.Work += r.Work
-		out.Lifespan += r.LifespanTicks
-		out.TaskWork += r.TaskWork
-		out.Tasks += r.TasksCompleted
+		out.Work += rep.FluidWork
+		out.Lifespan += rep.LifespanTicks
+		out.TaskWork += rep.TaskWork
+		out.Tasks += rep.TasksCompleted
 	}
 	return out, nil
 }
 
-func (f Fleet) runStation(ws Workstation, n int, factory SchedulerFactory, seed int64, tasksPer func(Workstation) *task.Bag) StationResult {
-	res := StationResult{Station: ws.ID}
-	rng := rand.New(rand.NewSource(seed ^ (int64(ws.ID)+1)*0x5851F42D4C957F2D))
-	var bag *task.Bag
-	if tasksPer != nil {
-		bag = tasksPer(ws)
-	}
-	for i := 0; i < n; i++ {
-		contract := ws.Owner.Sample(rng)
-		if contract.U < 1 {
-			continue
-		}
-		s, err := factory(ws, contract)
+// Fleet replication metric indexes: the order of the summaries Replicate
+// returns.
+const (
+	FleetMetricWork        = iota // fluid work banked fleet-wide, ticks
+	FleetMetricLifespan           // lifespan offered fleet-wide, ticks
+	FleetMetricUtilization        // work / lifespan, in [0, 1]
+	FleetMetricTaskWork           // completed task duration fleet-wide, ticks
+	FleetMetricTasks              // tasks completed fleet-wide
+	FleetMetricInterrupts         // interrupts fleet-wide
+	FleetMetricKilledTicks        // lifespan destroyed by draconian kills, ticks
+	NumFleetMetrics
+)
+
+// Replicate replays the fleet survey cfg.Trials times on the internal/mc
+// replication engine and returns one summary per metric, indexed by the
+// FleetMetric* constants. Trial i derives its fleet seed from the engine's
+// deterministic stream for cfg.Seed+i; the worker budget splits via
+// mc.SplitWorkers into trials outside and stations inside (Run is
+// bit-identical at any inner worker count), so the summaries are
+// bit-identical at any cfg.Workers. tasksPer, when non-nil, is invoked fresh
+// for every (trial, station) and must depend only on the workstation.
+func (f Fleet) Replicate(factory SchedulerFactory, cfg mc.Config, tasksPer func(ws Workstation) *task.Bag) ([]stats.Summary, error) {
+	cfg, inner := mc.SplitConfig(cfg)
+	inst := f
+	inst.Workers = inner
+	return mc.RunVec(cfg, NumFleetMetrics, func(rng *rand.Rand) ([]float64, error) {
+		res, err := inst.Run(factory, rng.Int63(), tasksPer)
 		if err != nil {
-			res.Err = err
-			return res
+			return nil, err
 		}
-		adv := ws.Owner.Interrupter(rng, contract)
-		cfg := sim.Config{}
-		if bag != nil {
-			// Assign only when non-nil: a nil *task.Bag stored in the
-			// TaskSource interface would not compare equal to nil.
-			cfg.Bag = bag
+		var interrupts int
+		var killed quant.Tick
+		for _, s := range res.Stations {
+			interrupts += s.Interrupts
+			killed += s.KilledTicks
 		}
-		r, err := sim.Run(s, adv, sim.Opportunity{U: contract.U, P: contract.P, C: ws.Setup}, cfg)
-		if err != nil {
-			res.Err = err
-			return res
-		}
-		res.Opportunities++
-		res.LifespanTicks += contract.U
-		res.Work += r.Work
-		res.TaskWork += r.TaskWork
-		res.TasksCompleted += r.TasksCompleted
-		res.Interrupts += r.Interrupts
-		res.IdleTicks += r.IdleTicks
-		res.KilledTicks += r.KilledTicks
-	}
-	return res
+		out := make([]float64, NumFleetMetrics)
+		out[FleetMetricWork] = float64(res.Work)
+		out[FleetMetricLifespan] = float64(res.Lifespan)
+		out[FleetMetricUtilization] = res.Utilization()
+		out[FleetMetricTaskWork] = float64(res.TaskWork)
+		out[FleetMetricTasks] = float64(res.Tasks)
+		out[FleetMetricInterrupts] = float64(interrupts)
+		out[FleetMetricKilledTicks] = float64(killed)
+		return out, nil
+	})
 }

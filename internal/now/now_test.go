@@ -2,13 +2,15 @@ package now
 
 import (
 	"bytes"
-	"math/rand"
+	"reflect"
 	"strings"
 	"testing"
 
+	"cyclesteal/internal/mc"
 	"cyclesteal/internal/model"
 	"cyclesteal/internal/quant"
 	"cyclesteal/internal/sched"
+	"cyclesteal/internal/stats"
 	"cyclesteal/internal/task"
 )
 
@@ -24,43 +26,6 @@ func equalizedFactory(ws Workstation, c Contract) (model.EpisodeScheduler, error
 	return sched.NewAdaptiveEqualized(ws.Setup)
 }
 
-func TestOwnerModelsSampleSanely(t *testing.T) {
-	rng := rand.New(rand.NewSource(1))
-	models := []OwnerModel{
-		Office{MeanIdle: 5000, MaxP: 3},
-		Laptop{MeanIdle: 2000},
-		Overnight{Window: 30000},
-		Malicious{Base: Laptop{MeanIdle: 2000}, Setup: 10},
-	}
-	for _, m := range models {
-		if m.Name() == "" {
-			t.Errorf("%T: empty name", m)
-		}
-		for i := 0; i < 100; i++ {
-			c := m.Sample(rng)
-			if c.U < 1 {
-				t.Fatalf("%s sampled lifespan %d", m.Name(), c.U)
-			}
-			if c.P < 0 {
-				t.Fatalf("%s sampled interrupt bound %d", m.Name(), c.P)
-			}
-			if m.Interrupter(rng, c) == nil {
-				t.Fatalf("%s returned nil interrupter", m.Name())
-			}
-		}
-	}
-}
-
-func TestOvernightIsDeterministicWindow(t *testing.T) {
-	rng := rand.New(rand.NewSource(1))
-	o := Overnight{Window: 12345}
-	for i := 0; i < 10; i++ {
-		if c := o.Sample(rng); c.U != 12345 || c.P != 1 {
-			t.Fatalf("sample = %+v", c)
-		}
-	}
-}
-
 func TestFleetRunAggregates(t *testing.T) {
 	f := testFleet(8, Office{MeanIdle: 5000, MaxP: 2})
 	res, err := f.Run(equalizedFactory, 42, nil)
@@ -72,9 +37,6 @@ func TestFleetRunAggregates(t *testing.T) {
 	}
 	var work, lifespan quant.Tick
 	for _, s := range res.Stations {
-		if s.Err != nil {
-			t.Fatalf("station %d: %v", s.Station, s.Err)
-		}
 		if s.Opportunities == 0 {
 			t.Errorf("station %d ran no opportunities", s.Station)
 		}
@@ -93,24 +55,31 @@ func TestFleetRunAggregates(t *testing.T) {
 	}
 }
 
-func TestFleetRunDeterministicAcrossWorkerCounts(t *testing.T) {
-	base := testFleet(10, Laptop{MeanIdle: 3000})
-	for _, workers := range []int{1, 4, 32} {
-		f := base
-		f.Workers = workers
-		res, err := f.Run(equalizedFactory, 7, nil)
+// Acceptance pin for the unification: the whole FleetResult — every
+// per-station field, not just the aggregates — is bit-identical at
+// workers=1 and workers=8, with and without private task bags.
+func TestFleetRunBitIdenticalAcrossWorkerCounts(t *testing.T) {
+	tasksPer := func(ws Workstation) *task.Bag {
+		return task.NewBag(task.Uniform(300, 10, 100, int64(ws.ID)))
+	}
+	for _, bags := range []func(Workstation) *task.Bag{nil, tasksPer} {
+		base := testFleet(10, Laptop{MeanIdle: 3000})
+		base.Workers = 1
+		want, err := base.Run(equalizedFactory, 7, bags)
 		if err != nil {
 			t.Fatal(err)
 		}
-		ref := base
-		ref.Workers = 1
-		want, err := ref.Run(equalizedFactory, 7, nil)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if res.Work != want.Work || res.Lifespan != want.Lifespan {
-			t.Errorf("workers=%d: (%d, %d) differs from single-worker (%d, %d)",
-				workers, res.Work, res.Lifespan, want.Work, want.Lifespan)
+		for _, workers := range []int{4, 8, 32} {
+			f := base
+			f.Workers = workers
+			got, err := f.Run(equalizedFactory, 7, bags)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(want, got) {
+				t.Errorf("workers=%d (bags=%v): FleetResult diverged from workers=1:\n%+v\nvs\n%+v",
+					workers, bags != nil, got, want)
+			}
 		}
 	}
 }
@@ -131,6 +100,24 @@ func TestFleetRunWithTasks(t *testing.T) {
 	}
 }
 
+// Private bags never pool: even with every bag drained mid-run, stations
+// keep playing all their opportunities (fluid mode keeps banking work).
+func TestFleetRunsAllOpportunitiesDespiteEmptyBags(t *testing.T) {
+	f := testFleet(3, Overnight{Window: 20000})
+	f.OpportunitiesPerStation = 7
+	res, err := f.Run(equalizedFactory, 5, func(ws Workstation) *task.Bag {
+		return task.NewBag(task.Fixed(1, 10)) // one tiny task, done in the first period
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.Stations {
+		if s.Opportunities != 7 {
+			t.Errorf("station %d played %d opportunities, want all 7", s.Station, s.Opportunities)
+		}
+	}
+}
+
 func TestFleetEmpty(t *testing.T) {
 	if _, err := (Fleet{}).Run(equalizedFactory, 1, nil); err == nil {
 		t.Error("empty fleet accepted")
@@ -144,6 +131,29 @@ func TestFleetFactoryErrorPropagates(t *testing.T) {
 	}, 1, nil)
 	if err == nil {
 		t.Error("factory error swallowed")
+	}
+}
+
+// Bugfix regression: the old station pool returned on the first failing
+// station, dropping the rest. Every failure must surface, joined in station
+// order like farm.Run.
+func TestFleetRunJoinsAllStationErrors(t *testing.T) {
+	f := testFleet(4, Laptop{MeanIdle: 1000})
+	f.Workers = 2
+	_, err := f.Run(func(ws Workstation, c Contract) (model.EpisodeScheduler, error) {
+		if ws.ID%2 == 1 {
+			return nil, errTest
+		}
+		return sched.NewAdaptiveEqualized(ws.Setup)
+	}, 1, nil)
+	if err == nil {
+		t.Fatal("factory errors swallowed")
+	}
+	msg := err.Error()
+	for _, want := range []string{"station 1", "station 3"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("joined error missing %q: %v", want, msg)
+		}
 	}
 }
 
@@ -166,6 +176,62 @@ func TestMaliciousFleetUnderperformsBenign(t *testing.T) {
 	}
 	if maliciousRes.Work >= benignRes.Work {
 		t.Errorf("malicious owners (%d) should cost work vs benign (%d)", maliciousRes.Work, benignRes.Work)
+	}
+}
+
+// --- replication ---------------------------------------------------------------
+
+func TestFleetReplicateDeterministicAcrossWorkers(t *testing.T) {
+	f := testFleet(6, Office{MeanIdle: 800, MaxP: 2})
+	tasksPer := func(ws Workstation) *task.Bag {
+		return task.NewBag(task.Exponential(100, 30, int64(ws.ID)))
+	}
+	run := func(workers int) []stats.Summary {
+		sums, err := f.Replicate(equalizedFactory, mc.Config{Trials: 6, Seed: 9, Workers: workers}, tasksPer)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sums
+	}
+	a, b := run(1), run(8)
+	if len(a) != NumFleetMetrics || len(b) != NumFleetMetrics {
+		t.Fatalf("metric counts %d/%d, want %d", len(a), len(b), NumFleetMetrics)
+	}
+	for m := range a {
+		if a[m] != b[m] {
+			t.Errorf("metric %d differs across worker budgets:\n  w1: %+v\n  w8: %+v", m, a[m], b[m])
+		}
+	}
+}
+
+func TestFleetReplicateMetricSanity(t *testing.T) {
+	f := testFleet(4, Office{MeanIdle: 600, MaxP: 2})
+	sums, err := f.Replicate(equalizedFactory, mc.Config{Trials: 5, Seed: 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	util := sums[FleetMetricUtilization]
+	if util.Min < 0 || util.Max > 1 {
+		t.Errorf("utilization outside [0,1]: %+v", util)
+	}
+	if sums[FleetMetricWork].Mean <= 0 {
+		t.Errorf("fleet banked no work: %+v", sums[FleetMetricWork])
+	}
+	if sums[FleetMetricLifespan].Min <= 0 {
+		t.Errorf("no lifespan offered: %+v", sums[FleetMetricLifespan])
+	}
+	if sums[FleetMetricTasks].Mean != 0 || sums[FleetMetricTaskWork].Mean != 0 {
+		t.Errorf("fluid-only fleet reported task work: %+v", sums[FleetMetricTasks])
+	}
+	if sums[FleetMetricWork].N != 5 {
+		t.Errorf("trial count %d, want 5", sums[FleetMetricWork].N)
+	}
+}
+
+func TestFleetReplicateRejectsBadConfig(t *testing.T) {
+	f := testFleet(2, Office{MeanIdle: 100, MaxP: 1})
+	if _, err := f.Replicate(equalizedFactory, mc.Config{Trials: 0, Seed: 1}, nil); err == nil {
+		t.Error("trials=0 accepted")
 	}
 }
 

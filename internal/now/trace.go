@@ -4,10 +4,10 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
-	"math/rand"
 	"strconv"
 
 	"cyclesteal/internal/quant"
+	"cyclesteal/internal/station"
 )
 
 // TraceEntry is one recorded cycle-stealing opportunity in an availability
@@ -22,13 +22,17 @@ type TraceEntry struct {
 	Interrupts []quant.Tick
 }
 
+// traceSalt decorrelates the trace generator's per-station streams from the
+// contract streams the engines draw for the same (seed, station ID).
+const traceSalt = 0x517CC1B727220A95
+
 // GenerateTrace samples a synthetic availability trace: n opportunities per
 // station, with owner-return times drawn as a Poisson stream of the given
 // mean spacing, truncated to at most the contract's interrupt allowance.
 func GenerateTrace(stations []Workstation, nPer int, meanReturn float64, seed int64) []TraceEntry {
 	var out []TraceEntry
 	for _, ws := range stations {
-		rng := rand.New(rand.NewSource(seed ^ (int64(ws.ID)+1)*0x517CC1B727220A95))
+		rng := station.RNG(seed^traceSalt, ws.ID)
 		for i := 0; i < nPer; i++ {
 			contract := ws.Owner.Sample(rng)
 			e := TraceEntry{Station: ws.ID, U: contract.U, P: contract.P}
