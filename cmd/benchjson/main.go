@@ -9,15 +9,24 @@
 // With -baseline it becomes the trend gate CI runs per push: the new
 // document (a file argument, or stdin) is diffed against the previous
 // commit's artifact, a per-benchmark delta table prints, and the exit
-// status is non-zero when any benchmark's ns/op — min over runs, the
-// noise-resistant series — regressed by more than -threshold percent.
-// Benchmarks that only exist on one side are reported but never fail the
-// gate, so adding or retiring a benchmark doesn't block a PR.
+// status is non-zero when any benchmark regressed. Three gates apply, all
+// judged on min over runs (the noise-resistant series): ns/op beyond
+// -threshold percent, B/op beyond -bthreshold percent, and allocs/op
+// exactly — the allocation count of a deterministic benchmark is not noisy,
+// so any increase fails. Benchmarks that only exist on one side are
+// reported but never fail the gate, so adding or retiring a benchmark
+// doesn't block a PR.
+//
+// With -series it charts a BENCH_*.json history: the file arguments are
+// read in order (oldest first), a per-benchmark trajectory table prints to
+// stdout, and -svg writes a line chart (ns/op min, normalized to each
+// benchmark's first appearance) suitable for a CI artifact.
 //
 // Usage:
 //
 //	go test -run='^$' -bench='^(BenchmarkMC|BenchmarkFarm)' -benchmem -count=3 ./... | benchjson -commit "$SHA" > BENCH_$SHA.json
-//	benchjson -baseline BENCH_prev.json -threshold 15 BENCH_$SHA.json
+//	benchjson -baseline BENCH_prev.json -threshold 15 -bthreshold 15 BENCH_$SHA.json
+//	benchjson -series -svg series.svg BENCH_1.json BENCH_2.json BENCH_3.json
 package main
 
 import (
@@ -62,10 +71,20 @@ func main() {
 	commit := flag.String("commit", "", "commit SHA recorded in the document")
 	baseline := flag.String("baseline", "", "trend mode: previous BENCH_*.json to diff against; the new document is the file argument (or stdin)")
 	threshold := flag.Float64("threshold", 15, "trend mode: fail when a benchmark's ns/op (min over runs) regresses by more than this percent")
+	bthreshold := flag.Float64("bthreshold", 15, "trend mode: fail when a benchmark's B/op (min over runs) regresses by more than this percent; allocs/op is always gated exactly")
+	series := flag.Bool("series", false, "series mode: chart the BENCH_*.json file arguments (oldest first) as a per-benchmark trajectory")
+	svg := flag.String("svg", "", "series mode: also write an SVG line chart to this path")
 	flag.Parse()
 
+	if *series {
+		if err := runSeries(flag.Args(), *svg, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *baseline != "" {
-		if err := runCompare(*baseline, flag.Arg(0), *threshold); err != nil {
+		if err := runCompare(*baseline, flag.Arg(0), gates{ns: *threshold, b: *bthreshold}); err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
 		}
@@ -93,9 +112,15 @@ func main() {
 	}
 }
 
+// gates holds the trend thresholds: ns/op and B/op in percent (min over
+// runs); allocs/op is gated exactly and needs no knob.
+type gates struct {
+	ns, b float64
+}
+
 // runCompare loads the two documents and fails on over-threshold
 // regressions.
-func runCompare(baselinePath, newPath string, threshold float64) error {
+func runCompare(baselinePath, newPath string, g gates) error {
 	old, err := readDoc(baselinePath)
 	if err != nil {
 		return fmt.Errorf("baseline: %w", err)
@@ -104,13 +129,13 @@ func runCompare(baselinePath, newPath string, threshold float64) error {
 	if err != nil {
 		return fmt.Errorf("new document: %w", err)
 	}
-	report, regressions := compare(old, doc, threshold)
+	report, regressions := compare(old, doc, g)
 	for _, line := range report {
 		fmt.Println(line)
 	}
 	if len(regressions) > 0 {
-		return fmt.Errorf("%d benchmark(s) regressed more than %g%% ns/op vs %s: %s",
-			len(regressions), threshold, labelOf(old), strings.Join(regressions, ", "))
+		return fmt.Errorf("%d metric regression(s) vs %s (>%g%% ns/op, >%g%% B/op, any allocs/op increase): %s",
+			len(regressions), labelOf(old), g.ns, g.b, strings.Join(regressions, ", "))
 	}
 	return nil
 }
@@ -148,33 +173,40 @@ func labelOf(d *Document) string {
 }
 
 // compare diffs new against old benchmark by benchmark and returns the
-// human-readable report plus the names whose ns/op (min over runs, the
-// noise-resistant series) regressed past the threshold. Benchmarks present
-// on only one side are informational.
-func compare(old, doc *Document, threshold float64) (report, regressions []string) {
-	prev := make(map[string]*Stat, len(old.Benchmarks))
-	for i := range old.Benchmarks {
-		prev[old.Benchmarks[i].Name] = old.Benchmarks[i].NsPerOp
+// human-readable report plus the regressed metrics, all judged on min over
+// runs (the noise-resistant series): ns/op and B/op against their percent
+// thresholds, allocs/op exactly — a deterministic benchmark's allocation
+// count has no noise to forgive. Benchmarks or metrics present on only one
+// side are informational.
+func compare(old, doc *Document, g gates) (report, regressions []string) {
+	prev := make(map[string]Benchmark, len(old.Benchmarks))
+	for _, b := range old.Benchmarks {
+		prev[b.Name] = b
 	}
-	report = append(report, fmt.Sprintf("benchmark trend vs %s (threshold %+.0f%% ns/op, judged on min over runs):", labelOf(old), threshold))
+	report = append(report, fmt.Sprintf(
+		"benchmark trend vs %s (min over runs; fail >%+.0f%% ns/op, >%+.0f%% B/op, any allocs/op increase):",
+		labelOf(old), g.ns, g.b))
 	seen := make(map[string]bool, len(doc.Benchmarks))
 	for _, b := range doc.Benchmarks {
 		seen[b.Name] = true
 		base, ok := prev[b.Name]
-		switch {
-		case !ok || base == nil || base.Min <= 0:
+		if !ok {
 			report = append(report, fmt.Sprintf("  %-44s new (no baseline)", b.Name))
-		case b.NsPerOp == nil:
-			report = append(report, fmt.Sprintf("  %-44s no ns/op in new run", b.Name))
-		default:
-			delta := 100 * (b.NsPerOp.Min - base.Min) / base.Min
-			verdict := "ok"
-			if delta > threshold {
-				verdict = "REGRESSION"
-				regressions = append(regressions, b.Name)
-			}
-			report = append(report, fmt.Sprintf("  %-44s %12.0f → %12.0f ns/op  %+7.1f%%  %s",
-				b.Name, base.Min, b.NsPerOp.Min, delta, verdict))
+			continue
+		}
+		line := fmt.Sprintf("  %-44s", b.Name)
+		ns, nsBad := gateMetric(base.NsPerOp, b.NsPerOp, "ns/op", g.ns, false)
+		bOp, bBad := gateMetric(base.BPerOp, b.BPerOp, "B/op", g.b, false)
+		al, alBad := gateMetric(base.AllocsOp, b.AllocsOp, "allocs/op", 0, true)
+		report = append(report, line+ns+bOp+al)
+		if nsBad {
+			regressions = append(regressions, b.Name+" (ns/op)")
+		}
+		if bBad {
+			regressions = append(regressions, b.Name+" (B/op)")
+		}
+		if alBad {
+			regressions = append(regressions, b.Name+" (allocs/op)")
 		}
 	}
 	for _, b := range old.Benchmarks {
@@ -183,6 +215,39 @@ func compare(old, doc *Document, threshold float64) (report, regressions []strin
 		}
 	}
 	return report, regressions
+}
+
+// gateMetric formats one metric's delta column and reports whether it
+// regressed. exact gates any increase; otherwise the threshold is a percent
+// of the baseline min. A baseline min of 0 is a real measurement, not a
+// missing one — zero-alloc benchmarks are exactly what the allocs gate
+// protects — so any increase from 0 fails (a percent of zero is undefined
+// either way). Metrics missing on either side never fail (a benchmark
+// gaining -benchmem columns, or an old artifact predating them, must not
+// block a PR).
+func gateMetric(base, cur *Stat, unit string, threshold float64, exact bool) (col string, bad bool) {
+	switch {
+	case base == nil && cur == nil:
+		return "", false
+	case base == nil:
+		return fmt.Sprintf("  %s: new %.0f", unit, cur.Min), false
+	case cur == nil:
+		return fmt.Sprintf("  %s: dropped (was %.0f)", unit, base.Min), false
+	}
+	verdict := "ok"
+	if base.Min > 0 {
+		delta := 100 * (cur.Min - base.Min) / base.Min
+		if exact && cur.Min > base.Min || !exact && delta > threshold {
+			verdict = "REGRESSION"
+			bad = true
+		}
+		return fmt.Sprintf("  %s: %.0f → %.0f (%+.1f%%) %s", unit, base.Min, cur.Min, delta, verdict), bad
+	}
+	if cur.Min > 0 {
+		verdict = "REGRESSION"
+		bad = true
+	}
+	return fmt.Sprintf("  %s: 0 → %.0f %s", unit, cur.Min, verdict), bad
 }
 
 // sample is one parsed benchmark output line.
@@ -286,4 +351,182 @@ func aggregate(samples []sample, unit string) *Stat {
 		st.Mean /= float64(n)
 	}
 	return st
+}
+
+// --- series mode ---------------------------------------------------------------
+
+// seriesPoint is one benchmark's measurement at one history document.
+type seriesPoint struct {
+	doc    int // index into the document sequence — the x axis
+	commit string
+	ns     *Stat
+	b      *Stat
+	allocs *Stat
+}
+
+// runSeries loads an ordered BENCH_*.json history and renders the
+// per-benchmark trajectory: a text table on w, and optionally an SVG line
+// chart (ns/op min, normalized to each benchmark's first appearance).
+func runSeries(paths []string, svgPath string, w io.Writer) error {
+	if len(paths) < 1 {
+		return fmt.Errorf("series mode needs at least one BENCH_*.json argument")
+	}
+	var commits []string
+	series := map[string][]seriesPoint{} // benchmark → one point per document it appears in
+	var order []string
+	for di, path := range paths {
+		doc, err := readDoc(path)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		label := doc.Commit
+		if label == "" {
+			label = path
+		}
+		label = shortLabel(label)
+		commits = append(commits, label)
+		for _, b := range doc.Benchmarks {
+			if _, ok := series[b.Name]; !ok {
+				order = append(order, b.Name)
+			}
+			series[b.Name] = append(series[b.Name], seriesPoint{doc: di, commit: label, ns: b.NsPerOp, b: b.BPerOp, allocs: b.AllocsOp})
+		}
+	}
+	sort.Strings(order)
+
+	fmt.Fprintf(w, "benchmark series over %d document(s) (min over runs):\n", len(paths))
+	for _, name := range order {
+		fmt.Fprintf(w, "%s\n", name)
+		var prevNs float64
+		for _, pt := range series[name] {
+			line := fmt.Sprintf("  %-12s", pt.commit)
+			if pt.ns != nil {
+				line += fmt.Sprintf(" %14.0f ns/op", pt.ns.Min)
+				if prevNs > 0 {
+					line += fmt.Sprintf("  %+6.1f%%", 100*(pt.ns.Min-prevNs)/prevNs)
+				} else {
+					line += strings.Repeat(" ", 9)
+				}
+				prevNs = pt.ns.Min
+			}
+			if pt.b != nil {
+				line += fmt.Sprintf("  %12.0f B/op", pt.b.Min)
+			}
+			if pt.allocs != nil {
+				line += fmt.Sprintf("  %9.0f allocs/op", pt.allocs.Min)
+			}
+			fmt.Fprintln(w, line)
+		}
+	}
+
+	if svgPath != "" {
+		f, err := os.Create(svgPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := writeSeriesSVG(f, commits, order, series); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "SVG chart written to %s\n", svgPath)
+	}
+	return nil
+}
+
+// shortLabel trims a full SHA down to the conventional 10 characters.
+func shortLabel(s string) string {
+	if len(s) > 10 {
+		return s[:10]
+	}
+	return s
+}
+
+// svgPalette cycles per benchmark line.
+var svgPalette = []string{
+	"#1f77b4", "#ff7f0e", "#2ca02c", "#d62728", "#9467bd",
+	"#8c564b", "#e377c2", "#7f7f7f", "#bcbd22", "#17becf",
+}
+
+// writeSeriesSVG renders the history as a dependency-free line chart: one
+// polyline per benchmark, y = ns/op (min) normalized to that benchmark's
+// first appearance (100%), log-free and comparable across benchmarks of any
+// absolute cost. The x axis is commit order, oldest left.
+func writeSeriesSVG(w io.Writer, commits, order []string, series map[string][]seriesPoint) error {
+	const (
+		width, height           = 960, 480
+		left, right, top, botto = 70, 250, 30, 50
+	)
+	plotW := float64(width - left - right)
+	plotH := float64(height - top - botto)
+
+	// Normalize each benchmark to its first ns/op and find the global range.
+	norm := map[string][]float64{} // aligned with series[name]'s point order
+	minY, maxY := 100.0, 100.0
+	for _, name := range order {
+		var base float64
+		for _, pt := range series[name] {
+			if pt.ns == nil {
+				norm[name] = append(norm[name], -1)
+				continue
+			}
+			if base == 0 {
+				base = pt.ns.Min
+			}
+			v := 100 * pt.ns.Min / base
+			norm[name] = append(norm[name], v)
+			if v < minY {
+				minY = v
+			}
+			if v > maxY {
+				maxY = v
+			}
+		}
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	x := func(i int) float64 {
+		if len(commits) == 1 {
+			return float64(left) + plotW/2
+		}
+		return float64(left) + plotW*float64(i)/float64(len(commits)-1)
+	}
+	y := func(v float64) float64 {
+		return float64(top) + plotH*(1-(v-minY)/(maxY-minY))
+	}
+
+	fmt.Fprintf(w, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="monospace" font-size="11">`+"\n", width, height)
+	fmt.Fprintf(w, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	fmt.Fprintf(w, `<text x="%d" y="18" font-size="13">ns/op trend, normalized to first appearance = 100%% (min over runs)</text>`+"\n", left)
+	// Axes and horizontal guides.
+	for _, v := range []float64{minY, (minY + maxY) / 2, maxY} {
+		fmt.Fprintf(w, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ddd"/>`+"\n", left, y(v), width-right, y(v))
+		fmt.Fprintf(w, `<text x="4" y="%.1f">%.0f%%</text>`+"\n", y(v)+4, v)
+	}
+	// Commit ticks.
+	for i, c := range commits {
+		fmt.Fprintf(w, `<text x="%.1f" y="%d" transform="rotate(45 %.1f %d)">%s</text>`+"\n",
+			x(i), height-botto+14, x(i), height-botto+14, c)
+	}
+	// One polyline + legend row per benchmark.
+	for bi, name := range order {
+		color := svgPalette[bi%len(svgPalette)]
+		var pts []string
+		for pi, pt := range series[name] {
+			v := norm[name][pi]
+			if v < 0 {
+				continue
+			}
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", x(pt.doc), y(v)))
+		}
+		if len(pts) > 0 {
+			fmt.Fprintf(w, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.5"/>`+"\n",
+				strings.Join(pts, " "), color)
+		}
+		ly := top + 14*bi
+		fmt.Fprintf(w, `<rect x="%d" y="%d" width="10" height="10" fill="%s"/>`+"\n", width-right+10, ly, color)
+		fmt.Fprintf(w, `<text x="%d" y="%d">%s</text>`+"\n", width-right+24, ly+9, strings.TrimPrefix(name, "Benchmark"))
+	}
+	fmt.Fprintln(w, `</svg>`)
+	return nil
 }

@@ -2,6 +2,11 @@ package main
 
 import (
 	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -78,9 +83,9 @@ func TestCompareFlagsRegressions(t *testing.T) {
 		bench("BenchmarkSlow", 1300), // +30%: regression
 		bench("BenchmarkNew", 10),    // no baseline: informational
 	}}
-	report, regressions := compare(old, doc, 15)
-	if len(regressions) != 1 || regressions[0] != "BenchmarkSlow" {
-		t.Fatalf("regressions = %v, want [BenchmarkSlow]", regressions)
+	report, regressions := compare(old, doc, gates{ns: 15, b: 15})
+	if len(regressions) != 1 || regressions[0] != "BenchmarkSlow (ns/op)" {
+		t.Fatalf("regressions = %v, want [BenchmarkSlow (ns/op)]", regressions)
 	}
 	joined := strings.Join(report, "\n")
 	for _, want := range []string{"REGRESSION", "new (no baseline)", "removed (was in baseline)", "BenchmarkFast"} {
@@ -93,7 +98,7 @@ func TestCompareFlagsRegressions(t *testing.T) {
 func TestCompareImprovementAndEqualPass(t *testing.T) {
 	old := &Document{Benchmarks: []Benchmark{bench("BenchmarkA", 100), bench("BenchmarkB", 200)}}
 	doc := &Document{Benchmarks: []Benchmark{bench("BenchmarkA", 60), bench("BenchmarkB", 200)}}
-	if _, regressions := compare(old, doc, 15); len(regressions) != 0 {
+	if _, regressions := compare(old, doc, gates{ns: 15, b: 15}); len(regressions) != 0 {
 		t.Errorf("improvement flagged as regression: %v", regressions)
 	}
 }
@@ -101,11 +106,11 @@ func TestCompareImprovementAndEqualPass(t *testing.T) {
 func TestCompareThresholdBoundary(t *testing.T) {
 	old := &Document{Benchmarks: []Benchmark{bench("BenchmarkA", 100)}}
 	at := &Document{Benchmarks: []Benchmark{bench("BenchmarkA", 115)}}
-	if _, regressions := compare(old, at, 15); len(regressions) != 0 {
+	if _, regressions := compare(old, at, gates{ns: 15, b: 15}); len(regressions) != 0 {
 		t.Errorf("exactly-at-threshold flagged: %v", regressions)
 	}
 	over := &Document{Benchmarks: []Benchmark{bench("BenchmarkA", 116)}}
-	if _, regressions := compare(old, over, 15); len(regressions) != 1 {
+	if _, regressions := compare(old, over, gates{ns: 15, b: 15}); len(regressions) != 1 {
 		t.Errorf("over-threshold not flagged: %v", regressions)
 	}
 }
@@ -113,11 +118,134 @@ func TestCompareThresholdBoundary(t *testing.T) {
 func TestCompareMissingNsPerOp(t *testing.T) {
 	old := &Document{Benchmarks: []Benchmark{{Name: "BenchmarkA", Runs: 1}}}
 	doc := &Document{Benchmarks: []Benchmark{bench("BenchmarkA", 10), {Name: "BenchmarkB", Runs: 1}}}
-	report, regressions := compare(old, doc, 15)
+	report, regressions := compare(old, doc, gates{ns: 15, b: 15})
 	if len(regressions) != 0 {
 		t.Errorf("nil ns/op produced regressions: %v", regressions)
 	}
 	if len(report) < 3 {
 		t.Errorf("report too short: %v", report)
+	}
+}
+
+// benchMem builds a record with all three metric columns.
+func benchMem(name string, ns, bPerOp, allocs float64) Benchmark {
+	b := bench(name, ns)
+	b.BPerOp = &Stat{Mean: bPerOp, Min: bPerOp, Max: bPerOp}
+	b.AllocsOp = &Stat{Mean: allocs, Min: allocs, Max: allocs}
+	return b
+}
+
+// The allocs/op gate is exact: a single extra allocation fails even when
+// ns/op and B/op are comfortably inside their thresholds.
+func TestCompareAllocsGateIsExact(t *testing.T) {
+	old := &Document{Benchmarks: []Benchmark{benchMem("BenchmarkA", 100, 1000, 10)}}
+	doc := &Document{Benchmarks: []Benchmark{benchMem("BenchmarkA", 101, 1001, 11)}}
+	_, regressions := compare(old, doc, gates{ns: 15, b: 15})
+	if len(regressions) != 1 || regressions[0] != "BenchmarkA (allocs/op)" {
+		t.Fatalf("regressions = %v, want the exact allocs gate to fire", regressions)
+	}
+	// Equal allocations pass.
+	doc = &Document{Benchmarks: []Benchmark{benchMem("BenchmarkA", 101, 1001, 10)}}
+	if _, regressions := compare(old, doc, gates{ns: 15, b: 15}); len(regressions) != 0 {
+		t.Errorf("equal allocs flagged: %v", regressions)
+	}
+	// Fewer allocations pass.
+	doc = &Document{Benchmarks: []Benchmark{benchMem("BenchmarkA", 101, 1001, 4)}}
+	if _, regressions := compare(old, doc, gates{ns: 15, b: 15}); len(regressions) != 0 {
+		t.Errorf("alloc improvement flagged: %v", regressions)
+	}
+}
+
+func TestCompareBPerOpGate(t *testing.T) {
+	old := &Document{Benchmarks: []Benchmark{benchMem("BenchmarkA", 100, 1000, 10)}}
+	over := &Document{Benchmarks: []Benchmark{benchMem("BenchmarkA", 100, 1160, 10)}}
+	_, regressions := compare(old, over, gates{ns: 15, b: 15})
+	if len(regressions) != 1 || regressions[0] != "BenchmarkA (B/op)" {
+		t.Fatalf("regressions = %v, want the B/op gate to fire at +16%%", regressions)
+	}
+	at := &Document{Benchmarks: []Benchmark{benchMem("BenchmarkA", 100, 1150, 10)}}
+	if _, regressions := compare(old, at, gates{ns: 15, b: 15}); len(regressions) != 0 {
+		t.Errorf("exactly-at-threshold B/op flagged: %v", regressions)
+	}
+}
+
+// An old artifact without -benchmem columns must not fail newly measured
+// ones, and vice versa — metric availability changes are informational.
+func TestCompareMissingMemColumnsPass(t *testing.T) {
+	old := &Document{Benchmarks: []Benchmark{bench("BenchmarkA", 100)}}
+	doc := &Document{Benchmarks: []Benchmark{benchMem("BenchmarkA", 100, 1000, 10)}}
+	if report, regressions := compare(old, doc, gates{ns: 15, b: 15}); len(regressions) != 0 {
+		t.Errorf("new mem columns flagged: %v\n%v", regressions, report)
+	}
+	if _, regressions := compare(doc, old, gates{ns: 15, b: 15}); len(regressions) != 0 {
+		t.Errorf("dropped mem columns flagged: %v", regressions)
+	}
+}
+
+// --- series mode ---------------------------------------------------------------
+
+func writeSeriesDoc(t *testing.T, dir, commit string, benchmarks []Benchmark) string {
+	t.Helper()
+	doc := Document{Commit: commit, Benchmarks: benchmarks}
+	data, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "BENCH_"+commit+".json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunSeriesTableAndSVG(t *testing.T) {
+	dir := t.TempDir()
+	p1 := writeSeriesDoc(t, dir, "aaaaaaaaaaaa", []Benchmark{benchMem("BenchmarkFarmRun", 1000, 500, 20)})
+	p2 := writeSeriesDoc(t, dir, "bbbbbbbbbbbb", []Benchmark{
+		benchMem("BenchmarkFarmRun", 800, 400, 10),
+		benchMem("BenchmarkNew", 50, 10, 1),
+	})
+	svgPath := filepath.Join(dir, "series.svg")
+	var out bytes.Buffer
+	if err := runSeries([]string{p1, p2}, svgPath, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"BenchmarkFarmRun", "aaaaaaaaaa", "bbbbbbbbbb", "-20.0%", "allocs/op"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("series table missing %q:\n%s", want, text)
+		}
+	}
+	svg, err := os.ReadFile(svgPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"<svg", "polyline", "FarmRun", "</svg>"} {
+		if !strings.Contains(string(svg), want) {
+			t.Errorf("svg missing %q", want)
+		}
+	}
+}
+
+func TestRunSeriesNoArgs(t *testing.T) {
+	if err := runSeries(nil, "", io.Discard); err == nil {
+		t.Error("series mode accepted zero documents")
+	}
+}
+
+// A baseline min of 0 is a real measurement — the zero-alloc benchmarks are
+// exactly what the allocs gate protects — so regressing away from 0 must
+// fail, for the exact gate and the percent gates alike.
+func TestCompareZeroBaselineStillGates(t *testing.T) {
+	old := &Document{Benchmarks: []Benchmark{benchMem("BenchmarkA", 100, 0, 0)}}
+	doc := &Document{Benchmarks: []Benchmark{benchMem("BenchmarkA", 100, 800, 5)}}
+	_, regressions := compare(old, doc, gates{ns: 15, b: 15})
+	if len(regressions) != 2 {
+		t.Fatalf("regressions = %v, want both B/op and allocs/op to fire from a 0 baseline", regressions)
+	}
+	// Staying at zero passes.
+	doc = &Document{Benchmarks: []Benchmark{benchMem("BenchmarkA", 100, 0, 0)}}
+	if _, regressions := compare(old, doc, gates{ns: 15, b: 15}); len(regressions) != 0 {
+		t.Errorf("zero-to-zero flagged: %v", regressions)
 	}
 }

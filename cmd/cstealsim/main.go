@@ -28,6 +28,8 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"cyclesteal"
 	"cyclesteal/internal/farm"
@@ -64,8 +66,38 @@ func main() {
 		fleetN   = flag.Int("fleet", 0, "farm one shared job across this many stations (0 = single-station mode)")
 		shards   = flag.Int("shards", 0, "task-bag shards in fleet mode: 0 = auto, 1 = single shared bag, n = n stripes")
 		opps     = flag.Int("opportunities", 10, "owner contracts per station in fleet mode")
+		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProf  = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	)
 	flag.Parse()
+
+	// Profiling hooks: hot-path regressions (the allocation-free opportunity
+	// engine especially) can then be diagnosed from a released binary with
+	// `go tool pprof cstealsim profile.out` — no test harness needed.
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}()
+	}
 
 	if *fleetN > 0 {
 		if err := runFleet(*fleetN, *shards, *opps, *schedStr, *c, *taskSize, *nTasks, *trials, *seed, *workers); err != nil {

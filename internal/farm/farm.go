@@ -66,6 +66,7 @@ import (
 
 	"cyclesteal/internal/mc"
 	"cyclesteal/internal/quant"
+	"cyclesteal/internal/sched"
 	"cyclesteal/internal/sim"
 	"cyclesteal/internal/station"
 	"cyclesteal/internal/stats"
@@ -109,6 +110,13 @@ func (s *SharedBag) Take(capacity quant.Tick) []task.Task {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.bag.Take(capacity)
+}
+
+// TakeInto implements sim.TaskSource.
+func (s *SharedBag) TakeInto(dst []task.Task, capacity quant.Tick) []task.Task {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bag.TakeInto(dst, capacity)
 }
 
 // Return implements sim.TaskSource.
@@ -218,6 +226,12 @@ type Farm struct {
 	// Under RunDeterministic the same number also fixes the station-group
 	// partition, so it is part of that engine's determinism key.
 	Shards int
+	// DisableEpisodeMemo turns off the per-station episode cache (sched.Memo)
+	// both engines layer over the scheduler factory. Episodes are pure
+	// functions of (p, L) for the keyed schedulers, so results are
+	// bit-identical either way — the switch exists for benchmarking and for
+	// the tests that pin that equivalence.
+	DisableEpisodeMemo bool
 }
 
 // shardCount resolves the Shards field against the fleet size.
@@ -352,6 +366,14 @@ func (s *settleSource) Take(capacity quant.Tick) []task.Task {
 	return got
 }
 
+// TakeInto implements sim.TaskSource.
+func (s *settleSource) TakeInto(dst []task.Task, capacity quant.Tick) []task.Task {
+	base := len(dst)
+	dst = s.src.TakeInto(dst, capacity)
+	s.outstanding += int64(len(dst) - base)
+	return dst
+}
+
 // Return implements sim.TaskSource.
 func (s *settleSource) Return(tasks []task.Task) {
 	s.src.Return(tasks)
@@ -366,14 +388,35 @@ func (s *settleSource) settle() {
 	}
 }
 
+// stationScratch is the per-station reusable state both engines thread
+// through playOpportunity: the simulator's episode/task buffers and the
+// episode memo the scheduler factory's output is bound to. One station
+// goroutine owns a scratch at a time (in RunDeterministic, round barriers
+// order the handoffs between workers).
+type stationScratch struct {
+	bufs sim.Buffers
+	memo *sched.Memo // nil when DisableEpisodeMemo
+}
+
+// newScratch builds one station's scratch according to the farm's memo
+// setting.
+func (f Farm) newScratch() *stationScratch {
+	s := &stationScratch{}
+	if !f.DisableEpisodeMemo {
+		s.memo = sched.NewMemo(0)
+	}
+	return s
+}
+
 func (f Farm) runStation(ws station.Workstation, n int, factory station.SchedulerFactory, seed int64, src *settleSource, unfinished *atomic.Int64) (StationReport, error) {
 	rep := StationReport{Station: ws.ID}
 	rng := station.RNG(seed, ws.ID)
+	scr := f.newScratch()
 	for i := 0; i < n; i++ {
 		if unfinished != nil && unfinished.Load() == 0 {
 			break // every task completed; no point borrowing more time
 		}
-		err := f.playOpportunity(&rep, ws, rng, factory, src)
+		err := f.playOpportunity(&rep, ws, rng, factory, src, scr)
 		src.settle()
 		if err != nil {
 			return rep, err
@@ -384,7 +427,7 @@ func (f Farm) runStation(ws station.Workstation, n int, factory station.Schedule
 
 // playOpportunity samples one owner contract and simulates it against the
 // station's task source — the shared inner step of Run and RunDeterministic.
-func (f Farm) playOpportunity(rep *StationReport, ws station.Workstation, rng *rand.Rand, factory station.SchedulerFactory, src sim.TaskSource) error {
+func (f Farm) playOpportunity(rep *StationReport, ws station.Workstation, rng *rand.Rand, factory station.SchedulerFactory, src sim.TaskSource, scr *stationScratch) error {
 	contract := ws.Owner.Sample(rng)
 	if contract.U < 1 {
 		return nil
@@ -393,8 +436,15 @@ func (f Farm) playOpportunity(rep *StationReport, ws station.Workstation, rng *r
 	if err != nil {
 		return fmt.Errorf("farm: station %d: %w", ws.ID, err)
 	}
+	if scr.memo != nil {
+		// Bind the factory's scheduler to the station's episode cache: for
+		// keyed schedulers (pure functions of (p, L) at fixed c) the cache
+		// stays warm across contracts, so repeated residual lifespans skip
+		// the episode construction entirely.
+		s = scr.memo.Bind(s)
+	}
 	adv := ws.Owner.Interrupter(rng, contract)
-	r, err := sim.Run(s, adv, sim.Opportunity{U: contract.U, P: contract.P, C: ws.Setup}, sim.Config{Bag: src})
+	r, err := sim.Run(s, adv, sim.Opportunity{U: contract.U, P: contract.P, C: ws.Setup}, sim.Config{Bag: src, Buffers: &scr.bufs})
 	if err != nil {
 		return fmt.Errorf("farm: station %d: %w", ws.ID, err)
 	}
@@ -452,9 +502,11 @@ func (f Farm) RunDeterministic(job Job, factory station.SchedulerFactory, seed i
 	}
 	reports := make([]StationReport, n)
 	rngs := make([]*rand.Rand, n)
+	scratches := make([]*stationScratch, n)
 	for i, ws := range f.Stations {
 		reports[i] = StationReport{Station: ws.ID}
 		rngs[i] = station.RNG(seed, ws.ID)
+		scratches[i] = f.newScratch()
 	}
 	errs := make([]error, n)
 	steals := 0
@@ -479,7 +531,7 @@ func (f Farm) RunDeterministic(job Job, factory station.SchedulerFactory, seed i
 						if errs[i] != nil {
 							continue
 						}
-						errs[i] = f.playOpportunity(&reports[i], f.Stations[i], rngs[i], factory, queues[g])
+						errs[i] = f.playOpportunity(&reports[i], f.Stations[i], rngs[i], factory, queues[g], scratches[i])
 					}
 				}
 			}()

@@ -500,3 +500,57 @@ func TestReplicateThousandStationsDeterministicAcrossWorkers(t *testing.T) {
 		t.Error("fleet completed nothing")
 	}
 }
+
+// Episode memoization must be invisible in results: RunDeterministic is
+// bit-identical with the cache on vs off, at any worker count, for both a
+// keyed adaptive scheduler and the (deliberately unkeyed, memo-passthrough)
+// non-adaptive family.
+func TestRunDeterministicMemoOnOffBitIdentical(t *testing.T) {
+	nonadaptiveFactory := func(ws station.Workstation, c station.Contract) (model.EpisodeScheduler, error) {
+		return sched.NewNonAdaptive(c.U, c.P, ws.Setup)
+	}
+	factories := map[string]station.SchedulerFactory{
+		"equalized":   equalizedFactory,
+		"nonadaptive": nonadaptiveFactory,
+	}
+	for name, factory := range factories {
+		f := testFarm(24, station.Office{MeanIdle: 700, MaxP: 2})
+		f.OpportunitiesPerStation = 6
+		job := Job{Tasks: task.Exponential(1500, 15, 5)}
+		base, err := f.RunDeterministic(job, factory, 42, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, memoOff := range []bool{false, true} {
+			for _, workers := range []int{1, 8} {
+				g := f
+				g.DisableEpisodeMemo = memoOff
+				got, err := g.RunDeterministic(job, factory, 42, workers)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !resultsEqual(base, got) {
+					t.Errorf("%s: memoOff=%v workers=%d diverged from memo-on serial", name, memoOff, workers)
+				}
+			}
+		}
+	}
+}
+
+// The live engine's aggregate invariants (task conservation) must also hold
+// identically with the memo on or off; per-station assignment is free to
+// differ (it is scheduling-dependent either way).
+func TestRunMemoOnOffConserves(t *testing.T) {
+	for _, memoOff := range []bool{false, true} {
+		f := testFarm(16, station.Laptop{MeanIdle: 2000})
+		f.DisableEpisodeMemo = memoOff
+		job := Job{Tasks: task.Uniform(2000, 5, 60, 9)}
+		res, err := f.Run(job, equalizedFactory, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.TasksCompleted+res.TasksLeft != len(job.Tasks) {
+			t.Errorf("memoOff=%v: %d + %d ≠ %d", memoOff, res.TasksCompleted, res.TasksLeft, len(job.Tasks))
+		}
+	}
+}

@@ -65,5 +65,8 @@ type noTasks struct{}
 // Take implements sim.TaskSource.
 func (noTasks) Take(quant.Tick) []task.Task { return nil }
 
+// TakeInto implements sim.TaskSource.
+func (noTasks) TakeInto(dst []task.Task, _ quant.Tick) []task.Task { return dst }
+
 // Return implements sim.TaskSource.
 func (noTasks) Return([]task.Task) {}

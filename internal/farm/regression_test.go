@@ -111,6 +111,15 @@ func (h *holderSource) Take(capacity quant.Tick) []task.Task {
 	return got
 }
 
+func (h *holderSource) TakeInto(dst []task.Task, capacity quant.Tick) []task.Task {
+	base := len(dst)
+	dst = h.src.TakeInto(dst, capacity)
+	if len(dst) > base {
+		h.p.tookOnce.Do(func() { close(h.p.took) })
+	}
+	return dst
+}
+
 func (h *holderSource) Return(tasks []task.Task) {
 	if len(tasks) > 0 {
 		select {
@@ -149,6 +158,10 @@ func (s *proberSource) Take(capacity quant.Tick) []task.Task {
 		}
 	}
 	return got
+}
+
+func (s *proberSource) TakeInto(dst []task.Task, capacity quant.Tick) []task.Task {
+	return append(dst, s.Take(capacity)...)
 }
 
 func (s *proberSource) Return(tasks []task.Task) { s.src.Return(tasks) }
@@ -241,7 +254,7 @@ func TestShardedBagForcedRetryReprobesHome(t *testing.T) {
 	// co-homed kill lands its task back in shard 0; the forced pass behind
 	// the epoch gate must find it there.
 	s2.Return([]task.Task{{ID: 9, Duration: 5}})
-	got := s0.retryUnderLocks(100)
+	got := s0.retryUnderLocks(nil, 100)
 	if len(got) != 1 || got[0].ID != 9 {
 		t.Fatalf("home-shard return missed by the forced pass: %v (remaining %d)", got, b.Remaining())
 	}
@@ -359,5 +372,218 @@ func TestFarmRunAccountsLifespan(t *testing.T) {
 		if s.IdleTicks > s.LifespanTicks {
 			t.Errorf("station %d idled %d of %d lifespan", s.Station, s.IdleTicks, s.LifespanTicks)
 		}
+	}
+}
+
+// --- single-shot shipping: two stations racing on one bag --------------------
+
+// shipKillOwner offers one two-period contract whose second period is killed
+// at its last instant, then unusable 1-tick contracts.
+type shipKillOwner struct{ calls int }
+
+func (o *shipKillOwner) Sample(rng *rand.Rand) station.Contract {
+	o.calls++
+	if o.calls == 1 {
+		return station.Contract{U: 100, P: 1}
+	}
+	return station.Contract{U: 1, P: 0}
+}
+
+func (o *shipKillOwner) Interrupter(rng *rand.Rand, c station.Contract) sim.Interrupter {
+	return killAt{at: 100}
+}
+
+func (o *shipKillOwner) Name() string { return "shipkill" }
+
+// shipperSource instruments station 0: its second nonempty ship (the
+// to-be-killed period's) closes shipped and records the in-flight IDs; the
+// kill's Return then stalls until the rival has probed the bag.
+type shipperSource struct {
+	src      sim.TaskSource
+	ships    int
+	inflight []int
+	shipped  chan struct{}
+	probed   <-chan struct{}
+	returned chan struct{}
+}
+
+func (s *shipperSource) Take(capacity quant.Tick) []task.Task {
+	return s.TakeInto(nil, capacity)
+}
+
+func (s *shipperSource) TakeInto(dst []task.Task, capacity quant.Tick) []task.Task {
+	base := len(dst)
+	dst = s.src.TakeInto(dst, capacity)
+	if len(dst) > base {
+		s.ships++
+		if s.ships == 2 {
+			for _, tk := range dst[base:] {
+				s.inflight = append(s.inflight, tk.ID)
+			}
+			close(s.shipped)
+		}
+	}
+	return dst
+}
+
+func (s *shipperSource) Return(tasks []task.Task) {
+	if len(tasks) > 0 {
+		select {
+		case <-s.probed:
+		case <-time.After(2 * time.Second):
+		}
+	}
+	s.src.Return(tasks)
+	if len(tasks) > 0 {
+		close(s.returned)
+	}
+}
+
+// rivalSource instruments station 1: once station 0 has shipped its killed
+// period, the rival's next take records what the bag would still hand out —
+// in-flight tasks must not be among it.
+type rivalSource struct {
+	src       sim.TaskSource
+	shipped   <-chan struct{}
+	probed    chan struct{}
+	returned  <-chan struct{}
+	probeOnce sync.Once
+	probeIDs  []int
+}
+
+func (r *rivalSource) Take(capacity quant.Tick) []task.Task {
+	return r.TakeInto(nil, capacity)
+}
+
+func (r *rivalSource) TakeInto(dst []task.Task, capacity quant.Tick) []task.Task {
+	base := len(dst)
+	dst = r.src.TakeInto(dst, capacity)
+	select {
+	case <-r.shipped:
+		r.probeOnce.Do(func() {
+			for _, tk := range dst[base:] {
+				r.probeIDs = append(r.probeIDs, tk.ID)
+			}
+			close(r.probed)
+		})
+	default:
+	}
+	if len(dst) == base {
+		// Dry take after the probe: wait for the shipper's stalled Return to
+		// land and retry, so the rescue is a deterministic interleaving
+		// rather than a race against the opportunity budget.
+		select {
+		case <-r.returned:
+			dst = r.src.TakeInto(dst, capacity)
+		case <-time.After(2 * time.Second):
+		}
+	}
+	return dst
+}
+
+func (r *rivalSource) Return(tasks []task.Task) { r.src.Return(tasks) }
+
+type racingPool struct {
+	inner   TaskPool
+	shipper *shipperSource
+	rival   *rivalSource
+}
+
+func (p *racingPool) Station(i int) sim.TaskSource {
+	if i == 0 {
+		p.shipper.src = p.inner.Station(i)
+		return p.shipper
+	}
+	p.rival.src = p.inner.Station(i)
+	return p.rival
+}
+
+func (p *racingPool) Remaining() int            { return p.inner.Remaining() }
+func (p *racingPool) RemainingWork() quant.Tick { return p.inner.RemainingWork() }
+func (p *racingPool) Steals() int               { return p.inner.Steals() }
+func (p *racingPool) Exhaustible() bool         { return true }
+
+// rivalOwner waits for station 0 to ship its killed period, then offers
+// benign contracts until the job is done.
+type rivalOwner struct {
+	gate   <-chan struct{}
+	waited bool
+}
+
+func (o *rivalOwner) Sample(rng *rand.Rand) station.Contract {
+	if !o.waited {
+		select {
+		case <-o.gate:
+		case <-time.After(2 * time.Second):
+		}
+		o.waited = true
+	}
+	return station.Contract{U: 5000, P: 0}
+}
+
+func (o *rivalOwner) Interrupter(rng *rand.Rand, c station.Contract) sim.Interrupter {
+	return adversary.None{}
+}
+
+func (o *rivalOwner) Name() string { return "rival" }
+
+// Single-shot shipping regression: a period's tasks leave the bag when the
+// period starts, so a rival station racing on the same bag can neither drain
+// a period's in-flight tasks out from under it nor observe them while the
+// period runs; the kill then returns exactly the shipped set and the rival
+// rescues it. Before the restructure the killed period only took its tasks
+// at kill-processing time, so "in-flight tasks returned" depended on scan
+// timing rather than on what the period held.
+func TestRacingStationsCannotDrainInFlightTasks(t *testing.T) {
+	shipped := make(chan struct{})
+	probed := make(chan struct{})
+	returned := make(chan struct{})
+	shipper := &shipperSource{shipped: shipped, probed: probed, returned: returned}
+	rival := &rivalSource{shipped: shipped, probed: probed, returned: returned}
+	pool := &racingPool{inner: NewSharedBag(task.Fixed(6, 20)), shipper: shipper, rival: rival}
+
+	stations := []station.Workstation{
+		{ID: 0, Owner: &shipKillOwner{}, Setup: 10},
+		{ID: 1, Owner: &rivalOwner{gate: shipped}, Setup: 10},
+	}
+	f := Farm{Stations: stations, OpportunitiesPerStation: 300, Workers: 2}
+	factory := func(ws station.Workstation, c station.Contract) (model.EpisodeScheduler, error) {
+		if ws.ID == 0 && c.U == 100 {
+			// Two periods of 50 (capacity 40 each: two 20-tick tasks per
+			// period); killAt{100} kills the second at its last instant.
+			return sched.NonAdaptiveFromPeriods(model.TickSchedule{50, 50}, c.P, 10)
+		}
+		return sched.SinglePeriod{}, nil
+	}
+	res, err := f.RunPool(pool, factory, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shipper.inflight) != 2 {
+		t.Fatalf("killed period shipped %v, want 2 tasks", shipper.inflight)
+	}
+	inflight := map[int]bool{}
+	for _, id := range shipper.inflight {
+		inflight[id] = true
+	}
+	for _, id := range rival.probeIDs {
+		if inflight[id] {
+			t.Errorf("rival drained in-flight task %d while its period was running", id)
+		}
+	}
+	if res.TasksLeft != 0 {
+		t.Fatalf("killed-period tasks stranded: %d left", res.TasksLeft)
+	}
+	if res.TasksCompleted != 6 {
+		t.Errorf("completed %d of 6 tasks", res.TasksCompleted)
+	}
+	if got := res.Stations[0].TasksCompleted; got != 2 {
+		t.Errorf("station 0 should bank only its first period's 2 tasks, got %d", got)
+	}
+	if got := res.Stations[1].TasksCompleted; got != 4 {
+		t.Errorf("station 1 should rescue the killed pair plus the leftovers (4), got %d", got)
+	}
+	if res.Stations[0].KilledTicks != 50 {
+		t.Errorf("station 0 killed ticks = %d, want 50", res.Stations[0].KilledTicks)
 	}
 }

@@ -118,21 +118,24 @@ func (b *ShardedBag) Steals() int { return int(b.steals.Load()) }
 // Exhaustible implements TaskPool: the sharded bag is the job.
 func (b *ShardedBag) Exhaustible() bool { return true }
 
-// takeFrom drains shard s under its stripe lock and settles the global
-// counters outside it.
-func (b *ShardedBag) takeFrom(s int, capacity quant.Tick) []task.Task {
+// takeFrom drains shard s under its stripe lock, appending into dst, and
+// settles the global counters outside it. took reports whether anything was
+// taken.
+func (b *ShardedBag) takeFrom(s int, dst []task.Task, capacity quant.Tick) (out []task.Task, took bool) {
 	sh := &b.shards[s]
+	base := len(dst)
 	sh.mu.Lock()
-	got := sh.bag.Take(capacity)
-	if got != nil {
+	dst = sh.bag.TakeInto(dst, capacity)
+	took = len(dst) > base
+	if took {
 		sh.size.Store(int64(sh.bag.Remaining()))
 	}
 	sh.mu.Unlock()
-	if got != nil {
-		b.remaining.Add(-int64(len(got)))
-		b.work.Add(-task.Durations(got))
+	if took {
+		b.remaining.Add(-int64(len(dst) - base))
+		b.work.Add(-task.Durations(dst[base:]))
 	}
-	return got
+	return dst, took
 }
 
 // noteRichest promotes shard s to the steal hint when its mirror outgrows
@@ -162,22 +165,41 @@ type stationView struct {
 // counter says tasks remain — one forced retry of the whole cycle (home
 // included) under the locks.
 func (v *stationView) Take(capacity quant.Tick) []task.Task {
-	return v.take(capacity, v.b.returns.Load())
+	got := v.takeInto(nil, capacity, v.b.returns.Load())
+	if len(got) == 0 {
+		return nil
+	}
+	return got
+}
+
+// TakeInto implements sim.TaskSource: Take appending into the caller's
+// buffer.
+func (v *stationView) TakeInto(dst []task.Task, capacity quant.Tick) []task.Task {
+	return v.takeInto(dst, capacity, v.b.returns.Load())
 }
 
 // take is Take with the caller-observed return epoch — split out so tests
 // can replay the exact interleaving of a Return landing mid-scan.
 func (v *stationView) take(capacity quant.Tick, epoch int64) []task.Task {
-	if got := v.b.takeFrom(v.home, capacity); got != nil {
-		return got
+	got := v.takeInto(nil, capacity, epoch)
+	if len(got) == 0 {
+		return nil
+	}
+	return got
+}
+
+// takeInto is the shared take path with an explicit return epoch.
+func (v *stationView) takeInto(dst []task.Task, capacity quant.Tick, epoch int64) []task.Task {
+	if out, took := v.b.takeFrom(v.home, dst, capacity); took {
+		return out
 	}
 	if !v.b.linearScan {
-		if got := v.stealHinted(capacity); got != nil {
-			return got
+		if out, took := v.stealHinted(dst, capacity); took {
+			return out
 		}
 	}
-	if got := v.stealScan(capacity, false); got != nil {
-		return got
+	if out, took := v.stealScan(dst, capacity, false); took {
+		return out
 	}
 	if v.b.remaining.Load() > 0 && v.b.returns.Load() != epoch {
 		// Tasks remain and a Return completed while we scanned: a mirror
@@ -186,41 +208,42 @@ func (v *stationView) take(capacity quant.Tick, epoch int64) []task.Task {
 		// never turn a live bag phantom-empty. When the epoch is unchanged
 		// the miss is a capacity miss (mirrors are exact at quiescence)
 		// and a locked rescan could not help.
-		return v.retryUnderLocks(capacity)
+		return v.retryUnderLocks(dst, capacity)
 	}
-	return nil
+	return dst
 }
 
 // retryUnderLocks is the forced pass behind the epoch gate: the whole cycle
 // under the stripe locks, ignoring the mirrors — home shard first, since a
 // co-homed station's kill lands its tasks in the scanner's own queue.
-func (v *stationView) retryUnderLocks(capacity quant.Tick) []task.Task {
-	if got := v.b.takeFrom(v.home, capacity); got != nil {
-		return got
+func (v *stationView) retryUnderLocks(dst []task.Task, capacity quant.Tick) []task.Task {
+	if out, took := v.b.takeFrom(v.home, dst, capacity); took {
+		return out
 	}
-	return v.stealScan(capacity, true)
+	out, _ := v.stealScan(dst, capacity, true)
+	return out
 }
 
 // stealHinted probes the last successful victim, then the richest-shard
 // index — the O(1) fast path of a dry station at fleet scale.
-func (v *stationView) stealHinted(capacity quant.Tick) []task.Task {
+func (v *stationView) stealHinted(dst []task.Task, capacity quant.Tick) ([]task.Task, bool) {
 	for _, s := range [2]int{v.lastVictim, int(v.b.richest.Load())} {
 		if s < 0 || s == v.home || v.b.shards[s].size.Load() == 0 {
 			continue
 		}
-		if got := v.b.takeFrom(s, capacity); got != nil {
+		if out, took := v.b.takeFrom(s, dst, capacity); took {
 			v.b.steals.Add(1)
 			v.lastVictim = s
-			return got
+			return out, true
 		}
 	}
-	return nil
+	return dst, false
 }
 
 // stealScan walks the other shards in deterministic cyclic order. Shards
 // whose size mirror reads empty are skipped without touching their lock
 // unless force is set.
-func (v *stationView) stealScan(capacity quant.Tick, force bool) []task.Task {
+func (v *stationView) stealScan(dst []task.Task, capacity quant.Tick, force bool) ([]task.Task, bool) {
 	n := len(v.b.shards)
 	for d := 1; d < n; d++ {
 		s := v.home + d
@@ -230,13 +253,13 @@ func (v *stationView) stealScan(capacity quant.Tick, force bool) []task.Task {
 		if !force && v.b.shards[s].size.Load() == 0 {
 			continue
 		}
-		if got := v.b.takeFrom(s, capacity); got != nil {
+		if out, took := v.b.takeFrom(s, dst, capacity); took {
 			v.b.steals.Add(1)
 			v.lastVictim = s
-			return got
+			return out, true
 		}
 	}
-	return nil
+	return dst, false
 }
 
 // Return puts killed in-flight tasks at the front of the thief's own queue.

@@ -273,33 +273,46 @@ func (s TickSchedule) Clone() TickSchedule {
 // by the longest period, which perturbs any single period by at most m ticks
 // — an O(resolution) perturbation of the work functional.
 func Quantize(s Schedule, q quant.Quantum, total quant.Tick) (TickSchedule, error) {
+	out, err := AppendQuantize(nil, s, q, total)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// AppendQuantize is Quantize writing into the caller's buffer: the quantized
+// periods are appended to dst and the extended slice returned, so a hot loop
+// (the simulator quantizes one episode per interrupt) reuses one allocation
+// instead of paying a fresh TickSchedule per episode. On error dst is
+// returned truncated to its original length.
+func AppendQuantize(dst TickSchedule, s Schedule, q quant.Quantum, total quant.Tick) (TickSchedule, error) {
 	if len(s) == 0 {
-		return nil, ErrEmptySchedule
+		return dst, ErrEmptySchedule
 	}
 	if total < quant.Tick(len(s)) {
-		return nil, fmt.Errorf("model: cannot fit %d periods into %d ticks", len(s), total)
+		return dst, fmt.Errorf("model: cannot fit %d periods into %d ticks", len(s), total)
 	}
-	out := make(TickSchedule, len(s))
+	base := len(dst)
 	var sum quant.Tick
-	longest := 0
-	for i, t := range s {
+	longest := base
+	for _, t := range s {
 		ticks := q.ToTicks(t)
 		if ticks < 1 {
 			ticks = 1
 		}
-		out[i] = ticks
+		dst = append(dst, ticks)
 		sum += ticks
-		if out[i] > out[longest] {
-			longest = i
+		if dst[len(dst)-1] > dst[longest] {
+			longest = len(dst) - 1
 		}
 	}
 	diff := total - sum
-	if out[longest]+diff < 1 {
+	if dst[longest]+diff < 1 {
 		// Residue would annihilate the longest period; spread it instead.
-		return nil, fmt.Errorf("model: quantization residue %d exceeds schedule capacity", diff)
+		return dst[:base], fmt.Errorf("model: quantization residue %d exceeds schedule capacity", diff)
 	}
-	out[longest] += diff
-	return out, nil
+	dst[longest] += diff
+	return dst, nil
 }
 
 // EpisodeScheduler is the adaptive-scheduling interface of §2.2: given the
@@ -324,6 +337,50 @@ type EpisodeFunc func(p int, L quant.Tick) TickSchedule
 
 // Episode implements EpisodeScheduler.
 func (f EpisodeFunc) Episode(p int, L quant.Tick) TickSchedule { return f(p, L) }
+
+// EpisodeAppender is the allocation-free variant of EpisodeScheduler: the
+// episode's periods are appended to dst and the extended slice returned, so a
+// driver replaying millions of opportunities can reuse one episode buffer per
+// station instead of allocating a fresh TickSchedule per episode. The
+// appended periods must be exactly Episode(p, L); callers own dst and may
+// overwrite it after use.
+type EpisodeAppender interface {
+	AppendEpisode(dst TickSchedule, p int, L quant.Tick) TickSchedule
+}
+
+// AppendEpisode appends s's episode for (p, L) to dst, using the scheduler's
+// allocation-free AppendEpisode when it has one and falling back to copying
+// the Episode result otherwise. This is the call the simulator's hot loop
+// makes, so implementing EpisodeAppender is the opt-in to the zero-alloc
+// episode path.
+func AppendEpisode(s EpisodeScheduler, dst TickSchedule, p int, L quant.Tick) TickSchedule {
+	if a, ok := s.(EpisodeAppender); ok {
+		return a.AppendEpisode(dst, p, L)
+	}
+	return append(dst, s.Episode(p, L)...)
+}
+
+// MemoKey identifies a scheduler's episode function for cross-instance
+// caching. It is a plain comparable struct — built and compared without
+// allocating, since the farm engine derives one per opportunity. Kind names
+// the scheduler family (a string constant); the numeric fields carry
+// whatever parameters the family's episodes depend on, zero when unused.
+type MemoKey struct {
+	Kind string     // scheduler family
+	C    quant.Tick // setup cost
+	M    int        // period-count / chunk-size parameter
+}
+
+// EpisodeMemoKeyer is implemented by schedulers whose Episode is a pure
+// function of (p, L) and the reported key: two scheduler instances returning
+// equal keys (with ok true) emit bit-identical episodes for every (p, L), so
+// a (p, L)-keyed episode cache may outlive any single instance — the property
+// sched.Memo relies on to keep one warm cache per station while factories
+// hand it a fresh scheduler per contract. Schedulers whose episodes depend on
+// state the key cannot capture must return ok false.
+type EpisodeMemoKeyer interface {
+	EpisodeMemoKey() (key MemoKey, ok bool)
+}
 
 // Namer is implemented by schedulers that can report a human-readable name
 // for experiment tables.

@@ -313,3 +313,82 @@ func TestOpportunityString(t *testing.T) {
 		t.Error("empty String()")
 	}
 }
+
+// AppendQuantize must agree with Quantize bit for bit and leave the prefix of
+// the destination buffer untouched — the contract the simulator's reusable
+// episode buffer rides on.
+func TestAppendQuantizeMatchesQuantize(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	unit := quant.MustQuantum(1)
+	for trial := 0; trial < 300; trial++ {
+		m := 1 + rng.Intn(12)
+		s := make(Schedule, m)
+		var total quant.Tick
+		for i := range s {
+			s[i] = rng.Float64()*40 + 0.3
+		}
+		total = quant.Tick(s.Total()) + quant.Tick(rng.Intn(5)) + quant.Tick(m)
+		want, wantErr := Quantize(s, unit, total)
+		prefix := TickSchedule{11, 22, 33}
+		dst := append(TickSchedule{}, prefix...)
+		got, gotErr := AppendQuantize(dst, s, unit, total)
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("trial %d: error mismatch: %v vs %v", trial, wantErr, gotErr)
+		}
+		if len(got) < len(prefix) || got[0] != 11 || got[1] != 22 || got[2] != 33 {
+			t.Fatalf("trial %d: prefix clobbered: %v", trial, got)
+		}
+		if wantErr != nil {
+			if len(got) != len(prefix) {
+				t.Fatalf("trial %d: error path appended periods: %v", trial, got)
+			}
+			continue
+		}
+		tail := got[len(prefix):]
+		if len(tail) != len(want) {
+			t.Fatalf("trial %d: appended %d periods, want %d", trial, len(tail), len(want))
+		}
+		for i := range want {
+			if tail[i] != want[i] {
+				t.Fatalf("trial %d: period %d = %d, want %d", trial, i, tail[i], want[i])
+			}
+		}
+	}
+}
+
+func TestAppendQuantizeErrors(t *testing.T) {
+	unit := quant.MustQuantum(1)
+	if _, err := AppendQuantize(nil, nil, unit, 10); err == nil {
+		t.Error("empty schedule accepted")
+	}
+	if _, err := AppendQuantize(nil, Schedule{1, 1, 1}, unit, 2); err == nil {
+		t.Error("underfull total accepted")
+	}
+}
+
+// appenderScheduler counts AppendEpisode calls so the helper's dispatch is
+// observable.
+type appenderScheduler struct{ appends int }
+
+func (a *appenderScheduler) Episode(p int, L quant.Tick) TickSchedule { return TickSchedule{L} }
+func (a *appenderScheduler) AppendEpisode(dst TickSchedule, p int, L quant.Tick) TickSchedule {
+	a.appends++
+	return append(dst, L)
+}
+
+func TestAppendEpisodeDispatch(t *testing.T) {
+	a := &appenderScheduler{}
+	got := AppendEpisode(a, TickSchedule{5}, 1, 100)
+	if a.appends != 1 {
+		t.Errorf("AppendEpisode not dispatched to the appender (calls=%d)", a.appends)
+	}
+	if len(got) != 2 || got[0] != 5 || got[1] != 100 {
+		t.Errorf("appended schedule = %v", got)
+	}
+	// Fallback: a plain scheduler's Episode result is copied in.
+	plain := EpisodeFunc(func(p int, L quant.Tick) TickSchedule { return TickSchedule{L, L} })
+	got = AppendEpisode(plain, TickSchedule{1}, 0, 7)
+	if len(got) != 3 || got[1] != 7 || got[2] != 7 {
+		t.Errorf("fallback append = %v", got)
+	}
+}

@@ -95,6 +95,11 @@ type Fleet struct {
 	OpportunitiesPerStation int
 	// Workers bounds the worker pool; 0 means GOMAXPROCS.
 	Workers int
+	// DisableEpisodeMemo turns off the shared engine's per-station episode
+	// cache — results are bit-identical either way (the cache serves pure
+	// (p, L) functions); the switch exists for benchmarking and the tests
+	// that pin the equivalence.
+	DisableEpisodeMemo bool
 }
 
 // farm binds the fleet onto the shared engine.
@@ -103,6 +108,7 @@ func (f Fleet) farm() farm.Farm {
 		Stations:                f.Stations,
 		OpportunitiesPerStation: f.OpportunitiesPerStation,
 		Workers:                 f.Workers,
+		DisableEpisodeMemo:      f.DisableEpisodeMemo,
 	}
 }
 

@@ -317,3 +317,35 @@ func TestValidateTraceErrors(t *testing.T) {
 		t.Error("interrupt beyond lifespan accepted")
 	}
 }
+
+// Episode memoization must be invisible: the whole FleetResult is
+// bit-identical with the per-station episode cache enabled vs disabled, at
+// Workers 1 and 8, with and without private task bags.
+func TestFleetRunMemoOnOffBitIdentical(t *testing.T) {
+	tasksPer := func(ws Workstation) *task.Bag {
+		return task.NewBag(task.Uniform(200, 10, 80, int64(ws.ID)))
+	}
+	for _, bags := range []func(Workstation) *task.Bag{nil, tasksPer} {
+		base := testFleet(12, Office{MeanIdle: 2500, MaxP: 2})
+		base.Workers = 1
+		want, err := base.Run(equalizedFactory, 13, bags)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, memoOff := range []bool{false, true} {
+			for _, workers := range []int{1, 8} {
+				f := base
+				f.Workers = workers
+				f.DisableEpisodeMemo = memoOff
+				got, err := f.Run(equalizedFactory, 13, bags)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(want, got) {
+					t.Errorf("memoOff=%v workers=%d (bags=%v): FleetResult diverged",
+						memoOff, workers, bags != nil)
+				}
+			}
+		}
+	}
+}

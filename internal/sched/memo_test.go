@@ -1,0 +1,280 @@
+package sched
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"cyclesteal/internal/model"
+	"cyclesteal/internal/quant"
+)
+
+// Every scheduler's AppendEpisode must emit exactly its Episode — the append
+// paths are the hot-loop implementations, and any drift would silently change
+// simulation results fleet-wide.
+func TestAppendEpisodeMatchesEpisode(t *testing.T) {
+	c := quant.Tick(10)
+	ag, _ := NewAdaptiveGuideline(c)
+	eq, _ := NewAdaptiveEqualized(c)
+	op, _ := NewOptimalP1(c)
+	na, _ := NewNonAdaptive(5000, 2, c)
+	nf, _ := NonAdaptiveFromPeriods(model.TickSchedule{700, 800, 3500}, 2, c)
+	schedulers := []model.EpisodeScheduler{
+		ag, eq, op, na, nf,
+		SinglePeriod{},
+		EqualSplit{M: 7},
+		FixedChunk{T: 250},
+		GuidelineVariant{C: c, Cfg: GuidelineConfig{DumpResidue: true}, Variant: "dump"},
+	}
+	rng := rand.New(rand.NewSource(3))
+	for _, s := range schedulers {
+		for trial := 0; trial < 200; trial++ {
+			p := rng.Intn(4)
+			L := quant.Tick(1 + rng.Int63n(5000))
+			want := s.Episode(p, L)
+			prefix := model.TickSchedule{1, 2}
+			got := model.AppendEpisode(s, append(model.TickSchedule{}, prefix...), p, L)
+			if len(got) < 2 || got[0] != 1 || got[1] != 2 {
+				t.Fatalf("%s: prefix clobbered: %v", model.NameOf(s), got)
+			}
+			tail := got[2:]
+			if len(tail) != len(want) {
+				t.Fatalf("%s (p=%d L=%d): append emitted %d periods, Episode %d",
+					model.NameOf(s), p, L, len(tail), len(want))
+			}
+			for i := range want {
+				if tail[i] != want[i] {
+					t.Fatalf("%s (p=%d L=%d): period %d = %d, want %d",
+						model.NameOf(s), p, L, i, tail[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// The append paths must reuse the destination's capacity — the whole point
+// of the API. One warm buffer, zero allocations per episode.
+func TestAppendEpisodeZeroAllocWhenWarm(t *testing.T) {
+	c := quant.Tick(10)
+	eq, _ := NewAdaptiveEqualized(c)
+	buf := make(model.TickSchedule, 0, 4096)
+	// Warm the scratch.
+	buf = eq.AppendEpisode(buf[:0], 3, 4321)
+	allocs := testing.AllocsPerRun(50, func() {
+		buf = eq.AppendEpisode(buf[:0], 3, 4321)
+	})
+	if allocs != 0 {
+		t.Errorf("warm AppendEpisode allocates %.1f times per episode", allocs)
+	}
+}
+
+func TestMemoHitReturnsIdenticalEpisode(t *testing.T) {
+	c := quant.Tick(10)
+	eq, _ := NewAdaptiveEqualized(c)
+	m := NewMemo(16)
+	s := m.Bind(eq)
+	if s != model.EpisodeScheduler(m) {
+		t.Fatal("keyed scheduler not wrapped by the memo")
+	}
+	first := s.Episode(2, 3000)
+	second := s.Episode(2, 3000)
+	if m.Hits() != 1 || m.Misses() != 1 {
+		t.Errorf("hits/misses = %d/%d, want 1/1", m.Hits(), m.Misses())
+	}
+	if len(first) != len(second) {
+		t.Fatalf("cached episode has %d periods, want %d", len(second), len(first))
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("cached episode diverges at %d: %d vs %d", i, second[i], first[i])
+		}
+	}
+	// Mutating a returned episode must not poison the cache.
+	second[0] = 999999
+	third := s.Episode(2, 3000)
+	if third[0] != first[0] {
+		t.Error("cache poisoned through a returned episode")
+	}
+}
+
+func TestMemoBindKeepsCacheAcrossEqualKeys(t *testing.T) {
+	c := quant.Tick(10)
+	m := NewMemo(16)
+	a, _ := NewAdaptiveEqualized(c)
+	b, _ := NewAdaptiveEqualized(c) // fresh instance, same key — the factory pattern
+	s := m.Bind(a)
+	s.Episode(1, 500)
+	if m.Len() != 1 {
+		t.Fatalf("cache len = %d", m.Len())
+	}
+	s = m.Bind(b)
+	s.Episode(1, 500)
+	if m.Hits() != 1 {
+		t.Errorf("cache went cold across equal-key rebind: hits=%d", m.Hits())
+	}
+	// A different key must reset it.
+	g, _ := NewAdaptiveGuideline(c)
+	s = m.Bind(g)
+	if m.Len() != 0 {
+		t.Errorf("cache survived a key change: len=%d", m.Len())
+	}
+	s.Episode(1, 500)
+	if got := s.Episode(1, 500); len(got) == 0 {
+		t.Error("rebound memo returned empty episode")
+	}
+}
+
+func TestMemoUnkeyedSchedulerPassesThrough(t *testing.T) {
+	m := NewMemo(16)
+	nf, _ := NonAdaptiveFromPeriods(model.TickSchedule{100, 200}, 1, 10)
+	if s := m.Bind(nf); s != model.EpisodeScheduler(nf) {
+		t.Error("unkeyed scheduler was wrapped; its episodes are not a pure function of (p, L)")
+	}
+	v := GuidelineVariant{C: 10, Variant: "x"}
+	if _, wrapped := m.Bind(v).(*Memo); wrapped {
+		t.Error("guideline variant wrapped despite config funcs a key cannot capture")
+	}
+	// NewNonAdaptive is deliberately unkeyed too: fleet factories bake the
+	// freshly sampled contract U into it, so its key would churn every
+	// opportunity, and its episodes are already zero-alloc tail copies.
+	na, _ := NewNonAdaptive(5000, 2, 10)
+	if _, wrapped := m.Bind(na).(*Memo); wrapped {
+		t.Error("NonAdaptive wrapped; its per-contract U would churn the cache cold")
+	}
+}
+
+// A keyed scheduler whose key nonetheless churns per bind (e.g. a factory
+// alternating configurations) must not rebuild the cache forever: after
+// coldRebinds useless bindings the memo turns itself off and passes
+// schedulers through untouched.
+func TestMemoDisablesAfterColdRebinds(t *testing.T) {
+	m := NewMemo(16)
+	for i := 0; i < coldRebinds+2; i++ {
+		var s model.EpisodeScheduler
+		if i%2 == 0 {
+			s = EqualSplit{M: 3 + i} // key differs every bind
+		} else {
+			s = FixedChunk{T: quant.Tick(100 + i)}
+		}
+		bound := m.Bind(s)
+		bound.Episode(1, 1000) // miss, never a hit
+		if i > coldRebinds {
+			if _, wrapped := bound.(*Memo); wrapped {
+				t.Fatalf("bind %d still wrapped after %d cold rebinds", i, coldRebinds)
+			}
+		}
+	}
+	if !m.disabled {
+		t.Error("memo never disabled itself under key churn")
+	}
+	// A healthy memo (stable key, real hits) must never disable.
+	h := NewMemo(16)
+	eqA, _ := NewAdaptiveEqualized(10)
+	for i := 0; i < 50; i++ {
+		eqB, _ := NewAdaptiveEqualized(10)
+		h.Bind(eqB).Episode(1, 777)
+		_ = eqA
+	}
+	if h.disabled || h.Hits() < 49 {
+		t.Errorf("stable-key memo degraded: disabled=%v hits=%d", h.disabled, h.Hits())
+	}
+}
+
+func TestMemoBoundedEviction(t *testing.T) {
+	m := NewMemo(4)
+	s := m.Bind(SinglePeriod{})
+	for L := quant.Tick(1); L <= 10; L++ {
+		s.Episode(0, L)
+	}
+	if m.Len() != 4 {
+		t.Errorf("cache len = %d, want the bound 4", m.Len())
+	}
+	// FIFO: the newest 4 keys (L=7..10) survive; L=7 hits, L=1 misses again.
+	before := m.Hits()
+	s.Episode(0, 7)
+	if m.Hits() != before+1 {
+		t.Error("recent entry evicted")
+	}
+	missBefore := m.Misses()
+	s.Episode(0, 1)
+	if m.Misses() != missBefore+1 {
+		t.Error("oldest entry not evicted")
+	}
+	if m.Len() != 4 {
+		t.Errorf("cache len = %d after churn, want 4", m.Len())
+	}
+}
+
+// The memo must be invisible in results: a simulator driving the memoized
+// scheduler and the bare one must see bit-identical episode streams even
+// under cache-eviction churn.
+func TestMemoBitIdenticalUnderChurn(t *testing.T) {
+	c := quant.Tick(7)
+	bare, _ := NewAdaptiveEqualized(c)
+	inner, _ := NewAdaptiveEqualized(c)
+	m := NewMemo(8) // tiny: forces constant eviction
+	memoized := m.Bind(inner)
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 2000; trial++ {
+		p := rng.Intn(3)
+		L := quant.Tick(1 + rng.Int63n(300)) // small range: plenty of repeats
+		want := bare.Episode(p, L)
+		got := memoized.Episode(p, L)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d (p=%d L=%d): %d periods vs %d", trial, p, L, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d (p=%d L=%d): period %d = %d, want %d", trial, p, L, i, got[i], want[i])
+			}
+		}
+	}
+	if m.Hits() == 0 {
+		t.Error("churn test never hit the cache; nothing was exercised")
+	}
+}
+
+// Schedulers are routinely shared across goroutines (E8 hands one instance
+// to every mc trial worker), so the episode scratch must be race-free: the
+// atomic pad hands the warm buffer to one caller and lets the rest work on
+// private buffers. Run under -race in CI.
+func TestSharedSchedulerConcurrentEpisodes(t *testing.T) {
+	c := quant.Tick(10)
+	eq, _ := NewAdaptiveEqualized(c)
+	ag, _ := NewAdaptiveGuideline(c)
+	op, _ := NewOptimalP1(c)
+	want := map[string]model.TickSchedule{}
+	schedulers := map[string]model.EpisodeScheduler{"equalized": eq, "guideline": ag, "optimalp1": op}
+	for name, s := range schedulers {
+		want[name] = s.Episode(2, 4321)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			buf := make(model.TickSchedule, 0, 256)
+			for i := 0; i < 200; i++ {
+				for name, s := range schedulers {
+					buf = model.AppendEpisode(s, buf[:0], 2, 4321)
+					if len(buf) != len(want[name]) {
+						errs <- name
+						return
+					}
+					for j := range buf {
+						if buf[j] != want[name][j] {
+							errs <- name
+							return
+						}
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for name := range errs {
+		t.Errorf("%s: concurrent episode diverged from serial", name)
+	}
+}

@@ -15,16 +15,45 @@ package sched
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"cyclesteal/internal/model"
 	"cyclesteal/internal/quant"
 	"cyclesteal/internal/theory"
 )
 
+// floatScratch is the reusable continuous-time period buffer the adaptive
+// schedulers build episodes in. Schedulers are routinely shared across
+// goroutines (E8 hands one instance to every mc trial worker), so the buffer
+// is handed out by atomic swap: the steady single-goroutine state reuses one
+// warm buffer with zero allocations, while concurrent callers that find the
+// pad empty just work on a private buffer — never on shared memory.
+type floatScratch struct {
+	pad atomic.Pointer[[]float64]
+}
+
+// take checks out the warm buffer (or a fresh one), truncated to length 0.
+func (f *floatScratch) take() *[]float64 {
+	bp := f.pad.Swap(nil)
+	if bp == nil {
+		bp = new([]float64)
+	}
+	*bp = (*bp)[:0]
+	return bp
+}
+
+// put checks the buffer back in for the next episode.
+func (f *floatScratch) put(bp *[]float64) { f.pad.Store(bp) }
+
 // equalSplit partitions L ticks into k periods whose lengths differ by at
 // most one tick (first L mod k periods get the extra tick). k is clamped to
 // [1, L].
 func equalSplit(L quant.Tick, k int) model.TickSchedule {
+	return appendEqualSplit(nil, L, k)
+}
+
+// appendEqualSplit is equalSplit into the caller's buffer.
+func appendEqualSplit(dst model.TickSchedule, L quant.Tick, k int) model.TickSchedule {
 	if k < 1 {
 		k = 1
 	}
@@ -33,26 +62,32 @@ func equalSplit(L quant.Tick, k int) model.TickSchedule {
 	}
 	base := L / quant.Tick(k)
 	extra := L % quant.Tick(k)
-	out := make(model.TickSchedule, k)
-	for i := range out {
-		out[i] = base
+	for i := 0; i < k; i++ {
+		t := base
 		if quant.Tick(i) < extra {
-			out[i]++
+			t++
 		}
+		dst = append(dst, t)
 	}
-	return out
+	return dst
 }
 
 // quantizeExact converts a continuous schedule (expressed in tick units) to
 // an exact partition of L ticks. Rounding residue lands on the first
 // (longest) period; degenerate inputs fall back to a single period.
 func quantizeExact(periods []float64, L quant.Tick) model.TickSchedule {
+	return appendQuantizeExact(nil, periods, L)
+}
+
+// appendQuantizeExact is quantizeExact into the caller's buffer — the
+// zero-alloc tail of every AppendEpisode below.
+func appendQuantizeExact(dst model.TickSchedule, periods []float64, L quant.Tick) model.TickSchedule {
 	unit := quant.MustQuantum(1)
-	ts, err := model.Quantize(model.Schedule(periods), unit, L)
+	out, err := model.AppendQuantize(dst, model.Schedule(periods), unit, L)
 	if err != nil {
-		return model.TickSchedule{L}
+		return append(dst, L)
 	}
-	return ts
+	return out
 }
 
 // --- §3.1: non-adaptive guideline -------------------------------------------
@@ -123,8 +158,18 @@ func (s *NonAdaptive) M() int { return len(s.periods) }
 // interrupt to have happened — an opportunity that starts with p = 0 runs the
 // crafted period list as-is.
 func (s *NonAdaptive) Episode(p int, L quant.Tick) model.TickSchedule {
-	if L < 1 {
+	ep := s.AppendEpisode(nil, p, L)
+	if len(ep) == 0 {
 		return nil
+	}
+	return ep
+}
+
+// AppendEpisode implements model.EpisodeAppender: the surviving tail is
+// copied straight into the caller's buffer, no clone.
+func (s *NonAdaptive) AppendEpisode(dst model.TickSchedule, p int, L quant.Tick) model.TickSchedule {
+	if L < 1 {
+		return dst
 	}
 	elapsed := s.U - L
 	if elapsed < 0 {
@@ -133,7 +178,7 @@ func (s *NonAdaptive) Episode(p int, L quant.Tick) model.TickSchedule {
 		elapsed = 0
 	}
 	if p <= 0 && elapsed > 0 {
-		return model.TickSchedule{L}
+		return append(dst, L)
 	}
 	// First boundary at or after the elapsed point: periods from there on
 	// are still intact.
@@ -146,12 +191,14 @@ func (s *NonAdaptive) Episode(p int, L quant.Tick) model.TickSchedule {
 			lo = mid + 1
 		}
 	}
-	tail := s.periods[lo:]
-	if len(tail) == 0 {
-		return nil
-	}
-	return tail.Clone()
+	return append(dst, s.periods[lo:]...)
 }
+
+// NonAdaptive deliberately implements no EpisodeMemoKey: its key would have
+// to embed U, which fleet factories sample fresh per contract — every
+// opportunity would rebind the memo cold. There is also nothing to win:
+// AppendEpisode is already a zero-alloc tail copy, exactly the work a cache
+// hit would do.
 
 // Name implements model.Namer.
 func (s *NonAdaptive) Name() string { return fmt.Sprintf("nonadaptive(m=%d)", len(s.periods)) }
@@ -168,6 +215,10 @@ func (s *NonAdaptive) Name() string { return fmt.Sprintf("nonadaptive(m=%d)", le
 // of the adjustment constant from the OCR-damaged original.
 type AdaptiveGuideline struct {
 	C quant.Tick
+	// scratch holds the continuous-time periods between AppendEpisode calls
+	// so the steady state allocates nothing; safe to share across goroutines
+	// (see floatScratch).
+	scratch floatScratch
 }
 
 // NewAdaptiveGuideline returns the Σ_a scheduler for setup cost c ticks.
@@ -203,8 +254,16 @@ func GuidelinePeriodsUnits(p int, L, c float64) []float64 {
 // GuidelinePeriodsUnitsCfg is GuidelinePeriodsUnits under an explicit
 // configuration.
 func GuidelinePeriodsUnitsCfg(p int, L, c float64, cfg GuidelineConfig) []float64 {
+	return appendGuidelineUnits(nil, p, L, c, cfg)
+}
+
+// appendGuidelineUnits builds S_a^(p)[L] into the caller's buffer: the ramp
+// is appended ascending, residue-adjusted, then reversed in place (longest
+// first), so the whole episode costs zero allocations once the buffer has
+// warmed up.
+func appendGuidelineUnits(buf []float64, p int, L, c float64, cfg GuidelineConfig) []float64 {
 	if p <= 0 || L <= float64(p+1)*c {
-		return []float64{L}
+		return append(buf, L)
 	}
 	ellp := (2*p + 2) / 3 // ⌈2p/3⌉
 	if cfg.TailCount != nil {
@@ -224,11 +283,10 @@ func GuidelinePeriodsUnitsCfg(p int, L, c float64, cfg GuidelineConfig) []float6
 		if k < 1 {
 			k = 1
 		}
-		out := make([]float64, k)
-		for i := range out {
-			out[i] = L / float64(k)
+		for i := 0; i < k; i++ {
+			buf = append(buf, L/float64(k))
 		}
-		return out
+		return buf
 	}
 	delta := math.Pow(4, float64(1-p)) * c
 	if cfg.RampStep != nil {
@@ -238,13 +296,14 @@ func GuidelinePeriodsUnitsCfg(p int, L, c float64, cfg GuidelineConfig) []float6
 		}
 	}
 	rem := L - base
-	var ramp []float64
+	rampAt := len(buf)
 	t := adj + delta
 	for rem >= t {
-		ramp = append(ramp, t)
+		buf = append(buf, t)
 		rem -= t
 		t += delta
 	}
+	ramp := buf[rampAt:]
 	switch {
 	case len(ramp) == 0:
 		adj += rem
@@ -260,15 +319,14 @@ func GuidelinePeriodsUnitsCfg(p int, L, c float64, cfg GuidelineConfig) []float6
 			ramp[i] += shift
 		}
 	}
-	out := make([]float64, 0, len(ramp)+1+ellp)
-	for i := len(ramp) - 1; i >= 0; i-- { // longest first
-		out = append(out, ramp[i])
+	for i, j := 0, len(ramp)-1; i < j; i, j = i+1, j-1 { // longest first
+		ramp[i], ramp[j] = ramp[j], ramp[i]
 	}
-	out = append(out, adj)
+	buf = append(buf, adj)
 	for i := 0; i < ellp; i++ {
-		out = append(out, tailLen)
+		buf = append(buf, tailLen)
 	}
-	return out
+	return buf
 }
 
 // GuidelineVariant is an AdaptiveGuideline under a non-default configuration,
@@ -298,11 +356,28 @@ func (s *AdaptiveGuideline) Episode(p int, L quant.Tick) model.TickSchedule {
 	if L < 1 {
 		return nil
 	}
-	if p <= 0 {
-		return model.TickSchedule{L}
+	return s.AppendEpisode(nil, p, L)
+}
+
+// AppendEpisode implements model.EpisodeAppender.
+func (s *AdaptiveGuideline) AppendEpisode(dst model.TickSchedule, p int, L quant.Tick) model.TickSchedule {
+	if L < 1 {
+		return dst
 	}
-	periods := GuidelinePeriodsUnits(p, float64(L), float64(s.C))
-	return quantizeExact(periods, L)
+	if p <= 0 {
+		return append(dst, L)
+	}
+	bp := s.scratch.take()
+	*bp = appendGuidelineUnits(*bp, p, float64(L), float64(s.C), GuidelineConfig{})
+	dst = appendQuantizeExact(dst, *bp, L)
+	s.scratch.put(bp)
+	return dst
+}
+
+// EpisodeMemoKey implements model.EpisodeMemoKeyer: episodes are a pure
+// function of (p, L) once c is fixed.
+func (s *AdaptiveGuideline) EpisodeMemoKey() (model.MemoKey, bool) {
+	return model.MemoKey{Kind: "adaptive-guideline", C: s.C}, true
 }
 
 // Name implements model.Namer.
@@ -320,6 +395,9 @@ func (s *AdaptiveGuideline) Name() string { return "adaptive-guideline" }
 // additive terms — the property Theorem 5.1 claims for Σ_a.
 type AdaptiveEqualized struct {
 	C quant.Tick
+	// scratch holds the continuous-time periods between AppendEpisode calls;
+	// safe to share across goroutines (see floatScratch).
+	scratch floatScratch
 }
 
 // NewAdaptiveEqualized returns the equalization scheduler for setup cost c.
@@ -333,11 +411,16 @@ func NewAdaptiveEqualized(c quant.Tick) (*AdaptiveEqualized, error) {
 // EqualizedPeriodsUnits builds the equalization episode in continuous time
 // (tick units); exported for experiment tables.
 func EqualizedPeriodsUnits(p int, L, c float64) []float64 {
+	return appendEqualizedUnits(nil, p, L, c)
+}
+
+// appendEqualizedUnits builds the equalization episode into the caller's
+// buffer.
+func appendEqualizedUnits(buf []float64, p int, L, c float64) []float64 {
 	if p <= 0 || L <= float64(p+1)*c {
-		return []float64{L}
+		return append(buf, L)
 	}
 	alpha := theory.EqualizedAlpha(p)
-	var out []float64
 	R := L
 	// Ride the self-similar ramp while periods stay comfortably productive;
 	// Theorem 4.2 says the terminal region should be short periods in
@@ -347,7 +430,7 @@ func EqualizedPeriodsUnits(p int, L, c float64) []float64 {
 		if t < 2*c || R-t < c {
 			break
 		}
-		out = append(out, t)
+		buf = append(buf, t)
 		R -= t
 	}
 	if R > 0 {
@@ -356,10 +439,10 @@ func EqualizedPeriodsUnits(p int, L, c float64) []float64 {
 			k = 1
 		}
 		for i := 0; i < k; i++ {
-			out = append(out, R/float64(k))
+			buf = append(buf, R/float64(k))
 		}
 	}
-	return out
+	return buf
 }
 
 // Episode implements model.EpisodeScheduler.
@@ -367,10 +450,28 @@ func (s *AdaptiveEqualized) Episode(p int, L quant.Tick) model.TickSchedule {
 	if L < 1 {
 		return nil
 	}
-	if p <= 0 {
-		return model.TickSchedule{L}
+	return s.AppendEpisode(nil, p, L)
+}
+
+// AppendEpisode implements model.EpisodeAppender.
+func (s *AdaptiveEqualized) AppendEpisode(dst model.TickSchedule, p int, L quant.Tick) model.TickSchedule {
+	if L < 1 {
+		return dst
 	}
-	return quantizeExact(EqualizedPeriodsUnits(p, float64(L), float64(s.C)), L)
+	if p <= 0 {
+		return append(dst, L)
+	}
+	bp := s.scratch.take()
+	*bp = appendEqualizedUnits(*bp, p, float64(L), float64(s.C))
+	dst = appendQuantizeExact(dst, *bp, L)
+	s.scratch.put(bp)
+	return dst
+}
+
+// EpisodeMemoKey implements model.EpisodeMemoKeyer: episodes are a pure
+// function of (p, L) once c is fixed.
+func (s *AdaptiveEqualized) EpisodeMemoKey() (model.MemoKey, bool) {
+	return model.MemoKey{Kind: "adaptive-equalized", C: s.C}, true
 }
 
 // Name implements model.Namer.
@@ -385,6 +486,9 @@ func (s *AdaptiveEqualized) Name() string { return "adaptive-equalized" }
 // period.
 type OptimalP1 struct {
 	C quant.Tick
+	// scratch holds the continuous-time ladder between AppendEpisode calls;
+	// safe to share across goroutines (see floatScratch).
+	scratch floatScratch
 }
 
 // NewOptimalP1 returns the S_opt^(1) scheduler for setup cost c ticks.
@@ -399,18 +503,20 @@ func NewOptimalP1(c quant.Tick) (*OptimalP1, error) {
 // Table 2 experiment rows. It returns a single period when U ≤ 2c (the
 // zero-work regime for p = 1).
 func OptimalP1PeriodsUnits(U, c float64) []float64 {
+	return appendOptimalP1Units(nil, U, c)
+}
+
+// appendOptimalP1Units builds the §5.2 ladder into the caller's buffer.
+func appendOptimalP1Units(buf []float64, U, c float64) []float64 {
 	if U <= 2*c {
-		return []float64{U}
+		return append(buf, U)
 	}
 	m := optimalP1MAdjusted(U, c)
 	eps := optimalP1Epsilon(U, c, m)
-	out := make([]float64, m)
 	for k := 1; k <= m-2; k++ {
-		out[k-1] = (float64(m-k) + eps) * c
+		buf = append(buf, (float64(m-k)+eps)*c)
 	}
-	out[m-2] = (1 + eps) * c
-	out[m-1] = (1 + eps) * c
-	return out
+	return append(buf, (1+eps)*c, (1+eps)*c)
 }
 
 func optimalP1Epsilon(U, c float64, m int) float64 {
@@ -441,10 +547,28 @@ func (s *OptimalP1) Episode(p int, L quant.Tick) model.TickSchedule {
 	if L < 1 {
 		return nil
 	}
-	if p <= 0 {
-		return model.TickSchedule{L}
+	return s.AppendEpisode(nil, p, L)
+}
+
+// AppendEpisode implements model.EpisodeAppender.
+func (s *OptimalP1) AppendEpisode(dst model.TickSchedule, p int, L quant.Tick) model.TickSchedule {
+	if L < 1 {
+		return dst
 	}
-	return quantizeExact(OptimalP1PeriodsUnits(float64(L), float64(s.C)), L)
+	if p <= 0 {
+		return append(dst, L)
+	}
+	bp := s.scratch.take()
+	*bp = appendOptimalP1Units(*bp, float64(L), float64(s.C))
+	dst = appendQuantizeExact(dst, *bp, L)
+	s.scratch.put(bp)
+	return dst
+}
+
+// EpisodeMemoKey implements model.EpisodeMemoKeyer: episodes are a pure
+// function of (p, L) once c is fixed.
+func (s *OptimalP1) EpisodeMemoKey() (model.MemoKey, bool) {
+	return model.MemoKey{Kind: "optimal-p1", C: s.C}, true
 }
 
 // Name implements model.Namer.
@@ -464,6 +588,19 @@ func (SinglePeriod) Episode(p int, L quant.Tick) model.TickSchedule {
 	return model.TickSchedule{L}
 }
 
+// AppendEpisode implements model.EpisodeAppender.
+func (SinglePeriod) AppendEpisode(dst model.TickSchedule, p int, L quant.Tick) model.TickSchedule {
+	if L < 1 {
+		return dst
+	}
+	return append(dst, L)
+}
+
+// EpisodeMemoKey implements model.EpisodeMemoKeyer.
+func (SinglePeriod) EpisodeMemoKey() (model.MemoKey, bool) {
+	return model.MemoKey{Kind: "single-period"}, true
+}
+
 // Name implements model.Namer.
 func (SinglePeriod) Name() string { return "single-period" }
 
@@ -479,6 +616,19 @@ func (s EqualSplit) Episode(p int, L quant.Tick) model.TickSchedule {
 		return nil
 	}
 	return equalSplit(L, s.M)
+}
+
+// AppendEpisode implements model.EpisodeAppender.
+func (s EqualSplit) AppendEpisode(dst model.TickSchedule, p int, L quant.Tick) model.TickSchedule {
+	if L < 1 {
+		return dst
+	}
+	return appendEqualSplit(dst, L, s.M)
+}
+
+// EpisodeMemoKey implements model.EpisodeMemoKeyer.
+func (s EqualSplit) EpisodeMemoKey() (model.MemoKey, bool) {
+	return model.MemoKey{Kind: "equal-split", M: s.M}, true
 }
 
 // Name implements model.Namer.
@@ -497,19 +647,28 @@ func (s FixedChunk) Episode(p int, L quant.Tick) model.TickSchedule {
 	if L < 1 {
 		return nil
 	}
-	t := s.T
-	if t < 1 {
-		t = 1
+	return s.AppendEpisode(make(model.TickSchedule, 0, L/max(s.T, 1)+1), p, L)
+}
+
+// AppendEpisode implements model.EpisodeAppender.
+func (s FixedChunk) AppendEpisode(dst model.TickSchedule, p int, L quant.Tick) model.TickSchedule {
+	if L < 1 {
+		return dst
 	}
+	t := max(s.T, 1)
 	n := L / t
-	out := make(model.TickSchedule, 0, n+1)
 	for i := quant.Tick(0); i < n; i++ {
-		out = append(out, t)
+		dst = append(dst, t)
 	}
 	if rem := L - n*t; rem > 0 {
-		out = append(out, rem)
+		dst = append(dst, rem)
 	}
-	return out
+	return dst
+}
+
+// EpisodeMemoKey implements model.EpisodeMemoKeyer.
+func (s FixedChunk) EpisodeMemoKey() (model.MemoKey, bool) {
+	return model.MemoKey{Kind: "fixed-chunk", M: int(s.T)}, true
 }
 
 // Name implements model.Namer.

@@ -32,6 +32,10 @@ import (
 // ok = false to let the episode run out. Returning at > episode total means
 // the interrupt falls into trailing idle time: it kills nothing but still
 // consumes budget and lifespan.
+//
+// The episode slice is only valid for the duration of the call: the
+// simulator reuses one episode buffer across a run's episodes, so an
+// implementation that needs the schedule later must copy it.
 type Interrupter interface {
 	NextInterrupt(p int, L quant.Tick, episode model.TickSchedule) (at quant.Tick, ok bool)
 }
@@ -104,13 +108,31 @@ type Result struct {
 // fleets — farm.SharedBag as one mutex-guarded job bag, and the per-station
 // views of farm.ShardedBag as lock-striped local queues that steal from
 // victims in deterministic order when dry. The simulator itself is
-// indifferent: a Take that returns nothing simply packs no tasks into the
+// indifferent: a take that returns nothing simply packs no tasks into the
 // period, and killed periods hand their in-flight tasks back through Return.
 type TaskSource interface {
-	// Take removes and returns tasks fitting within capacity (first-fit).
+	// Take removes and returns tasks fitting within capacity (first-fit);
+	// nil when nothing fits.
 	Take(capacity quant.Tick) []task.Task
-	// Return puts killed tasks back for rescheduling.
+	// TakeInto is Take appending into the caller's buffer: taken tasks are
+	// appended to dst and the extended slice returned (dst unchanged when
+	// nothing fits). This is the call the simulator's hot loop makes — one
+	// warm buffer per station instead of a fresh slice per period.
+	TakeInto(dst []task.Task, capacity quant.Tick) []task.Task
+	// Return puts killed tasks back for rescheduling. Implementations must
+	// copy what they need: the slice is the caller's reusable shipping
+	// buffer and will be overwritten by the next period's take.
 	Return(tasks []task.Task)
+}
+
+// Buffers is the reusable scratch one station threads through its
+// opportunity runs: the episode buffer the scheduler appends into and the
+// task buffer periods ship from. A zero Buffers is ready to use; after a few
+// episodes the buffers are warm and Run stops allocating on the hot path.
+// One goroutine owns a Buffers at a time.
+type Buffers struct {
+	episode model.TickSchedule
+	tasks   []task.Task
 }
 
 // Config controls optional simulator features.
@@ -121,10 +143,22 @@ type Config struct {
 	// each period's capacity t−c is packed with tasks; killed periods return
 	// their tasks.
 	Bag TaskSource
+	// Buffers, when non-nil, supplies the reusable episode/task scratch —
+	// the farm engine passes one per station so replaying thousands of
+	// opportunities allocates nothing per episode. Nil means Run uses
+	// throwaway buffers.
+	Buffers *Buffers
 }
 
 // Run plays one opportunity to completion and returns the accounting. It
 // errors if the scheduler or interrupter violates its contract.
+//
+// Task flow is single-shot (see DESIGN.md): a reached period takes its tasks
+// from the bag exactly once, at period start, into the run's reusable
+// shipping buffer. A completed period banks that set; a killed period
+// returns the very slice it holds. The in-flight set is therefore fixed at
+// ship time — a concurrent station can never drain a period's tasks out from
+// under it, and a kill can never return tasks the period did not hold.
 func Run(s model.EpisodeScheduler, adv Interrupter, opp Opportunity, cfg Config) (Result, error) {
 	if err := opp.Validate(); err != nil {
 		return Result{}, err
@@ -132,9 +166,14 @@ func Run(s model.EpisodeScheduler, adv Interrupter, opp Opportunity, cfg Config)
 	var res Result
 	L := opp.U
 	p := opp.P
+	bufs := cfg.Buffers
+	if bufs == nil {
+		bufs = &Buffers{}
+	}
+	ep := bufs.episode
 
 	for L > 0 {
-		ep := s.Episode(p, L)
+		ep = model.AppendEpisode(s, ep[:0], p, L)
 		if len(ep) == 0 {
 			// Scheduler has nothing to run (e.g. a non-adaptive tail after a
 			// final-period interrupt): the rest of the lifespan idles away.
@@ -164,22 +203,31 @@ func Run(s model.EpisodeScheduler, adv Interrupter, opp Opportunity, cfg Config)
 			start := elapsed
 			end := elapsed + t
 			rec := PeriodRecord{Episode: res.Episodes - 1, Index: i, Start: opp.U - L + start, Length: t}
+			reached := !interrupted || at > start
+			// Single-shot shipping: a period that begins takes its tasks
+			// once, here; the outcome below decides bank vs return.
+			shipped := 0
+			if cfg.Bag != nil && reached {
+				if capacity := quant.PosSub(t, opp.C); capacity > 0 {
+					bufs.tasks = cfg.Bag.TakeInto(bufs.tasks[:0], capacity)
+					shipped = len(bufs.tasks)
+				}
+			}
 			switch {
-			case interrupted && at <= start:
+			case !reached:
 				// Interrupt fell before this period began.
 				rec.Outcome = Unreached
 			case interrupted && at <= end:
 				// Interrupt lands inside (or at the last instant of) this
-				// period: its work and in-flight tasks die. The tasks were
-				// shipped with the period; they go back in the bag for
-				// rescheduling (draconian kill, not task loss).
+				// period: its work and in-flight tasks die. The tasks it
+				// shipped at start go back in the bag for rescheduling
+				// (draconian kill, not task loss) — exactly the held slice,
+				// no second bag scan.
 				rec.Outcome = Killed
 				res.KilledTicks += at - start
 				killedInEpisode = true
-				if cfg.Bag != nil {
-					if capacity := quant.PosSub(t, opp.C); capacity > 0 {
-						cfg.Bag.Return(cfg.Bag.Take(capacity))
-					}
+				if shipped > 0 {
+					cfg.Bag.Return(bufs.tasks)
 				}
 			default:
 				rec.Outcome = Completed
@@ -191,11 +239,10 @@ func Run(s model.EpisodeScheduler, adv Interrupter, opp Opportunity, cfg Config)
 				} else {
 					res.SetupTicks += t // a period ≤ c is pure overhead
 				}
-				if cfg.Bag != nil && work > 0 {
-					done := cfg.Bag.Take(work)
-					rec.Tasks = len(done)
-					res.TasksCompleted += len(done)
-					res.TaskWork += task.Durations(done)
+				if shipped > 0 {
+					rec.Tasks = shipped
+					res.TasksCompleted += shipped
+					res.TaskWork += task.Durations(bufs.tasks)
 				}
 			}
 			if cfg.RecordPeriods {
@@ -225,6 +272,7 @@ func Run(s model.EpisodeScheduler, adv Interrupter, opp Opportunity, cfg Config)
 		L -= at
 		p--
 	}
+	bufs.episode = ep // hand the grown buffer back for the next opportunity
 	return res, nil
 }
 

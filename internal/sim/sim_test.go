@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -354,5 +355,126 @@ func TestRunEmptyEpisodeIdlesOut(t *testing.T) {
 	}
 	if res.IdleTicks != 500 || res.Work != 0 {
 		t.Errorf("idle=%d work=%d, want 500/0", res.IdleTicks, res.Work)
+	}
+}
+
+// auditSource records every ship (TakeInto) and Return so tests can pin the
+// single-shot shipping contract: each killed period returns exactly the
+// slice it shipped at period start, never a rescan's worth.
+type auditSource struct {
+	bag     *task.Bag
+	ships   [][]task.Task
+	returns [][]task.Task
+}
+
+func (a *auditSource) Take(capacity quant.Tick) []task.Task {
+	return a.TakeInto(nil, capacity)
+}
+
+func (a *auditSource) TakeInto(dst []task.Task, capacity quant.Tick) []task.Task {
+	base := len(dst)
+	dst = a.bag.TakeInto(dst, capacity)
+	a.ships = append(a.ships, append([]task.Task(nil), dst[base:]...))
+	return dst
+}
+
+func (a *auditSource) Return(tasks []task.Task) {
+	a.returns = append(a.returns, append([]task.Task(nil), tasks...))
+	a.bag.Return(tasks)
+}
+
+// Single-shot shipping: every period ships exactly once (at period start),
+// and a killed period's Return carries exactly the tasks that ship handed
+// it — the draconian-kill semantics are structural now, not a property of
+// scan timing.
+func TestSingleShotShippingReturnsExactlyShippedTasks(t *testing.T) {
+	c := quant.Tick(10)
+	src := &auditSource{bag: task.NewBag(task.Fixed(50, 20))}
+	na, err := sched.NonAdaptiveFromPeriods(model.TickSchedule{300, 300, 400}, 1, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kill period 2 mid-flight; period 1 completes, period 3 is unreached,
+	// then the residual reschedules as one long period.
+	adv := &adversary.Scripted{Offsets: []quant.Tick{450}}
+	res, err := Run(na, adv, Opportunity{U: 1000, P: 1, C: c}, Config{Bag: src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ships: period 1, period 2 (killed), long tail. Unreached period 3 must
+	// not ship.
+	if len(src.ships) != 3 {
+		t.Fatalf("ships = %d, want 3 (unreached periods must not ship)", len(src.ships))
+	}
+	if len(src.returns) != 1 {
+		t.Fatalf("returns = %d, want 1 (only the killed period)", len(src.returns))
+	}
+	killedShip := src.ships[1]
+	returned := src.returns[0]
+	if len(killedShip) != len(returned) {
+		t.Fatalf("killed period shipped %d tasks but returned %d", len(killedShip), len(returned))
+	}
+	for i := range killedShip {
+		if killedShip[i].ID != returned[i].ID {
+			t.Fatalf("returned task %d has ID %d, shipped ID %d", i, returned[i].ID, killedShip[i].ID)
+		}
+	}
+	if src.bag.Remaining()+res.TasksCompleted != 50 {
+		t.Errorf("tasks leaked: %d remaining + %d done ≠ 50", src.bag.Remaining(), res.TasksCompleted)
+	}
+}
+
+// Reusing one Buffers across opportunities must not change any result — the
+// per-station scratch the farm engine threads through is invisible.
+func TestRunBuffersReuseBitIdentical(t *testing.T) {
+	c := quant.Tick(10)
+	eq, err := sched.NewAdaptiveEqualized(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared := &Buffers{}
+	rngA := rand.New(rand.NewSource(42))
+	rngB := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		U := quant.Tick(100 + rngA.Int63n(5000))
+		_ = rngB.Int63n(5000) // keep streams aligned
+		advA := &adversary.Random{Rng: rngA, Prob: 0.7}
+		advB := &adversary.Random{Rng: rngB, Prob: 0.7}
+		bagA := task.NewBag(task.Uniform(60, 5, 40, int64(trial)))
+		bagB := task.NewBag(task.Uniform(60, 5, 40, int64(trial)))
+		resA, errA := Run(eq, advA, Opportunity{U: U, P: 2, C: c}, Config{Bag: bagA, Buffers: shared})
+		resB, errB := Run(eq, advB, Opportunity{U: U, P: 2, C: c}, Config{Bag: bagB})
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("trial %d: error mismatch %v vs %v", trial, errA, errB)
+		}
+		if fmt.Sprintf("%+v", resA) != fmt.Sprintf("%+v", resB) {
+			t.Fatalf("trial %d: shared-buffers result diverged:\n%+v\nvs\n%+v", trial, resA, resB)
+		}
+		if bagA.Remaining() != bagB.Remaining() {
+			t.Fatalf("trial %d: bag state diverged: %d vs %d", trial, bagA.Remaining(), bagB.Remaining())
+		}
+	}
+}
+
+// The hot path must be allocation-free once warm: warm Buffers, a scheduler
+// with an append path, no audit log.
+func TestRunZeroAllocWhenWarm(t *testing.T) {
+	c := quant.Tick(10)
+	eq, err := sched.NewAdaptiveEqualized(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bufs := &Buffers{}
+	opp := Opportunity{U: 4000, P: 2, C: c}
+	if _, err := Run(eq, adversary.None{}, opp, Config{Buffers: bufs}); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := Run(eq, adversary.None{}, opp, Config{Buffers: bufs}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("warm Run allocates %.1f per opportunity", allocs)
 	}
 }

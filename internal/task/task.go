@@ -85,7 +85,22 @@ func (b *Bag) RemainingWork() quant.Tick {
 
 // Take removes and returns a set of tasks that fits within capacity, scanning
 // the bag in order and skipping tasks that do not fit (first-fit). The
-// returned tasks' durations sum to at most capacity.
+// returned tasks' durations sum to at most capacity. Nothing fitting returns
+// nil. Callers that can reuse a buffer should prefer TakeInto — Take pays a
+// fresh slice per call.
+func (b *Bag) Take(capacity quant.Tick) []Task {
+	got := b.TakeInto(nil, capacity)
+	if len(got) == 0 {
+		return nil
+	}
+	return got
+}
+
+// TakeInto is Take appending into the caller's buffer: taken tasks land in
+// dst and the extended slice is returned, with dst returned unchanged when
+// nothing fits. One warm buffer makes the simulator's per-period task
+// shipping allocation-free — the intermediate slice Take materializes per
+// call is the single largest allocation source on the farm hot path.
 //
 // The scan stops as soon as the residual capacity can fit nothing more
 // (durations are ≥ 1), so the common period — a handful of tasks off the
@@ -93,18 +108,18 @@ func (b *Bag) RemainingWork() quant.Tick {
 // prefixes slice off without copying and skipped tasks compact in place.
 // That bound is what keeps fleet-scale jobs (millions of pending tasks)
 // linear instead of quadratic in the task count.
-func (b *Bag) Take(capacity quant.Tick) []Task {
+func (b *Bag) TakeInto(dst []Task, capacity quant.Tick) []Task {
 	pending := b.pending()
 	if capacity < 1 || capacity < b.minDur || len(pending) == 0 {
-		return nil
+		return dst
 	}
-	var taken []Task
-	var kept []Task // skipped tasks, allocated only if a skip happens
+	base := len(dst)
+	w := 0 // skipped tasks compact to pending[:w] as the scan advances
 	i := 0
 	for ; i < len(pending); i++ {
 		t := pending[i]
 		if t.Duration <= capacity {
-			taken = append(taken, t)
+			dst = append(dst, t)
 			capacity -= t.Duration
 			if capacity < 1 || capacity < b.minDur {
 				// Nothing pending can be smaller than minDur: the period is
@@ -113,25 +128,22 @@ func (b *Bag) Take(capacity quant.Tick) []Task {
 				break
 			}
 		} else {
-			if kept == nil {
-				// Start small: skip runs are short once the min-duration
-				// cutoff binds, and a queue-sized allocation would spend
-				// O(pending) just zeroing memory.
-				kept = make([]Task, 0, 8)
-			}
-			kept = append(kept, t)
+			// Skipped: compact in place (w ≤ i always, so nothing unread is
+			// clobbered). No side buffer, no allocation.
+			pending[w] = t
+			w++
 		}
 	}
-	if taken == nil {
-		return nil
+	if len(dst) == base {
+		return dst
 	}
-	start := i - len(kept)
-	if kept != nil {
-		// Slide the skipped run back in front of the unscanned tail.
-		copy(pending[start:i], kept)
+	if w > 0 {
+		// Slide the skipped run back in front of the unscanned tail
+		// (overlap-safe: copy is memmove).
+		copy(pending[i-w:i], pending[:w])
 	}
-	b.head += start
-	return taken
+	b.head += i - w
+	return dst
 }
 
 // Return puts tasks back at the front of the bag, preserving their order —

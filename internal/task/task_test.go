@@ -261,3 +261,88 @@ func TestBagStealAndAppend(t *testing.T) {
 		t.Errorf("killed task not at the front: %v", front)
 	}
 }
+
+// TakeInto must agree with Take exactly (same tasks, same bag mutation) —
+// it is the same scan, minus the per-call slice.
+func TestTakeIntoMatchesTake(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 200; trial++ {
+		tasks := Uniform(1+rng.Intn(40), 1, 30, int64(trial))
+		a := NewBag(tasks)
+		b := NewBag(tasks)
+		buf := make([]Task, 0, 8)
+		for step := 0; step < 30; step++ {
+			cap := quant.Tick(rng.Int63n(60))
+			want := a.Take(cap)
+			buf = b.TakeInto(buf[:0], cap)
+			if len(want) != len(buf) {
+				t.Fatalf("trial %d step %d: Take got %d tasks, TakeInto %d", trial, step, len(want), len(buf))
+			}
+			for i := range want {
+				if want[i] != buf[i] {
+					t.Fatalf("trial %d step %d: task %d = %+v vs %+v", trial, step, i, buf[i], want[i])
+				}
+			}
+			if a.Remaining() != b.Remaining() {
+				t.Fatalf("trial %d step %d: remaining %d vs %d", trial, step, a.Remaining(), b.Remaining())
+			}
+			if rng.Intn(3) == 0 && len(want) > 0 {
+				a.Return(want)
+				b.Return(buf)
+				if a.Remaining() != b.Remaining() {
+					t.Fatalf("trial %d step %d: remaining after return %d vs %d", trial, step, a.Remaining(), b.Remaining())
+				}
+			}
+		}
+	}
+}
+
+func TestTakeIntoPreservesPrefixAndReusesBuffer(t *testing.T) {
+	b := NewBag(Fixed(10, 5))
+	buf := make([]Task, 0, 16)
+	buf = append(buf, Task{ID: 99, Duration: 1})
+	buf = b.TakeInto(buf, 10) // two tasks of 5
+	if len(buf) != 3 || buf[0].ID != 99 {
+		t.Fatalf("prefix clobbered or wrong count: %v", buf)
+	}
+	// Nothing fits: the buffer comes back unchanged.
+	before := len(buf)
+	buf = b.TakeInto(buf, 1)
+	if len(buf) != before {
+		t.Errorf("no-fit TakeInto changed the buffer: %v", buf)
+	}
+	// A warm buffer with capacity must not allocate.
+	warm := make([]Task, 0, 64)
+	bag := NewBag(Fixed(1000, 5))
+	allocs := testing.AllocsPerRun(20, func() {
+		warm = bag.TakeInto(warm[:0], 25)
+	})
+	if allocs != 0 {
+		t.Errorf("warm TakeInto allocates %.1f per call", allocs)
+	}
+}
+
+// benchBagTake measures the kill/reschedule cycle (take a period's worth,
+// return it) that dominates the simulator's contended path.
+func benchBagTake(b *testing.B, into bool) {
+	tasks := Uniform(5000, 5, 50, 1)
+	bag := NewBag(tasks)
+	var buf []Task
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if into {
+			buf = bag.TakeInto(buf[:0], 200)
+			bag.Return(buf)
+		} else {
+			got := bag.Take(200)
+			bag.Return(got)
+		}
+	}
+}
+
+// BenchmarkBagTake is the allocating baseline: one fresh slice per period.
+func BenchmarkBagTake(b *testing.B) { benchBagTake(b, false) }
+
+// BenchmarkBagTakeInto is the buffer-reusing fast path the simulator rides.
+func BenchmarkBagTakeInto(b *testing.B) { benchBagTake(b, true) }
