@@ -12,6 +12,7 @@ package cyclesteal
 // in the tens of seconds.
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -303,7 +304,7 @@ func BenchmarkFleetRun(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := fleet.Run(factory, int64(i), nil)
+		res, err := fleet.Run(context.Background(), factory, int64(i), nil)
 		if err != nil {
 			b.Fatal(err)
 		}

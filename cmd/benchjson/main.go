@@ -19,14 +19,19 @@
 //
 // With -series it charts a BENCH_*.json history: the file arguments are
 // read in order (oldest first), a per-benchmark trajectory table prints to
-// stdout, and -svg writes a line chart (ns/op min, normalized to each
-// benchmark's first appearance) suitable for a CI artifact.
+// stdout, and -svg writes a line chart suitable for a CI artifact. The
+// default chart normalizes each benchmark to its first appearance (100%),
+// which makes trends comparable across benchmarks of any cost; -absolute
+// instead plots raw ns/op on a log₁₀ scale, which makes the *costs*
+// comparable — a decade of vertical distance is a 10× cost gap anywhere on
+// the chart.
 //
 // Usage:
 //
 //	go test -run='^$' -bench='^(BenchmarkMC|BenchmarkFarm)' -benchmem -count=3 ./... | benchjson -commit "$SHA" > BENCH_$SHA.json
 //	benchjson -baseline BENCH_prev.json -threshold 15 -bthreshold 15 BENCH_$SHA.json
 //	benchjson -series -svg series.svg BENCH_1.json BENCH_2.json BENCH_3.json
+//	benchjson -series -absolute -svg costs.svg BENCH_*.json
 package main
 
 import (
@@ -35,6 +40,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"sort"
 	"strconv"
@@ -74,10 +80,11 @@ func main() {
 	bthreshold := flag.Float64("bthreshold", 15, "trend mode: fail when a benchmark's B/op (min over runs) regresses by more than this percent; allocs/op is always gated exactly")
 	series := flag.Bool("series", false, "series mode: chart the BENCH_*.json file arguments (oldest first) as a per-benchmark trajectory")
 	svg := flag.String("svg", "", "series mode: also write an SVG line chart to this path")
+	absolute := flag.Bool("absolute", false, "series mode: plot absolute ns/op on a log₁₀ scale instead of normalizing each benchmark to its first appearance")
 	flag.Parse()
 
 	if *series {
-		if err := runSeries(flag.Args(), *svg, os.Stdout); err != nil {
+		if err := runSeries(flag.Args(), *svg, *absolute, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
 		}
@@ -366,8 +373,9 @@ type seriesPoint struct {
 
 // runSeries loads an ordered BENCH_*.json history and renders the
 // per-benchmark trajectory: a text table on w, and optionally an SVG line
-// chart (ns/op min, normalized to each benchmark's first appearance).
-func runSeries(paths []string, svgPath string, w io.Writer) error {
+// chart (ns/op min — normalized to each benchmark's first appearance, or
+// absolute on a log scale).
+func runSeries(paths []string, svgPath string, absolute bool, w io.Writer) error {
 	if len(paths) < 1 {
 		return fmt.Errorf("series mode needs at least one BENCH_*.json argument")
 	}
@@ -425,7 +433,7 @@ func runSeries(paths []string, svgPath string, w io.Writer) error {
 			return err
 		}
 		defer f.Close()
-		if err := writeSeriesSVG(f, commits, order, series); err != nil {
+		if err := writeSeriesSVG(f, commits, order, series, absolute); err != nil {
 			return err
 		}
 		fmt.Fprintf(w, "SVG chart written to %s\n", svgPath)
@@ -447,11 +455,74 @@ var svgPalette = []string{
 	"#8c564b", "#e377c2", "#7f7f7f", "#bcbd22", "#17becf",
 }
 
+// seriesScale maps a benchmark measurement onto the chart's y dimension.
+// The normalized scale plots 100·ns/first-appearance — trends comparable
+// across benchmarks of any cost; the absolute scale plots log₁₀(ns/op) with
+// decade gridlines — costs comparable across benchmarks, readable even when
+// the cheapest and dearest differ by orders of magnitude.
+type seriesScale struct {
+	absolute bool
+	min, max float64 // plotted-value range (percent, or log₁₀ ns)
+}
+
+// value maps one ns/op measurement (with its benchmark's first appearance)
+// onto the scale; ok is false for unplottable inputs.
+func (sc seriesScale) value(ns, base float64) (v float64, ok bool) {
+	if sc.absolute {
+		if ns <= 0 {
+			return 0, false
+		}
+		return math.Log10(ns), true
+	}
+	if base <= 0 {
+		return 0, false
+	}
+	return 100 * ns / base, true
+}
+
+// ticks returns the gridline positions: thirds of the range when
+// normalized, integer decades (clamped to at least the range ends) when
+// absolute.
+func (sc seriesScale) ticks() []float64 {
+	if !sc.absolute {
+		return []float64{sc.min, (sc.min + sc.max) / 2, sc.max}
+	}
+	var out []float64
+	for d := math.Ceil(sc.min); d <= math.Floor(sc.max)+1e-9; d++ {
+		out = append(out, d)
+	}
+	if len(out) == 0 {
+		out = []float64{sc.min, sc.max}
+	}
+	return out
+}
+
+// label renders one tick's axis label. Absolute ticks are usually whole
+// decades ("1e4 ns"), but a range too narrow to contain one falls back to
+// its fractional endpoints, which must label their true value — rounding
+// 10^3.9 up to "1e4 ns" would misstate the axis by 2.5×.
+func (sc seriesScale) label(v float64) string {
+	if sc.absolute {
+		if v == math.Round(v) {
+			return fmt.Sprintf("1e%.0f ns", v)
+		}
+		return fmt.Sprintf("%.0f ns", math.Pow(10, v))
+	}
+	return fmt.Sprintf("%.0f%%", v)
+}
+
+// title is the chart heading.
+func (sc seriesScale) title() string {
+	if sc.absolute {
+		return "ns/op, log scale (min over runs)"
+	}
+	return "ns/op trend, normalized to first appearance = 100% (min over runs)"
+}
+
 // writeSeriesSVG renders the history as a dependency-free line chart: one
-// polyline per benchmark, y = ns/op (min) normalized to that benchmark's
-// first appearance (100%), log-free and comparable across benchmarks of any
-// absolute cost. The x axis is commit order, oldest left.
-func writeSeriesSVG(w io.Writer, commits, order []string, series map[string][]seriesPoint) error {
+// polyline per benchmark over the chosen scale. The x axis is commit order,
+// oldest left.
+func writeSeriesSVG(w io.Writer, commits, order []string, series map[string][]seriesPoint, absolute bool) error {
 	const (
 		width, height           = 960, 480
 		left, right, top, botto = 70, 250, 30, 50
@@ -459,31 +530,40 @@ func writeSeriesSVG(w io.Writer, commits, order []string, series map[string][]se
 	plotW := float64(width - left - right)
 	plotH := float64(height - top - botto)
 
-	// Normalize each benchmark to its first ns/op and find the global range.
+	// Map every point onto the scale and find the global range.
+	sc := seriesScale{absolute: absolute}
 	norm := map[string][]float64{} // aligned with series[name]'s point order
-	minY, maxY := 100.0, 100.0
+	first := true
 	for _, name := range order {
 		var base float64
 		for _, pt := range series[name] {
 			if pt.ns == nil {
-				norm[name] = append(norm[name], -1)
+				norm[name] = append(norm[name], math.NaN())
 				continue
 			}
 			if base == 0 {
 				base = pt.ns.Min
 			}
-			v := 100 * pt.ns.Min / base
+			v, ok := sc.value(pt.ns.Min, base)
+			if !ok {
+				norm[name] = append(norm[name], math.NaN())
+				continue
+			}
 			norm[name] = append(norm[name], v)
-			if v < minY {
-				minY = v
+			if first || v < sc.min {
+				sc.min = v
 			}
-			if v > maxY {
-				maxY = v
+			if first || v > sc.max {
+				sc.max = v
 			}
+			first = false
 		}
 	}
-	if maxY == minY {
-		maxY = minY + 1
+	if first {
+		sc.min, sc.max = 0, 1 // nothing plottable; render an empty frame
+	}
+	if sc.max == sc.min {
+		sc.max = sc.min + 1
 	}
 	x := func(i int) float64 {
 		if len(commits) == 1 {
@@ -492,16 +572,16 @@ func writeSeriesSVG(w io.Writer, commits, order []string, series map[string][]se
 		return float64(left) + plotW*float64(i)/float64(len(commits)-1)
 	}
 	y := func(v float64) float64 {
-		return float64(top) + plotH*(1-(v-minY)/(maxY-minY))
+		return float64(top) + plotH*(1-(v-sc.min)/(sc.max-sc.min))
 	}
 
 	fmt.Fprintf(w, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="monospace" font-size="11">`+"\n", width, height)
 	fmt.Fprintf(w, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
-	fmt.Fprintf(w, `<text x="%d" y="18" font-size="13">ns/op trend, normalized to first appearance = 100%% (min over runs)</text>`+"\n", left)
+	fmt.Fprintf(w, `<text x="%d" y="18" font-size="13">%s</text>`+"\n", left, sc.title())
 	// Axes and horizontal guides.
-	for _, v := range []float64{minY, (minY + maxY) / 2, maxY} {
+	for _, v := range sc.ticks() {
 		fmt.Fprintf(w, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ddd"/>`+"\n", left, y(v), width-right, y(v))
-		fmt.Fprintf(w, `<text x="4" y="%.1f">%.0f%%</text>`+"\n", y(v)+4, v)
+		fmt.Fprintf(w, `<text x="4" y="%.1f">%s</text>`+"\n", y(v)+4, sc.label(v))
 	}
 	// Commit ticks.
 	for i, c := range commits {
@@ -514,7 +594,7 @@ func writeSeriesSVG(w io.Writer, commits, order []string, series map[string][]se
 		var pts []string
 		for pi, pt := range series[name] {
 			v := norm[name][pi]
-			if v < 0 {
+			if math.IsNaN(v) {
 				continue
 			}
 			pts = append(pts, fmt.Sprintf("%.1f,%.1f", x(pt.doc), y(v)))

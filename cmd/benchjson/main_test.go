@@ -5,8 +5,11 @@ import (
 	"bytes"
 	"encoding/json"
 	"io"
+	"math"
 	"os"
 	"path/filepath"
+	"regexp"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -207,7 +210,7 @@ func TestRunSeriesTableAndSVG(t *testing.T) {
 	})
 	svgPath := filepath.Join(dir, "series.svg")
 	var out bytes.Buffer
-	if err := runSeries([]string{p1, p2}, svgPath, &out); err != nil {
+	if err := runSeries([]string{p1, p2}, svgPath, false, &out); err != nil {
 		t.Fatal(err)
 	}
 	text := out.String()
@@ -228,7 +231,7 @@ func TestRunSeriesTableAndSVG(t *testing.T) {
 }
 
 func TestRunSeriesNoArgs(t *testing.T) {
-	if err := runSeries(nil, "", io.Discard); err == nil {
+	if err := runSeries(nil, "", false, io.Discard); err == nil {
 		t.Error("series mode accepted zero documents")
 	}
 }
@@ -247,5 +250,104 @@ func TestCompareZeroBaselineStillGates(t *testing.T) {
 	doc = &Document{Benchmarks: []Benchmark{benchMem("BenchmarkA", 100, 0, 0)}}
 	if _, regressions := compare(old, doc, gates{ns: 15, b: 15}); len(regressions) != 0 {
 		t.Errorf("zero-to-zero flagged: %v", regressions)
+	}
+}
+
+// --- absolute (log-scale) series mode -------------------------------------------
+
+func TestSeriesScaleAbsolute(t *testing.T) {
+	sc := seriesScale{absolute: true, min: 3, max: 5}
+	if v, ok := sc.value(1000, 999999); !ok || v != 3 {
+		t.Fatalf("value(1000) = %v, %v; want log10 = 3 ignoring the base", v, ok)
+	}
+	if _, ok := sc.value(0, 1); ok {
+		t.Fatal("non-positive ns/op must be unplottable")
+	}
+	if got, want := sc.ticks(), []float64{3, 4, 5}; len(got) != len(want) || got[0] != 3 || got[1] != 4 || got[2] != 5 {
+		t.Fatalf("ticks = %v, want integer decades %v", got, want)
+	}
+	if got := sc.label(4); got != "1e4 ns" {
+		t.Fatalf("label(4) = %q", got)
+	}
+	// The normalized scale is unchanged by the flag's absence.
+	n := seriesScale{min: 80, max: 120}
+	if v, ok := n.value(800, 1000); !ok || v != 80 {
+		t.Fatalf("normalized value = %v, %v", v, ok)
+	}
+	if got := n.label(100); got != "100%" {
+		t.Fatalf("normalized label = %q", got)
+	}
+}
+
+// TestRunSeriesAbsoluteRenderedScale pins the -absolute chart's geometry:
+// benchmarks a decade apart must land equidistant on the y axis (the whole
+// point of the log scale), with decade gridline labels present.
+func TestRunSeriesAbsoluteRenderedScale(t *testing.T) {
+	dir := t.TempDir()
+	p1 := writeSeriesDoc(t, dir, "cccccccccccc", []Benchmark{
+		bench("BenchmarkCheap", 1000),
+		bench("BenchmarkMid", 10000),
+		bench("BenchmarkDear", 100000),
+	})
+	svgPath := filepath.Join(dir, "abs.svg")
+	var out bytes.Buffer
+	if err := runSeries([]string{p1}, svgPath, true, &out); err != nil {
+		t.Fatal(err)
+	}
+	svg, err := os.ReadFile(svgPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(svg)
+	for _, want := range []string{"log scale", "1e3 ns", "1e4 ns", "1e5 ns"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("absolute svg missing %q", want)
+		}
+	}
+	ys := polylineYs(t, text)
+	if len(ys) != 3 {
+		t.Fatalf("want 3 single-point polylines, got %v", ys)
+	}
+	// Polylines render in benchmark-name order: Cheap, Dear, Mid. Cheap
+	// (1e3) sits at the bottom (max y), Dear (1e5) at the top, and Mid
+	// (1e4) exactly halfway — equal decades, equal pixels.
+	cheap, dear, mid := ys[0], ys[1], ys[2]
+	if !(cheap > mid && mid > dear) {
+		t.Fatalf("log ordering violated: cheap %g, mid %g, dear %g", cheap, mid, dear)
+	}
+	if gap := math.Abs((cheap - mid) - (mid - dear)); gap > 0.2 {
+		t.Errorf("a decade is not a constant distance: %g vs %g pixels", cheap-mid, mid-dear)
+	}
+}
+
+// polylineYs extracts the y coordinate of every single-point polyline.
+func polylineYs(t *testing.T, svg string) []float64 {
+	t.Helper()
+	re := regexp.MustCompile(`<polyline points="[0-9.]+,([0-9.]+)"`)
+	var ys []float64
+	for _, m := range re.FindAllStringSubmatch(svg, -1) {
+		v, err := strconv.ParseFloat(m[1], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ys = append(ys, v)
+	}
+	return ys
+}
+
+// A log range too narrow to contain a whole decade falls back to its
+// fractional endpoints; those must be labeled with their true ns value,
+// not a rounded decade.
+func TestSeriesScaleAbsoluteFractionalTicks(t *testing.T) {
+	sc := seriesScale{absolute: true, min: math.Log10(2000), max: math.Log10(8000)}
+	ticks := sc.ticks()
+	if len(ticks) != 2 || ticks[0] != sc.min || ticks[1] != sc.max {
+		t.Fatalf("decade-free range ticks = %v, want the endpoints", ticks)
+	}
+	if got := sc.label(ticks[0]); got != "2000 ns" {
+		t.Fatalf("label(min) = %q, want the true value", got)
+	}
+	if got := sc.label(ticks[1]); got != "8000 ns" {
+		t.Fatalf("label(max) = %q, want the true value", got)
 	}
 }

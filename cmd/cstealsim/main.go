@@ -9,9 +9,11 @@
 //
 // With -fleet N the single station becomes a network of N workstations
 // (mixed office/laptop/overnight owners) farming one shared job on the
-// sharded task bag; -shards picks the bag layout (0 = auto, 1 = the single
-// shared-bag baseline) and each trial replays the whole farmed job on the
-// deterministic two-level farm engine.
+// sharded task pool, driven through the public cyclesteal/fleet facade:
+// -shards picks the pool layout (0 = auto, 1 = the single shared-bag
+// baseline) and each trial replays the whole farmed job on the
+// deterministic two-level engine. Times (-c, -tasksize) are read in the
+// caller's continuous units, exactly as the facade's other consumers do.
 //
 // Usage:
 //
@@ -24,6 +26,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -32,14 +35,8 @@ import (
 	"runtime/pprof"
 
 	"cyclesteal"
-	"cyclesteal/internal/farm"
+	"cyclesteal/fleet"
 	"cyclesteal/internal/mc"
-	"cyclesteal/internal/model"
-	"cyclesteal/internal/now"
-	"cyclesteal/internal/quant"
-	"cyclesteal/internal/sched"
-	"cyclesteal/internal/stats"
-	"cyclesteal/internal/task"
 )
 
 // metric indexes of the replication study
@@ -129,7 +126,7 @@ func main() {
 		}
 	}
 
-	sums, err := mc.RunVec(mc.Config{Trials: *trials, Seed: *seed, Workers: *workers}, numMetrics,
+	sums, err := mc.RunVec(context.Background(), mc.Config{Trials: *trials, Seed: *seed, Workers: *workers}, numMetrics,
 		func(rng *rand.Rand) ([]float64, error) {
 			adv, err := buildAdversary(eng, s, *advStr, *U, rng.Int63())
 			if err != nil {
@@ -169,47 +166,56 @@ func main() {
 }
 
 // runFleet is the -fleet mode: one shared job farmed across a mixed-owner
-// NOW on farm.Replicate's deterministic two-level engine. Times are read as
-// ticks here (the farm layer lives on the tick grid); completion, balance
-// and tail-risk summaries print per metric.
+// NOW through the public fleet facade's deterministic replication engine.
+// Completion, balance and tail-risk summaries print per metric; summaries
+// are bit-identical at any -workers setting.
 func runFleet(stations, shards, opps int, schedName string, c, taskSize float64, nTasks, trials int, seed int64, workers int) error {
-	ct := quant.Tick(c)
-	if ct < 1 {
-		ct = 1
-	}
-	dur := quant.Tick(taskSize)
-	if dur < 1 {
-		dur = 1
-	}
 	if nTasks <= 0 {
 		nTasks = 50 * stations
 	}
-	factory, err := fleetFactory(schedName)
+	// Schedules that exist single-station but not fleet-wide get a pointed
+	// message before the generic unknown-policy error could mislead.
+	switch schedName {
+	case "optimal", "optimalp1", "equalsplit":
+		return fmt.Errorf("schedule %q not supported in fleet mode (want equalized, guideline, nonadaptive, single, or fixedchunk)", schedName)
+	}
+	policy, err := fleet.PolicyByName(schedName)
 	if err != nil {
 		return err
 	}
-
-	fleet := now.MixedFleet(stations, ct)
-	job := farm.Job{Tasks: task.Fixed(nTasks, dur)}
-	f := farm.Farm{Stations: fleet, OpportunitiesPerStation: opps, Shards: shards}
-
-	sums, err := f.Replicate(job, factory, mc.Config{Trials: trials, Seed: seed, Workers: workers})
+	if policy.Name == "fixedchunk" {
+		policy.Chunk = 25 * c
+	}
+	f, err := fleet.New(fleet.Config{
+		Stations:      stations,
+		Setup:         c,
+		Policy:        policy,
+		Opportunities: opps,
+		Shards:        shards,
+		Workers:       workers,
+		Seed:          seed,
+	})
 	if err != nil {
 		return err
 	}
-	completion := sums[farm.MetricCompletionFrac]
-	tcrit := stats.TCritical95(completion.N - 1)
-	fmt.Printf("fleet %d stations (bag shards %s), job %d tasks × %d ticks, schedule %s, %d trials\n",
-		stations, shardLabel(shards), nTasks, dur, schedName, trials)
+	job := fleet.Job{Tasks: fleet.FixedTasks(nTasks, taskSize)}
+
+	rep, err := f.Replicate(context.Background(), job, trials)
+	if err != nil {
+		return err
+	}
+	completion := rep.Completion
+	fmt.Printf("fleet %d stations (pool shards %s), job %d tasks × %g units, schedule %s, %d trials\n",
+		stations, shardLabel(shards), nTasks, taskSize, schedName, trials)
 	fmt.Printf("  completion:    mean %.2f%% ±%.2f  (min %.2f%%)\n",
-		100*completion.Mean, 100*tcrit*completion.SE, 100*completion.Min)
-	fmt.Printf("  tasks done:    mean %.1f of %d\n", sums[farm.MetricTasksCompleted].Mean, nTasks)
-	fmt.Printf("  killed ticks:  mean %.4g  p99 %.4g  (lifespan destroyed by kills)\n",
-		sums[farm.MetricKilledTicks].Mean, sums[farm.MetricKilledTicks].P99)
+		100*completion.Mean, 100*(completion.CI95Hi-completion.Mean), 100*completion.Min)
+	fmt.Printf("  tasks done:    mean %.1f of %d\n", rep.TasksCompleted.Mean, nTasks)
+	fmt.Printf("  killed time:   mean %.4g  p99 %.4g  (lifespan destroyed by kills, units)\n",
+		rep.Killed.Mean, rep.Killed.P99)
 	fmt.Printf("  imbalance:     mean %.3f  p99 %.3f  (max/mean station work)\n",
-		sums[farm.MetricImbalance].Mean, sums[farm.MetricImbalance].P99)
-	fmt.Printf("  interrupts:    mean %.1f per trial\n", sums[farm.MetricInterrupts].Mean)
-	fmt.Printf("  steals:        mean %.1f cross-queue migrations per trial\n", sums[farm.MetricSteals].Mean)
+		rep.Imbalance.Mean, rep.Imbalance.P99)
+	fmt.Printf("  interrupts:    mean %.1f per trial\n", rep.Interrupts.Mean)
+	fmt.Printf("  steals:        mean %.1f cross-queue migrations per trial\n", rep.Steals.Mean)
 	fmt.Println("  (summaries are bit-identical at any -workers; p99 from the bounded-error quantile sketch)")
 	return nil
 }
@@ -222,35 +228,6 @@ func shardLabel(shards int) string {
 		return "auto"
 	default:
 		return fmt.Sprint(shards)
-	}
-}
-
-// fleetFactory maps a -sched name onto a per-(station, contract) scheduler
-// factory; fleet mode supports the schedules that need no full game solve.
-func fleetFactory(name string) (now.SchedulerFactory, error) {
-	switch name {
-	case "equalized":
-		return func(ws now.Workstation, ct now.Contract) (model.EpisodeScheduler, error) {
-			return sched.NewAdaptiveEqualized(ws.Setup)
-		}, nil
-	case "guideline":
-		return func(ws now.Workstation, ct now.Contract) (model.EpisodeScheduler, error) {
-			return sched.NewAdaptiveGuideline(ws.Setup)
-		}, nil
-	case "nonadaptive":
-		return func(ws now.Workstation, ct now.Contract) (model.EpisodeScheduler, error) {
-			return sched.NewNonAdaptive(ct.U, ct.P, ws.Setup)
-		}, nil
-	case "single":
-		return func(ws now.Workstation, ct now.Contract) (model.EpisodeScheduler, error) {
-			return sched.SinglePeriod{}, nil
-		}, nil
-	case "fixedchunk":
-		return func(ws now.Workstation, ct now.Contract) (model.EpisodeScheduler, error) {
-			return sched.FixedChunk{T: 25 * ws.Setup}, nil
-		}, nil
-	default:
-		return nil, fmt.Errorf("schedule %q not supported in fleet mode (want equalized, guideline, nonadaptive, single, or fixedchunk)", name)
 	}
 }
 

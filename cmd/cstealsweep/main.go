@@ -24,6 +24,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
@@ -186,7 +187,7 @@ func sweepMonteCarlo(points []game.SweepPoint, trials int, seed int64, workers i
 				}
 				s := solver.Scheduler()
 				mean := float64(pt.U) / 3
-				sums[i], errs[i] = mc.Run(mc.Config{Trials: trials, Seed: seed, Workers: trialWorkers},
+				sums[i], errs[i] = mc.Run(context.Background(), mc.Config{Trials: trials, Seed: seed, Workers: trialWorkers},
 					func(rng *rand.Rand) (float64, error) {
 						res, err := sim.Run(s, &adversary.Poisson{Rng: rng, Mean: mean}, sim.Opportunity{U: pt.U, P: pt.P, C: pt.C}, sim.Config{})
 						if err != nil {
@@ -259,7 +260,7 @@ func sweepFleet(points []game.SweepPoint, trials int, seed int64, workers, fleet
 		}
 		job := farm.Job{Tasks: task.Fixed(fleet*perStation, pt.C)}
 		f := farm.Farm{Stations: stations, OpportunitiesPerStation: 1, Shards: shards}
-		sums, err := f.Replicate(job, factory, mc.Config{Trials: trials, Seed: seed + int64(i)<<32, Workers: workers})
+		sums, err := f.Replicate(context.Background(), job, factory, mc.Config{Trials: trials, Seed: seed + int64(i)<<32, Workers: workers})
 		if err != nil {
 			return nil, fmt.Errorf("cell (U=%d p=%d) fleet: %w", pt.U, pt.P, err)
 		}

@@ -1,93 +1,101 @@
 // Laptopfleet: cluster-scale cycle-stealing — the NOW of the paper's title.
 // A department has 24 machines: offices, laptops that can be unplugged at
-// any moment, and lab machines lent overnight. A shared bag of data-parallel
-// tasks is farmed out to whatever idle time each owner offers.
+// any moment, and lab machines lent overnight. Each machine works through a
+// private slice of a data-parallel task backlog during whatever idle time
+// its owner offers.
 //
-// This example drives the library's NOW substrate (internal/now) directly:
-// stations run concurrently on a worker pool, each with its own deterministic
-// rng, and the fleet is scored under two scheduling policies — fixed hourly
-// chunks vs the paper's adaptive equalization schedule.
+// This example drives the public fleet facade: owner temperaments and
+// scheduling policies are named in the caller's own time units (seconds
+// here), stations run concurrently on a worker pool, each with its own
+// deterministic contract stream, and the fleet is scored under three
+// period-sizing policies — fixed chunks vs the paper's guidelines.
 //
 // Run: go run ./examples/laptopfleet
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"cyclesteal/internal/model"
-	"cyclesteal/internal/now"
-	"cyclesteal/internal/quant"
-	"cyclesteal/internal/sched"
-	"cyclesteal/internal/task"
+	"cyclesteal/fleet"
 )
 
 func main() {
-	const setup = quant.Tick(100) // one setup cost = 100 ticks
+	const setup = 5.0 // seconds per work hand-off
 
 	// Assemble the fleet: 8 offices, 12 laptops, 4 overnight lab machines.
-	var stations []now.Workstation
-	add := func(n int, owner now.OwnerModel) {
+	// Config.Owners lists one temperament per station, in seconds.
+	var owners []fleet.Owner
+	add := func(n int, o fleet.Owner) {
 		for i := 0; i < n; i++ {
-			stations = append(stations, now.Workstation{ID: len(stations), Owner: owner, Setup: setup})
+			owners = append(owners, o)
 		}
 	}
-	add(8, now.Office{MeanIdle: 360 * setup, MaxP: 3})
-	add(12, now.Laptop{MeanIdle: 120 * setup})
-	add(4, now.Overnight{Window: 2880 * setup})
+	add(8, fleet.Office{MeanIdle: 1800, Interrupts: 3}) // meetings, lunch
+	add(12, fleet.Laptop{MeanIdle: 600})                // unplugged without warning
+	add(4, fleet.Overnight{Window: 14400})              // lent 9pm–1am
 
-	fleet := now.Fleet{Stations: stations, OpportunitiesPerStation: 20}
+	// Each station gets its own 5000-task slice of the backlog (the Private
+	// pool deals the job round-robin): tasks average 40 s.
+	job := fleet.Job{Tasks: fleet.ExponentialTasks(5000*len(owners), 40, 7)}
 
-	policies := []struct {
-		name    string
-		factory now.SchedulerFactory
-	}{
-		{"fixed 36c chunks", func(ws now.Workstation, c now.Contract) (model.EpisodeScheduler, error) {
-			return sched.FixedChunk{T: 36 * ws.Setup}, nil
-		}},
-		{"§3.1 non-adaptive", func(ws now.Workstation, c now.Contract) (model.EpisodeScheduler, error) {
-			return sched.NewNonAdaptive(c.U, c.P, ws.Setup)
-		}},
-		{"adaptive equalized", func(ws now.Workstation, c now.Contract) (model.EpisodeScheduler, error) {
-			return sched.NewAdaptiveEqualized(ws.Setup)
-		}},
+	policies := []fleet.Policy{
+		{Name: "fixedchunk", Chunk: 180}, // 3-minute chunks (36 setups)
+		{Name: "nonadaptive"},            // §3.1 guideline
+		{Name: "equalized"},              // Theorem 4.3 equalization
 	}
 
-	runFleet := func(f now.Fleet, label string) {
-		fmt.Printf("%s\n", label)
-		fmt.Printf("%-22s %14s %12s %12s %10s\n", "policy", "work (ticks)", "utilization", "tasks done", "interrupts")
+	runFleet := func(label string, owners []fleet.Owner) {
+		fmt.Println(label)
+		fmt.Printf("%-22s %14s %12s %12s %10s\n", "policy", "work (s)", "utilization", "tasks done", "interrupts")
 		for _, policy := range policies {
-			res, err := f.Run(policy.factory, 2024, func(ws now.Workstation) *task.Bag {
-				return task.NewBag(task.Exponential(5000, float64(8*setup), int64(ws.ID)))
+			f, err := fleet.New(fleet.Config{
+				Stations:      len(owners),
+				Setup:         setup,
+				Owners:        owners,
+				Policy:        policy,
+				Opportunities: 20,
+				Pool:          fleet.Private,
+				Seed:          2024,
 			})
 			if err != nil {
 				log.Fatal(err)
 			}
-			var interrupts int
-			for _, s := range res.Stations {
-				interrupts += s.Interrupts
+			res, err := f.Run(context.Background(), job)
+			if err != nil {
+				log.Fatal(err)
 			}
-			fmt.Printf("%-22s %14d %11.1f%% %12d %10d\n",
-				policy.name, res.Work, 100*res.Utilization(), res.Tasks, interrupts)
+			fmt.Printf("%-22s %14.0f %11.1f%% %12d %10d\n",
+				policyLabel(policy), res.Work, 100*res.Utilization(), res.TasksCompleted, res.Interrupts)
 		}
 		fmt.Println()
 	}
 
-	fmt.Printf("fleet: %d stations × 20 opportunities each (c = %d ticks)\n\n", len(stations), setup)
-	runFleet(fleet, "benign owners (interrupts placed by their daily routines):")
+	fmt.Printf("fleet: %d stations × 20 opportunities each (c = %g s)\n\n", len(owners), setup)
+	runFleet("benign owners (interrupts placed by their daily routines):", owners)
 
 	// The same fleet with owners who interrupt as damagingly as they can —
 	// the guaranteed-output regime the paper optimizes for.
-	hostile := make([]now.Workstation, len(stations))
-	for i, ws := range stations {
-		hostile[i] = ws
-		hostile[i].Owner = now.Malicious{Base: ws.Owner, Setup: ws.Setup}
+	hostile := make([]fleet.Owner, len(owners))
+	for i, o := range owners {
+		hostile[i] = fleet.Malicious{Base: o}
 	}
-	runFleet(now.Fleet{Stations: hostile, OpportunitiesPerStation: 20},
-		"malicious owners (same contracts, worst-timed interrupts):")
+	runFleet("malicious owners (same contracts, worst-timed interrupts):", hostile)
 
 	fmt.Println("reading the tables: under benign owners every sensible chunking lands within")
 	fmt.Println("~1% — the insurance of guaranteed-output scheduling is nearly free. Under")
 	fmt.Println("worst-timed interrupts the adaptive equalization policy keeps the most work,")
 	fmt.Println("capping each loss at ≈√(2c·residual) — the paper's guarantee in action.")
+}
+
+func policyLabel(p fleet.Policy) string {
+	switch p.Name {
+	case "fixedchunk":
+		return fmt.Sprintf("fixed %.0fs chunks", p.Chunk)
+	case "nonadaptive":
+		return "§3.1 non-adaptive"
+	default:
+		return "adaptive equalized"
+	}
 }

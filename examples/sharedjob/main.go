@@ -1,74 +1,77 @@
 // Sharedjob: one data-parallel computation farmed across a whole NOW — the
 // full setting of the paper's title. A genomics group has 40,000 sequence-
 // alignment tasks and no cluster budget; they steal cycles from 16 machines
-// whose owners come and go. Stations drain one shared bag concurrently;
-// killed periods return their in-flight tasks to the bag so another machine
-// can pick them up.
+// whose owners come and go. Stations drain one shared sharded task pool
+// concurrently; killed periods return their in-flight tasks to the pool so
+// another machine can pick them up.
 //
-// The example compares period-sizing policies by job completion and by how
-// much borrowed lifespan interrupts destroyed — the farm-level view of the
+// The example drives the public fleet facade end to end — caller-units
+// configuration, a shared job, per-policy comparison of completion and of
+// how much borrowed time interrupts destroyed — the farm-level view of the
 // paper's guarantee.
 //
 // Run: go run ./examples/sharedjob
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"cyclesteal/internal/farm"
-	"cyclesteal/internal/model"
-	"cyclesteal/internal/now"
-	"cyclesteal/internal/quant"
-	"cyclesteal/internal/sched"
-	"cyclesteal/internal/task"
+	"cyclesteal/fleet"
 )
 
 func main() {
-	const setup = quant.Tick(100)
+	const setup = 5.0 // seconds per work hand-off
 
-	var stations []now.Workstation
+	// 10 office machines and 6 laptops; the zero values are the standard
+	// experiment temperaments (office: mean idle 250 setups, 2 interrupts;
+	// laptop: mean idle 100 setups, unplugged without warning).
+	var owners []fleet.Owner
 	for i := 0; i < 10; i++ {
-		stations = append(stations, now.Workstation{ID: i, Owner: now.Office{MeanIdle: 250 * setup, MaxP: 2}, Setup: setup})
+		owners = append(owners, fleet.Office{})
 	}
-	for i := 10; i < 16; i++ {
-		stations = append(stations, now.Workstation{ID: i, Owner: now.Laptop{MeanIdle: 100 * setup}, Setup: setup})
+	for i := 0; i < 6; i++ {
+		owners = append(owners, fleet.Laptop{})
 	}
 
-	// 40k alignment tasks, exponentially distributed around 2c.
-	job := farm.Job{Tasks: task.Exponential(40000, float64(2*setup), 99)}
-	fmt.Printf("job: %d tasks, %d ticks of work; fleet: %d stations (c = %d ticks)\n\n",
-		len(job.Tasks), job.TotalWork(), len(stations), setup)
+	// 40k alignment tasks, exponentially distributed around 2 setup costs.
+	job := fleet.Job{Tasks: fleet.ExponentialTasks(40000, 2*setup, 99)}
 
 	policies := []struct {
-		name    string
-		factory now.SchedulerFactory
+		name   string
+		policy fleet.Policy
 	}{
-		{"one period per visit", func(ws now.Workstation, c now.Contract) (model.EpisodeScheduler, error) {
-			return sched.SinglePeriod{}, nil
-		}},
-		{"fixed 25c chunks", func(ws now.Workstation, c now.Contract) (model.EpisodeScheduler, error) {
-			return sched.FixedChunk{T: 25 * ws.Setup}, nil
-		}},
-		{"adaptive equalized", func(ws now.Workstation, c now.Contract) (model.EpisodeScheduler, error) {
-			return sched.NewAdaptiveEqualized(ws.Setup)
-		}},
+		{"one period per visit", fleet.Policy{Name: "single"}},
+		{"fixed 125s chunks", fleet.Policy{Name: "fixedchunk", Chunk: 25 * setup}},
+		{"adaptive equalized", fleet.Policy{Name: "equalized"}},
 	}
 
+	fmt.Printf("job: %d tasks; fleet: %d stations (c = %g s)\n\n", len(job.Tasks), len(owners), setup)
 	fmt.Printf("%-22s %12s %12s %12s %12s %10s\n",
 		"policy", "tasks done", "completion", "killed(c)", "interrupts", "imbalance")
 	for _, p := range policies {
-		f := farm.Farm{Stations: stations, OpportunitiesPerStation: 40}
-		res, err := f.Run(job, p.factory, 2026)
+		f, err := fleet.New(fleet.Config{
+			Stations:      len(owners),
+			Setup:         setup,
+			Owners:        owners,
+			Policy:        p.policy,
+			Opportunities: 40,
+			Seed:          2026,
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		var killed quant.Tick
-		for _, s := range res.Stations {
-			killed += s.KilledTicks
+		res, err := f.Run(context.Background(), job)
+		if err != nil {
+			log.Fatal(err)
 		}
-		fmt.Printf("%-22s %12d %11.1f%% %12d %12d %10.2f\n",
-			p.name, res.TasksCompleted, 100*res.CompletionFraction(job),
+		var killed float64
+		for _, s := range res.Stations {
+			killed += s.Killed
+		}
+		fmt.Printf("%-22s %12d %11.1f%% %12.0f %12d %10.2f\n",
+			p.name, res.TasksCompleted, 100*res.CompletionFraction(),
 			killed/setup, res.Interrupts, res.Imbalance())
 	}
 

@@ -1,0 +1,84 @@
+package fleet_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"cyclesteal/fleet"
+)
+
+// Farm one shared data-parallel job across a small NOW and read the
+// job-level accounting. RunDeterministic makes the output a pure function
+// of the configuration — bit-identical at any Workers setting.
+func Example() {
+	f, err := fleet.New(fleet.Config{
+		Stations:      16, // owners lending idle time
+		Setup:         5,  // seconds per work hand-off
+		Opportunities: 10, // contracts each station works through
+		Seed:          1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	job := fleet.Job{Tasks: fleet.FixedTasks(20000, 12)} // 20k twelve-second tasks
+	res, err := f.RunDeterministic(context.Background(), job)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("completed %d of %d tasks (%.1f%%)\n",
+		res.TasksCompleted, res.TasksCompleted+res.TasksLeft, 100*res.CompletionFraction())
+	// Output:
+	// completed 13834 of 20000 tasks (69.2%)
+}
+
+// Replicate a fleet study: the same job replayed over many deterministic
+// trials, each metric summarized with bounded-error tail quantiles.
+func ExampleFleet_Replicate() {
+	f, err := fleet.New(fleet.Config{
+		Stations:      32,
+		Setup:         5,
+		Opportunities: 8,
+		Seed:          7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	job := fleet.Job{Tasks: fleet.ExponentialTasks(5000, 10, 42)}
+	rep, err := f.Replicate(context.Background(), job, 20)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d trials: median %.0f tasks completed, p99 imbalance %.2f\n",
+		rep.Trials, rep.TasksCompleted.Median, rep.Imbalance.P99)
+	// Output:
+	// 20 trials: median 5000 tasks completed, p99 imbalance 1.96
+}
+
+// Survey a fleet of custom owner temperaments under worst-case interrupts:
+// every station plays its own opportunities against a private slice of the
+// job, so even the live engine is bit-identical at any Workers setting.
+func ExampleConfig_owners() {
+	f, err := fleet.New(fleet.Config{
+		Stations: 9,
+		Setup:    5,
+		Owners: []fleet.Owner{
+			fleet.Office{MeanIdle: 1800, Interrupts: 3},
+			fleet.Malicious{Base: fleet.Laptop{MeanIdle: 600}},
+		},
+		Policy:        fleet.Policy{Name: "nonadaptive"},
+		Opportunities: 12,
+		Pool:          fleet.Private,
+		Seed:          3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := f.Run(context.Background(), fleet.Job{Tasks: fleet.FixedTasks(900, 25)})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("utilization %.0f%%, %d interrupts\n", 100*res.Utilization(), res.Interrupts)
+	// Output:
+	// utilization 90%, 152 interrupts
+}

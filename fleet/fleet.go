@@ -1,0 +1,333 @@
+// Package fleet is the public front door to the library's network-of-
+// workstations engines: one data-parallel job farmed across a whole NOW
+// (the setting of the paper's title), or a fleet survey where every station
+// plays out its own opportunities. It wraps the internal farm/station
+// machinery the way the root cyclesteal.Engine wraps the single-opportunity
+// simulator: callers speak continuous time units and name owner
+// temperaments and scheduling policies; internally everything quantizes
+// onto an exact integer tick grid.
+//
+// # Quick start
+//
+//	f, err := fleet.New(fleet.Config{
+//		Stations:      64,   // owners lend idle time under the draconian contract
+//		Setup:         5,    // seconds per work hand-off
+//		Opportunities: 20,   // owner contracts each station works through
+//		Seed:          1,
+//	})
+//	if err != nil { ... }
+//	res, err := f.Run(ctx, fleet.Job{Tasks: fleet.FixedTasks(10000, 12)})
+//	if err != nil { ... }
+//	fmt.Println(res.CompletionFraction(), res.Steals)
+//
+// # Pools
+//
+// Config.Pool picks how stations share the job. Sharded (the default) is
+// the fleet-scale pool: tasks dealt round-robin across lock-striped queues,
+// dry stations stealing in deterministic order — use it for one shared job
+// on a big fleet. Shared is the single mutex-guarded bag baseline. Private
+// gives every station its own slice of the job and nothing is shared — the
+// fleet-survey semantics: stations play out every opportunity whether or
+// not their tasks drain, and utilization is the figure of merit.
+//
+// # Determinism contract
+//
+// Run is the live engine: station contract streams derive deterministically
+// from (Seed, station ID), but with a Shared/Sharded pool, task assignment
+// depends on goroutine interleaving — aggregate accounting is reproducible,
+// per-station task counts are not. With a Private pool nothing is shared,
+// so the entire Result is a pure function of the Config and Job at any
+// Workers setting. RunDeterministic is the replication engine: the same
+// fleet semantics in synchronized rounds, bit-identical at any Workers.
+// Replicate stacks RunDeterministic (or, for Private pools, Run) inside the
+// Monte-Carlo engine's seed-stream contract: trial i always draws from
+// stream Seed+i, so summaries are bit-identical at any Workers and raising
+// the trial count extends a study without rebasing it.
+//
+// # Cancellation and observability
+//
+// Every run takes a context.Context; cancellation stops each station at
+// its next opportunity boundary (Replicate: each worker at its next trial)
+// and the run returns ctx.Err(). Config.Progress observes long runs:
+// periodic snapshots of settled completions driven from the engine's
+// in-flight ledger.
+package fleet
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"cyclesteal/internal/farm"
+	"cyclesteal/internal/quant"
+	"cyclesteal/internal/station"
+	"cyclesteal/internal/task"
+)
+
+// Pool selects the task-pool layout stations draw the job from.
+type Pool int
+
+const (
+	// Sharded is the fleet-scale shared-job pool: lock-striped per-shard
+	// queues with deterministic work stealing. The default.
+	Sharded Pool = iota
+	// Shared is the single mutex-guarded bag baseline — simple, and fine
+	// for a dozen stations.
+	Shared
+	// Private gives each station its own bag (the job dealt round-robin
+	// across stations) and shares nothing: the fleet-survey semantics, with
+	// every opportunity played out and results bit-identical at any
+	// Workers setting even under the live engine.
+	Private
+)
+
+// String implements fmt.Stringer.
+func (p Pool) String() string {
+	switch p {
+	case Sharded:
+		return "sharded"
+	case Shared:
+		return "shared"
+	case Private:
+		return "private"
+	default:
+		return fmt.Sprintf("Pool(%d)", int(p))
+	}
+}
+
+// Progress is one observation of a run in flight, delivered to
+// Config.Progress.
+type Progress struct {
+	// Completed counts tasks whose completion has settled (the completing
+	// station's opportunity ended, so no kill can undo it).
+	Completed int
+	// Remaining counts tasks not yet completed, in-flight work included.
+	// Completed + Remaining is the job's task count.
+	Remaining int
+	// Steals counts cross-queue task migrations so far (0 for Shared and
+	// Private pools).
+	Steals int
+}
+
+// Config describes a fleet in the caller's continuous time units.
+type Config struct {
+	// Stations is the fleet size. Required ≥ 1.
+	Stations int
+	// Setup is the per-period communication setup cost c — the price of
+	// every work hand-off — in the caller's time units. Required > 0. It
+	// also anchors the tick grid: one setup cost is TicksPerSetup ticks.
+	Setup float64
+	// Interrupts is the default per-contract interrupt allowance for owner
+	// temperaments that take one (an Office owner may return this many
+	// times per lent stretch). 0 means the standard allowance of 2. An
+	// owner's own Interrupts field overrides it.
+	Interrupts int
+	// Owners assigns station temperaments: station i gets
+	// Owners[i mod len(Owners)]. Empty means the standard heterogeneous
+	// mix the experiments use — Office, Laptop, Overnight, round-robin.
+	Owners []Owner
+	// Policy is the period-sizing policy every station schedules with; the
+	// zero value is the adaptive equalization schedule (Theorem 4.3), the
+	// policy most callers want.
+	Policy Policy
+	// Opportunities is how many owner contracts each station works through
+	// (the job may finish earlier; stations then stop borrowing). 0 means 1.
+	Opportunities int
+	// Pool picks the task-pool layout (see the Pool constants).
+	Pool Pool
+	// Shards is the Sharded pool's stripe count, and the station-group
+	// partition of RunDeterministic: 0 means auto (64, clamped to the
+	// fleet size). Ignored by Shared and Private pools.
+	Shards int
+	// Workers bounds run parallelism; 0 means GOMAXPROCS. Never affects
+	// RunDeterministic, Replicate, or Private-pool results — only
+	// wall-clock time.
+	Workers int
+	// Seed derives every station's deterministic contract stream (and, in
+	// Replicate, the per-trial seed streams).
+	Seed int64
+	// TicksPerSetup is the grid resolution: integer ticks per setup cost.
+	// 0 means 100, which keeps quantization error far below the paper's
+	// low-order terms.
+	TicksPerSetup int
+	// DisableEpisodeMemo turns off the per-station episode cache. Results
+	// are bit-identical either way; the switch exists for benchmarking.
+	DisableEpisodeMemo bool
+	// Progress, when non-nil, observes runs in flight: Run emits a snapshot
+	// every ProgressInterval of wall clock, RunDeterministic at every round
+	// barrier (a deterministic sequence — except with a Private pool or an
+	// empty Job, where RunDeterministic delegates to the live engine and so
+	// emits wall-clock snapshots), and both a final snapshot when the last
+	// station finishes. Replicate does not emit (trial-local snapshots are
+	// not study progress). The callback must be fast and must not assume a
+	// goroutine.
+	Progress func(Progress)
+	// ProgressInterval spaces Run's snapshots; 0 means 200ms.
+	ProgressInterval time.Duration
+}
+
+// Job is one data-parallel computation to farm across the fleet.
+type Job struct {
+	// Tasks are the indivisible task durations in the caller's time units.
+	// Empty is valid: stations then bank fluid work only.
+	Tasks []float64
+}
+
+// FixedTasks builds n task durations of d time units each.
+func FixedTasks(n int, d float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = d
+	}
+	return out
+}
+
+// ExponentialTasks builds n exponentially distributed task durations with
+// the given mean — the standard heterogeneous workload of the experiments.
+func ExponentialTasks(n int, mean float64, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = rng.ExpFloat64() * mean
+	}
+	return out
+}
+
+// grid is the quantization the facade shares with the root Engine: one
+// setup cost c is ticksC integer ticks, so a duration of u caller units is
+// u/setup·ticksC ticks.
+type grid struct {
+	setup  float64
+	ticksC quant.Tick
+}
+
+// ticks quantizes a caller-units duration onto the grid (≥ 1, matching the
+// root Engine's rounding).
+func (g grid) ticks(units float64) quant.Tick {
+	t := quant.Tick(math.Round(units / g.setup * float64(g.ticksC)))
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
+// units converts ticks back to caller units.
+func (g grid) units(t quant.Tick) float64 {
+	return float64(t) / float64(g.ticksC) * g.setup
+}
+
+// unitsPerTick is the linear scale factor between the grids.
+func (g grid) unitsPerTick() float64 { return g.setup / float64(g.ticksC) }
+
+// Fleet binds a Config to the tick grid and drives the internal engines.
+// Build one with New; a Fleet is immutable and safe for concurrent runs.
+type Fleet struct {
+	cfg      Config
+	g        grid
+	stations []station.Workstation
+	factory  station.SchedulerFactory
+}
+
+// New validates the configuration and builds a Fleet.
+func New(cfg Config) (*Fleet, error) {
+	if cfg.Stations < 1 {
+		return nil, fmt.Errorf("fleet: need ≥ 1 station, got %d", cfg.Stations)
+	}
+	if !(cfg.Setup > 0) {
+		return nil, fmt.Errorf("fleet: setup cost must be > 0, got %g", cfg.Setup)
+	}
+	if cfg.Interrupts < 0 {
+		return nil, fmt.Errorf("fleet: interrupt allowance must be ≥ 0, got %d", cfg.Interrupts)
+	}
+	if cfg.Opportunities < 0 {
+		return nil, fmt.Errorf("fleet: opportunities must be ≥ 0, got %d", cfg.Opportunities)
+	}
+	if cfg.Shards < 0 {
+		return nil, fmt.Errorf("fleet: shards must be ≥ 0, got %d", cfg.Shards)
+	}
+	if cfg.TicksPerSetup < 0 {
+		return nil, fmt.Errorf("fleet: ticks per setup must be ≥ 0, got %d", cfg.TicksPerSetup)
+	}
+	switch cfg.Pool {
+	case Sharded, Shared, Private:
+	default:
+		return nil, fmt.Errorf("fleet: unknown pool %d", int(cfg.Pool))
+	}
+	ticksC := cfg.TicksPerSetup
+	if ticksC == 0 {
+		ticksC = 100
+	}
+	g := grid{setup: cfg.Setup, ticksC: quant.Tick(ticksC)}
+
+	owners := cfg.Owners
+	if len(owners) == 0 {
+		// The standard heterogeneous NOW of the experiments: offices,
+		// laptops and overnight lab machines, round-robin.
+		owners = []Owner{Office{}, Laptop{}, Overnight{}}
+	}
+	stations := make([]station.Workstation, cfg.Stations)
+	for i := range stations {
+		owner := owners[i%len(owners)]
+		if owner == nil {
+			return nil, fmt.Errorf("fleet: Owners[%d] is nil", i%len(owners))
+		}
+		om, err := owner.model(g, cfg.Interrupts)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: station %d: %w", i, err)
+		}
+		stations[i] = station.Workstation{ID: i, Owner: om, Setup: g.ticksC}
+	}
+
+	factory, err := cfg.Policy.factory(g)
+	if err != nil {
+		return nil, err
+	}
+	return &Fleet{cfg: cfg, g: g, stations: stations, factory: factory}, nil
+}
+
+// Config returns the configuration the fleet was built for.
+func (f *Fleet) Config() Config { return f.cfg }
+
+// Ticks reports the internal grid: ticks per setup cost.
+func (f *Fleet) Ticks() int { return int(f.g.ticksC) }
+
+// Units converts a tick count back to the caller's time units — useful for
+// interpreting tick-grained diagnostics.
+func (f *Fleet) Units(ticks int) float64 { return f.g.units(quant.Tick(ticks)) }
+
+// farm binds the fleet onto the shared internal engine.
+func (f *Fleet) farm() farm.Farm {
+	fm := farm.Farm{
+		Stations:                f.stations,
+		OpportunitiesPerStation: f.cfg.Opportunities,
+		Workers:                 f.cfg.Workers,
+		Shards:                  f.shards(),
+		DisableEpisodeMemo:      f.cfg.DisableEpisodeMemo,
+		ProgressInterval:        f.cfg.ProgressInterval,
+	}
+	if cb := f.cfg.Progress; cb != nil {
+		fm.Progress = func(p farm.Progress) { cb(Progress(p)) }
+	}
+	return fm
+}
+
+// shards resolves the pool choice into the engine's stripe count.
+func (f *Fleet) shards() int {
+	if f.cfg.Pool == Shared {
+		return 1
+	}
+	return f.cfg.Shards
+}
+
+// job quantizes the caller's task durations onto the tick grid.
+func (f *Fleet) job(job Job) farm.Job {
+	if len(job.Tasks) == 0 {
+		return farm.Job{}
+	}
+	tasks := make([]task.Task, len(job.Tasks))
+	for i, d := range job.Tasks {
+		tasks[i] = task.Task{ID: i, Duration: f.g.ticks(d)}
+	}
+	return farm.Job{Tasks: tasks}
+}

@@ -1,0 +1,478 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"math"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"cyclesteal/internal/farm"
+	"cyclesteal/internal/mc"
+	"cyclesteal/internal/now"
+	"cyclesteal/internal/quant"
+	"cyclesteal/internal/station"
+	"cyclesteal/internal/task"
+)
+
+func TestNewValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"no stations", Config{Setup: 5}},
+		{"no setup", Config{Stations: 4}},
+		{"negative setup", Config{Stations: 4, Setup: -1}},
+		{"negative interrupts", Config{Stations: 4, Setup: 5, Interrupts: -1}},
+		{"negative shards", Config{Stations: 4, Setup: 5, Shards: -1}},
+		{"bad pool", Config{Stations: 4, Setup: 5, Pool: Pool(9)}},
+		{"bad policy", Config{Stations: 4, Setup: 5, Policy: Policy{Name: "nope"}}},
+		{"chunkless fixedchunk", Config{Stations: 4, Setup: 5, Policy: Policy{Name: "fixedchunk"}}},
+		{"bad owner duration", Config{Stations: 4, Setup: 5, Owners: []Owner{Office{MeanIdle: -3}}}},
+		{"bad owner interrupts", Config{Stations: 4, Setup: 5, Owners: []Owner{Office{Interrupts: -1}}}},
+		{"nil owner", Config{Stations: 4, Setup: 5, Owners: []Owner{Office{}, nil}}},
+		{"baseless malicious", Config{Stations: 4, Setup: 5, Owners: []Owner{Malicious{}}}},
+	}
+	for _, tc := range cases {
+		if _, err := New(tc.cfg); err == nil {
+			t.Errorf("%s: New accepted %+v", tc.name, tc.cfg)
+		}
+	}
+	if _, err := New(Config{Stations: 1, Setup: 0.5}); err != nil {
+		t.Fatalf("minimal config rejected: %v", err)
+	}
+}
+
+// TestDefaultOwnersMatchMixedFleet pins the facade's default fleet to the
+// experiments' standard heterogeneous NOW: promoting the engines must not
+// quietly change what "a 64-station fleet" means.
+func TestDefaultOwnersMatchMixedFleet(t *testing.T) {
+	f, err := New(Config{Stations: 7, Setup: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := station.MixedFleet(7, 100)
+	if !reflect.DeepEqual(f.stations, want) {
+		t.Fatalf("default fleet diverged from station.MixedFleet:\n got %+v\nwant %+v", f.stations, want)
+	}
+}
+
+func TestOwnerAndPolicySelectors(t *testing.T) {
+	for _, name := range []string{"office", "laptop", "overnight", "malicious-laptop"} {
+		if _, err := OwnerByName(name); err != nil {
+			t.Errorf("OwnerByName(%q): %v", name, err)
+		}
+	}
+	if _, err := OwnerByName("mainframe"); err == nil {
+		t.Error("OwnerByName accepted an unknown temperament")
+	}
+	for _, name := range []string{"", "equalized", "guideline", "nonadaptive", "single", "fixedchunk"} {
+		if _, err := PolicyByName(name); err != nil {
+			t.Errorf("PolicyByName(%q): %v", name, err)
+		}
+	}
+	if _, err := PolicyByName("lru"); err == nil {
+		t.Error("PolicyByName accepted an unknown policy")
+	}
+}
+
+// facadeJob is the shared test workload, in caller units.
+func facadeJob() Job { return Job{Tasks: ExponentialTasks(600, 12, 3)} }
+
+// equivalentInternalJob quantizes facadeJob exactly as the facade does for
+// Setup 5, TicksPerSetup 100.
+func equivalentInternalJob(j Job) farm.Job {
+	tasks := make([]task.Task, len(j.Tasks))
+	for i, d := range j.Tasks {
+		tk := quant.Tick(math.Round(d / 5 * 100))
+		if tk < 1 {
+			tk = 1
+		}
+		tasks[i] = task.Task{ID: i, Duration: tk}
+	}
+	return farm.Job{Tasks: tasks}
+}
+
+// TestRunDeterministicBitIdentical pins the facade's deterministic engine
+// to (a) itself across worker counts and (b) the equivalent raw
+// internal/farm call: the public wrapper adds units conversion, nothing
+// else.
+func TestRunDeterministicBitIdentical(t *testing.T) {
+	cfg := Config{Stations: 24, Setup: 5, Opportunities: 6, Shards: 4, Seed: 11}
+	job := facadeJob()
+
+	var results []Result
+	for _, workers := range []int{1, 8} {
+		c := cfg
+		c.Workers = workers
+		f, err := New(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := f.RunDeterministic(context.Background(), job)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results = append(results, res)
+	}
+	if !reflect.DeepEqual(results[0], results[1]) {
+		t.Fatal("RunDeterministic differs between Workers 1 and 8")
+	}
+
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := farm.Farm{
+		Stations:                station.MixedFleet(24, 100),
+		OpportunitiesPerStation: 6,
+		Shards:                  4,
+	}.RunDeterministic(context.Background(), equivalentInternalJob(job), f.factory, 11, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := results[0].TasksCompleted, raw.TasksCompleted; got != want {
+		t.Fatalf("facade TasksCompleted %d, internal %d", got, want)
+	}
+	if got, want := results[0].Steals, raw.Steals; got != want {
+		t.Fatalf("facade Steals %d, internal %d", got, want)
+	}
+	if got, want := results[0].Work, float64(raw.FluidWork)/100*5; got != want {
+		t.Fatalf("facade Work %g, internal %g", got, want)
+	}
+	for i, rep := range raw.Stations {
+		if got, want := results[0].Stations[i].TaskWork, float64(rep.TaskWork)/100*5; got != want {
+			t.Fatalf("station %d TaskWork: facade %g, internal %g", i, got, want)
+		}
+	}
+}
+
+// TestPrivateRunBitIdentical pins the Private pool's live engine to the
+// equivalent internal/now fleet survey at Workers 1 vs 8.
+func TestPrivateRunBitIdentical(t *testing.T) {
+	cfg := Config{Stations: 12, Setup: 5, Opportunities: 5, Pool: Private, Seed: 7}
+	job := facadeJob()
+
+	var results []Result
+	for _, workers := range []int{1, 8} {
+		c := cfg
+		c.Workers = workers
+		f, err := New(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := f.Run(context.Background(), job)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results = append(results, res)
+	}
+	if !reflect.DeepEqual(results[0], results[1]) {
+		t.Fatal("Private Run differs between Workers 1 and 8")
+	}
+
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hands := task.Deal(equivalentInternalJob(job).Tasks, 12)
+	nf := now.Fleet{Stations: station.MixedFleet(12, 100), OpportunitiesPerStation: 5}
+	raw, err := nf.Run(context.Background(), f.factory, 7, func(ws now.Workstation) *task.Bag {
+		return task.NewBag(hands[ws.ID])
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := results[0].TasksCompleted, raw.Tasks; got != want {
+		t.Fatalf("facade TasksCompleted %d, internal %d", got, want)
+	}
+	if got, want := results[0].Work, float64(raw.Work)/100*5; got != want {
+		t.Fatalf("facade Work %g, internal %g", got, want)
+	}
+	if got, want := results[0].Lifespan, sumLifespan(raw); got != want {
+		t.Fatalf("facade Lifespan %g, internal %g", got, want)
+	}
+}
+
+func sumLifespan(raw now.FleetResult) float64 {
+	var u float64
+	for _, s := range raw.Stations {
+		u += float64(s.LifespanTicks) / 100 * 5
+	}
+	return u
+}
+
+// TestReplicateBitIdentical pins Replicate to itself across worker counts
+// and to the raw internal/farm replication.
+func TestReplicateBitIdentical(t *testing.T) {
+	cfg := Config{Stations: 16, Setup: 5, Opportunities: 4, Shards: 4, Seed: 21}
+	job := facadeJob()
+
+	var reps []Replication
+	for _, workers := range []int{1, 8} {
+		c := cfg
+		c.Workers = workers
+		f, err := New(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := f.Replicate(context.Background(), job, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reps = append(reps, rep)
+	}
+	if !reflect.DeepEqual(reps[0], reps[1]) {
+		t.Fatal("Replicate differs between Workers 1 and 8")
+	}
+
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sums, err := farm.Farm{
+		Stations:                station.MixedFleet(16, 100),
+		OpportunitiesPerStation: 4,
+		Shards:                  4,
+	}.Replicate(context.Background(), equivalentInternalJob(job), f.factory, mc.Config{Trials: 10, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := reps[0].TasksCompleted.Mean, sums[farm.MetricTasksCompleted].Mean; got != want {
+		t.Fatalf("facade tasks mean %g, internal %g", got, want)
+	}
+	if got, want := reps[0].Work.P99, sums[farm.MetricFluidWork].P99/100*5; got != want {
+		t.Fatalf("facade work P99 %g, internal %g", got, want)
+	}
+	if got, want := reps[0].Completion.Median, sums[farm.MetricCompletionFrac].Median; got != want {
+		t.Fatalf("facade completion median %g, internal %g", got, want)
+	}
+	if reps[0].Trials != 10 || reps[0].Completion.N != 10 {
+		t.Fatalf("trial counts: %d, %d", reps[0].Trials, reps[0].Completion.N)
+	}
+	// Private replication fills the survey metrics instead.
+	pc := cfg
+	pc.Pool = Private
+	pf, err := New(pc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prep, err := pf.Replicate(context.Background(), job, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prep.Utilization.N != 5 || prep.Lifespan.N != 5 {
+		t.Fatalf("private replication missing survey metrics: %+v", prep.Utilization)
+	}
+	if prep.Completion.N != 0 || prep.Steals.N != 0 {
+		t.Fatal("private replication filled shared-job metrics")
+	}
+	if prep.Utilization.Mean <= 0 || prep.Utilization.Mean > 1 {
+		t.Fatalf("utilization mean %g out of range", prep.Utilization.Mean)
+	}
+}
+
+// leakCheck snapshots the goroutine count and returns a func asserting the
+// run's workers have drained (a bounded retry absorbs runtime bookkeeping
+// goroutines winding down).
+func leakCheck(t *testing.T) func() {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	return func() {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			if runtime.NumGoroutine() <= before {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+}
+
+// cancellation drives fn with a context cancelled mid-run and asserts the
+// error is ctx.Err(), the return is prompt, and no goroutines leak.
+func cancellation(t *testing.T, fn func(ctx context.Context) error) {
+	t.Helper()
+	check := leakCheck(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	timer := time.AfterFunc(5*time.Millisecond, cancel)
+	defer timer.Stop()
+	defer cancel()
+	start := time.Now()
+	err := fn(ctx)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v (after %v)", err, elapsed)
+	}
+	if elapsed > 10*time.Second {
+		t.Fatalf("cancellation not prompt: run returned after %v", elapsed)
+	}
+	check()
+}
+
+// bigConfig is a 1000-station fleet whose job cannot finish in the few
+// milliseconds before the test cancels it.
+func bigConfig(pool Pool) Config {
+	return Config{Stations: 1000, Setup: 5, Opportunities: 50, Pool: pool, Seed: 5}
+}
+
+func bigJob() Job { return Job{Tasks: FixedTasks(1000000, 10)} }
+
+func TestRunCancellation(t *testing.T) {
+	f, err := New(bigConfig(Sharded))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancellation(t, func(ctx context.Context) error {
+		_, err := f.Run(ctx, bigJob())
+		return err
+	})
+}
+
+func TestRunDeterministicCancellation(t *testing.T) {
+	f, err := New(bigConfig(Sharded))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancellation(t, func(ctx context.Context) error {
+		_, err := f.RunDeterministic(ctx, bigJob())
+		return err
+	})
+}
+
+func TestPrivateRunCancellation(t *testing.T) {
+	f, err := New(bigConfig(Private))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancellation(t, func(ctx context.Context) error {
+		_, err := f.Run(ctx, bigJob())
+		return err
+	})
+}
+
+func TestReplicateCancellation(t *testing.T) {
+	f, err := New(bigConfig(Sharded))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancellation(t, func(ctx context.Context) error {
+		_, err := f.Replicate(ctx, bigJob(), 1000)
+		return err
+	})
+}
+
+// TestProgressDeterministic asserts the round-barrier observer: snapshots
+// are monotone, conserve the task count, and end exactly at the final
+// accounting.
+func TestProgressDeterministic(t *testing.T) {
+	var snaps []Progress
+	cfg := Config{
+		Stations: 16, Setup: 5, Opportunities: 8, Shards: 4, Seed: 2,
+		Progress: func(p Progress) { snaps = append(snaps, p) },
+	}
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := facadeJob()
+	res, err := f.RunDeterministic(context.Background(), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) == 0 {
+		t.Fatal("no progress snapshots")
+	}
+	prev := -1
+	for i, s := range snaps {
+		if s.Completed+s.Remaining != len(job.Tasks) {
+			t.Fatalf("snapshot %d does not conserve tasks: %+v", i, s)
+		}
+		if s.Completed < prev {
+			t.Fatalf("snapshot %d regressed: %+v", i, s)
+		}
+		prev = s.Completed
+	}
+	last := snaps[len(snaps)-1]
+	if last.Completed != res.TasksCompleted || last.Remaining != res.TasksLeft || last.Steals != res.Steals {
+		t.Fatalf("final snapshot %+v does not match result (%d done, %d left, %d steals)",
+			last, res.TasksCompleted, res.TasksLeft, res.Steals)
+	}
+}
+
+// TestProgressLive asserts the wall-clock observer fires (at least the
+// final snapshot) and agrees with the live result.
+func TestProgressLive(t *testing.T) {
+	var snaps []Progress
+	cfg := Config{
+		Stations: 8, Setup: 5, Opportunities: 4, Seed: 2,
+		Progress:         func(p Progress) { snaps = append(snaps, p) },
+		ProgressInterval: time.Millisecond,
+	}
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := facadeJob()
+	res, err := f.Run(context.Background(), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) == 0 {
+		t.Fatal("no progress snapshots")
+	}
+	last := snaps[len(snaps)-1]
+	if last.Completed != res.TasksCompleted {
+		t.Fatalf("final snapshot %+v vs result %d completed", last, res.TasksCompleted)
+	}
+}
+
+// TestEmptyJobIsFluidSurvey pins the Job.Tasks doc: an empty job banks
+// fluid work on every pool layout (the shared pools' exhaustible ledger
+// must not end the run before the first opportunity), deterministically.
+func TestEmptyJobIsFluidSurvey(t *testing.T) {
+	for _, pool := range []Pool{Sharded, Shared, Private} {
+		var results []Result
+		for _, workers := range []int{1, 8} {
+			f, err := New(Config{Stations: 8, Setup: 5, Opportunities: 4, Pool: pool, Seed: 6, Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := f.Run(context.Background(), Job{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Work <= 0 || res.Lifespan <= 0 {
+				t.Fatalf("%v pool: empty job banked no fluid work: %+v", pool, res)
+			}
+			det, err := f.RunDeterministic(context.Background(), Job{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(res, det) {
+				t.Fatalf("%v pool: empty-job Run and RunDeterministic diverge", pool)
+			}
+			results = append(results, res)
+		}
+		if !reflect.DeepEqual(results[0], results[1]) {
+			t.Fatalf("%v pool: empty-job run differs between Workers 1 and 8", pool)
+		}
+		f, err := New(Config{Stations: 8, Setup: 5, Opportunities: 4, Pool: pool, Seed: 6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := f.Replicate(context.Background(), Job{}, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Work.N != 3 || rep.Work.Mean <= 0 {
+			t.Fatalf("%v pool: empty-job replication banked nothing: %+v", pool, rep.Work)
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package fleet
+
+import (
+	"fmt"
+	"strings"
+
+	"cyclesteal/internal/quant"
+	"cyclesteal/internal/station"
+)
+
+// Owner is a workstation-owner temperament: it decides how long the machine
+// is lent per stretch and how the owner's returns interrupt the borrowed
+// time. The implementations in this package cover the paper's scenarios;
+// OwnerByName selects one by label. (The set is closed — temperaments bind
+// to the internal contract model.)
+type Owner interface {
+	// model quantizes the temperament onto the grid; defaultP is
+	// Config.Interrupts, the fleet-wide default allowance.
+	model(g grid, defaultP int) (station.OwnerModel, error)
+}
+
+// Office models a nine-to-five owner: moderately long idle stretches
+// (meetings, lunch) with a few possible returns at their daily routine's
+// whim. The zero value is the standard experiment office (mean idle 250
+// setup costs, allowance from Config.Interrupts).
+type Office struct {
+	// MeanIdle is the mean lent stretch in caller time units; 0 means 250
+	// setup costs.
+	MeanIdle float64
+	// Interrupts is the per-contract allowance; 0 defers to
+	// Config.Interrupts and then to the standard 2.
+	Interrupts int
+}
+
+func (o Office) model(g grid, defaultP int) (station.OwnerModel, error) {
+	mean, err := meanTicks("office", o.MeanIdle, 250, g)
+	if err != nil {
+		return nil, err
+	}
+	if o.Interrupts < 0 {
+		return nil, fmt.Errorf("fleet: office interrupt allowance must be ≥ 0, got %d", o.Interrupts)
+	}
+	p := o.Interrupts
+	if p == 0 {
+		p = defaultP
+	}
+	if p == 0 {
+		p = 2
+	}
+	return station.Office{MeanIdle: mean, MaxP: p}, nil
+}
+
+// Laptop models the paper's motivating case: a machine that can be
+// unplugged at any moment — short lent stretches, one fatal interrupt. The
+// zero value is the standard experiment laptop (mean idle 100 setup costs).
+type Laptop struct {
+	// MeanIdle is the mean lent stretch in caller time units; 0 means 100
+	// setup costs.
+	MeanIdle float64
+}
+
+func (l Laptop) model(g grid, _ int) (station.OwnerModel, error) {
+	mean, err := meanTicks("laptop", l.MeanIdle, 100, g)
+	if err != nil {
+		return nil, err
+	}
+	return station.Laptop{MeanIdle: mean}, nil
+}
+
+// Overnight models lab machines lent for a fixed nightly window with a
+// small chance of an early-morning return. The zero value is the standard
+// experiment window of 400 setup costs.
+type Overnight struct {
+	// Window is the lent window in caller time units; 0 means 400 setup
+	// costs.
+	Window float64
+}
+
+func (o Overnight) model(g grid, _ int) (station.OwnerModel, error) {
+	w, err := meanTicks("overnight", o.Window, 400, g)
+	if err != nil {
+		return nil, err
+	}
+	return station.Overnight{Window: w}, nil
+}
+
+// Malicious wraps a temperament with worst-case interrupt behavior: lent
+// stretches come from the base temperament, but every return is placed as
+// damagingly as the equalization-damage heuristic can — the
+// guaranteed-output regime the paper optimizes for.
+type Malicious struct {
+	Base Owner
+}
+
+func (m Malicious) model(g grid, defaultP int) (station.OwnerModel, error) {
+	if m.Base == nil {
+		return nil, fmt.Errorf("fleet: malicious owner needs a base temperament")
+	}
+	base, err := m.Base.model(g, defaultP)
+	if err != nil {
+		return nil, err
+	}
+	return station.Malicious{Base: base, Setup: g.ticksC}, nil
+}
+
+// meanTicks quantizes an owner duration parameter: explicit caller units,
+// or the standard multiple of the setup cost when zero.
+func meanTicks(owner string, units float64, setups quant.Tick, g grid) (quant.Tick, error) {
+	if units < 0 {
+		return 0, fmt.Errorf("fleet: %s duration must be ≥ 0, got %g", owner, units)
+	}
+	if units == 0 {
+		return setups * g.ticksC, nil
+	}
+	return g.ticks(units), nil
+}
+
+// OwnerByName selects a temperament by label: "office", "laptop" or
+// "overnight", each in its standard experiment shape, optionally wrapped as
+// "malicious-office" etc. for the worst-case-interrupt variant.
+func OwnerByName(name string) (Owner, error) {
+	base, malicious := name, false
+	if rest, ok := strings.CutPrefix(name, "malicious-"); ok {
+		base, malicious = rest, true
+	}
+	var o Owner
+	switch base {
+	case "office":
+		o = Office{}
+	case "laptop":
+		o = Laptop{}
+	case "overnight":
+		o = Overnight{}
+	default:
+		return nil, fmt.Errorf("fleet: unknown owner %q (want office, laptop, overnight, or a malicious- prefix)", name)
+	}
+	if malicious {
+		o = Malicious{Base: o}
+	}
+	return o, nil
+}

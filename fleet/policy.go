@@ -1,0 +1,71 @@
+package fleet
+
+import (
+	"fmt"
+
+	"cyclesteal/internal/model"
+	"cyclesteal/internal/sched"
+	"cyclesteal/internal/station"
+)
+
+// Policy names the period-sizing schedule every station runs its borrowed
+// time with. The zero value is the adaptive equalization schedule.
+type Policy struct {
+	// Name selects the schedule:
+	//
+	//	"equalized"    Theorem 4.3's equalization program — optimal to
+	//	               within low-order terms at every p (the default)
+	//	"guideline"    the §3.2 printed adaptive guideline
+	//	"nonadaptive"  the §3.1 guideline: ⌊√(pU/c)⌋ equal periods
+	//	"single"       one long period per visit (the fragile baseline)
+	//	"fixedchunk"   fixed periods of Chunk time units (Atallah-style)
+	Name string
+	// Chunk is the fixedchunk period length in caller time units; other
+	// policies ignore it.
+	Chunk float64
+}
+
+// PolicyByName selects a schedule by label — the selector CLIs feed flag
+// values through. fixedchunk callers set Chunk on the returned Policy.
+func PolicyByName(name string) (Policy, error) {
+	switch name {
+	case "", "equalized", "guideline", "nonadaptive", "single", "fixedchunk":
+		return Policy{Name: name}, nil
+	default:
+		return Policy{}, fmt.Errorf("fleet: unknown policy %q (want equalized, guideline, nonadaptive, single, or fixedchunk)", name)
+	}
+}
+
+// factory compiles the policy into the per-(station, contract) scheduler
+// constructor the engines drive. Validation happens here, at New time, so a
+// bad policy fails fast instead of per opportunity.
+func (p Policy) factory(g grid) (station.SchedulerFactory, error) {
+	switch p.Name {
+	case "", "equalized":
+		return func(ws station.Workstation, c station.Contract) (model.EpisodeScheduler, error) {
+			return sched.NewAdaptiveEqualized(ws.Setup)
+		}, nil
+	case "guideline":
+		return func(ws station.Workstation, c station.Contract) (model.EpisodeScheduler, error) {
+			return sched.NewAdaptiveGuideline(ws.Setup)
+		}, nil
+	case "nonadaptive":
+		return func(ws station.Workstation, c station.Contract) (model.EpisodeScheduler, error) {
+			return sched.NewNonAdaptive(c.U, c.P, ws.Setup)
+		}, nil
+	case "single":
+		return func(ws station.Workstation, c station.Contract) (model.EpisodeScheduler, error) {
+			return sched.SinglePeriod{}, nil
+		}, nil
+	case "fixedchunk":
+		if !(p.Chunk > 0) {
+			return nil, fmt.Errorf("fleet: fixedchunk policy needs Chunk > 0, got %g", p.Chunk)
+		}
+		t := g.ticks(p.Chunk)
+		return func(ws station.Workstation, c station.Contract) (model.EpisodeScheduler, error) {
+			return sched.FixedChunk{T: t}, nil
+		}, nil
+	default:
+		return nil, fmt.Errorf("fleet: unknown policy %q (want equalized, guideline, nonadaptive, single, or fixedchunk)", p.Name)
+	}
+}

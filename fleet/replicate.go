@@ -1,0 +1,145 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+
+	"cyclesteal/internal/farm"
+	"cyclesteal/internal/mc"
+	"cyclesteal/internal/now"
+	"cyclesteal/internal/stats"
+	"cyclesteal/internal/task"
+)
+
+// Summary describes one metric's distribution across a replication study.
+// Quantiles come from the engine's bounded-error KLL-style sketch, so
+// Median/P90/P99 carry a guaranteed rank-error bound and are independent of
+// how trials were merged. A zero Summary (N == 0) means the metric is not
+// measured by the configured pool.
+type Summary struct {
+	N              int
+	Mean           float64
+	Std            float64 // sample standard deviation (n−1)
+	SE             float64 // standard error of the mean
+	Min, Max       float64
+	Median         float64
+	P90, P99       float64 // upper-tail quantiles (tail-risk views)
+	CI95Lo, CI95Hi float64 // Student-t 95% interval for the mean (t(N−1)·SE)
+}
+
+// summary converts an engine summary, scaling every value field by k (the
+// units-per-tick factor for tick-denominated metrics, 1 for counts and
+// fractions).
+func summary(s stats.Summary, k float64) Summary {
+	return Summary{
+		N:      s.N,
+		Mean:   k * s.Mean,
+		Std:    k * s.Std,
+		SE:     k * s.SE,
+		Min:    k * s.Min,
+		Max:    k * s.Max,
+		Median: k * s.Median,
+		P90:    k * s.P90,
+		P99:    k * s.P99,
+		CI95Lo: k * s.CI95Lo,
+		CI95Hi: k * s.CI95Hi,
+	}
+}
+
+// Replication summarizes a replicated study, one Summary per metric, in
+// caller time units where the metric is time-denominated. Shared and
+// Sharded pools (one shared job) fill TasksCompleted, Completion, Work,
+// Killed, Interrupts, Imbalance and Steals; a Private pool (fleet survey)
+// fills TasksCompleted, TaskWork, Work, Lifespan, Utilization, Killed and
+// Interrupts. Unmeasured metrics are zero (N == 0).
+type Replication struct {
+	Trials int
+	// TasksCompleted counts tasks completed fleet-wide per trial.
+	TasksCompleted Summary
+	// Completion is completed task work over the job total, in [0, 1].
+	Completion Summary
+	// TaskWork is completed task duration fleet-wide, caller units.
+	TaskWork Summary
+	// Work is fluid work banked fleet-wide, caller units.
+	Work Summary
+	// Lifespan is borrowed time offered fleet-wide, caller units.
+	Lifespan Summary
+	// Utilization is Work/Lifespan, in [0, 1].
+	Utilization Summary
+	// Killed is borrowed time destroyed by draconian kills, caller units.
+	Killed Summary
+	// Interrupts counts owner interrupts fleet-wide per trial.
+	Interrupts Summary
+	// Imbalance is max/mean per-station completed task work.
+	Imbalance Summary
+	// Steals counts cross-queue task migrations per trial.
+	Steals Summary
+}
+
+// Replicate replays the fleet trials times on the Monte-Carlo replication
+// engine and summarizes each metric across trials. Trial i derives its
+// fleet seed from the deterministic stream for Seed+i; the worker budget
+// splits between trial-level and in-trial parallelism automatically, and
+// the summaries are bit-identical at any Workers setting. Shared and
+// Sharded pools replay the job on the deterministic round engine; a
+// Private pool replays the fleet survey. Cancelling ctx stops every worker
+// at its next trial boundary and returns ctx.Err().
+func (f *Fleet) Replicate(ctx context.Context, job Job, trials int) (Replication, error) {
+	if trials < 1 {
+		return Replication{}, fmt.Errorf("fleet: trials must be ≥ 1, got %d", trials)
+	}
+	cfg := mc.Config{Trials: trials, Seed: f.cfg.Seed, Workers: f.cfg.Workers}
+	fj := f.job(job)
+	k := f.g.unitsPerTick()
+
+	if f.cfg.Pool == Private || len(fj.Tasks) == 0 {
+		// Empty jobs replicate as pure fluid surveys (see Run): the shared
+		// pools would end each trial before its first opportunity.
+		// No Workers here: now.Fleet.Replicate splits cfg.Workers itself
+		// (trials outside, stations inside) and installs the inner share.
+		nf := now.Fleet{
+			Stations:                f.stations,
+			OpportunitiesPerStation: f.cfg.Opportunities,
+			DisableEpisodeMemo:      f.cfg.DisableEpisodeMemo,
+		}
+		var tasksPer func(ws now.Workstation) *task.Bag
+		if len(fj.Tasks) > 0 {
+			// Each trial drains fresh bags; the deal itself is a pure
+			// function of (job, fleet), and ws.ID indexes it because New
+			// numbers stations 0..n−1.
+			hands := task.Deal(fj.Tasks, len(f.stations))
+			tasksPer = func(ws now.Workstation) *task.Bag {
+				return task.NewBag(hands[ws.ID])
+			}
+		}
+		sums, err := nf.Replicate(ctx, f.factory, cfg, tasksPer)
+		if err != nil {
+			return Replication{}, err
+		}
+		return Replication{
+			Trials:         trials,
+			TasksCompleted: summary(sums[now.FleetMetricTasks], 1),
+			TaskWork:       summary(sums[now.FleetMetricTaskWork], k),
+			Work:           summary(sums[now.FleetMetricWork], k),
+			Lifespan:       summary(sums[now.FleetMetricLifespan], k),
+			Utilization:    summary(sums[now.FleetMetricUtilization], 1),
+			Killed:         summary(sums[now.FleetMetricKilledTicks], k),
+			Interrupts:     summary(sums[now.FleetMetricInterrupts], 1),
+		}, nil
+	}
+
+	sums, err := f.farm().Replicate(ctx, fj, f.factory, cfg)
+	if err != nil {
+		return Replication{}, err
+	}
+	return Replication{
+		Trials:         trials,
+		TasksCompleted: summary(sums[farm.MetricTasksCompleted], 1),
+		Completion:     summary(sums[farm.MetricCompletionFrac], 1),
+		Work:           summary(sums[farm.MetricFluidWork], k),
+		Killed:         summary(sums[farm.MetricKilledTicks], k),
+		Interrupts:     summary(sums[farm.MetricInterrupts], 1),
+		Imbalance:      summary(sums[farm.MetricImbalance], 1),
+		Steals:         summary(sums[farm.MetricSteals], 1),
+	}, nil
+}

@@ -1,0 +1,156 @@
+package fleet
+
+import (
+	"context"
+
+	"cyclesteal/internal/farm"
+	"cyclesteal/internal/task"
+)
+
+// StationReport describes one station's contribution, in caller time units.
+type StationReport struct {
+	Station        int
+	Opportunities  int     // owner contracts actually played
+	Lifespan       float64 // borrowed time offered across those contracts
+	Work           float64 // fluid work banked: Σ (period − setup) over completed periods
+	TaskWork       float64 // total duration of completed tasks
+	TasksCompleted int
+	Interrupts     int
+	Idle           float64 // borrowed time never scheduled
+	Killed         float64 // borrowed time destroyed by draconian kills
+}
+
+// Result aggregates one fleet run, in caller time units.
+type Result struct {
+	Stations       []StationReport
+	TasksCompleted int
+	TasksLeft      int     // job tasks never completed
+	TaskWork       float64 // completed task duration fleet-wide
+	JobWork        float64 // the job's total task duration (as quantized)
+	Work           float64 // fluid work banked fleet-wide
+	Lifespan       float64 // borrowed time offered fleet-wide
+	Interrupts     int
+	Steals         int // cross-queue task migrations (Sharded runs)
+}
+
+// Utilization is banked fluid work over offered lifespan — the fleet-survey
+// figure of merit.
+func (r Result) Utilization() float64 {
+	if r.Lifespan == 0 {
+		return 0
+	}
+	return r.Work / r.Lifespan
+}
+
+// CompletionFraction is completed task work over the job's total (1 for an
+// empty job) — the shared-job figure of merit.
+func (r Result) CompletionFraction() float64 {
+	if r.JobWork == 0 {
+		return 1
+	}
+	return r.TaskWork / r.JobWork
+}
+
+// Imbalance is max/mean per-station completed task work (1 = perfect
+// balance); stations that completed nothing count toward the mean.
+func (r Result) Imbalance() float64 {
+	if len(r.Stations) == 0 {
+		return 1
+	}
+	var sum, max float64
+	for _, s := range r.Stations {
+		sum += s.TaskWork
+		if s.TaskWork > max {
+			max = s.TaskWork
+		}
+	}
+	if sum == 0 {
+		return 1
+	}
+	return max / (sum / float64(len(r.Stations)))
+}
+
+// Run farms the job across the fleet at full speed — the live engine.
+// Stations simulate concurrently, drawing from the configured pool; with a
+// Shared or Sharded pool the aggregate accounting is reproducible but task
+// assignment to stations depends on scheduling (use RunDeterministic for
+// full reproducibility); with a Private pool the entire Result is
+// bit-identical at any Workers. Cancelling ctx stops every station at its
+// next opportunity boundary and returns ctx.Err().
+func (f *Fleet) Run(ctx context.Context, job Job) (Result, error) {
+	fj := f.job(job)
+	var res farm.Result
+	var err error
+	if f.cfg.Pool == Private || len(fj.Tasks) == 0 {
+		// An empty job is a pure fluid survey whatever the pool setting:
+		// the shared pools are exhaustible (an empty one would end the job
+		// before the first opportunity), so it runs on the inexhaustible
+		// private layout, where stations play out every contract.
+		res, err = f.farm().RunPool(ctx, farm.NewPrivatePools(f.privateBags(fj)), f.factory, f.cfg.Seed)
+	} else {
+		res, err = f.farm().Run(ctx, fj, f.factory, f.cfg.Seed)
+	}
+	if err != nil {
+		return Result{}, err
+	}
+	return f.result(res, fj), nil
+}
+
+// RunDeterministic farms the job with fully reproducible semantics: the
+// result is a pure function of (Config, Job) — Workers changes wall-clock
+// time only. Shared and Sharded pools run the round-synchronized engine
+// (stations grouped into Shards queues, stealing only at round barriers);
+// a Private pool's live Run already meets the contract and is used as is.
+func (f *Fleet) RunDeterministic(ctx context.Context, job Job) (Result, error) {
+	if f.cfg.Pool == Private || len(job.Tasks) == 0 {
+		return f.Run(ctx, job) // both already bit-identical at any Workers
+	}
+	fj := f.job(job)
+	res, err := f.farm().RunDeterministic(ctx, fj, f.factory, f.cfg.Seed, f.cfg.Workers)
+	if err != nil {
+		return Result{}, err
+	}
+	return f.result(res, fj), nil
+}
+
+// privateBags deals the job round-robin into one private bag per station.
+func (f *Fleet) privateBags(fj farm.Job) []*task.Bag {
+	if len(fj.Tasks) == 0 {
+		return nil
+	}
+	hands := task.Deal(fj.Tasks, len(f.stations))
+	bags := make([]*task.Bag, len(hands))
+	for i, hand := range hands {
+		bags[i] = task.NewBag(hand)
+	}
+	return bags
+}
+
+// result converts the engine's tick-grid accounting to caller units.
+func (f *Fleet) result(res farm.Result, fj farm.Job) Result {
+	out := Result{
+		Stations:       make([]StationReport, len(res.Stations)),
+		TasksCompleted: res.TasksCompleted,
+		TasksLeft:      res.TasksLeft,
+		TaskWork:       f.g.units(res.TaskWork),
+		JobWork:        f.g.units(fj.TotalWork()),
+		Work:           f.g.units(res.FluidWork),
+		Interrupts:     res.Interrupts,
+		Steals:         res.Steals,
+	}
+	for i, rep := range res.Stations {
+		out.Stations[i] = StationReport{
+			Station:        rep.Station,
+			Opportunities:  rep.Opportunities,
+			Lifespan:       f.g.units(rep.LifespanTicks),
+			Work:           f.g.units(rep.FluidWork),
+			TaskWork:       f.g.units(rep.TaskWork),
+			TasksCompleted: rep.TasksCompleted,
+			Interrupts:     rep.Interrupts,
+			Idle:           f.g.units(rep.IdleTicks),
+			Killed:         f.g.units(rep.KilledTicks),
+		}
+		out.Lifespan += out.Stations[i].Lifespan
+	}
+	return out
+}

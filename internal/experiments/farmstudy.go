@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"cyclesteal/internal/farm"
@@ -61,7 +62,7 @@ func FarmStudy(cfg Config, stations, opportunitiesPer int, jobTasks int, trials 
 		// Disjoint seed-stream ranges per policy. The stride is independent
 		// of the trial count so widening trials extends each policy's
 		// existing stream instead of rebasing it (mc prefix stability).
-		sums, err := f.Replicate(job, p.factory, mc.Config{
+		sums, err := f.Replicate(context.Background(), job, p.factory, mc.Config{
 			Trials:  trials,
 			Seed:    cfg.Seed + int64(i)<<32,
 			Workers: cfg.Workers,

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -64,7 +65,7 @@ func FleetScale(cfg Config, fleets []int, opportunitiesPer, tasksPerStation, tri
 		f := farm.Farm{Stations: fleet, OpportunitiesPerStation: opportunitiesPer}
 		start := time.Now()
 		// Disjoint seed-stream ranges per fleet size (mc prefix stability).
-		sums, err := f.Replicate(job, factory, mc.Config{
+		sums, err := f.Replicate(context.Background(), job, factory, mc.Config{
 			Trials:  trials,
 			Seed:    cfg.Seed + int64(i)<<32,
 			Workers: cfg.Workers,

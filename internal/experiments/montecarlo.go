@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -98,16 +99,36 @@ func GuaranteedVsExpected(cfg Config, U quant.Tick, p int, trials int) (*tab.Tab
 	return t, nil
 }
 
+// trialScratch is the per-worker reusable state an E8-style replication
+// threads through its trials: the simulator's episode/task buffers plus an
+// episode memo bound to the study's scheduler. With it warm, the opportunity
+// itself allocates nothing (see TestMonteCarloTrialAllocationFree and
+// BenchmarkMCE8Trial*) — each trial pays only for its rng and interrupter.
+type trialScratch struct {
+	bufs sim.Buffers
+	memo *sched.Memo
+}
+
+// newTrialScratch is the mc.NewState hook monteCarlo installs.
+func newTrialScratch() any {
+	return &trialScratch{memo: sched.NewMemo(0)}
+}
+
 // monteCarlo replicates one (scheduler, owner) pairing on the mc engine:
 // each trial builds a fresh interrupter from its private seed stream and
-// plays one opportunity.
+// plays one opportunity against its worker's warm scratch. The scratch is
+// pure scratch — memoized episodes are exactly what the scheduler would
+// emit, and the buffers only change where allocations happen — so the
+// summaries are bit-identical with or without it.
 func monteCarlo(s model.EpisodeScheduler, U quant.Tick, p int, c quant.Tick, trials int,
 	mk func(*rand.Rand) sim.Interrupter, seed int64, workers int) (stats.Summary, error) {
-	return mc.Run(mc.Config{Trials: trials, Seed: seed, Workers: workers}, func(rng *rand.Rand) (float64, error) {
-		res, err := sim.Run(s, mk(rng), sim.Opportunity{U: U, P: p, C: c}, sim.Config{})
-		if err != nil {
-			return 0, err
-		}
-		return float64(res.Work), nil
-	})
+	return mc.RunState(context.Background(), mc.Config{Trials: trials, Seed: seed, Workers: workers}, newTrialScratch,
+		func(rng *rand.Rand, state any) (float64, error) {
+			scr := state.(*trialScratch)
+			res, err := sim.Run(scr.memo.Bind(s), mk(rng), sim.Opportunity{U: U, P: p, C: c}, sim.Config{Buffers: &scr.bufs})
+			if err != nil {
+				return 0, err
+			}
+			return float64(res.Work), nil
+		})
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"os"
@@ -10,6 +11,7 @@ import (
 	"time"
 
 	"cyclesteal/internal/adversary"
+	"cyclesteal/internal/mc"
 	"cyclesteal/internal/sched"
 	"cyclesteal/internal/sim"
 	"cyclesteal/internal/stats"
@@ -254,3 +256,84 @@ func TestParallelSpeedupFloor(t *testing.T) {
 		t.Errorf("parallel speedup %.2f× below the asserted floor %.2f×", speedup, min)
 	}
 }
+
+// TestMonteCarloTrialAllocationFree pins satellite claim of the per-worker
+// state hook: with the scratch warm, the opportunity itself allocates
+// nothing — a replicated E8 trial pays only for its rng and interrupter.
+func TestMonteCarloTrialAllocationFree(t *testing.T) {
+	cfg := smallCfg()
+	c := cfg.C
+	U := 150 * c
+	eq, err := sched.NewAdaptiveEqualized(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scr := newTrialScratch().(*trialScratch)
+	var adv sim.Interrupter = adversary.Periodic{U: U, Every: U / 5}
+	trial := func() {
+		res, err := sim.Run(scr.memo.Bind(eq), adv, sim.Opportunity{U: U, P: 2, C: c}, sim.Config{Buffers: &scr.bufs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Work == 0 {
+			t.Fatal("trial banked nothing")
+		}
+	}
+	trial() // warm the episode memo and buffers
+	trial()
+	if allocs := testing.AllocsPerRun(200, trial); allocs != 0 {
+		t.Errorf("warm E8-style trial allocates %.1f times per run, want 0", allocs)
+	}
+}
+
+// e8BenchShape is the replication the BenchmarkMCE8* pair replays: the E9d
+// study shape on one worker, so allocs/op is deterministic and CI can gate
+// it exactly.
+func e8BenchShape(b *testing.B, scratch bool) {
+	b.Helper()
+	cfg := DefaultConfig()
+	c := cfg.C
+	U := 150 * c
+	eq, err := sched.NewAdaptiveEqualized(c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mean := float64(U) / 3
+	mk := func(rng *rand.Rand) sim.Interrupter {
+		return &adversary.Poisson{Rng: rng, Mean: mean}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var sum stats.Summary
+		var err error
+		if scratch {
+			sum, err = monteCarlo(eq, U, 2, c, 1000, mk, cfg.Seed, 1)
+		} else {
+			sum, err = mc.Run(context.Background(), mc.Config{Trials: 1000, Seed: cfg.Seed, Workers: 1},
+				func(rng *rand.Rand) (float64, error) {
+					res, err := sim.Run(eq, mk(rng), sim.Opportunity{U: U, P: 2, C: c}, sim.Config{})
+					if err != nil {
+						return 0, err
+					}
+					return float64(res.Work), nil
+				})
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sum.N != 1000 {
+			b.Fatal("short study")
+		}
+	}
+}
+
+// BenchmarkMCE8TrialScratch replicates E8 through the per-worker scratch
+// hook (the shipped path): episodes come from the warm memo, periods ship
+// through reused buffers.
+func BenchmarkMCE8TrialScratch(b *testing.B) { e8BenchShape(b, true) }
+
+// BenchmarkMCE8TrialCold is the same study without the hook — every trial
+// rebuilds episodes and shipping buffers. The allocs/op gap is the value of
+// mc's per-worker state.
+func BenchmarkMCE8TrialCold(b *testing.B) { e8BenchShape(b, false) }

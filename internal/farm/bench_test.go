@@ -12,6 +12,7 @@ package farm
 // Bag.Take is O(pending)).
 
 import (
+	"context"
 	"math/rand"
 	"sync"
 	"testing"
@@ -79,7 +80,7 @@ func benchRunPool(b *testing.B, shards int) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := f.Run(job, factory, int64(i))
+		res, err := f.Run(context.Background(), job, factory, int64(i))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -137,7 +138,7 @@ func BenchmarkFarmReplicateTwoLevel(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		sums, err := f.Replicate(job, equalizedFactory, mc.Config{Trials: 4, Seed: 1, Workers: 0})
+		sums, err := f.Replicate(context.Background(), job, equalizedFactory, mc.Config{Trials: 4, Seed: 1, Workers: 0})
 		if err != nil {
 			b.Fatal(err)
 		}

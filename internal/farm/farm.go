@@ -56,6 +56,7 @@
 package farm
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -63,6 +64,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"cyclesteal/internal/mc"
 	"cyclesteal/internal/quant"
@@ -232,6 +234,38 @@ type Farm struct {
 	// bit-identical either way — the switch exists for benchmarking and for
 	// the tests that pin that equivalence.
 	DisableEpisodeMemo bool
+	// Progress, when non-nil, observes a run as it happens: Run emits a
+	// snapshot every ProgressInterval of wall-clock time (driven from the
+	// unfinished ledger, so Completed counts settled completions only) and
+	// RunDeterministic emits one at every round barrier (where the counts
+	// are exact and the callback sequence is itself deterministic). Both
+	// engines emit a final snapshot after the last station finishes. The
+	// callback must not block for long — Run invokes it from the observer
+	// goroutine, RunDeterministic from the round loop — and observing never
+	// affects results.
+	Progress func(Progress)
+	// ProgressInterval is the wall-clock spacing of Run's progress
+	// snapshots; ≤ 0 means DefaultProgressInterval. RunDeterministic
+	// ignores it (round barriers set the cadence there).
+	ProgressInterval time.Duration
+}
+
+// DefaultProgressInterval spaces Run's progress snapshots when the caller
+// sets a Progress observer without an interval.
+const DefaultProgressInterval = 200 * time.Millisecond
+
+// Progress is one observation of a farmed job in flight.
+type Progress struct {
+	// Completed counts tasks whose completion has settled (the completing
+	// station's opportunity ended — the same notion the early-exit ledger
+	// uses, so Completed never counts a take a kill could still undo).
+	Completed int
+	// Remaining counts tasks not yet completed: unscheduled tasks plus
+	// in-flight takes. Completed + Remaining is the job's task count.
+	Remaining int
+	// Steals counts cross-queue task migrations so far (0 for unsharded
+	// pools).
+	Steals int
 }
 
 // shardCount resolves the Shards field against the fleet size.
@@ -266,18 +300,22 @@ func (f Farm) newPool(job Job) TaskPool {
 // runs (the aggregate accounting invariants are, and tests check those;
 // RunDeterministic trades peak throughput for full reproducibility). When
 // several stations fail, the returned error joins every station's failure,
-// in station order.
-func (f Farm) Run(job Job, factory station.SchedulerFactory, seed int64) (Result, error) {
+// in station order. Cancelling ctx stops every station at its next
+// opportunity boundary and returns ctx.Err().
+func (f Farm) Run(ctx context.Context, job Job, factory station.SchedulerFactory, seed int64) (Result, error) {
 	if len(f.Stations) == 0 {
 		return Result{}, fmt.Errorf("farm: empty fleet")
 	}
-	return f.RunPool(f.newPool(job), factory, seed)
+	return f.RunPool(ctx, f.newPool(job), factory, seed)
 }
 
 // RunPool is Run against a caller-supplied task pool — the entry point
 // now.Fleet rides with PrivatePools, and the seam for custom pool layouts.
 // The pool must be fresh: its remaining tasks are the job.
-func (f Farm) RunPool(pool TaskPool, factory station.SchedulerFactory, seed int64) (Result, error) {
+func (f Farm) RunPool(ctx context.Context, pool TaskPool, factory station.SchedulerFactory, seed int64) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if len(f.Stations) == 0 {
 		return Result{}, fmt.Errorf("farm: empty fleet")
 	}
@@ -298,12 +336,15 @@ func (f Farm) RunPool(pool TaskPool, factory station.SchedulerFactory, seed int6
 	// completed opportunity settles its stations' takes, so the counter hits
 	// zero exactly when every task has completed — stations can then stop
 	// borrowing with nothing left in flight to strand.
+	total := pool.Remaining()
 	var unfinished atomic.Int64
-	unfinished.Store(int64(pool.Remaining()))
+	unfinished.Store(int64(total))
 	var exit *atomic.Int64
 	if pool.Exhaustible() {
 		exit = &unfinished
 	}
+
+	stopObserver := f.observe(total, &unfinished, pool)
 
 	reports := make([]StationReport, len(f.Stations))
 	errs := make([]error, len(f.Stations))
@@ -315,7 +356,7 @@ func (f Farm) RunPool(pool TaskPool, factory station.SchedulerFactory, seed int6
 			defer wg.Done()
 			for idx := range jobs {
 				src := &settleSource{src: pool.Station(idx), unfinished: &unfinished}
-				rep, err := f.runStation(f.Stations[idx], n, factory, seed, src, exit)
+				rep, err := f.runStation(ctx, f.Stations[idx], n, factory, seed, src, exit)
 				if err != nil {
 					errs[idx] = err
 					continue
@@ -329,10 +370,56 @@ func (f Farm) RunPool(pool TaskPool, factory station.SchedulerFactory, seed int6
 	}
 	close(jobs)
 	wg.Wait()
+	stopObserver()
+	// Cancellation trumps station errors: once the context fires, which
+	// stations report it (and whether any got far enough to fail some other
+	// way) depends on scheduling, so the only deterministic error is the
+	// cancellation itself.
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
 	if err := errors.Join(errs...); err != nil {
 		return Result{}, err
 	}
 	return f.assemble(reports, pool.Remaining(), pool.Steals()), nil
+}
+
+// observe starts Run's wall-clock progress observer, if configured, and
+// returns the function that stops it and emits the final snapshot. The
+// observer reads only the unfinished ledger and the pool's own counters, so
+// it can never perturb results.
+func (f Farm) observe(total int, unfinished *atomic.Int64, pool TaskPool) (stop func()) {
+	if f.Progress == nil {
+		return func() {}
+	}
+	snapshot := func() Progress {
+		left := int(unfinished.Load())
+		return Progress{Completed: total - left, Remaining: left, Steals: pool.Steals()}
+	}
+	interval := f.ProgressInterval
+	if interval <= 0 {
+		interval = DefaultProgressInterval
+	}
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-ticker.C:
+				f.Progress(snapshot())
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		<-finished // the observer has quit; no callback races the final one
+		f.Progress(snapshot())
+	}
 }
 
 // assemble folds station reports into the job-level result.
@@ -408,11 +495,14 @@ func (f Farm) newScratch() *stationScratch {
 	return s
 }
 
-func (f Farm) runStation(ws station.Workstation, n int, factory station.SchedulerFactory, seed int64, src *settleSource, unfinished *atomic.Int64) (StationReport, error) {
+func (f Farm) runStation(ctx context.Context, ws station.Workstation, n int, factory station.SchedulerFactory, seed int64, src *settleSource, unfinished *atomic.Int64) (StationReport, error) {
 	rep := StationReport{Station: ws.ID}
 	rng := station.RNG(seed, ws.ID)
 	scr := f.newScratch()
 	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return rep, err // cancelled between opportunities
+		}
 		if unfinished != nil && unfinished.Load() == 0 {
 			break // every task completed; no point borrowing more time
 		}
@@ -478,8 +568,14 @@ func (f Farm) playOpportunity(rep *StationReport, ws station.Workstation, rng *r
 // Every mutation is therefore ordered by (round, group, station index) — a
 // pure function of (fleet, job, factory, seed, Shards). workers ≤ 0 means
 // GOMAXPROCS; like mc.Config.Workers it changes wall-clock time only, never
-// a bit of the result.
-func (f Farm) RunDeterministic(job Job, factory station.SchedulerFactory, seed int64, workers int) (Result, error) {
+// a bit of the result. Cancelling ctx stops every group at its next station
+// boundary and returns ctx.Err(); a Progress observer fires at each round
+// barrier, where the counts are exact and the callback sequence is itself a
+// pure function of the same key.
+func (f Farm) RunDeterministic(ctx context.Context, job Job, factory station.SchedulerFactory, seed int64, workers int) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	n := len(f.Stations)
 	if n == 0 {
 		return Result{}, fmt.Errorf("farm: empty fleet")
@@ -510,6 +606,7 @@ func (f Farm) RunDeterministic(job Job, factory station.SchedulerFactory, seed i
 	}
 	errs := make([]error, n)
 	steals := 0
+	emitted := false // a round barrier has reported progress
 
 	for round := 0; round < rounds; round++ {
 		remaining := 0
@@ -528,6 +625,9 @@ func (f Farm) RunDeterministic(job Job, factory station.SchedulerFactory, seed i
 				defer wg.Done()
 				for g := range gjobs {
 					for i := g; i < n; i += groups {
+						if ctx.Err() != nil {
+							break // cancelled; the barrier below reports it
+						}
 						if errs[i] != nil {
 							continue
 						}
@@ -541,6 +641,9 @@ func (f Farm) RunDeterministic(job Job, factory station.SchedulerFactory, seed i
 		}
 		close(gjobs)
 		wg.Wait()
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
 		if err := errors.Join(errs...); err != nil {
 			return Result{}, err
 		}
@@ -576,11 +679,29 @@ func (f Farm) RunDeterministic(job Job, factory station.SchedulerFactory, seed i
 				}
 			}
 		}
+
+		// Round-barrier progress: nothing is mid-opportunity here, so the
+		// unscheduled count is exactly the not-yet-completed count and the
+		// snapshot sequence is a pure function of the determinism key.
+		if f.Progress != nil {
+			left := 0
+			for _, q := range queues {
+				left += q.Remaining()
+			}
+			f.Progress(Progress{Completed: len(job.Tasks) - left, Remaining: left, Steals: steals})
+			emitted = true
+		}
 	}
 
 	left := 0
 	for _, q := range queues {
 		left += q.Remaining()
+	}
+	if f.Progress != nil && !emitted {
+		// Runs that never reach a round barrier (an already-done or empty
+		// job) still promise one final snapshot; every other run's last
+		// barrier already reported this exact state.
+		f.Progress(Progress{Completed: len(job.Tasks) - left, Remaining: left, Steals: steals})
 	}
 	return f.assemble(reports, left, steals), nil
 }
@@ -607,10 +728,12 @@ const (
 // farm seed from the engine's deterministic stream for cfg.Seed+i, both
 // levels are free of result-affecting scheduling, and the summaries are
 // therefore bit-identical at any worker budget.
-func (f Farm) Replicate(job Job, factory station.SchedulerFactory, cfg mc.Config) ([]stats.Summary, error) {
+func (f Farm) Replicate(ctx context.Context, job Job, factory station.SchedulerFactory, cfg mc.Config) ([]stats.Summary, error) {
 	cfg, inner := mc.SplitConfig(cfg)
-	return mc.RunVec(cfg, NumMetrics, func(rng *rand.Rand) ([]float64, error) {
-		res, err := f.RunDeterministic(job, factory, rng.Int63(), inner)
+	trial := f
+	trial.Progress = nil // per-trial round barriers are not job progress
+	return mc.RunVec(ctx, cfg, NumMetrics, func(rng *rand.Rand) ([]float64, error) {
+		res, err := trial.RunDeterministic(ctx, job, factory, rng.Int63(), inner)
 		if err != nil {
 			return nil, err
 		}

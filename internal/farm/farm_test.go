@@ -1,6 +1,7 @@
 package farm
 
 import (
+	"context"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -72,7 +73,7 @@ func TestSharedBagConcurrentDrainConserves(t *testing.T) {
 func TestFarmCompletesSmallJob(t *testing.T) {
 	f := testFarm(6, station.Overnight{Window: 20000})
 	job := Job{Tasks: task.Uniform(200, 5, 50, 1)}
-	res, err := f.Run(job, equalizedFactory, 42)
+	res, err := f.Run(context.Background(), job, equalizedFactory, 42)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +99,7 @@ func TestFarmConservationAcrossWorkerCounts(t *testing.T) {
 	for _, workers := range []int{1, 2, 8} {
 		f := testFarm(8, station.Laptop{MeanIdle: 3000})
 		f.Workers = workers
-		res, err := f.Run(job, equalizedFactory, 7)
+		res, err := f.Run(context.Background(), job, equalizedFactory, 7)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -123,14 +124,14 @@ func TestFarmConservationAcrossWorkerCounts(t *testing.T) {
 }
 
 func TestFarmEmptyFleet(t *testing.T) {
-	if _, err := (Farm{}).Run(Job{}, equalizedFactory, 1); err == nil {
+	if _, err := (Farm{}).Run(context.Background(), Job{}, equalizedFactory, 1); err == nil {
 		t.Error("empty fleet accepted")
 	}
 }
 
 func TestFarmFactoryErrorPropagates(t *testing.T) {
 	f := testFarm(3, station.Laptop{MeanIdle: 2000})
-	_, err := f.Run(Job{Tasks: task.Fixed(100, 5)}, func(ws station.Workstation, c station.Contract) (model.EpisodeScheduler, error) {
+	_, err := f.Run(context.Background(), Job{Tasks: task.Fixed(100, 5)}, func(ws station.Workstation, c station.Contract) (model.EpisodeScheduler, error) {
 		return nil, errBoom
 	}, 1)
 	if err == nil {
@@ -149,7 +150,7 @@ func TestFarmStopsBorrowingWhenJobDone(t *testing.T) {
 	f := testFarm(4, station.Overnight{Window: 50000})
 	f.OpportunitiesPerStation = 50
 	job := Job{Tasks: task.Fixed(5, 10)}
-	res, err := f.Run(job, equalizedFactory, 3)
+	res, err := f.Run(context.Background(), job, equalizedFactory, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -197,7 +198,7 @@ func TestFarmMaliciousOwnersStillFinish(t *testing.T) {
 	base := station.Overnight{Window: 30000}
 	f := testFarm(5, station.Malicious{Base: base, Setup: 10})
 	job := Job{Tasks: task.Uniform(500, 5, 40, 9)}
-	res, err := f.Run(job, equalizedFactory, 5)
+	res, err := f.Run(context.Background(), job, equalizedFactory, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -213,7 +214,7 @@ func TestReplicateDeterministicAcrossWorkers(t *testing.T) {
 	f := testFarm(5, station.Office{MeanIdle: 500, MaxP: 2})
 	job := Job{Tasks: task.Exponential(400, 20, 3)}
 	run := func(workers int) []stats.Summary {
-		sums, err := f.Replicate(job, equalizedFactory, mc.Config{Trials: 6, Seed: 9, Workers: workers})
+		sums, err := f.Replicate(context.Background(), job, equalizedFactory, mc.Config{Trials: 6, Seed: 9, Workers: workers})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -233,7 +234,7 @@ func TestReplicateDeterministicAcrossWorkers(t *testing.T) {
 func TestReplicateMetricSanity(t *testing.T) {
 	f := testFarm(4, station.Office{MeanIdle: 400, MaxP: 2})
 	job := Job{Tasks: task.Exponential(300, 20, 7)}
-	sums, err := f.Replicate(job, equalizedFactory, mc.Config{Trials: 5, Seed: 1})
+	sums, err := f.Replicate(context.Background(), job, equalizedFactory, mc.Config{Trials: 5, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -255,7 +256,7 @@ func TestReplicateMetricSanity(t *testing.T) {
 func TestReplicateRejectsBadConfig(t *testing.T) {
 	f := testFarm(2, station.Office{MeanIdle: 100, MaxP: 1})
 	job := Job{Tasks: task.Fixed(10, 5)}
-	if _, err := f.Replicate(job, equalizedFactory, mc.Config{Trials: 0, Seed: 1}); err == nil {
+	if _, err := f.Replicate(context.Background(), job, equalizedFactory, mc.Config{Trials: 0, Seed: 1}); err == nil {
 		t.Error("trials=0 accepted")
 	}
 }
@@ -339,7 +340,7 @@ func TestShardedBagConcurrentDrainConserves(t *testing.T) {
 func TestFarmRunShardedCompletesSmallJob(t *testing.T) {
 	f := testFarm(6, station.Overnight{Window: 20000}) // Shards 0 = auto-sharded
 	job := Job{Tasks: task.Uniform(200, 5, 50, 1)}
-	res, err := f.Run(job, equalizedFactory, 42)
+	res, err := f.Run(context.Background(), job, equalizedFactory, 42)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -375,7 +376,7 @@ func TestFarmRunJoinsAllErrors(t *testing.T) {
 	f.Workers = 2
 	// A job far larger than the fleet can finish, so no station skips its
 	// opportunities (and its factory call) just because the bag drained.
-	_, err := f.Run(Job{Tasks: task.Fixed(100000, 50)}, func(ws station.Workstation, c station.Contract) (model.EpisodeScheduler, error) {
+	_, err := f.Run(context.Background(), Job{Tasks: task.Fixed(100000, 50)}, func(ws station.Workstation, c station.Contract) (model.EpisodeScheduler, error) {
 		if ws.ID%2 == 1 {
 			return nil, errBoom
 		}
@@ -412,12 +413,12 @@ func TestRunDeterministicBitIdenticalAcrossWorkers(t *testing.T) {
 	f := testFarm(30, station.Office{MeanIdle: 800, MaxP: 2})
 	f.OpportunitiesPerStation = 6
 	job := Job{Tasks: task.Exponential(2000, 15, 3)}
-	base, err := f.RunDeterministic(job, equalizedFactory, 99, 1)
+	base, err := f.RunDeterministic(context.Background(), job, equalizedFactory, 99, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, workers := range []int{2, 4, 8, 0} {
-		got, err := f.RunDeterministic(job, equalizedFactory, 99, workers)
+		got, err := f.RunDeterministic(context.Background(), job, equalizedFactory, 99, workers)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -431,7 +432,7 @@ func TestRunDeterministicConserves(t *testing.T) {
 	f := testFarm(12, station.Laptop{MeanIdle: 3000})
 	f.OpportunitiesPerStation = 8
 	job := Job{Tasks: task.Uniform(3000, 5, 80, 2)}
-	res, err := f.RunDeterministic(job, equalizedFactory, 7, 4)
+	res, err := f.RunDeterministic(context.Background(), job, equalizedFactory, 7, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -452,7 +453,7 @@ func TestRunDeterministicStealsRescueIdleGroupTasks(t *testing.T) {
 	}
 	f := Farm{Stations: stations, OpportunitiesPerStation: 10, Shards: 2}
 	job := Job{Tasks: task.Fixed(5, 10)}
-	res, err := f.RunDeterministic(job, equalizedFactory, 3, 2)
+	res, err := f.RunDeterministic(context.Background(), job, equalizedFactory, 3, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -484,7 +485,7 @@ func TestReplicateThousandStationsDeterministicAcrossWorkers(t *testing.T) {
 	f := Farm{Stations: stations, OpportunitiesPerStation: 3}
 	job := Job{Tasks: task.Exponential(8000, 15, 5)}
 	run := func(workers int) []stats.Summary {
-		sums, err := f.Replicate(job, equalizedFactory, mc.Config{Trials: 2, Seed: 31, Workers: workers})
+		sums, err := f.Replicate(context.Background(), job, equalizedFactory, mc.Config{Trials: 2, Seed: 31, Workers: workers})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -517,7 +518,7 @@ func TestRunDeterministicMemoOnOffBitIdentical(t *testing.T) {
 		f := testFarm(24, station.Office{MeanIdle: 700, MaxP: 2})
 		f.OpportunitiesPerStation = 6
 		job := Job{Tasks: task.Exponential(1500, 15, 5)}
-		base, err := f.RunDeterministic(job, factory, 42, 1)
+		base, err := f.RunDeterministic(context.Background(), job, factory, 42, 1)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -525,7 +526,7 @@ func TestRunDeterministicMemoOnOffBitIdentical(t *testing.T) {
 			for _, workers := range []int{1, 8} {
 				g := f
 				g.DisableEpisodeMemo = memoOff
-				got, err := g.RunDeterministic(job, factory, 42, workers)
+				got, err := g.RunDeterministic(context.Background(), job, factory, 42, workers)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -545,7 +546,7 @@ func TestRunMemoOnOffConserves(t *testing.T) {
 		f := testFarm(16, station.Laptop{MeanIdle: 2000})
 		f.DisableEpisodeMemo = memoOff
 		job := Job{Tasks: task.Uniform(2000, 5, 60, 9)}
-		res, err := f.Run(job, equalizedFactory, 5)
+		res, err := f.Run(context.Background(), job, equalizedFactory, 5)
 		if err != nil {
 			t.Fatal(err)
 		}

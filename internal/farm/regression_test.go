@@ -5,6 +5,7 @@ package farm
 // the steal-target hint's victim localization.
 
 import (
+	"context"
 	"math/rand"
 	"sync"
 	"testing"
@@ -187,7 +188,7 @@ func TestFarmRunNoEarlyExitStarvationOnLateKill(t *testing.T) {
 	singlePeriod := func(ws station.Workstation, c station.Contract) (model.EpisodeScheduler, error) {
 		return sched.SinglePeriod{}, nil
 	}
-	res, err := f.RunPool(pool, singlePeriod, 1)
+	res, err := f.RunPool(context.Background(), pool, singlePeriod, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -358,7 +359,7 @@ func TestPrivatePoolsIsolation(t *testing.T) {
 func TestFarmRunAccountsLifespan(t *testing.T) {
 	f := testFarm(4, station.Office{MeanIdle: 3000, MaxP: 2})
 	job := Job{Tasks: task.Uniform(500, 5, 50, 1)}
-	res, err := f.Run(job, equalizedFactory, 11)
+	res, err := f.Run(context.Background(), job, equalizedFactory, 11)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -555,7 +556,7 @@ func TestRacingStationsCannotDrainInFlightTasks(t *testing.T) {
 		}
 		return sched.SinglePeriod{}, nil
 	}
-	res, err := f.RunPool(pool, factory, 1)
+	res, err := f.RunPool(context.Background(), pool, factory, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -7,6 +7,7 @@ package mc
 // BenchmarkMC* once per PR as a compile-and-execute smoke test.
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 )
@@ -27,7 +28,7 @@ func benchRun(b *testing.B, workers int) {
 	b.Helper()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		sum, err := Run(Config{Trials: 10000, Seed: 1, Workers: workers}, benchTrial)
+		sum, err := Run(context.Background(), Config{Trials: 10000, Seed: 1, Workers: workers}, benchTrial)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -55,7 +56,7 @@ func BenchmarkMCEngineParallelMax(b *testing.B) { benchRun(b, 0) }
 func BenchmarkMCVec(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		sums, err := RunVec(Config{Trials: 10000, Seed: 1, Workers: 0}, 4, func(rng *rand.Rand) ([]float64, error) {
+		sums, err := RunVec(context.Background(), Config{Trials: 10000, Seed: 1, Workers: 0}, 4, func(rng *rand.Rand) ([]float64, error) {
 			v, _ := benchTrial(rng)
 			return []float64{v, v * v, -v, 1}, nil
 		})

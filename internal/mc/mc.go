@@ -37,10 +37,23 @@
 //
 // Closures run concurrently: a closure may freely use its private *rand.Rand
 // and anything it creates, but shared inputs (schedulers, solvers) must be
-// treated as read-only.
+// treated as read-only. Closures that want reusable per-goroutine scratch
+// (simulator buffers, episode memos) use the per-worker state hook
+// (RunState/RunVecState): the engine builds one state value per worker
+// goroutine and hands it to every trial that worker runs, so trials can ride
+// the allocation-free opportunity path without any synchronization.
+//
+// # Cancellation
+//
+// Every entry point takes a context. Cancellation is checked between trials;
+// a cancelled run drains its worker pool and returns ctx.Err(). Because the
+// shard partition is fixed, whatever summaries a cancelled run had
+// accumulated are discarded rather than returned — a partial summary would
+// silently depend on scheduling.
 package mc
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -78,10 +91,39 @@ type RunFunc func(rng *rand.Rand) (float64, error)
 // the length the caller declared to RunVec.
 type VecFunc func(rng *rand.Rand) ([]float64, error)
 
+// StateFunc is a single-metric trial with per-worker state: state is the
+// value NewState built for the worker goroutine running the trial, owned by
+// that goroutine for the duration of the call. Trials from several shards
+// may share one state (a worker drains shard after shard), so state must be
+// pure scratch, never shard-keyed.
+type StateFunc func(rng *rand.Rand, state any) (float64, error)
+
+// VecStateFunc is a multi-metric trial with per-worker state (see
+// StateFunc for the sharing contract).
+type VecStateFunc func(rng *rand.Rand, state any) ([]float64, error)
+
+// NewState builds one worker goroutine's reusable trial state. It is
+// invoked lazily, at most once per worker, before the worker's first trial;
+// the value is then passed to every trial that worker runs (its shards are
+// processed in increasing trial order within each shard). Because the state
+// never leaves its goroutine it needs no synchronization — this is the hook
+// that lets replication studies thread a warm sim.Buffers/sched.Memo pair
+// through their trials and ride the allocation-free opportunity path. State
+// must never influence results (scratch only): the seed-stream contract pins
+// the summaries regardless of how trials are grouped onto workers.
+type NewState func() any
+
 // Run replicates a single-metric trial and returns its summary.
-func Run(cfg Config, fn RunFunc) (stats.Summary, error) {
-	sums, err := RunVec(cfg, 1, func(rng *rand.Rand) ([]float64, error) {
-		v, err := fn(rng)
+func Run(ctx context.Context, cfg Config, fn RunFunc) (stats.Summary, error) {
+	return RunState(ctx, cfg, nil, func(rng *rand.Rand, _ any) (float64, error) {
+		return fn(rng)
+	})
+}
+
+// RunState is Run with the per-worker state hook; newState may be nil.
+func RunState(ctx context.Context, cfg Config, newState NewState, fn StateFunc) (stats.Summary, error) {
+	sums, err := RunVecState(ctx, cfg, 1, newState, func(rng *rand.Rand, state any) ([]float64, error) {
+		v, err := fn(rng, state)
 		return []float64{v}, err
 	})
 	if err != nil {
@@ -96,8 +138,20 @@ func Run(cfg Config, fn RunFunc) (stats.Summary, error) {
 // function of (Seed, Trials), independent of Workers. Each shard stops at
 // its own first error; the others run to completion (errors signal contract
 // violations and are fatal, so the extra work on the failure path is not
-// worth giving up deterministic reporting for).
-func RunVec(cfg Config, metrics int, fn VecFunc) ([]stats.Summary, error) {
+// worth giving up deterministic reporting for). A cancelled context is the
+// exception: every shard stops at its next trial boundary and the run
+// returns ctx.Err().
+func RunVec(ctx context.Context, cfg Config, metrics int, fn VecFunc) ([]stats.Summary, error) {
+	return RunVecState(ctx, cfg, metrics, nil, func(rng *rand.Rand, _ any) ([]float64, error) {
+		return fn(rng)
+	})
+}
+
+// RunVecState is RunVec with the per-worker state hook; newState may be nil.
+func RunVecState(ctx context.Context, cfg Config, metrics int, newState NewState, fn VecStateFunc) ([]stats.Summary, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if cfg.Trials < 1 {
 		return nil, fmt.Errorf("mc: trials must be ≥ 1, got %d", cfg.Trials)
 	}
@@ -125,6 +179,8 @@ func RunVec(cfg Config, metrics int, fn VecFunc) ([]stats.Summary, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			var state any
+			stateBuilt := false
 			for s := range jobs {
 				st := &shards[s]
 				st.accs = make([]*stats.Accumulator, metrics)
@@ -132,8 +188,21 @@ func RunVec(cfg Config, metrics int, fn VecFunc) ([]stats.Summary, error) {
 					st.accs[m] = stats.NewAccumulator(sketchCap)
 				}
 				for i := s; i < cfg.Trials; i += Shards {
+					if err := ctx.Err(); err != nil {
+						st.err = err
+						st.trial = i
+						break
+					}
+					if newState != nil && !stateBuilt {
+						// One state per worker goroutine, built lazily before
+						// its first trial and reused across every shard the
+						// goroutine drains — scratch ownership follows the
+						// goroutine, which is what makes it race-free.
+						state = newState()
+						stateBuilt = true
+					}
 					rng := rand.New(rand.NewSource(cfg.Seed + int64(i)))
-					vals, err := fn(rng)
+					vals, err := fn(rng, state)
 					if err == nil && len(vals) != metrics {
 						err = fmt.Errorf("mc: trial %d returned %d metrics, want %d", i, len(vals), metrics)
 					}
@@ -154,6 +223,13 @@ func RunVec(cfg Config, metrics int, fn VecFunc) ([]stats.Summary, error) {
 	}
 	close(jobs)
 	wg.Wait()
+
+	// Cancellation trumps trial errors: which trials got far enough to fail
+	// depends on scheduling once the context fires, so the only
+	// deterministic report is the cancellation itself.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	var first error
 	firstTrial := -1
@@ -186,9 +262,9 @@ func RunVec(cfg Config, metrics int, fn VecFunc) ([]stats.Summary, error) {
 // executed on one goroutine with the same shard partition. It exists for
 // differential tests and as the baseline the BenchmarkMC* speedup numbers
 // are measured against.
-func RunSerial(cfg Config, fn RunFunc) (stats.Summary, error) {
+func RunSerial(ctx context.Context, cfg Config, fn RunFunc) (stats.Summary, error) {
 	cfg.Workers = 1
-	return Run(cfg, fn)
+	return Run(ctx, cfg, fn)
 }
 
 // SplitWorkers divides a worker budget between two levels of parallelism:

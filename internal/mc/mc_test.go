@@ -1,6 +1,7 @@
 package mc
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -27,12 +28,12 @@ func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
 		}
 		return v, nil
 	}
-	base, err := Run(Config{Trials: 1000, Seed: 42, Workers: 1}, fn)
+	base, err := Run(context.Background(), Config{Trials: 1000, Seed: 42, Workers: 1}, fn)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, workers := range []int{2, 3, 8, 64, 0} {
-		got, err := Run(Config{Trials: 1000, Seed: 42, Workers: workers}, fn)
+		got, err := Run(context.Background(), Config{Trials: 1000, Seed: 42, Workers: workers}, fn)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -49,7 +50,7 @@ func TestRunSeedStreamContract(t *testing.T) {
 	for i := range want {
 		want[i] = rand.New(rand.NewSource(seed + int64(i))).Float64()
 	}
-	sum, err := Run(Config{Trials: trials, Seed: seed, Workers: 8}, func(rng *rand.Rand) (float64, error) {
+	sum, err := Run(context.Background(), Config{Trials: trials, Seed: seed, Workers: 8}, func(rng *rand.Rand) (float64, error) {
 		return rng.Float64(), nil
 	})
 	if err != nil {
@@ -68,11 +69,11 @@ func TestRunPrefixStability(t *testing.T) {
 	// Widening a study keeps the old trials: min over 100 trials can only
 	// go down (never change) when trials grows to 300 with the same seed.
 	fn := func(rng *rand.Rand) (float64, error) { return rng.ExpFloat64(), nil }
-	small, err := Run(Config{Trials: 100, Seed: 5, Workers: 4}, fn)
+	small, err := Run(context.Background(), Config{Trials: 100, Seed: 5, Workers: 4}, fn)
 	if err != nil {
 		t.Fatal(err)
 	}
-	big, err := Run(Config{Trials: 300, Seed: 5, Workers: 4}, fn)
+	big, err := Run(context.Background(), Config{Trials: 300, Seed: 5, Workers: 4}, fn)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +86,7 @@ func TestRunPrefixStability(t *testing.T) {
 }
 
 func TestRunVecMultiMetric(t *testing.T) {
-	sums, err := RunVec(Config{Trials: 500, Seed: 3, Workers: 8}, 2, func(rng *rand.Rand) ([]float64, error) {
+	sums, err := RunVec(context.Background(), Config{Trials: 500, Seed: 3, Workers: 8}, 2, func(rng *rand.Rand) ([]float64, error) {
 		x := rng.Float64()
 		return []float64{x, 2 * x}, nil
 	})
@@ -101,14 +102,14 @@ func TestRunVecMultiMetric(t *testing.T) {
 }
 
 func TestRunErrors(t *testing.T) {
-	if _, err := Run(Config{Trials: 0, Seed: 1}, func(*rand.Rand) (float64, error) { return 0, nil }); err == nil {
+	if _, err := Run(context.Background(), Config{Trials: 0, Seed: 1}, func(*rand.Rand) (float64, error) { return 0, nil }); err == nil {
 		t.Error("trials=0 accepted")
 	}
-	if _, err := RunVec(Config{Trials: 1, Seed: 1}, 0, func(*rand.Rand) ([]float64, error) { return nil, nil }); err == nil {
+	if _, err := RunVec(context.Background(), Config{Trials: 1, Seed: 1}, 0, func(*rand.Rand) ([]float64, error) { return nil, nil }); err == nil {
 		t.Error("metrics=0 accepted")
 	}
 	boom := errors.New("boom")
-	_, err := Run(Config{Trials: 100, Seed: 1, Workers: 8}, func(rng *rand.Rand) (float64, error) {
+	_, err := Run(context.Background(), Config{Trials: 100, Seed: 1, Workers: 8}, func(rng *rand.Rand) (float64, error) {
 		if rng.Float64() < 0.5 {
 			return 0, boom
 		}
@@ -120,7 +121,7 @@ func TestRunErrors(t *testing.T) {
 	// Deterministic first-error selection: the reported trial index must be
 	// the same at every worker count.
 	failAt := func(workers int) string {
-		_, err := Run(Config{Trials: 200, Seed: 17, Workers: workers}, func(rng *rand.Rand) (float64, error) {
+		_, err := Run(context.Background(), Config{Trials: 200, Seed: 17, Workers: workers}, func(rng *rand.Rand) (float64, error) {
 			if rng.Float64() < 0.10 {
 				return 0, boom
 			}
@@ -137,7 +138,7 @@ func TestRunErrors(t *testing.T) {
 }
 
 func TestRunVecLengthMismatch(t *testing.T) {
-	_, err := RunVec(Config{Trials: 10, Seed: 1, Workers: 2}, 3, func(rng *rand.Rand) ([]float64, error) {
+	_, err := RunVec(context.Background(), Config{Trials: 10, Seed: 1, Workers: 2}, 3, func(rng *rand.Rand) ([]float64, error) {
 		return []float64{1}, nil
 	})
 	if err == nil {
@@ -146,7 +147,7 @@ func TestRunVecLengthMismatch(t *testing.T) {
 }
 
 func TestRunFewTrialsManyWorkers(t *testing.T) {
-	sum, err := Run(Config{Trials: 3, Seed: 1, Workers: 64}, func(rng *rand.Rand) (float64, error) {
+	sum, err := Run(context.Background(), Config{Trials: 3, Seed: 1, Workers: 64}, func(rng *rand.Rand) (float64, error) {
 		return 1, nil
 	})
 	if err != nil {
@@ -160,7 +161,7 @@ func TestRunFewTrialsManyWorkers(t *testing.T) {
 func ExampleRun() {
 	// Estimate E[max(Z,0)] for a standard normal Z with 10k deterministic
 	// trials; the answer is 1/√(2π) ≈ 0.3989.
-	sum, err := Run(Config{Trials: 10000, Seed: 1}, func(rng *rand.Rand) (float64, error) {
+	sum, err := Run(context.Background(), Config{Trials: 10000, Seed: 1}, func(rng *rand.Rand) (float64, error) {
 		return math.Max(rng.NormFloat64(), 0), nil
 	})
 	if err != nil {
@@ -216,7 +217,7 @@ func TestSplitConfig(t *testing.T) {
 // seed-stream contract like every other field.
 func TestRunTailQuantilesDeterministic(t *testing.T) {
 	run := func(workers int) stats.Summary {
-		sum, err := Run(Config{Trials: 3000, Seed: 11, Workers: workers}, func(rng *rand.Rand) (float64, error) {
+		sum, err := Run(context.Background(), Config{Trials: 3000, Seed: 11, Workers: workers}, func(rng *rand.Rand) (float64, error) {
 			return rng.ExpFloat64(), nil
 		})
 		if err != nil {

@@ -15,8 +15,10 @@
 package now
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"time"
 
 	"cyclesteal/internal/farm"
 	"cyclesteal/internal/mc"
@@ -100,6 +102,12 @@ type Fleet struct {
 	// (p, L) functions); the switch exists for benchmarking and the tests
 	// that pin the equivalence.
 	DisableEpisodeMemo bool
+	// Progress and ProgressInterval pass through to the shared engine's
+	// wall-clock observer (see farm.Farm.Progress): with per-station private
+	// bags, Completed counts tasks whose completing opportunity has ended,
+	// fleet-wide. Observing never affects results.
+	Progress         func(farm.Progress)
+	ProgressInterval time.Duration
 }
 
 // farm binds the fleet onto the shared engine.
@@ -109,6 +117,8 @@ func (f Fleet) farm() farm.Farm {
 		OpportunitiesPerStation: f.OpportunitiesPerStation,
 		Workers:                 f.Workers,
 		DisableEpisodeMemo:      f.DisableEpisodeMemo,
+		Progress:                f.Progress,
+		ProgressInterval:        f.ProgressInterval,
 	}
 }
 
@@ -132,12 +142,13 @@ func (f Fleet) pools(tasksPer func(ws Workstation) *task.Bag) *farm.PrivatePools
 // the entire FleetResult — not just the aggregates — is bit-identical at any
 // Workers setting. If tasksPer is non-nil, it supplies each station's
 // private task bag. When several stations fail, the returned error joins
-// every station's failure, in station order.
-func (f Fleet) Run(factory SchedulerFactory, seed int64, tasksPer func(ws Workstation) *task.Bag) (FleetResult, error) {
+// every station's failure, in station order. Cancelling ctx stops every
+// station at its next opportunity boundary and returns ctx.Err().
+func (f Fleet) Run(ctx context.Context, factory SchedulerFactory, seed int64, tasksPer func(ws Workstation) *task.Bag) (FleetResult, error) {
 	if len(f.Stations) == 0 {
 		return FleetResult{}, fmt.Errorf("now: empty fleet")
 	}
-	res, err := f.farm().RunPool(f.pools(tasksPer), factory, seed)
+	res, err := f.farm().RunPool(ctx, f.pools(tasksPer), factory, seed)
 	if err != nil {
 		return FleetResult{}, err
 	}
@@ -183,12 +194,13 @@ const (
 // bit-identical at any inner worker count), so the summaries are
 // bit-identical at any cfg.Workers. tasksPer, when non-nil, is invoked fresh
 // for every (trial, station) and must depend only on the workstation.
-func (f Fleet) Replicate(factory SchedulerFactory, cfg mc.Config, tasksPer func(ws Workstation) *task.Bag) ([]stats.Summary, error) {
+func (f Fleet) Replicate(ctx context.Context, factory SchedulerFactory, cfg mc.Config, tasksPer func(ws Workstation) *task.Bag) ([]stats.Summary, error) {
 	cfg, inner := mc.SplitConfig(cfg)
 	inst := f
 	inst.Workers = inner
-	return mc.RunVec(cfg, NumFleetMetrics, func(rng *rand.Rand) ([]float64, error) {
-		res, err := inst.Run(factory, rng.Int63(), tasksPer)
+	inst.Progress = nil // per-trial snapshots are not study progress
+	return mc.RunVec(ctx, cfg, NumFleetMetrics, func(rng *rand.Rand) ([]float64, error) {
+		res, err := inst.Run(ctx, factory, rng.Int63(), tasksPer)
 		if err != nil {
 			return nil, err
 		}

@@ -2,6 +2,7 @@ package now
 
 import (
 	"bytes"
+	"context"
 	"reflect"
 	"strings"
 	"testing"
@@ -28,7 +29,7 @@ func equalizedFactory(ws Workstation, c Contract) (model.EpisodeScheduler, error
 
 func TestFleetRunAggregates(t *testing.T) {
 	f := testFleet(8, Office{MeanIdle: 5000, MaxP: 2})
-	res, err := f.Run(equalizedFactory, 42, nil)
+	res, err := f.Run(context.Background(), equalizedFactory, 42, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,14 +66,14 @@ func TestFleetRunBitIdenticalAcrossWorkerCounts(t *testing.T) {
 	for _, bags := range []func(Workstation) *task.Bag{nil, tasksPer} {
 		base := testFleet(10, Laptop{MeanIdle: 3000})
 		base.Workers = 1
-		want, err := base.Run(equalizedFactory, 7, bags)
+		want, err := base.Run(context.Background(), equalizedFactory, 7, bags)
 		if err != nil {
 			t.Fatal(err)
 		}
 		for _, workers := range []int{4, 8, 32} {
 			f := base
 			f.Workers = workers
-			got, err := f.Run(equalizedFactory, 7, bags)
+			got, err := f.Run(context.Background(), equalizedFactory, 7, bags)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -86,7 +87,7 @@ func TestFleetRunBitIdenticalAcrossWorkerCounts(t *testing.T) {
 
 func TestFleetRunWithTasks(t *testing.T) {
 	f := testFleet(4, Overnight{Window: 20000})
-	res, err := f.Run(equalizedFactory, 3, func(ws Workstation) *task.Bag {
+	res, err := f.Run(context.Background(), equalizedFactory, 3, func(ws Workstation) *task.Bag {
 		return task.NewBag(task.Uniform(500, 10, 100, int64(ws.ID)))
 	})
 	if err != nil {
@@ -105,7 +106,7 @@ func TestFleetRunWithTasks(t *testing.T) {
 func TestFleetRunsAllOpportunitiesDespiteEmptyBags(t *testing.T) {
 	f := testFleet(3, Overnight{Window: 20000})
 	f.OpportunitiesPerStation = 7
-	res, err := f.Run(equalizedFactory, 5, func(ws Workstation) *task.Bag {
+	res, err := f.Run(context.Background(), equalizedFactory, 5, func(ws Workstation) *task.Bag {
 		return task.NewBag(task.Fixed(1, 10)) // one tiny task, done in the first period
 	})
 	if err != nil {
@@ -119,14 +120,14 @@ func TestFleetRunsAllOpportunitiesDespiteEmptyBags(t *testing.T) {
 }
 
 func TestFleetEmpty(t *testing.T) {
-	if _, err := (Fleet{}).Run(equalizedFactory, 1, nil); err == nil {
+	if _, err := (Fleet{}).Run(context.Background(), equalizedFactory, 1, nil); err == nil {
 		t.Error("empty fleet accepted")
 	}
 }
 
 func TestFleetFactoryErrorPropagates(t *testing.T) {
 	f := testFleet(2, Laptop{MeanIdle: 1000})
-	_, err := f.Run(func(ws Workstation, c Contract) (model.EpisodeScheduler, error) {
+	_, err := f.Run(context.Background(), func(ws Workstation, c Contract) (model.EpisodeScheduler, error) {
 		return nil, errTest
 	}, 1, nil)
 	if err == nil {
@@ -140,7 +141,7 @@ func TestFleetFactoryErrorPropagates(t *testing.T) {
 func TestFleetRunJoinsAllStationErrors(t *testing.T) {
 	f := testFleet(4, Laptop{MeanIdle: 1000})
 	f.Workers = 2
-	_, err := f.Run(func(ws Workstation, c Contract) (model.EpisodeScheduler, error) {
+	_, err := f.Run(context.Background(), func(ws Workstation, c Contract) (model.EpisodeScheduler, error) {
 		if ws.ID%2 == 1 {
 			return nil, errTest
 		}
@@ -165,12 +166,12 @@ func (*testError) Error() string { return "test error" }
 
 func TestMaliciousFleetUnderperformsBenign(t *testing.T) {
 	benign := testFleet(6, Overnight{Window: 20000})
-	benignRes, err := benign.Run(equalizedFactory, 11, nil)
+	benignRes, err := benign.Run(context.Background(), equalizedFactory, 11, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	malicious := testFleet(6, Malicious{Base: Overnight{Window: 20000}, Setup: 10})
-	maliciousRes, err := malicious.Run(equalizedFactory, 11, nil)
+	maliciousRes, err := malicious.Run(context.Background(), equalizedFactory, 11, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -187,7 +188,7 @@ func TestFleetReplicateDeterministicAcrossWorkers(t *testing.T) {
 		return task.NewBag(task.Exponential(100, 30, int64(ws.ID)))
 	}
 	run := func(workers int) []stats.Summary {
-		sums, err := f.Replicate(equalizedFactory, mc.Config{Trials: 6, Seed: 9, Workers: workers}, tasksPer)
+		sums, err := f.Replicate(context.Background(), equalizedFactory, mc.Config{Trials: 6, Seed: 9, Workers: workers}, tasksPer)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -206,7 +207,7 @@ func TestFleetReplicateDeterministicAcrossWorkers(t *testing.T) {
 
 func TestFleetReplicateMetricSanity(t *testing.T) {
 	f := testFleet(4, Office{MeanIdle: 600, MaxP: 2})
-	sums, err := f.Replicate(equalizedFactory, mc.Config{Trials: 5, Seed: 2}, nil)
+	sums, err := f.Replicate(context.Background(), equalizedFactory, mc.Config{Trials: 5, Seed: 2}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -230,7 +231,7 @@ func TestFleetReplicateMetricSanity(t *testing.T) {
 
 func TestFleetReplicateRejectsBadConfig(t *testing.T) {
 	f := testFleet(2, Office{MeanIdle: 100, MaxP: 1})
-	if _, err := f.Replicate(equalizedFactory, mc.Config{Trials: 0, Seed: 1}, nil); err == nil {
+	if _, err := f.Replicate(context.Background(), equalizedFactory, mc.Config{Trials: 0, Seed: 1}, nil); err == nil {
 		t.Error("trials=0 accepted")
 	}
 }
@@ -328,7 +329,7 @@ func TestFleetRunMemoOnOffBitIdentical(t *testing.T) {
 	for _, bags := range []func(Workstation) *task.Bag{nil, tasksPer} {
 		base := testFleet(12, Office{MeanIdle: 2500, MaxP: 2})
 		base.Workers = 1
-		want, err := base.Run(equalizedFactory, 13, bags)
+		want, err := base.Run(context.Background(), equalizedFactory, 13, bags)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -337,7 +338,7 @@ func TestFleetRunMemoOnOffBitIdentical(t *testing.T) {
 				f := base
 				f.Workers = workers
 				f.DisableEpisodeMemo = memoOff
-				got, err := f.Run(equalizedFactory, 13, bags)
+				got, err := f.Run(context.Background(), equalizedFactory, 13, bags)
 				if err != nil {
 					t.Fatal(err)
 				}
