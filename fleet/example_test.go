@@ -6,6 +6,7 @@ import (
 	"log"
 
 	"cyclesteal/fleet"
+	"cyclesteal/trace"
 )
 
 // Farm one shared data-parallel job across a small NOW and read the
@@ -81,4 +82,50 @@ func ExampleConfig_owners() {
 	fmt.Printf("utilization %.0f%%, %d interrupts\n", 100*res.Utilization(), res.Interrupts)
 	// Output:
 	// utilization 90%, 152 interrupts
+}
+
+// Record one run's interrupt history, then replay it under a different
+// policy — "what would this schedule have banked against the interruptions
+// that actually happened". The recorded trace.Trace round-trips through the
+// documented CSV/JSONL encodings, so a live cluster's usage log can be fed
+// back the same way.
+func ExampleReplay() {
+	rec := trace.NewRecorder()
+	f, err := fleet.New(fleet.Config{
+		Stations:      6,
+		Setup:         5,
+		Opportunities: 10,
+		Seed:          7,
+		Record:        rec,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	orig, err := f.Run(context.Background(), fleet.Job{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr := rec.Trace()
+
+	// Same interrupt history, single-period schedule instead of equalized.
+	rf, err := fleet.New(fleet.Config{
+		Stations:      tr.Stations(),
+		Setup:         5,
+		Opportunities: tr.MaxOpportunities(),
+		Owners:        []fleet.Owner{fleet.Replay{Trace: tr}},
+		Policy:        fleet.Policy{Name: "single"},
+		TicksPerSetup: tr.TicksPerSetup,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := rf.Run(context.Background(), fleet.Job{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("recorded: utilization %.1f%% over %d interrupts\n", 100*orig.Utilization(), orig.Interrupts)
+	fmt.Printf("replayed under single: utilization %.1f%% over %d interrupts\n", 100*res.Utilization(), res.Interrupts)
+	// Output:
+	// recorded: utilization 91.8% over 38 interrupts
+	// replayed under single: utilization 80.4% over 38 interrupts
 }

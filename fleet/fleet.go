@@ -50,7 +50,20 @@
 // its next opportunity boundary (Replicate: each worker at its next trial)
 // and the run returns ctx.Err(). Config.Progress observes long runs:
 // periodic snapshots of settled completions driven from the engine's
-// in-flight ledger.
+// in-flight ledger (Replicate: trials-completed snapshots).
+//
+// # Open owner model
+//
+// Owners are an interface, not an enum. The named temperaments (office,
+// laptop, overnight, fixed — see Owners and OwnerByName) cover the paper's
+// settings; beyond them, CustomOwner injects any availability process in
+// caller units, and the adversarial wrappers (Benign, Scripted, Stochastic,
+// Poisson, Malicious, SampledWorst, Minimax) replace any base owner's
+// interrupt behavior — Minimax being the exact best-response adversary from
+// the game value tables, the guaranteed-output floor. Set Config.Record to
+// a trace.NewRecorder and any successful run publishes the cyclesteal/trace
+// history that reproduces it; Replay plays such a trace back through any
+// policy, bit-identically at any Workers setting. See ExampleReplay.
 package fleet
 
 import (
@@ -63,6 +76,7 @@ import (
 	"cyclesteal/internal/quant"
 	"cyclesteal/internal/station"
 	"cyclesteal/internal/task"
+	"cyclesteal/trace"
 )
 
 // Pool selects the task-pool layout stations draw the job from.
@@ -159,12 +173,22 @@ type Config struct {
 	// barrier (a deterministic sequence — except with a Private pool or an
 	// empty Job, where RunDeterministic delegates to the live engine and so
 	// emits wall-clock snapshots), and both a final snapshot when the last
-	// station finishes. Replicate does not emit (trial-local snapshots are
-	// not study progress). The callback must be fast and must not assume a
-	// goroutine.
+	// station finishes. Replicate emits wall-clock snapshots of trials
+	// completed instead: Completed counts finished trials, Remaining the
+	// trials still to run, Steals is 0. The callback must be fast and must
+	// not assume a goroutine.
 	Progress func(Progress)
 	// ProgressInterval spaces Run's snapshots; 0 means 200ms.
 	ProgressInterval time.Duration
+	// Record, when non-nil, captures each run's availability trace: every
+	// contract the owners offer and every return they place, published to
+	// the recorder when the run completes (failed or cancelled runs publish
+	// nothing). Replaying the trace (Replay owners, same Config otherwise)
+	// reproduces the run bit-identically for the engines that are
+	// themselves deterministic — RunDeterministic, or Run with a Private
+	// pool or empty Job. A recorder holds one run's trace; give concurrent
+	// runs their own recorders. Replicate rejects a recording fleet.
+	Record *trace.Recorder
 }
 
 // Job is one data-parallel computation to farm across the fleet.
@@ -221,10 +245,15 @@ func (g grid) units(t quant.Tick) float64 {
 func (g grid) unitsPerTick() float64 { return g.setup / float64(g.ticksC) }
 
 // Fleet binds a Config to the tick grid and drives the internal engines.
-// Build one with New; a Fleet is immutable and safe for concurrent runs.
+// Build one with New; a Fleet is immutable and safe for concurrent runs
+// (stateful owners — trace Replay — get fresh per-run models, and a
+// recording fleet fresh per-run capture state, so even those share safely;
+// only the one Recorder is last-run-wins across concurrent recorded runs).
 type Fleet struct {
 	cfg      Config
 	g        grid
+	owners   []Owner // resolved temperament cycle (never empty)
+	stateful bool    // some owner carries per-run state; rebuild models per run
 	stations []station.Workstation
 	factory  station.SchedulerFactory
 }
@@ -266,24 +295,59 @@ func New(cfg Config) (*Fleet, error) {
 		// laptops and overnight lab machines, round-robin.
 		owners = []Owner{Office{}, Laptop{}, Overnight{}}
 	}
-	stations := make([]station.Workstation, cfg.Stations)
-	for i := range stations {
-		owner := owners[i%len(owners)]
+	stateful := false
+	for i, owner := range owners {
 		if owner == nil {
-			return nil, fmt.Errorf("fleet: Owners[%d] is nil", i%len(owners))
+			return nil, fmt.Errorf("fleet: Owners[%d] is nil", i)
 		}
-		om, err := owner.model(g, cfg.Interrupts)
-		if err != nil {
-			return nil, fmt.Errorf("fleet: station %d: %w", i, err)
-		}
-		stations[i] = station.Workstation{ID: i, Owner: om, Setup: g.ticksC}
+		stateful = stateful || statefulOwner(owner)
 	}
 
 	factory, err := cfg.Policy.factory(g)
 	if err != nil {
 		return nil, err
 	}
-	return &Fleet{cfg: cfg, g: g, stations: stations, factory: factory}, nil
+	f := &Fleet{cfg: cfg, g: g, owners: owners, stateful: stateful, factory: factory}
+	// Build (and thereby validate) the station models eagerly, so a bad
+	// owner fails here rather than per run; stateless fleets reuse this set
+	// for every run.
+	if f.stations, err = f.buildStations(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// buildStations quantizes the owner cycle onto the fleet's stations.
+func (f *Fleet) buildStations() ([]station.Workstation, error) {
+	stations := make([]station.Workstation, f.cfg.Stations)
+	for i := range stations {
+		owner := f.owners[i%len(f.owners)]
+		om, err := owner.model(binding{g: f.g, defaultP: f.cfg.Interrupts, station: i, factory: f.factory})
+		if err != nil {
+			return nil, fmt.Errorf("fleet: station %d: %w", i, err)
+		}
+		stations[i] = station.Workstation{ID: i, Owner: om, Setup: f.g.ticksC}
+	}
+	return stations, nil
+}
+
+// runStations prepares the engine-facing station set for one run — fresh
+// models when some owner carries per-run state, recording wrappers when the
+// run is being captured — and the hook the run must call on success (a
+// no-op unless recording).
+func (f *Fleet) runStations() ([]station.Workstation, func(), error) {
+	noop := func() {}
+	if !f.stateful && f.cfg.Record == nil {
+		return f.stations, noop, nil
+	}
+	sts, err := f.buildStations()
+	if err != nil {
+		return nil, nil, err
+	}
+	if f.cfg.Record == nil {
+		return sts, noop, nil
+	}
+	return sts, recordingStations(sts, f.g, f.cfg.Record), nil
 }
 
 // Config returns the configuration the fleet was built for.
@@ -296,10 +360,10 @@ func (f *Fleet) Ticks() int { return int(f.g.ticksC) }
 // interpreting tick-grained diagnostics.
 func (f *Fleet) Units(ticks int) float64 { return f.g.units(quant.Tick(ticks)) }
 
-// farm binds the fleet onto the shared internal engine.
-func (f *Fleet) farm() farm.Farm {
+// farm binds one run's station set onto the shared internal engine.
+func (f *Fleet) farm(stations []station.Workstation) farm.Farm {
 	fm := farm.Farm{
-		Stations:                f.stations,
+		Stations:                stations,
 		OpportunitiesPerStation: f.cfg.Opportunities,
 		Workers:                 f.cfg.Workers,
 		Shards:                  f.shards(),

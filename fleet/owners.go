@@ -2,21 +2,48 @@ package fleet
 
 import (
 	"fmt"
+	"math/rand"
 	"strings"
 
+	"cyclesteal/internal/adversary"
 	"cyclesteal/internal/quant"
+	"cyclesteal/internal/sim"
 	"cyclesteal/internal/station"
 )
 
 // Owner is a workstation-owner temperament: it decides how long the machine
 // is lent per stretch and how the owner's returns interrupt the borrowed
-// time. The implementations in this package cover the paper's scenarios;
-// OwnerByName selects one by label. (The set is closed — temperaments bind
-// to the internal contract model.)
+// time. The named temperaments (Office, Laptop, Overnight), the worst-case
+// wrappers (Malicious, Minimax, Benign, Scripted, Stochastic, Poisson,
+// SampledWorst), Fixed contracts, trace Replay and fully caller-defined
+// CustomOwner availability processes all implement it; OwnerByName selects
+// the named ones by label.
+//
+// The interface itself is bound to the fleet's internal tick grid through an
+// unexported method, so third-party temperaments plug in through CustomOwner
+// — the open, caller-units half of the contract — rather than by
+// implementing Owner directly.
 type Owner interface {
-	// model quantizes the temperament onto the grid; defaultP is
-	// Config.Interrupts, the fleet-wide default allowance.
-	model(g grid, defaultP int) (station.OwnerModel, error)
+	// model quantizes the temperament onto the grid described by the
+	// binding: the fleet's tick grid and default allowance, the station the
+	// model will serve, and the scheduling policy's factory (for owners,
+	// like Minimax, that best-respond to the schedule).
+	model(b binding) (station.OwnerModel, error)
+}
+
+// binding is everything an owner temperament may need to quantize itself
+// onto one station of a fleet.
+type binding struct {
+	g        grid
+	defaultP int                      // Config.Interrupts, the fleet-wide default allowance
+	station  int                      // station index the model will serve
+	factory  station.SchedulerFactory // the fleet's compiled policy
+}
+
+// workstation is the station the binding describes, as the scheduler factory
+// expects it.
+func (b binding) workstation() station.Workstation {
+	return station.Workstation{ID: b.station, Setup: b.g.ticksC}
 }
 
 // Office models a nine-to-five owner: moderately long idle stretches
@@ -32,8 +59,8 @@ type Office struct {
 	Interrupts int
 }
 
-func (o Office) model(g grid, defaultP int) (station.OwnerModel, error) {
-	mean, err := meanTicks("office", o.MeanIdle, 250, g)
+func (o Office) model(b binding) (station.OwnerModel, error) {
+	mean, err := meanTicks("office", o.MeanIdle, 250, b.g)
 	if err != nil {
 		return nil, err
 	}
@@ -42,7 +69,7 @@ func (o Office) model(g grid, defaultP int) (station.OwnerModel, error) {
 	}
 	p := o.Interrupts
 	if p == 0 {
-		p = defaultP
+		p = b.defaultP
 	}
 	if p == 0 {
 		p = 2
@@ -59,8 +86,8 @@ type Laptop struct {
 	MeanIdle float64
 }
 
-func (l Laptop) model(g grid, _ int) (station.OwnerModel, error) {
-	mean, err := meanTicks("laptop", l.MeanIdle, 100, g)
+func (l Laptop) model(b binding) (station.OwnerModel, error) {
+	mean, err := meanTicks("laptop", l.MeanIdle, 100, b.g)
 	if err != nil {
 		return nil, err
 	}
@@ -76,31 +103,85 @@ type Overnight struct {
 	Window float64
 }
 
-func (o Overnight) model(g grid, _ int) (station.OwnerModel, error) {
-	w, err := meanTicks("overnight", o.Window, 400, g)
+func (o Overnight) model(b binding) (station.OwnerModel, error) {
+	w, err := meanTicks("overnight", o.Window, 400, b.g)
 	if err != nil {
 		return nil, err
 	}
 	return station.Overnight{Window: w}, nil
 }
 
+// Fixed offers identical deterministic contracts every stretch and, on its
+// own, never interrupts — the degenerate temperament adversarial wrappers
+// and analytic comparisons build on: Malicious{Base: Fixed{...}} measures
+// worst-case placement on a known contract, Minimax{Base: Fixed{...}} the
+// exact guaranteed floor the paper's theorems price.
+type Fixed struct {
+	// Lifespan is the lent stretch in caller time units; 0 means 250 setup
+	// costs.
+	Lifespan float64
+	// Interrupts is the per-contract allowance; 0 defers to
+	// Config.Interrupts and then to the standard 2.
+	Interrupts int
+}
+
+func (x Fixed) model(b binding) (station.OwnerModel, error) {
+	u, err := meanTicks("fixed", x.Lifespan, 250, b.g)
+	if err != nil {
+		return nil, err
+	}
+	if x.Interrupts < 0 {
+		return nil, fmt.Errorf("fleet: fixed interrupt allowance must be ≥ 0, got %d", x.Interrupts)
+	}
+	p := x.Interrupts
+	if p == 0 {
+		p = b.defaultP
+	}
+	if p == 0 {
+		p = 2
+	}
+	return fixedModel{u: u, p: p}, nil
+}
+
+// fixedModel is the internal face of Fixed.
+type fixedModel struct {
+	u quant.Tick
+	p int
+}
+
+func (m fixedModel) Sample(rng *rand.Rand) station.Contract {
+	return station.Contract{U: m.u, P: m.p}
+}
+
+func (m fixedModel) Interrupter(rng *rand.Rand, c station.Contract) sim.Interrupter {
+	return adversary.None{}
+}
+
+func (m fixedModel) Name() string { return "fixed" }
+
 // Malicious wraps a temperament with worst-case interrupt behavior: lent
 // stretches come from the base temperament, but every return is placed as
 // damagingly as the equalization-damage heuristic can — the
-// guaranteed-output regime the paper optimizes for.
+// guaranteed-output regime the paper optimizes for. For the exact minimax
+// adversary (optimal but far more expensive), see Minimax.
 type Malicious struct {
 	Base Owner
 }
 
-func (m Malicious) model(g grid, defaultP int) (station.OwnerModel, error) {
-	if m.Base == nil {
-		return nil, fmt.Errorf("fleet: malicious owner needs a base temperament")
-	}
-	base, err := m.Base.model(g, defaultP)
+func (m Malicious) model(b binding) (station.OwnerModel, error) {
+	base, err := baseModel("malicious", m.Base, b)
 	if err != nil {
 		return nil, err
 	}
-	return station.Malicious{Base: base, Setup: g.ticksC}, nil
+	return station.Malicious{Base: base, Setup: b.g.ticksC}, nil
+}
+
+// baseModel resolves a wrapper's base temperament.
+func baseModel(wrapper string, base Owner, b binding) (station.OwnerModel, error) {
+	if base == nil {
+		return nil, fmt.Errorf("fleet: %s owner needs a base temperament", wrapper)
+	}
+	return base.model(b)
 }
 
 // meanTicks quantizes an owner duration parameter: explicit caller units,
@@ -115,13 +196,67 @@ func meanTicks(owner string, units float64, setups quant.Tick, g grid) (quant.Ti
 	return g.ticks(units), nil
 }
 
-// OwnerByName selects a temperament by label: "office", "laptop" or
-// "overnight", each in its standard experiment shape, optionally wrapped as
-// "malicious-office" etc. for the worst-case-interrupt variant.
+// statefulOwner reports whether the temperament (or any base under its
+// wrappers) carries per-run state — today, trace Replay cursors. Stateful
+// owners make a Fleet rebuild its station models for every run, and they
+// cannot drive Replicate (a recorded trace names one run, not a
+// distribution).
+func statefulOwner(o Owner) bool {
+	switch v := o.(type) {
+	case Replay:
+		return true
+	case Malicious:
+		return statefulOwner(v.Base)
+	case Benign:
+		return statefulOwner(v.Base)
+	case Scripted:
+		return statefulOwner(v.Base)
+	case Stochastic:
+		return statefulOwner(v.Base)
+	case Poisson:
+		return statefulOwner(v.Base)
+	case SampledWorst:
+		return statefulOwner(v.Base)
+	case Minimax:
+		return statefulOwner(v.Base)
+	default:
+		return false
+	}
+}
+
+// ownerBases are the base temperament labels OwnerByName accepts.
+var ownerBases = []string{"office", "laptop", "overnight", "fixed"}
+
+// ownerPrefixes are the wrapper prefixes OwnerByName accepts around a base.
+var ownerPrefixes = []string{"malicious-", "benign-", "minimax-"}
+
+// Owners enumerates every temperament label OwnerByName accepts: the base
+// temperaments in their standard experiment shapes, then each wrapper-prefix
+// form (worst-case heuristic, never-interrupting, and exact minimax
+// placement over the same base contracts).
+func Owners() []string {
+	out := append([]string(nil), ownerBases...)
+	for _, p := range ownerPrefixes {
+		for _, b := range ownerBases {
+			out = append(out, p+b)
+		}
+	}
+	return out
+}
+
+// OwnerByName selects a temperament by label — any name Owners lists:
+// "office", "laptop", "overnight" or "fixed", each in its standard
+// experiment shape, optionally wrapped as "malicious-office",
+// "benign-laptop", "minimax-fixed" and so on. Trace replay and custom
+// availability processes have no names: build Replay or CustomOwner values
+// directly.
 func OwnerByName(name string) (Owner, error) {
-	base, malicious := name, false
-	if rest, ok := strings.CutPrefix(name, "malicious-"); ok {
-		base, malicious = rest, true
+	base, prefix := name, ""
+	for _, p := range ownerPrefixes {
+		if rest, ok := strings.CutPrefix(name, p); ok {
+			base, prefix = rest, p
+			break
+		}
 	}
 	var o Owner
 	switch base {
@@ -131,11 +266,18 @@ func OwnerByName(name string) (Owner, error) {
 		o = Laptop{}
 	case "overnight":
 		o = Overnight{}
+	case "fixed":
+		o = Fixed{}
 	default:
-		return nil, fmt.Errorf("fleet: unknown owner %q (want office, laptop, overnight, or a malicious- prefix)", name)
+		return nil, fmt.Errorf("fleet: unknown owner %q (want one of %s)", name, strings.Join(Owners(), ", "))
 	}
-	if malicious {
+	switch prefix {
+	case "malicious-":
 		o = Malicious{Base: o}
+	case "benign-":
+		o = Benign{Base: o}
+	case "minimax-":
+		o = Minimax{Base: o}
 	}
 	return o, nil
 }

@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"fmt"
+	"strings"
 
 	"cyclesteal/internal/model"
 	"cyclesteal/internal/sched"
@@ -25,14 +26,26 @@ type Policy struct {
 	Chunk float64
 }
 
-// PolicyByName selects a schedule by label — the selector CLIs feed flag
-// values through. fixedchunk callers set Chunk on the returned Policy.
+// Policies enumerates every schedule label PolicyByName accepts, in the
+// order the Policy.Name doc lists them.
+func Policies() []string {
+	return []string{"equalized", "guideline", "nonadaptive", "single", "fixedchunk"}
+}
+
+// unknownPolicy is the shared wrong-name error, listing the valid labels.
+func unknownPolicy(name string) error {
+	return fmt.Errorf("fleet: unknown policy %q (want one of %s)", name, strings.Join(Policies(), ", "))
+}
+
+// PolicyByName selects a schedule by label — any name Policies lists; the
+// selector CLIs feed flag values through it. fixedchunk callers set Chunk on
+// the returned Policy.
 func PolicyByName(name string) (Policy, error) {
 	switch name {
 	case "", "equalized", "guideline", "nonadaptive", "single", "fixedchunk":
 		return Policy{Name: name}, nil
 	default:
-		return Policy{}, fmt.Errorf("fleet: unknown policy %q (want equalized, guideline, nonadaptive, single, or fixedchunk)", name)
+		return Policy{}, unknownPolicy(name)
 	}
 }
 
@@ -66,6 +79,6 @@ func (p Policy) factory(g grid) (station.SchedulerFactory, error) {
 			return sched.FixedChunk{T: t}, nil
 		}, nil
 	default:
-		return nil, fmt.Errorf("fleet: unknown policy %q (want equalized, guideline, nonadaptive, single, or fixedchunk)", p.Name)
+		return nil, unknownPolicy(p.Name)
 	}
 }

@@ -88,7 +88,22 @@ func (f *Fleet) Replicate(ctx context.Context, job Job, trials int) (Replication
 	if trials < 1 {
 		return Replication{}, fmt.Errorf("fleet: trials must be ≥ 1, got %d", trials)
 	}
+	if f.cfg.Record != nil {
+		return Replication{}, fmt.Errorf("fleet: Replicate cannot record a trace: trials would overwrite one another — record a single Run or RunDeterministic instead")
+	}
+	if f.stateful {
+		return Replication{}, fmt.Errorf("fleet: Replicate cannot drive trace-replay owners: a recorded trace names one run, not a distribution — use Run or RunDeterministic")
+	}
 	cfg := mc.Config{Trials: trials, Seed: f.cfg.Seed, Workers: f.cfg.Workers}
+	if cb := f.cfg.Progress; cb != nil {
+		// Trials-completed progress: the study-level signal Run's task-level
+		// snapshots cannot give (trial-local snapshots are not study
+		// progress, so per-trial observers stay off).
+		cfg.Progress = func(done, total int) {
+			cb(Progress{Completed: done, Remaining: total - done})
+		}
+		cfg.ProgressInterval = f.cfg.ProgressInterval
+	}
 	fj := f.job(job)
 	k := f.g.unitsPerTick()
 
@@ -128,7 +143,7 @@ func (f *Fleet) Replicate(ctx context.Context, job Job, trials int) (Replication
 		}, nil
 	}
 
-	sums, err := f.farm().Replicate(ctx, fj, f.factory, cfg)
+	sums, err := f.farm(f.stations).Replicate(ctx, fj, f.factory, cfg)
 	if err != nil {
 		return Replication{}, err
 	}

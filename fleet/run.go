@@ -79,20 +79,24 @@ func (r Result) Imbalance() float64 {
 // next opportunity boundary and returns ctx.Err().
 func (f *Fleet) Run(ctx context.Context, job Job) (Result, error) {
 	fj := f.job(job)
+	stations, recorded, err := f.runStations()
+	if err != nil {
+		return Result{}, err
+	}
 	var res farm.Result
-	var err error
 	if f.cfg.Pool == Private || len(fj.Tasks) == 0 {
 		// An empty job is a pure fluid survey whatever the pool setting:
 		// the shared pools are exhaustible (an empty one would end the job
 		// before the first opportunity), so it runs on the inexhaustible
 		// private layout, where stations play out every contract.
-		res, err = f.farm().RunPool(ctx, farm.NewPrivatePools(f.privateBags(fj)), f.factory, f.cfg.Seed)
+		res, err = f.farm(stations).RunPool(ctx, farm.NewPrivatePools(f.privateBags(fj)), f.factory, f.cfg.Seed)
 	} else {
-		res, err = f.farm().Run(ctx, fj, f.factory, f.cfg.Seed)
+		res, err = f.farm(stations).Run(ctx, fj, f.factory, f.cfg.Seed)
 	}
 	if err != nil {
 		return Result{}, err
 	}
+	recorded()
 	return f.result(res, fj), nil
 }
 
@@ -106,10 +110,15 @@ func (f *Fleet) RunDeterministic(ctx context.Context, job Job) (Result, error) {
 		return f.Run(ctx, job) // both already bit-identical at any Workers
 	}
 	fj := f.job(job)
-	res, err := f.farm().RunDeterministic(ctx, fj, f.factory, f.cfg.Seed, f.cfg.Workers)
+	stations, recorded, err := f.runStations()
 	if err != nil {
 		return Result{}, err
 	}
+	res, err := f.farm(stations).RunDeterministic(ctx, fj, f.factory, f.cfg.Seed, f.cfg.Workers)
+	if err != nil {
+		return Result{}, err
+	}
+	recorded()
 	return f.result(res, fj), nil
 }
 

@@ -118,6 +118,9 @@ func All() []Experiment {
 		{"fleetscale", "E12: fleet-scale farm — completion, imbalance and engine wall-clock vs fleet size (extension)", func(c Config) (*tab.Table, error) {
 			return FleetScale(c, c.fleetsOr([]int{10, 50, 250, 1000, 5000}), 6, 400, c.trialsOr(3))
 		}},
+		{"owners", "E13: owner worlds — synthetic vs trace-replay vs adversarial owners, public facade only (extension)", func(c Config) (*tab.Table, error) {
+			return OwnerWorlds(c, 6, 8)
+		}},
 	}
 }
 

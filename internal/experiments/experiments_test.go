@@ -410,3 +410,47 @@ func TestFarmStudy(t *testing.T) {
 		t.Errorf("adaptive completion %g%% should beat single-period %g%%", adaptive, single)
 	}
 }
+
+func TestOwnerWorldsShape(t *testing.T) {
+	tb, err := OwnerWorlds(smallCfg(), 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4 (one per policy)", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		if len(row) != 6 {
+			t.Fatalf("row %v has %d cells, want 6", row, len(row))
+		}
+		cells := make([]float64, 5)
+		for i := range cells {
+			v, err := strconv.ParseFloat(row[i+1], 64)
+			if err != nil {
+				t.Fatalf("policy %s: bad cell %q", row[0], row[i+1])
+			}
+			if v < 0 || v > 100 {
+				t.Errorf("policy %s: utilization %g%% out of [0, 100]", row[0], v)
+			}
+			cells[i] = v
+		}
+		benign, greedy, minimax := cells[0], cells[3], cells[4]
+		// minimax is the guaranteed floor: no other world reaches below it,
+		// and the greedy heuristic cannot beat the exact best response.
+		if minimax > greedy+1e-9 {
+			t.Errorf("policy %s: minimax %g%% above greedy %g%%", row[0], minimax, greedy)
+		}
+		if minimax > benign+1e-9 {
+			t.Errorf("policy %s: minimax %g%% above benign %g%%", row[0], minimax, benign)
+		}
+	}
+	// The trace was recorded under the equalized policy, so replaying it
+	// under equalized reproduces the poisson world bit for bit.
+	eq := tb.Rows[0]
+	if eq[0] != "equalized" {
+		t.Fatalf("first row is %q, want equalized", eq[0])
+	}
+	if eq[3] != eq[2] { // trace cell vs poisson cell
+		t.Errorf("equalized: trace %% %q differs from poisson %% %q", eq[3], eq[2])
+	}
+}

@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"cyclesteal/fleet"
+	"cyclesteal/internal/tab"
+	"cyclesteal/trace"
+)
+
+// OwnerWorlds is experiment E13: the paper's schedules run against every
+// kind of owner the open facade can express, holding the contract shape
+// fixed so the columns differ only in *when* the owner interrupts. Every
+// fleet here is built through the public cyclesteal/fleet and
+// cyclesteal/trace packages alone — the experiment doubles as a proof that
+// the owner redesign left nothing behind the curtain.
+//
+// One row per scheduling policy; one column per owner world:
+//
+//   - "benign" never interrupts — the ceiling: everything but setup banks.
+//   - "poisson" interrupts at exponential gaps (the synthetic temperament) —
+//     the expected-case world the §3 guidelines were tuned for.
+//   - "trace" replays the interrupt history recorded from the poisson world
+//     under the equalized policy — "what would this schedule have banked
+//     against the interruptions that actually happened", the NOW-usage-log
+//     reading of the model.
+//   - "greedy" is the equalization-aware adversary, interrupting where the
+//     current period hurts most.
+//   - "minimax" is the exact best-response adversary from the §4 game value
+//     tables — the guaranteed-output floor. No column can beat benign, and
+//     no adversary can push a schedule below its minimax cell.
+//
+// All worlds share the Fixed base contract (same lifespan and allowance at
+// every opportunity), so offered lifespan is identical across cells and
+// utilization is comparable column to column.
+func OwnerWorlds(cfg Config, stations, opportunitiesPer int) (*tab.Table, error) {
+	cfg = cfg.normalize()
+	if stations < 1 || opportunitiesPer < 1 {
+		return nil, fmt.Errorf("experiments: E13 needs stations ≥ 1 and opportunities ≥ 1, got %d, %d", stations, opportunitiesPer)
+	}
+	// Setup: 1 puts caller units in multiples of the setup cost c;
+	// TicksPerSetup: cfg.C keeps the grid at the repo-wide resolution.
+	base := fleet.Fixed{Lifespan: 40, Interrupts: 2}
+
+	run := func(o fleet.Owner, pol fleet.Policy) (fleet.Result, error) {
+		f, err := fleet.New(fleet.Config{
+			Stations:      stations,
+			Setup:         1,
+			TicksPerSetup: int(cfg.C),
+			Opportunities: opportunitiesPer,
+			Owners:        []fleet.Owner{o},
+			Policy:        pol,
+			Seed:          cfg.Seed,
+			Workers:       cfg.Workers,
+		})
+		if err != nil {
+			return fleet.Result{}, err
+		}
+		return f.Run(context.Background(), fleet.Job{})
+	}
+
+	// Record the poisson world once, under the default equalized policy;
+	// every row's "trace" cell replays this same interrupt history.
+	rec := trace.NewRecorder()
+	recFleet, err := fleet.New(fleet.Config{
+		Stations:      stations,
+		Setup:         1,
+		TicksPerSetup: int(cfg.C),
+		Opportunities: opportunitiesPer,
+		Owners:        []fleet.Owner{fleet.Poisson{Base: base}},
+		Seed:          cfg.Seed,
+		Workers:       cfg.Workers,
+		Record:        rec,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := recFleet.Run(context.Background(), fleet.Job{}); err != nil {
+		return nil, err
+	}
+	tr := rec.Trace()
+
+	t := tab.New(
+		fmt.Sprintf("E13: owner worlds — utilization %% by policy × owner (%d stations, %d opportunities each, U = 40c, p = 2, c = %d ticks)",
+			stations, opportunitiesPer, cfg.C),
+		"policy", "benign %", "poisson %", "trace %", "greedy %", "minimax %",
+	)
+	for _, name := range []string{"equalized", "guideline", "nonadaptive", "single"} {
+		pol, err := fleet.PolicyByName(name)
+		if err != nil {
+			return nil, err
+		}
+		worlds := []fleet.Owner{
+			base, // Fixed alone never interrupts
+			fleet.Poisson{Base: base},
+			fleet.Replay{Trace: tr},
+			fleet.Malicious{Base: base},
+			fleet.Minimax{Base: base},
+		}
+		cells := make([]any, 0, len(worlds)+1)
+		cells = append(cells, name)
+		for _, o := range worlds {
+			res, err := run(o, pol)
+			if err != nil {
+				return nil, err
+			}
+			cells = append(cells, 100*res.Utilization())
+		}
+		t.Row(cells...)
+	}
+	t.Note("offered lifespan is identical in every cell (Fixed base contract), so utilization %% compares directly")
+	t.Note("trace = replay of the poisson world's interrupts recorded under the equalized policy (%d opportunities, %d interrupts)",
+		len(tr.Opportunities), countInterrupts(tr))
+	t.Note("minimax = exact best-response adversary from the game value tables — the guaranteed-output floor of each policy")
+	return t, nil
+}
+
+// countInterrupts totals the interrupt offsets across a trace.
+func countInterrupts(tr *trace.Trace) int {
+	n := 0
+	for i := range tr.Opportunities {
+		n += len(tr.Opportunities[i].Interrupts)
+	}
+	return n
+}

@@ -58,6 +58,8 @@ import (
 	"math/rand"
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"cyclesteal/internal/stats"
 )
@@ -80,6 +82,53 @@ type Config struct {
 	Trials  int   // number of trials; must be ≥ 1
 	Seed    int64 // base seed; trial i uses Seed+i
 	Workers int   // worker pool bound; ≤ 0 means GOMAXPROCS (capped at Shards)
+	// Progress, when non-nil, observes the study in flight: every
+	// ProgressInterval of wall clock it receives the trials completed so far
+	// and the total, plus one final snapshot when the run stops (whatever
+	// the outcome). Snapshots are wall-clock driven, so their timing — not
+	// their correctness — depends on scheduling; observing never affects
+	// summaries. The callback must be fast and must not assume a goroutine.
+	Progress func(done, total int)
+	// ProgressInterval spaces Progress snapshots; ≤ 0 means
+	// DefaultProgressInterval.
+	ProgressInterval time.Duration
+}
+
+// DefaultProgressInterval spaces progress snapshots when the caller sets a
+// Progress observer without an interval.
+const DefaultProgressInterval = 200 * time.Millisecond
+
+// observe starts the trials-completed observer, if configured, and returns
+// the function that stops it and emits the final snapshot. The observer
+// reads only the shared completion counter, so it can never perturb trials.
+func observe(cfg Config, done *atomic.Int64) (stop func()) {
+	if cfg.Progress == nil {
+		return func() {}
+	}
+	interval := cfg.ProgressInterval
+	if interval <= 0 {
+		interval = DefaultProgressInterval
+	}
+	quit := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-quit:
+				return
+			case <-ticker.C:
+				cfg.Progress(int(done.Load()), cfg.Trials)
+			}
+		}
+	}()
+	return func() {
+		close(quit)
+		<-finished // the observer has quit; no callback races the final one
+		cfg.Progress(int(done.Load()), cfg.Trials)
+	}
 }
 
 // RunFunc is a single-metric trial: it receives the trial's private rng and
@@ -173,6 +222,9 @@ func RunVecState(ctx context.Context, cfg Config, metrics int, newState NewState
 	}
 	shards := make([]shardState, Shards)
 
+	var done atomic.Int64
+	stopObserver := observe(cfg, &done)
+
 	jobs := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -214,6 +266,7 @@ func RunVecState(ctx context.Context, cfg Config, metrics int, newState NewState
 					for m, v := range vals {
 						st.accs[m].Add(v)
 					}
+					done.Add(1)
 				}
 			}
 		}()
@@ -223,6 +276,7 @@ func RunVecState(ctx context.Context, cfg Config, metrics int, newState NewState
 	}
 	close(jobs)
 	wg.Wait()
+	stopObserver()
 
 	// Cancellation trumps trial errors: which trials got far enough to fail
 	// depends on scheduling once the context fires, so the only

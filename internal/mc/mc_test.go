@@ -6,7 +6,9 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 	"testing"
+	"time"
 
 	"cyclesteal/internal/stats"
 )
@@ -231,5 +233,73 @@ func TestRunTailQuantilesDeterministic(t *testing.T) {
 	}
 	if !(a.Median < a.P90 && a.P90 < a.P99 && a.P99 <= a.Max) {
 		t.Errorf("tail ordering violated: med=%v p90=%v p99=%v max=%v", a.Median, a.P90, a.P99, a.Max)
+	}
+}
+
+func TestProgressObserver(t *testing.T) {
+	var mu sync.Mutex
+	var snaps [][2]int
+	cfg := Config{
+		Trials: 25, Seed: 3, Workers: 4,
+		ProgressInterval: time.Millisecond,
+		Progress: func(done, total int) {
+			mu.Lock()
+			defer mu.Unlock()
+			snaps = append(snaps, [2]int{done, total})
+		},
+	}
+	sum, err := Run(context.Background(), cfg, func(rng *rand.Rand) (float64, error) {
+		time.Sleep(time.Millisecond)
+		return rng.Float64(), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.N != 25 {
+		t.Fatalf("summary N = %d, want 25", sum.N)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(snaps) == 0 {
+		t.Fatal("observer emitted nothing")
+	}
+	last := snaps[len(snaps)-1]
+	if last != [2]int{25, 25} {
+		t.Errorf("final snapshot %v, want [25 25]", last)
+	}
+	prev := -1
+	for _, s := range snaps {
+		if s[1] != 25 {
+			t.Errorf("snapshot total %d, want 25", s[1])
+		}
+		if s[0] < prev {
+			t.Errorf("done count went backwards: %v", snaps)
+			break
+		}
+		prev = s[0]
+	}
+}
+
+func TestProgressObserverFinalSnapshotOnError(t *testing.T) {
+	var mu sync.Mutex
+	calls := 0
+	cfg := Config{
+		Trials: 10, Seed: 1, Workers: 2,
+		Progress: func(done, total int) {
+			mu.Lock()
+			defer mu.Unlock()
+			calls++
+		},
+	}
+	_, err := Run(context.Background(), cfg, func(rng *rand.Rand) (float64, error) {
+		return 0, errors.New("boom")
+	})
+	if err == nil {
+		t.Fatal("trial error swallowed")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if calls == 0 {
+		t.Error("failed run emitted no final snapshot")
 	}
 }

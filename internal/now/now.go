@@ -1,7 +1,8 @@
 // Package now composes workstations (internal/station) into the network of
 // workstations the paper's schedules live in: a fleet of machines whose
-// owners lend idle time under the draconian contract, plus the synthetic
-// availability traces standing in for a 1990s testbed's usage logs.
+// owners lend idle time under the draconian contract. (Availability traces
+// — recording runs and replaying them — live in the public trace package
+// and the fleet facade.)
 //
 // The model types (Contract, OwnerModel, Workstation, the owner
 // temperaments, MixedFleet) live in internal/station and are aliased here,

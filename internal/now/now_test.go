@@ -1,7 +1,6 @@
 package now
 
 import (
-	"bytes"
 	"context"
 	"reflect"
 	"strings"
@@ -233,89 +232,6 @@ func TestFleetReplicateRejectsBadConfig(t *testing.T) {
 	f := testFleet(2, Office{MeanIdle: 100, MaxP: 1})
 	if _, err := f.Replicate(context.Background(), equalizedFactory, mc.Config{Trials: 0, Seed: 1}, nil); err == nil {
 		t.Error("trials=0 accepted")
-	}
-}
-
-// --- trace round trip ---------------------------------------------------------
-
-func TestGenerateTraceValid(t *testing.T) {
-	stations := testFleet(3, Office{MeanIdle: 4000, MaxP: 3}).Stations
-	trace := GenerateTrace(stations, 4, 800, 5)
-	if len(trace) != 12 {
-		t.Fatalf("trace length = %d, want 12", len(trace))
-	}
-	if err := ValidateTrace(trace); err != nil {
-		t.Fatal(err)
-	}
-	interrupted := 0
-	for _, e := range trace {
-		interrupted += len(e.Interrupts)
-	}
-	if interrupted == 0 {
-		t.Error("trace has no interrupts at all; mean return 800 over ≈4000-tick lifespans should interrupt often")
-	}
-}
-
-func TestTraceCSVRoundTrip(t *testing.T) {
-	stations := testFleet(2, Laptop{MeanIdle: 3000}).Stations
-	trace := GenerateTrace(stations, 3, 500, 9)
-	var buf bytes.Buffer
-	if err := WriteTraceCSV(&buf, trace); err != nil {
-		t.Fatal(err)
-	}
-	back, err := ReadTraceCSV(&buf)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(back) != len(trace) {
-		t.Fatalf("round trip length %d vs %d", len(back), len(trace))
-	}
-	for i := range trace {
-		a, b := trace[i], back[i]
-		if a.Station != b.Station || a.U != b.U || a.P != b.P || len(a.Interrupts) != len(b.Interrupts) {
-			t.Fatalf("entry %d differs: %+v vs %+v", i, a, b)
-		}
-		for j := range a.Interrupts {
-			if a.Interrupts[j] != b.Interrupts[j] {
-				t.Fatalf("entry %d interrupt %d differs", i, j)
-			}
-		}
-	}
-}
-
-func TestReadTraceCSVErrors(t *testing.T) {
-	cases := []string{
-		"",
-		"station,lifespan,interrupt_bound,interrupts\nx,5,1,\n",
-		"station,lifespan,interrupt_bound,interrupts\n1,x,1,\n",
-		"station,lifespan,interrupt_bound,interrupts\n1,5,x,\n",
-		"station,lifespan,interrupt_bound,interrupts\n1,5,1,x\n",
-	}
-	for i, in := range cases {
-		if _, err := ReadTraceCSV(strings.NewReader(in)); err == nil {
-			t.Errorf("case %d: malformed trace accepted", i)
-		}
-	}
-}
-
-func TestValidateTraceErrors(t *testing.T) {
-	bad := []TraceEntry{
-		{Station: 0, U: 0, P: 1},
-	}
-	if err := ValidateTrace(bad); err == nil {
-		t.Error("zero lifespan accepted")
-	}
-	bad = []TraceEntry{{Station: 0, U: 100, P: 0, Interrupts: []quant.Tick{5}}}
-	if err := ValidateTrace(bad); err == nil {
-		t.Error("interrupt count beyond bound accepted")
-	}
-	bad = []TraceEntry{{Station: 0, U: 100, P: 2, Interrupts: []quant.Tick{50, 40}}}
-	if err := ValidateTrace(bad); err == nil {
-		t.Error("ill-ordered interrupts accepted")
-	}
-	bad = []TraceEntry{{Station: 0, U: 100, P: 2, Interrupts: []quant.Tick{50, 200}}}
-	if err := ValidateTrace(bad); err == nil {
-		t.Error("interrupt beyond lifespan accepted")
 	}
 }
 

@@ -1,0 +1,208 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// csvMagic is the first field of a CSV trace's header record.
+const csvMagic = "cyclesteal-trace"
+
+// jsonFormat is the "format" value of a JSONL trace's header line.
+const jsonFormat = "cyclesteal-trace"
+
+// maxInterruptsPerRow bounds the ';'-separated interrupt list a single CSV
+// field may carry, so a malformed row cannot make the parser build an
+// absurd slice. The allowance check in Validate is the real bound; this one
+// only has to be generous enough to never reject a legitimate trace.
+const maxInterruptsPerRow = 1 << 20
+
+// WriteCSV encodes the trace as CSV: the magic header record, a column-name
+// row, then one row per opportunity with ';'-separated interrupt offsets.
+func WriteCSV(w io.Writer, t *Trace) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	cw := csv.NewWriter(w)
+	header := [][]string{
+		{csvMagic, strconv.Itoa(FormatVersion), strconv.Itoa(t.TicksPerSetup)},
+		{"station", "lifespan", "allowance", "interrupts"},
+	}
+	for _, rec := range header {
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	for i := range t.Opportunities {
+		o := &t.Opportunities[i]
+		parts := make([]string, len(o.Interrupts))
+		for j, at := range o.Interrupts {
+			parts[j] = strconv.FormatInt(at, 10)
+		}
+		row := []string{
+			strconv.Itoa(o.Station),
+			strconv.FormatInt(o.Lifespan, 10),
+			strconv.Itoa(o.Allowance),
+			strings.Join(parts, ";"),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV decodes a trace written by WriteCSV. Malformed input returns an
+// error; it never panics.
+func ReadCSV(r io.Reader) (*Trace, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1 // the header records have their own widths
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading csv: %w", err)
+	}
+	if len(records) < 2 {
+		return nil, fmt.Errorf("trace: csv too short: need the magic and column headers")
+	}
+	head := records[0]
+	if len(head) != 3 || head[0] != csvMagic {
+		return nil, fmt.Errorf("trace: not a %s csv file", csvMagic)
+	}
+	version, err := strconv.Atoi(head[1])
+	if err != nil || version != FormatVersion {
+		return nil, fmt.Errorf("trace: unsupported format version %q (want %d)", head[1], FormatVersion)
+	}
+	ticks, err := strconv.Atoi(head[2])
+	if err != nil {
+		return nil, fmt.Errorf("trace: header ticks per setup: %w", err)
+	}
+	t := &Trace{TicksPerSetup: ticks}
+	for i, rec := range records[2:] { // records[1] is the column-name row
+		row := i + 3 // 1-based line number for error messages
+		if len(rec) != 4 {
+			return nil, fmt.Errorf("trace: row %d has %d fields, want 4", row, len(rec))
+		}
+		o := Opportunity{}
+		if o.Station, err = strconv.Atoi(rec[0]); err != nil {
+			return nil, fmt.Errorf("trace: row %d station: %w", row, err)
+		}
+		if o.Lifespan, err = strconv.ParseInt(rec[1], 10, 64); err != nil {
+			return nil, fmt.Errorf("trace: row %d lifespan: %w", row, err)
+		}
+		if o.Allowance, err = strconv.Atoi(rec[2]); err != nil {
+			return nil, fmt.Errorf("trace: row %d allowance: %w", row, err)
+		}
+		if rec[3] != "" {
+			parts := strings.Split(rec[3], ";")
+			if len(parts) > maxInterruptsPerRow {
+				return nil, fmt.Errorf("trace: row %d has %d interrupts", row, len(parts))
+			}
+			o.Interrupts = make([]int64, len(parts))
+			for j, part := range parts {
+				if o.Interrupts[j], err = strconv.ParseInt(part, 10, 64); err != nil {
+					return nil, fmt.Errorf("trace: row %d interrupt %d: %w", row, j+1, err)
+				}
+			}
+		}
+		t.Opportunities = append(t.Opportunities, o)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// jsonHeader is the first line of a JSONL trace.
+type jsonHeader struct {
+	Format        string `json:"format"`
+	Version       int    `json:"version"`
+	TicksPerSetup int    `json:"ticks_per_setup"`
+}
+
+// jsonOpportunity is one JSONL opportunity line.
+type jsonOpportunity struct {
+	Station    int     `json:"station"`
+	Lifespan   int64   `json:"lifespan"`
+	Allowance  int     `json:"allowance"`
+	Interrupts []int64 `json:"interrupts,omitempty"`
+}
+
+// WriteJSONL encodes the trace as JSON Lines: a header object, then one
+// object per opportunity.
+func WriteJSONL(w io.Writer, t *Trace) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w) // Encode appends the newline JSONL needs
+	if err := enc.Encode(jsonHeader{Format: jsonFormat, Version: FormatVersion, TicksPerSetup: t.TicksPerSetup}); err != nil {
+		return err
+	}
+	for i := range t.Opportunities {
+		o := &t.Opportunities[i]
+		if err := enc.Encode(jsonOpportunity{
+			Station: o.Station, Lifespan: o.Lifespan, Allowance: o.Allowance, Interrupts: o.Interrupts,
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadJSONL decodes a trace written by WriteJSONL. Malformed input returns
+// an error; it never panics.
+func ReadJSONL(r io.Reader) (*Trace, error) {
+	dec := json.NewDecoder(r)
+	var head jsonHeader
+	if err := dec.Decode(&head); err != nil {
+		return nil, fmt.Errorf("trace: reading jsonl header: %w", err)
+	}
+	if head.Format != jsonFormat {
+		return nil, fmt.Errorf("trace: not a %s jsonl file", jsonFormat)
+	}
+	if head.Version != FormatVersion {
+		return nil, fmt.Errorf("trace: unsupported format version %d (want %d)", head.Version, FormatVersion)
+	}
+	t := &Trace{TicksPerSetup: head.TicksPerSetup}
+	for line := 2; ; line++ {
+		var o jsonOpportunity
+		if err := dec.Decode(&o); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return nil, fmt.Errorf("trace: jsonl line %d: %w", line, err)
+		}
+		t.Opportunities = append(t.Opportunities, Opportunity{
+			Station: o.Station, Lifespan: o.Lifespan, Allowance: o.Allowance, Interrupts: o.Interrupts,
+		})
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Read decodes a trace in either encoding, sniffing the first non-space
+// byte: '{' means JSONL, anything else CSV.
+func Read(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	for {
+		b, err := br.Peek(1)
+		if err != nil {
+			return nil, fmt.Errorf("trace: empty input")
+		}
+		if b[0] == ' ' || b[0] == '\t' || b[0] == '\n' || b[0] == '\r' {
+			br.ReadByte()
+			continue
+		}
+		if b[0] == '{' {
+			return ReadJSONL(br)
+		}
+		return ReadCSV(br)
+	}
+}
