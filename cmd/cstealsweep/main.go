@@ -14,13 +14,15 @@
 // offering the cell's (U, p) contract under Poisson owners, on the
 // deterministic two-level farm engine with the bag sharding picked by
 // -shards — answering "what does this per-opportunity guarantee compose to
-// at fleet size N?" per cell.
+// at fleet size N?" per cell. -clusters/-steallatency split those shards
+// into a two-tier topology with latency-priced cross-cluster steals.
 //
 // Usage:
 //
 //	cstealsweep -c 100 -ratios 100,1000,10000 -ps 1,2,4 -workers 8
 //	cstealsweep -ratios 100,1000 -ps 1,2 -trials 1000 -seed 7
 //	cstealsweep -ratios 100,1000 -ps 1,2 -trials 50 -fleet 500
+//	cstealsweep -ratios 1000 -ps 2 -trials 50 -fleet 500 -shards 8 -clusters 2 -steallatency 100
 package main
 
 import (
@@ -51,17 +53,26 @@ import (
 
 func main() {
 	var (
-		c       = flag.Int64("c", 100, "setup cost in ticks (grid resolution)")
-		ratios  = flag.String("ratios", "100,1000,10000", "comma-separated U/c ratios")
-		ps      = flag.String("ps", "1,2,4", "comma-separated interrupt bounds")
-		workers = flag.Int("workers", 0, "worker pool size for cells and trials (0 = GOMAXPROCS)")
-		trials  = flag.Int("trials", 0, "Monte-Carlo trials per cell vs a Poisson owner (0 = exact sweep only)")
-		seed    = flag.Int64("seed", 1, "base rng seed for the Monte-Carlo trials (trial i uses seed+i)")
-		fleetN  = flag.Int("fleet", 0, "farm a shared job across this many stations per cell (needs -trials; ≤ 1 = single-station MC)")
-		shards  = flag.Int("shards", 0, "task-bag shards in fleet mode: 0 = auto, 1 = single shared bag")
-		format  = flag.String("format", "text", "output format: text, csv, or json")
+		c        = flag.Int64("c", 100, "setup cost in ticks (grid resolution)")
+		ratios   = flag.String("ratios", "100,1000,10000", "comma-separated U/c ratios")
+		ps       = flag.String("ps", "1,2,4", "comma-separated interrupt bounds")
+		workers  = flag.Int("workers", 0, "worker pool size for cells and trials (0 = GOMAXPROCS)")
+		trials   = flag.Int("trials", 0, "Monte-Carlo trials per cell vs a Poisson owner (0 = exact sweep only)")
+		seed     = flag.Int64("seed", 1, "base rng seed for the Monte-Carlo trials (trial i uses seed+i)")
+		fleetN   = flag.Int("fleet", 0, "farm a shared job across this many stations per cell (needs -trials; ≤ 1 = single-station MC)")
+		shards   = flag.Int("shards", 0, "task-bag shards in fleet mode: 0 = auto, 1 = single shared bag")
+		clusters = flag.Int("clusters", 0, "split the fleet-mode shards into this many equal clusters (0 or 1 = flat fleet; needs -fleet)")
+		stealLat = flag.Int64("steallatency", 0, "cross-cluster steal latency in ticks for fleet mode (needs -clusters ≥ 2; intra-cluster steals stay free)")
+		format   = flag.String("format", "text", "output format: text, csv, or json")
 	)
 	flag.Parse()
+
+	if *clusters > 1 && *fleetN <= 1 {
+		fatal(fmt.Errorf("-clusters needs -fleet N > 1 (clusters partition the fleet-mode shards)"))
+	}
+	if *stealLat != 0 && *clusters < 2 {
+		fatal(fmt.Errorf("-steallatency needs -clusters ≥ 2 to have a crossing to price"))
+	}
 
 	rs, err := parseTicks(*ratios)
 	if err != nil {
@@ -88,7 +99,8 @@ func main() {
 			fatal(err)
 		}
 		if *fleetN > 1 {
-			fleetCells, err = sweepFleet(points, *trials, *seed, *workers, *fleetN, *shards)
+			topo := farm.Topology{Clusters: *clusters, CrossLatency: quant.Tick(*stealLat)}
+			fleetCells, err = sweepFleet(points, *trials, *seed, *workers, *fleetN, *shards, topo)
 			if err != nil {
 				fatal(err)
 			}
@@ -101,6 +113,9 @@ func main() {
 	}
 	if fleetCells != nil {
 		cols = append(cols, fmt.Sprintf("fleet%d compl %%", *fleetN), "imbalance", "steals")
+		if *clusters > 1 {
+			cols = append(cols, "in flight")
+		}
 	}
 	t := tab.New(
 		fmt.Sprintf("optimal guaranteed output W(p)[U] (c = %d ticks; %d cells)", *c, len(points)),
@@ -125,6 +140,9 @@ func main() {
 		if fleetCells != nil {
 			fc := fleetCells[i]
 			row = append(row, 100*fc.completion.Mean, fc.imbalance.Mean, fc.steals.Mean)
+			if *clusters > 1 {
+				row = append(row, fc.inflight.Mean)
+			}
 		}
 		t.Row(row...)
 	}
@@ -134,6 +152,9 @@ func main() {
 	}
 	if fleetCells != nil {
 		t.Note("fleet columns: %d identical stations farm one shared job (a full U/c size-c tasks per station) on the two-level farm engine; completion ≈ the fleet-achievable fraction of the contract, with max/mean balance and cross-queue steals, means over %d trials", *fleetN, *trials)
+		if *clusters > 1 {
+			t.Note("topology: %d clusters over the shards, cross-cluster steals priced at %d ticks; with one opportunity per station a priced parcel caught at the final barrier never lands — the in-flight column is that loss", *clusters, *stealLat)
+		}
 	}
 	switch *format {
 	case "text":
@@ -216,6 +237,7 @@ type fleetCell struct {
 	completion stats.Summary
 	imbalance  stats.Summary
 	steals     stats.Summary
+	inflight   stats.Summary
 }
 
 // fixedOwner offers the sweep cell's exact contract every time and plays the
@@ -240,8 +262,10 @@ func (o fixedOwner) Name() string { return "fixed+poisson" }
 // achievable fraction of the cell's (U, p) contract. Cells run sequentially;
 // the worker budget goes to farm.Replicate's two-level trial × station-group
 // pool, and every cell is bit-identical at any -workers by the mc and farm
-// determinism contracts.
-func sweepFleet(points []game.SweepPoint, trials int, seed int64, workers, fleet, shards int) ([]fleetCell, error) {
+// determinism contracts. A non-flat topo splits the shards into clusters and
+// prices cross-cluster steals (-clusters / -steallatency); farm.Run's
+// validation rejects shapes the shard count cannot partition.
+func sweepFleet(points []game.SweepPoint, trials int, seed int64, workers, fleet, shards int, topo farm.Topology) ([]fleetCell, error) {
 	out := make([]fleetCell, len(points))
 	for i, pt := range points {
 		solver, err := game.Solve(pt.P, pt.U, pt.C)
@@ -259,7 +283,7 @@ func sweepFleet(points []game.SweepPoint, trials int, seed int64, workers, fleet
 			perStation = 1
 		}
 		job := farm.Job{Tasks: task.Fixed(fleet*perStation, pt.C)}
-		f := farm.Farm{Stations: stations, OpportunitiesPerStation: 1, Shards: shards}
+		f := farm.Farm{Stations: stations, OpportunitiesPerStation: 1, Shards: shards, Topology: topo}
 		sums, err := f.Replicate(context.Background(), job, factory, mc.Config{Trials: trials, Seed: seed + int64(i)<<32, Workers: workers})
 		if err != nil {
 			return nil, fmt.Errorf("cell (U=%d p=%d) fleet: %w", pt.U, pt.P, err)
@@ -268,6 +292,7 @@ func sweepFleet(points []game.SweepPoint, trials int, seed int64, workers, fleet
 			completion: sums[farm.MetricCompletionFrac],
 			imbalance:  sums[farm.MetricImbalance],
 			steals:     sums[farm.MetricSteals],
+			inflight:   sums[farm.MetricTasksInFlight],
 		}
 	}
 	return out, nil

@@ -11,6 +11,7 @@
 //	cstealtables -c 50 -seed 7        # grid resolution / Monte-Carlo seed
 //	cstealtables -trials 1000         # widen every replicated experiment
 //	cstealtables -experiment fleetscale -fleets 100,1000,10000
+//	cstealtables -experiment topology   # E14: latency-priced two-tier steals
 package main
 
 import (
@@ -34,7 +35,7 @@ func main() {
 		seed       = flag.Int64("seed", 1, "base seed for Monte-Carlo experiments (per-trial streams derive from it)")
 		workers    = flag.Int("workers", 0, "Monte-Carlo worker pool size (0 = GOMAXPROCS; affects speed only, never values)")
 		trials     = flag.Int("trials", 0, "override every replicated experiment's trial count (0 = per-experiment defaults; raising it widens studies without rebasing, per mc prefix stability)")
-		fleets     = flag.String("fleets", "", "override E12's fleet sizes as comma-separated station counts, e.g. 100,1000,10000 (empty = the experiment's defaults)")
+		fleets     = flag.String("fleets", "", "override the fleet sizes of the fleet sweeps (E12, E14) as comma-separated station counts, e.g. 100,1000,10000 (empty = the experiment's defaults; E14 needs multiples of 4)")
 	)
 	flag.Parse()
 

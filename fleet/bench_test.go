@@ -1,0 +1,47 @@
+package fleet_test
+
+import (
+	"context"
+	"testing"
+
+	"cyclesteal/fleet"
+)
+
+// BenchmarkFleetTopologyDeterministic prices the whole facade path for a
+// clustered fleet: config validation, unit quantization, the deterministic
+// round engine with latency-priced cross-cluster steals, and result
+// conversion. Seeds vary per iteration so the engine cannot memoize a trial,
+// but every seed is deterministic, keeping allocs/op stable for the exact
+// alloc gate.
+func BenchmarkFleetTopologyDeterministic(b *testing.B) {
+	job := fleet.Job{Tasks: fleet.FixedTasks(2000, 1)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := fleet.New(fleet.Config{
+			Stations: 64,
+			Setup:    1,
+			Owners: []fleet.Owner{
+				fleet.Fixed{Lifespan: 8}, fleet.Fixed{Lifespan: 8},
+				fleet.Fixed{Lifespan: 3}, fleet.Fixed{Lifespan: 3},
+			},
+			Policy:        fleet.Policy{Name: "single"},
+			Opportunities: 10,
+			Shards:        8,
+			Clusters:      4,
+			StealLatency:  8,
+			Workers:       4,
+			Seed:          int64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := f.RunDeterministic(context.Background(), job)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Steals == 0 {
+			b.Fatal("benchmark fleet never stole; not exercising the topology path")
+		}
+	}
+}

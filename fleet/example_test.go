@@ -84,6 +84,49 @@ func ExampleConfig_owners() {
 	// utilization 90%, 152 interrupts
 }
 
+// Split a fleet into two clusters — a NOW of NOWs — and price the crossing:
+// stations steal freely inside their own cluster, but a steal across
+// clusters keeps the tasks in flight for StealLatency time units,
+// unavailable to both sides. With a strong cluster working next to a weak
+// one, the strong half must reach across to stay busy, and the latency it
+// pays shows up directly as lost completion — the Gast–Khatiri–Trystram
+// effect the flat fleet cannot express.
+func ExampleConfig_clusters() {
+	run := func(latency float64) fleet.Result {
+		f, err := fleet.New(fleet.Config{
+			Stations: 16,
+			Setup:    1,
+			// The owner cycle aligns with the shard clusters: stations
+			// i%4 ∈ {0,1} form the strong cluster, {2,3} the weak one.
+			Owners: []fleet.Owner{
+				fleet.Fixed{Lifespan: 8}, fleet.Fixed{Lifespan: 8},
+				fleet.Fixed{Lifespan: 3}, fleet.Fixed{Lifespan: 3},
+			},
+			Policy:        fleet.Policy{Name: "single"},
+			Opportunities: 8,
+			Shards:        4,
+			Clusters:      2,
+			StealLatency:  latency,
+			Seed:          21,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := f.RunDeterministic(context.Background(), fleet.Job{Tasks: fleet.FixedTasks(400, 1)})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+	free, priced := run(0), run(32)
+	fmt.Printf("free crossing:   %d of 400 tasks, %d steals\n", free.TasksCompleted, free.Steals)
+	fmt.Printf("32-unit latency: %d of 400 tasks, %d steals, %d still in flight\n",
+		priced.TasksCompleted, priced.Steals, priced.InFlight)
+	// Output:
+	// free crossing:   400 of 400 tasks, 8 steals
+	// 32-unit latency: 321 of 400 tasks, 3 steals, 51 still in flight
+}
+
 // Record one run's interrupt history, then replay it under a different
 // policy — "what would this schedule have banked against the interruptions
 // that actually happened". The recorded trace.Trace round-trips through the

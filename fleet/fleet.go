@@ -70,6 +70,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"strings"
 	"time"
 
 	"cyclesteal/internal/farm"
@@ -154,6 +155,20 @@ type Config struct {
 	// partition of RunDeterministic: 0 means auto (64, clamped to the
 	// fleet size). Ignored by Shared and Private pools.
 	Shards int
+	// Clusters groups the Sharded pool's shards into a two-tier topology —
+	// a NOW of NOWs. Steals inside a cluster stay free; a station reaches
+	// across clusters only when its own cluster is collectively dry, and
+	// with StealLatency > 0 the crossing puts the stolen tasks in flight,
+	// unavailable to both sides, until that much fleet time has passed.
+	// 0 and 1 both mean today's flat fleet, bit-identical to a Config
+	// without the field. Requires the Sharded pool, Clusters ≤ Stations,
+	// and a cluster count that partitions the resolved shard count evenly
+	// (New lists the valid counts otherwise — never a silent adjustment).
+	Clusters int
+	// StealLatency is the cross-cluster transfer time in the caller's time
+	// units (quantized to ≥ 1 tick when positive). 0 means cross steals are
+	// free like local ones; > 0 requires Clusters ≥ 2.
+	StealLatency float64
 	// Workers bounds run parallelism; 0 means GOMAXPROCS. Never affects
 	// RunDeterministic, Replicate, or Private-pool results — only
 	// wall-clock time.
@@ -275,6 +290,28 @@ func New(cfg Config) (*Fleet, error) {
 	if cfg.Shards < 0 {
 		return nil, fmt.Errorf("fleet: shards must be ≥ 0, got %d", cfg.Shards)
 	}
+	if cfg.Clusters < 0 {
+		return nil, fmt.Errorf("fleet: clusters must be ≥ 0, got %d", cfg.Clusters)
+	}
+	if math.IsNaN(cfg.StealLatency) || math.IsInf(cfg.StealLatency, 0) || cfg.StealLatency < 0 {
+		return nil, fmt.Errorf("fleet: steal latency must be ≥ 0 and finite, got %g", cfg.StealLatency)
+	}
+	if cfg.StealLatency > 0 && cfg.Clusters < 2 {
+		return nil, fmt.Errorf("fleet: steal latency %g needs ≥ 2 clusters to cross, got %d", cfg.StealLatency, cfg.Clusters)
+	}
+	if cfg.Clusters > 1 {
+		if cfg.Pool != Sharded {
+			return nil, fmt.Errorf("fleet: clusters require the sharded pool, got %s", cfg.Pool)
+		}
+		if cfg.Clusters > cfg.Stations {
+			return nil, fmt.Errorf("fleet: %d clusters over %d stations leaves some empty; need Clusters ≤ Stations", cfg.Clusters, cfg.Stations)
+		}
+		shards := farm.ResolveShards(cfg.Shards, cfg.Stations)
+		if shards%cfg.Clusters != 0 {
+			return nil, fmt.Errorf("fleet: %d clusters cannot partition %d shards evenly; valid cluster counts: %s",
+				cfg.Clusters, shards, divisorList(shards))
+		}
+	}
 	if cfg.TicksPerSetup < 0 {
 		return nil, fmt.Errorf("fleet: ticks per setup must be ≥ 0, got %d", cfg.TicksPerSetup)
 	}
@@ -370,10 +407,39 @@ func (f *Fleet) farm(stations []station.Workstation) farm.Farm {
 		DisableEpisodeMemo:      f.cfg.DisableEpisodeMemo,
 		ProgressInterval:        f.cfg.ProgressInterval,
 	}
+	if f.cfg.Clusters > 1 {
+		fm.Topology = farm.Topology{Clusters: f.cfg.Clusters, CrossLatency: f.stealLatencyTicks()}
+	}
 	if cb := f.cfg.Progress; cb != nil {
 		fm.Progress = func(p farm.Progress) { cb(Progress(p)) }
 	}
 	return fm
+}
+
+// stealLatencyTicks quantizes the cross-cluster latency onto the grid; a
+// zero latency stays exactly zero (a free crossing), any positive latency
+// rounds to at least one tick.
+func (f *Fleet) stealLatencyTicks() quant.Tick {
+	if f.cfg.StealLatency <= 0 {
+		return 0
+	}
+	return f.g.ticks(f.cfg.StealLatency)
+}
+
+// divisorList renders the divisors of n in ascending order — the cluster
+// counts that partition n shards evenly.
+func divisorList(n int) string {
+	var b strings.Builder
+	for d := 1; d <= n; d++ {
+		if n%d != 0 {
+			continue
+		}
+		if b.Len() > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%d", d)
+	}
+	return b.String()
 }
 
 // shards resolves the pool choice into the engine's stripe count.

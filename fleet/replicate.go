@@ -74,6 +74,9 @@ type Replication struct {
 	Imbalance Summary
 	// Steals counts cross-queue task migrations per trial.
 	Steals Summary
+	// InFlight counts tasks still crossing between clusters at trial end
+	// (Clusters ≥ 2 with StealLatency > 0 only).
+	InFlight Summary
 }
 
 // Replicate replays the fleet trials times on the Monte-Carlo replication
@@ -156,5 +159,6 @@ func (f *Fleet) Replicate(ctx context.Context, job Job, trials int) (Replication
 		Interrupts:     summary(sums[farm.MetricInterrupts], 1),
 		Imbalance:      summary(sums[farm.MetricImbalance], 1),
 		Steals:         summary(sums[farm.MetricSteals], 1),
+		InFlight:       summary(sums[farm.MetricTasksInFlight], 1),
 	}, nil
 }

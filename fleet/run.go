@@ -31,6 +31,10 @@ type Result struct {
 	Lifespan       float64 // borrowed time offered fleet-wide
 	Interrupts     int
 	Steals         int // cross-queue task migrations (Sharded runs)
+	// InFlight counts tasks still crossing between clusters when the run
+	// ended (Clusters ≥ 2 with StealLatency > 0 only); they never completed
+	// and are included in TasksLeft.
+	InFlight int
 }
 
 // Utilization is banked fluid work over offered lifespan — the fleet-survey
@@ -146,6 +150,7 @@ func (f *Fleet) result(res farm.Result, fj farm.Job) Result {
 		Work:           f.g.units(res.FluidWork),
 		Interrupts:     res.Interrupts,
 		Steals:         res.Steals,
+		InFlight:       res.InFlight,
 	}
 	for i, rep := range res.Stations {
 		out.Stations[i] = StationReport{

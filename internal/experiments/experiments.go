@@ -27,8 +27,9 @@ type Config struct {
 	// when > 0 (cstealtables -trials). By mc prefix stability, raising it
 	// widens each study without rebasing the trials already summarized.
 	Trials int
-	// Fleets overrides E12's fleet-size list when non-empty
-	// (cstealtables -fleets). One table row per entry, in the given order.
+	// Fleets overrides the fleet-size list of the fleet-sweep experiments —
+	// E12 and E14 — when non-empty (cstealtables -fleets). One row (E12) or
+	// row group (E14) per entry, in the given order.
 	Fleets []int
 }
 
@@ -120,6 +121,9 @@ func All() []Experiment {
 		}},
 		{"owners", "E13: owner worlds — synthetic vs trace-replay vs adversarial owners, public facade only (extension)", func(c Config) (*tab.Table, error) {
 			return OwnerWorlds(c, 6, 8)
+		}},
+		{"topology", "E14: two-tier topology — completion vs cross-cluster steal latency (arXiv:1805.00857 extension)", func(c Config) (*tab.Table, error) {
+			return TopologyStudy(c, c.fleetsOr([]int{100, 1000, 5000}), []quant.Tick{0, 2, 8, 32}, 20, 12, c.trialsOr(3))
 		}},
 	}
 }

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+
+	"cyclesteal/internal/quant"
+)
+
+// E14's qualitative claim (arXiv:1805.00857): at a fixed fleet, completion
+// degrades monotonically as the cross-cluster steal latency grows, and the
+// endpoint gap is strict — pricing the crossing at 32 ticks must cost real
+// completion against the free-crossing baseline.
+func TestTopologyStudyShape(t *testing.T) {
+	latencies := []quant.Tick{0, 2, 8, 32}
+	tb, err := TopologyStudy(smallCfg(), []int{16, 32}, latencies, 20, 12, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 2*len(latencies) {
+		t.Fatalf("rows = %d, want %d", len(tb.Rows), 2*len(latencies))
+	}
+	cell := func(row []string, col int) float64 {
+		v, err := strconv.ParseFloat(row[col], 64)
+		if err != nil {
+			t.Fatalf("bad cell %q in row %v", row[col], row)
+		}
+		return v
+	}
+	for g := 0; g < 2; g++ {
+		rows := tb.Rows[g*len(latencies) : (g+1)*len(latencies)]
+		fleet := rows[0][0]
+		prev := cell(rows[0], 3) // completion % at latency 0
+		free := prev
+		for _, row := range rows[1:] {
+			c := cell(row, 3)
+			// Monotone non-increasing, with a hair of slack for replication
+			// noise between adjacent latencies.
+			if c > prev+0.5 {
+				t.Errorf("fleet %s: completion rose from %.3f%% to %.3f%% at latency %s", fleet, prev, c, row[1])
+			}
+			prev = c
+		}
+		if last := cell(rows[len(rows)-1], 3); last >= free {
+			t.Errorf("fleet %s: latency 32 completion %.3f%% not strictly below latency 0's %.3f%%", fleet, last, free)
+		}
+		if steals := cell(rows[len(rows)-1], 6); steals == 0 {
+			t.Errorf("fleet %s: priced run never stole; the skew scenario is broken", fleet)
+		}
+	}
+}
+
+func TestTopologyStudyDeterministicAcrossWorkers(t *testing.T) {
+	cfg := smallCfg()
+	render := func(workers int) string {
+		c := Config{C: cfg.C, Seed: cfg.Seed, Workers: workers}
+		tb, err := TopologyStudy(c, []int{16}, []quant.Tick{0, 8}, 15, 10, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tb.Render()
+	}
+	if a, b := render(1), render(8); a != b {
+		t.Errorf("E14 table depends on worker count:\n--- serial ---\n%s\n--- workers=8 ---\n%s", a, b)
+	}
+}
+
+func TestTopologyStudyRejectsBadShapes(t *testing.T) {
+	lat := []quant.Tick{0, 8}
+	if _, err := TopologyStudy(smallCfg(), []int{16}, lat, 10, 10, 0); err == nil {
+		t.Error("trials=0 accepted")
+	}
+	if _, err := TopologyStudy(smallCfg(), nil, lat, 10, 10, 2); err == nil {
+		t.Error("empty fleet list accepted")
+	}
+	if _, err := TopologyStudy(smallCfg(), []int{16}, nil, 10, 10, 2); err == nil {
+		t.Error("empty latency list accepted")
+	}
+	if _, err := TopologyStudy(smallCfg(), []int{6}, lat, 10, 10, 2); err == nil {
+		t.Error("fleet size 6 (not a multiple of 4) accepted")
+	}
+	if _, err := TopologyStudy(smallCfg(), []int{16}, []quant.Tick{-1}, 10, 10, 2); err == nil {
+		t.Error("negative latency accepted")
+	}
+}

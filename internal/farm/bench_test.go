@@ -128,6 +128,64 @@ func BenchmarkFarmStealLinear10k(b *testing.B) { benchSteal(b, 10240, true) }
 
 func BenchmarkFarmStealHinted10k(b *testing.B) { benchSteal(b, 10240, false) }
 
+// BenchmarkFarmTopologyDeterministic runs the round engine on a two-tier
+// fleet with a cluster-aligned supply skew and a priced crossing — the E14
+// configuration — covering the cluster rebalance and the flight ledger under
+// the allocs/op gate. Seeds derive from the iteration index, so steal and
+// parcel counts (and therefore allocations) are identical run to run.
+func BenchmarkFarmTopologyDeterministic(b *testing.B) {
+	stations := make([]station.Workstation, 64)
+	for i := range stations {
+		owner := station.OwnerModel(station.Overnight{Window: 8})
+		if i%8 >= 4 {
+			owner = station.Overnight{Window: 3}
+		}
+		stations[i] = station.Workstation{ID: i, Owner: owner, Setup: 1}
+	}
+	f := Farm{
+		Stations:                stations,
+		OpportunitiesPerStation: 20,
+		Shards:                  8,
+		Topology:                Topology{Clusters: 4, CrossLatency: 8},
+	}
+	job := Job{Tasks: task.Fixed(2000, 2)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := f.RunDeterministic(context.Background(), job, equalizedFactory, int64(i), 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Steals == 0 {
+			b.Fatal("topology fleet never stole")
+		}
+	}
+}
+
+// BenchmarkFarmTopologyCrossSteal is the priced cross-cluster steal cycle on
+// the live bag: depart a parcel, advance the steal clock to maturity, drain
+// the delivery, and put the tasks back on the remote cluster — the per-steal
+// cost of the two-tier pool.
+func BenchmarkFarmTopologyCrossSteal(b *testing.B) {
+	bag := NewShardedBagTopology(nil, 8, 2, 10)
+	remote := bag.Station(4) // home shard 4: the far cluster
+	remote.Return(task.Fixed(4, 1))
+	thief := bag.Station(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := thief.Take(4); got != nil {
+			b.Fatal("priced steal delivered without flying")
+		}
+		bag.Advance(10) // the parcel matures and lands at the thief's home
+		got := thief.Take(4)
+		if len(got) == 0 {
+			b.Fatal("delivered tasks not taken")
+		}
+		remote.Return(got)
+	}
+}
+
 // BenchmarkFarmReplicateTwoLevel measures the deterministic two-level
 // replication engine on a 256-station fleet — the Replicate configuration
 // E12 runs at fleet scale.

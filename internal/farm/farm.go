@@ -182,7 +182,12 @@ type Result struct {
 	Interrupts     int
 	// Steals counts cross-queue task movements: non-home Takes under Run on
 	// a sharded pool, round-barrier migrations under RunDeterministic.
+	// Cross-cluster departures count when they depart.
 	Steals int
+	// InFlight counts tasks still crossing between clusters when the run
+	// ended (a Topology with CrossLatency > 0 only). They never completed,
+	// so they are included in TasksLeft.
+	InFlight int
 }
 
 // CompletionFraction is completed task work over the job's total.
@@ -228,6 +233,12 @@ type Farm struct {
 	// Under RunDeterministic the same number also fixes the station-group
 	// partition, so it is part of that engine's determinism key.
 	Shards int
+	// Topology groups the shards into clusters and prices cross-cluster
+	// steals (see Topology). The zero value is the flat fleet, bit-identical
+	// to a Farm without the field. Must satisfy
+	// Topology.Validate(ResolveShards(Shards, len(Stations))); under
+	// RunDeterministic it joins Shards in the determinism key.
+	Topology Topology
 	// DisableEpisodeMemo turns off the per-station episode cache (sched.Memo)
 	// both engines layer over the scheduler factory. Episodes are pure
 	// functions of (p, L) for the keyed schedulers, so results are
@@ -270,25 +281,34 @@ type Progress struct {
 
 // shardCount resolves the Shards field against the fleet size.
 func (f Farm) shardCount() int {
-	s := f.Shards
-	if s == 0 {
-		s = DefaultShards
-	}
-	if s > len(f.Stations) {
-		s = len(f.Stations)
-	}
-	if s < 1 {
-		s = 1
-	}
-	return s
+	return ResolveShards(f.Shards, len(f.Stations))
+}
+
+// scaledLatency converts the topology's fleet-tick CrossLatency into
+// steal-clock units (station-ticks): n stations play concurrently, so one
+// fleet-tick of wall time is ≈ n station-ticks of played lifespan.
+func (f Farm) scaledLatency() int64 {
+	return int64(f.Topology.CrossLatency) * int64(len(f.Stations))
 }
 
 // newPool builds the task pool Run drains.
 func (f Farm) newPool(job Job) TaskPool {
-	if n := f.shardCount(); n > 1 {
-		return NewShardedBag(job.Tasks, n)
+	n := f.shardCount()
+	if n <= 1 {
+		return NewSharedBag(job.Tasks)
 	}
-	return NewSharedBag(job.Tasks)
+	if f.Topology.active() {
+		return NewShardedBagTopology(job.Tasks, n, f.Topology.clusterCount(), f.scaledLatency())
+	}
+	return NewShardedBag(job.Tasks, n)
+}
+
+// flightPool is the optional TaskPool extension a latency-priced topology
+// pool implements: the farm driver advances the steal clock as stations
+// settle opportunities, and reports the tasks still in flight at the end.
+type flightPool interface {
+	Advance(d quant.Tick)
+	InFlight() int
 }
 
 // Run farms the job across the fleet at full speed. Stations simulate their
@@ -305,6 +325,9 @@ func (f Farm) newPool(job Job) TaskPool {
 func (f Farm) Run(ctx context.Context, job Job, factory station.SchedulerFactory, seed int64) (Result, error) {
 	if len(f.Stations) == 0 {
 		return Result{}, fmt.Errorf("farm: empty fleet")
+	}
+	if err := f.Topology.Validate(f.shardCount()); err != nil {
+		return Result{}, err
 	}
 	return f.RunPool(ctx, f.newPool(job), factory, seed)
 }
@@ -346,6 +369,15 @@ func (f Farm) RunPool(ctx context.Context, pool TaskPool, factory station.Schedu
 
 	stopObserver := f.observe(total, &unfinished, pool)
 
+	// A latency-priced topology pool needs the steal clock driven: each
+	// settled opportunity advances it by the contract lifespan just played,
+	// landing matured cross-cluster parcels.
+	var advance func(quant.Tick)
+	fp, hasFlight := pool.(flightPool)
+	if hasFlight {
+		advance = fp.Advance
+	}
+
 	reports := make([]StationReport, len(f.Stations))
 	errs := make([]error, len(f.Stations))
 	jobs := make(chan int)
@@ -356,7 +388,7 @@ func (f Farm) RunPool(ctx context.Context, pool TaskPool, factory station.Schedu
 			defer wg.Done()
 			for idx := range jobs {
 				src := &settleSource{src: pool.Station(idx), unfinished: &unfinished}
-				rep, err := f.runStation(ctx, f.Stations[idx], n, factory, seed, src, exit)
+				rep, err := f.runStation(ctx, f.Stations[idx], n, factory, seed, src, exit, advance)
 				if err != nil {
 					errs[idx] = err
 					continue
@@ -381,7 +413,11 @@ func (f Farm) RunPool(ctx context.Context, pool TaskPool, factory station.Schedu
 	if err := errors.Join(errs...); err != nil {
 		return Result{}, err
 	}
-	return f.assemble(reports, pool.Remaining(), pool.Steals()), nil
+	inflight := 0
+	if hasFlight {
+		inflight = fp.InFlight()
+	}
+	return f.assemble(reports, pool.Remaining(), pool.Steals(), inflight), nil
 }
 
 // observe starts Run's wall-clock progress observer, if configured, and
@@ -423,8 +459,8 @@ func (f Farm) observe(total int, unfinished *atomic.Int64, pool TaskPool) (stop 
 }
 
 // assemble folds station reports into the job-level result.
-func (f Farm) assemble(reports []StationReport, left, steals int) Result {
-	res := Result{Stations: reports, TasksLeft: left, Steals: steals}
+func (f Farm) assemble(reports []StationReport, left, steals, inflight int) Result {
+	res := Result{Stations: reports, TasksLeft: left, Steals: steals, InFlight: inflight}
 	for _, r := range reports {
 		res.TasksCompleted += r.TasksCompleted
 		res.TaskWork += r.TaskWork
@@ -495,7 +531,7 @@ func (f Farm) newScratch() *stationScratch {
 	return s
 }
 
-func (f Farm) runStation(ctx context.Context, ws station.Workstation, n int, factory station.SchedulerFactory, seed int64, src *settleSource, unfinished *atomic.Int64) (StationReport, error) {
+func (f Farm) runStation(ctx context.Context, ws station.Workstation, n int, factory station.SchedulerFactory, seed int64, src *settleSource, unfinished *atomic.Int64, advance func(quant.Tick)) (StationReport, error) {
 	rep := StationReport{Station: ws.ID}
 	rng := station.RNG(seed, ws.ID)
 	scr := f.newScratch()
@@ -506,8 +542,14 @@ func (f Farm) runStation(ctx context.Context, ws station.Workstation, n int, fac
 		if unfinished != nil && unfinished.Load() == 0 {
 			break // every task completed; no point borrowing more time
 		}
+		before := rep.LifespanTicks
 		err := f.playOpportunity(&rep, ws, rng, factory, src, scr)
 		src.settle()
+		if advance != nil {
+			// The opportunity is settled: its lifespan is played fleet time,
+			// so the steal clock moves and matured parcels may land.
+			advance(rep.LifespanTicks - before)
+		}
 		if err != nil {
 			return rep, err
 		}
@@ -559,11 +601,15 @@ func (f Farm) playOpportunity(rep *StationReport, ws station.Workstation, rng *r
 // group plays its stations *sequentially* against its own queue, so no queue
 // is ever touched by two goroutines; at the round barrier, empty queues
 // steal half the tasks of the first non-empty victim in deterministic cyclic
-// group order; stations stop borrowing when a barrier finds the whole job
-// done. Killed-period tasks return to the front of the running group's own
-// queue, as in the live sharded bag. (Round barriers are also why this
-// engine needs no in-flight ledger: nothing is mid-opportunity when the
-// done-check runs.)
+// group order — under a Topology, first within their own cluster, then (only
+// when the cluster arrived collectively dry) across clusters, where a
+// CrossLatency > 0 steal departs into a flight ledger and lands at the first
+// barrier whose steal clock (Σ lifespans played) has reached its maturity.
+// Stations stop borrowing when a barrier finds the whole job done (in-flight
+// tasks count as not done). Killed-period tasks return to the front of the
+// running group's own queue, as in the live sharded bag. (Round barriers are
+// also why this engine needs no early-exit ledger: nothing is
+// mid-opportunity when the done-check runs.)
 //
 // Every mutation is therefore ordered by (round, group, station index) — a
 // pure function of (fleet, job, factory, seed, Shards). workers ≤ 0 means
@@ -585,11 +631,35 @@ func (f Farm) RunDeterministic(ctx context.Context, job Job, factory station.Sch
 		rounds = 1
 	}
 	groups := f.shardCount()
+	if err := f.Topology.Validate(groups); err != nil {
+		return Result{}, err
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers > groups {
 		workers = groups
+	}
+
+	// Topology: queues are grouped into contiguous clusters; cross-cluster
+	// steals with a latency depart into the flight ledger and land only when
+	// the steal clock (Σ lifespans played, advanced at each barrier) reaches
+	// their maturity. All of it happens between barriers in deterministic
+	// order, so the bit-identical-at-any-worker-count contract is untouched.
+	clusters := f.Topology.clusterCount()
+	perCluster := groups / clusters
+	scaledLatency := int64(0)
+	if f.Topology.active() {
+		scaledLatency = f.scaledLatency()
+	}
+	var flight task.Flight
+	var playedTicks quant.Tick
+	pending := make([]int64, 0)
+	if scaledLatency > 0 {
+		// pending[g] is the maturity of group g's outstanding cross-cluster
+		// request: at most one parcel per group is in flight, so a dry group
+		// waits for its delivery instead of draining a remote cluster.
+		pending = make([]int64, groups)
 	}
 
 	queues := make([]*task.Bag, groups)
@@ -609,7 +679,7 @@ func (f Farm) RunDeterministic(ctx context.Context, job Job, factory station.Sch
 	emitted := false // a round barrier has reported progress
 
 	for round := 0; round < rounds; round++ {
-		remaining := 0
+		remaining := flight.InFlight() // in flight ⇒ not completed: keep playing
 		for _, q := range queues {
 			remaining += q.Remaining()
 		}
@@ -648,14 +718,33 @@ func (f Farm) RunDeterministic(ctx context.Context, job Job, factory station.Sch
 			return Result{}, err
 		}
 
+		// Advance the steal clock by the lifespan the fleet just played and
+		// land matured parcels before the rebalance snapshot, so arrivals are
+		// stealable this barrier. The per-round report sweep only runs when a
+		// latency is actually priced.
+		if scaledLatency > 0 {
+			var total quant.Tick
+			for i := range reports {
+				total += reports[i].LifespanTicks
+			}
+			flight.Advance(int64(total - playedTicks))
+			playedTicks = total
+			flight.Arrive(func(dest int, tasks []task.Task) {
+				queues[dest].Append(tasks)
+			})
+		}
+
 		// Round-barrier rebalance: groups that arrived empty steal half the
 		// first victim's queue (rounded up, so a last lone task can still
-		// migrate off an idle group) in deterministic cyclic order. Both the
-		// thief set and the victim set are fixed by a pre-pass snapshot:
-		// without it, an empty group later in the pass would re-steal the
-		// tasks an earlier thief just received — ping-ponging a dying job's
-		// last tasks between idle groups instead of landing them on a
-		// station that works.
+		// migrate off an idle group) in deterministic cyclic order — first
+		// within their own cluster, and only when the cluster arrived
+		// collectively dry across clusters, where a priced steal departs
+		// into the flight ledger instead of landing. Both the thief set and
+		// the victim set are fixed by a pre-pass snapshot: without it, an
+		// empty group later in the pass would re-steal the tasks an earlier
+		// thief just received — ping-ponging a dying job's last tasks
+		// between idle groups instead of landing them on a station that
+		// works.
 		arrived := make([]int, groups)
 		for g, q := range queues {
 			arrived[g] = q.Remaining()
@@ -664,27 +753,60 @@ func (f Farm) RunDeterministic(ctx context.Context, job Job, factory station.Sch
 			if arrived[g] > 0 {
 				continue
 			}
-			for d := 1; d < groups; d++ {
-				v := g + d
-				if v >= groups {
-					v -= groups
-				}
+			stole := false
+			base := g / perCluster * perCluster
+			for d := 1; d < perCluster; d++ {
+				v := base + (g-base+d)%perCluster
 				if arrived[v] == 0 {
 					continue
 				}
 				if half := (queues[v].Remaining() + 1) / 2; half > 0 {
 					queues[g].Append(queues[v].Steal(half))
 					steals++
+					stole = true
+					break
+				}
+			}
+			if stole || clusters == 1 {
+				continue
+			}
+			if scaledLatency > 0 && pending[g] > flight.Clock() {
+				continue // one outstanding cross-cluster request per group
+			}
+			cg := g / perCluster
+			for dc := 1; dc < clusters && !stole; dc++ {
+				c := cg + dc
+				if c >= clusters {
+					c -= clusters
+				}
+				for v := c * perCluster; v < (c+1)*perCluster; v++ {
+					if arrived[v] == 0 {
+						continue
+					}
+					half := (queues[v].Remaining() + 1) / 2
+					if half == 0 {
+						continue
+					}
+					stolen := queues[v].Steal(half)
+					steals++
+					if scaledLatency > 0 {
+						flight.Depart(stolen, g, scaledLatency)
+						pending[g] = flight.Clock() + scaledLatency
+					} else {
+						queues[g].Append(stolen)
+					}
+					stole = true
 					break
 				}
 			}
 		}
 
 		// Round-barrier progress: nothing is mid-opportunity here, so the
-		// unscheduled count is exactly the not-yet-completed count and the
-		// snapshot sequence is a pure function of the determinism key.
+		// unscheduled count (queued + in flight) is exactly the
+		// not-yet-completed count and the snapshot sequence is a pure
+		// function of the determinism key.
 		if f.Progress != nil {
-			left := 0
+			left := flight.InFlight()
 			for _, q := range queues {
 				left += q.Remaining()
 			}
@@ -693,7 +815,7 @@ func (f Farm) RunDeterministic(ctx context.Context, job Job, factory station.Sch
 		}
 	}
 
-	left := 0
+	left := flight.InFlight()
 	for _, q := range queues {
 		left += q.Remaining()
 	}
@@ -703,7 +825,7 @@ func (f Farm) RunDeterministic(ctx context.Context, job Job, factory station.Sch
 		// barrier already reported this exact state.
 		f.Progress(Progress{Completed: len(job.Tasks) - left, Remaining: left, Steals: steals})
 	}
-	return f.assemble(reports, left, steals), nil
+	return f.assemble(reports, left, steals, flight.InFlight()), nil
 }
 
 // Replication metric indexes: the order of the summaries Replicate returns.
@@ -715,6 +837,7 @@ const (
 	MetricInterrupts            // interrupts fleet-wide
 	MetricImbalance             // max/mean per-station completed task work
 	MetricSteals                // cross-queue task migrations per trial
+	MetricTasksInFlight         // tasks still crossing clusters at trial end
 	NumMetrics
 )
 
@@ -749,6 +872,7 @@ func (f Farm) Replicate(ctx context.Context, job Job, factory station.SchedulerF
 		out[MetricInterrupts] = float64(res.Interrupts)
 		out[MetricImbalance] = res.Imbalance()
 		out[MetricSteals] = float64(res.Steals)
+		out[MetricTasksInFlight] = float64(res.InFlight)
 		return out, nil
 	})
 }

@@ -287,7 +287,7 @@ func TestShardedBagStealHintLocalizesVictim(t *testing.T) {
 	b := NewShardedBag(nil, 8)
 	rich := b.Station(5)
 	rich.Return(task.Fixed(10, 1)) // all tasks land in shard 5
-	if got := int(b.richest.Load()); got != 5 {
+	if got := int(b.richest[0].Load()); got != 5 {
 		t.Fatalf("richest hint = %d after Return, want 5", got)
 	}
 	v := b.Station(0)

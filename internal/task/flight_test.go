@@ -1,0 +1,66 @@
+package task
+
+import "testing"
+
+func TestFlightDepartArriveOrder(t *testing.T) {
+	var f Flight
+	f.Depart(Fixed(2, 3), 4, 10)
+	f.Advance(5)
+	f.Depart(Fixed(1, 3), 7, 10) // matures at 15
+	if f.InFlight() != 3 || f.Parcels() != 2 {
+		t.Fatalf("in flight %d tasks / %d parcels, want 3/2", f.InFlight(), f.Parcels())
+	}
+	if next, ok := f.NextReady(); !ok || next != 10 {
+		t.Fatalf("NextReady = %d,%v want 10,true", next, ok)
+	}
+	// Nothing matured yet.
+	if n := f.Arrive(func(int, []Task) { t.Error("delivered early") }); n != 0 {
+		t.Fatalf("delivered %d before maturity", n)
+	}
+	f.Advance(5) // clock 10: first parcel only
+	var dests []int
+	deliver := func(dest int, tasks []Task) { dests = append(dests, dest) }
+	if n := f.Arrive(deliver); n != 2 {
+		t.Fatalf("delivered %d at clock 10, want 2", n)
+	}
+	if next, ok := f.NextReady(); !ok || next != 15 {
+		t.Fatalf("NextReady = %d,%v want 15,true", next, ok)
+	}
+	f.AdvanceTo(15)
+	f.AdvanceTo(3) // monotone: no-op
+	if f.Clock() != 15 {
+		t.Fatalf("clock %d after backwards AdvanceTo, want 15", f.Clock())
+	}
+	if n := f.Arrive(deliver); n != 1 {
+		t.Fatalf("delivered %d at clock 15, want 1", n)
+	}
+	if len(dests) != 2 || dests[0] != 4 || dests[1] != 7 {
+		t.Fatalf("delivery order %v, want [4 7]", dests)
+	}
+	if f.InFlight() != 0 || f.Parcels() != 0 {
+		t.Fatalf("ledger not empty: %d tasks / %d parcels", f.InFlight(), f.Parcels())
+	}
+	if _, ok := f.NextReady(); ok {
+		t.Fatal("NextReady true on an empty ledger")
+	}
+}
+
+func TestFlightEdgeCases(t *testing.T) {
+	var f Flight
+	f.Depart(nil, 0, 5) // empty parcel: dropped
+	if f.Parcels() != 0 {
+		t.Fatalf("empty Depart created a parcel")
+	}
+	f.Depart(Fixed(1, 1), 2, -3) // negative latency clamps to immediate
+	if n := f.Arrive(func(dest int, tasks []Task) {
+		if dest != 2 || len(tasks) != 1 {
+			t.Errorf("delivered %d tasks to %d", len(tasks), dest)
+		}
+	}); n != 1 {
+		t.Fatalf("immediate parcel not delivered: %d", n)
+	}
+	f.Advance(-7) // negative advance is a no-op
+	if f.Clock() != 0 {
+		t.Fatalf("clock %d after negative Advance, want 0", f.Clock())
+	}
+}
