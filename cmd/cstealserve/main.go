@@ -1,0 +1,328 @@
+// Command cstealserve runs the fleet as a resident cycle-stealing service:
+// one standing fleet of owner-lent workstations accepts a stream of jobs,
+// multiplexes them fairly across tenants, and keeps working while stations
+// churn in and out. It is the long-lived face of the batch simulators —
+// the same deterministic engine, driven by submissions instead of a single
+// job, entirely through the public cyclesteal/fleet facade.
+//
+// Jobs arrive as lines on standard input, one job per line:
+//
+//	tenant spec[,spec...]
+//
+// where each spec is either NxD (N tasks of duration D time units) or a
+// bare D (one task). Blank lines and lines starting with '#' are skipped.
+// On end of input the service drains everything still queued and prints a
+// per-job summary. With -watch DIR the service additionally polls DIR for
+// job files (same line format); a fully submitted file is renamed to
+// NAME.done so it is not resubmitted.
+//
+// Usage:
+//
+//	echo "ana 500x8" | cstealserve -stations 32
+//	cstealserve -stations 64 -churn-leave 0.02 -churn-join 0.05 < jobs.txt
+//	cstealserve -checkpoint 10 -owners poisson-fixed -policy single < jobs.txt
+//	cstealserve -watch /var/spool/jobs -stats 2s < /dev/null
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"cyclesteal/fleet"
+)
+
+func main() {
+	var (
+		stations   = flag.Int("stations", 32, "number of workstations in the standing fleet")
+		setup      = flag.Float64("setup", 5, "per-period setup cost c (time units)")
+		policy     = flag.String("policy", "", "scheduling policy (default: adaptive equalized)")
+		owners     = flag.String("owners", "", "comma-separated owner temperaments, cycled across stations (see -list-owners)")
+		listOwners = flag.Bool("list-owners", false, "print the accepted owner temperaments and exit")
+		interrupts = flag.Int("p", 0, "per-contract interrupt allowance (0 = owner default)")
+		checkpoint = flag.Float64("checkpoint", 0, "intra-period checkpoint interval in time units (0 = draconian, a kill erases the period)")
+		adaptive   = flag.Bool("adaptive", false, "pick the checkpoint interval per contract by Young's rule (overrides -checkpoint)")
+		churnLeave = flag.Float64("churn-leave", 0, "per-round probability each station leaves (its queued tasks migrate back)")
+		churnJoin  = flag.Float64("churn-join", 0, "per-round probability a new station joins")
+		minStation = flag.Int("min-stations", 0, "churn floor on live stations (0 = 1)")
+		maxStation = flag.Int("max-stations", 0, "churn ceiling on total stations (0 = twice the initial fleet)")
+		seed       = flag.Int64("seed", 1, "fleet seed; with fixed submissions the whole run is reproducible")
+		workers    = flag.Int("workers", 0, "simulation worker pool (0 = GOMAXPROCS); results never depend on it")
+		maxActive  = flag.Int("max-active", 0, "jobs multiplexed onto the fleet at once (0 = 4)")
+		maxQueued  = flag.Int("max-queued", 0, "queued-job bound per tenant before submissions are rejected (0 = 16)")
+		stats      = flag.Duration("stats", 0, "print service stats to stderr at this interval (0 = off)")
+		watch      = flag.String("watch", "", "also poll this directory for job files (renamed to *.done once submitted)")
+	)
+	flag.Parse()
+	if *listOwners {
+		fmt.Println(strings.Join(fleet.Owners(), "\n"))
+		return
+	}
+	if err := run(config{
+		stations: *stations, setup: *setup, policy: *policy, owners: *owners,
+		interrupts: *interrupts, checkpoint: *checkpoint, adaptive: *adaptive,
+		churnLeave: *churnLeave, churnJoin: *churnJoin,
+		minStations: *minStation, maxStations: *maxStation,
+		seed: *seed, workers: *workers, maxActive: *maxActive, maxQueued: *maxQueued,
+		stats: *stats, watch: *watch,
+	}, os.Stdin, os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "cstealserve:", err)
+		os.Exit(1)
+	}
+}
+
+type config struct {
+	stations                 int
+	setup                    float64
+	policy, owners           string
+	interrupts               int
+	checkpoint               float64
+	adaptive                 bool
+	churnLeave, churnJoin    float64
+	minStations, maxStations int
+	seed                     int64
+	workers                  int
+	maxActive, maxQueued     int
+	stats                    time.Duration
+	watch                    string
+}
+
+func (c config) service() (*fleet.Service, error) {
+	var ownerList []fleet.Owner
+	if c.owners != "" {
+		for _, name := range strings.Split(c.owners, ",") {
+			o, err := fleet.OwnerByName(strings.TrimSpace(name))
+			if err != nil {
+				return nil, err
+			}
+			ownerList = append(ownerList, o)
+		}
+	}
+	var pol fleet.Policy
+	if c.policy != "" {
+		pol = fleet.Policy{Name: c.policy}
+	}
+	return fleet.NewService(fleet.ServiceConfig{
+		Fleet: fleet.Config{
+			Stations:           c.stations,
+			Setup:              c.setup,
+			Owners:             ownerList,
+			Policy:             pol,
+			Interrupts:         c.interrupts,
+			Checkpoint:         c.checkpoint,
+			CheckpointAdaptive: c.adaptive,
+			Seed:               c.seed,
+			Workers:            c.workers,
+		},
+		MaxActive:          c.maxActive,
+		MaxQueuedPerTenant: c.maxQueued,
+		Churn: fleet.ChurnConfig{
+			LeaveProb:   c.churnLeave,
+			JoinProb:    c.churnJoin,
+			MinStations: c.minStations,
+			MaxStations: c.maxStations,
+		},
+	})
+}
+
+// run drives the resident service: submissions stream in from r (and the
+// watch directory, if any) while the fleet works; once input is exhausted
+// and every accepted job has finished, the service shuts down and the
+// summary lands on w.
+func run(cfg config, r io.Reader, w, errw io.Writer) error {
+	s, err := cfg.service()
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := s.Start(ctx); err != nil {
+		return err
+	}
+
+	if cfg.stats > 0 {
+		go func() {
+			tick := time.NewTicker(cfg.stats)
+			defer tick.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+					st := s.Stats()
+					fmt.Fprintf(errw, "round %d: %d stations (+%d/-%d), %d queued, %d active, %d finished, %d tasks pending, %d steals\n",
+						st.Round, st.Stations, st.Joined, st.Departed, st.QueuedJobs, st.ActiveJobs, st.FinishedJobs, st.TasksPending, st.Steals)
+				}
+			}
+		}()
+	}
+
+	// The stdin reader and the directory watcher both submit; the mutex
+	// serializes them and guards the shared handle list.
+	var mu sync.Mutex
+	var handles []*fleet.JobHandle
+	submit := func(line, where string) {
+		tenant, job, err := parseJob(line)
+		if err != nil {
+			fmt.Fprintf(errw, "%s: %v\n", where, err)
+			return
+		}
+		h, err := s.Submit(tenant, job)
+		if err != nil {
+			fmt.Fprintf(errw, "%s: rejected: %v\n", where, err)
+			return
+		}
+		mu.Lock()
+		handles = append(handles, h)
+		mu.Unlock()
+	}
+
+	stopWatch := make(chan struct{})
+	watchDone := make(chan struct{})
+	if cfg.watch != "" {
+		go func() {
+			defer close(watchDone)
+			watchDir(ctx, stopWatch, cfg.watch, errw, submit)
+		}()
+	} else {
+		close(watchDone)
+	}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		submit(line, fmt.Sprintf("stdin:%d", lineNo))
+	}
+	if err := sc.Err(); err != nil {
+		cancel()
+		return err
+	}
+
+	// Input is done: stop the watcher, wait for every accepted job, then
+	// shut the loop down and report.
+	close(stopWatch)
+	<-watchDone
+	mu.Lock()
+	done := append([]*fleet.JobHandle(nil), handles...)
+	mu.Unlock()
+	for _, h := range done {
+		<-h.Done()
+	}
+	cancel()
+	res, err := s.Wait()
+	if err != nil && err != context.Canceled {
+		return err
+	}
+	return report(w, res)
+}
+
+// watchDir polls dir for job files: every regular file not already marked
+// .done is read line by line, submitted, and renamed to NAME.done.
+func watchDir(ctx context.Context, stop <-chan struct{}, dir string, errw io.Writer, submit func(line, where string)) {
+	tick := time.NewTicker(time.Second)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-stop:
+			return
+		case <-tick.C:
+		}
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			fmt.Fprintf(errw, "watch %s: %v\n", dir, err)
+			continue
+		}
+		for _, e := range entries {
+			if e.IsDir() || strings.HasSuffix(e.Name(), ".done") {
+				continue
+			}
+			path := filepath.Join(dir, e.Name())
+			data, err := os.ReadFile(path)
+			if err != nil {
+				fmt.Fprintf(errw, "watch %s: %v\n", path, err)
+				continue
+			}
+			for i, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if line == "" || strings.HasPrefix(line, "#") {
+					continue
+				}
+				submit(line, fmt.Sprintf("%s:%d", e.Name(), i+1))
+			}
+			if err := os.Rename(path, path+".done"); err != nil {
+				fmt.Fprintf(errw, "watch %s: %v\n", path, err)
+			}
+		}
+	}
+}
+
+// maxTasksPerSpec bounds one spec's expansion so a hostile line cannot
+// allocate without bound.
+const maxTasksPerSpec = 1 << 20
+
+// parseJob parses one submission line: `tenant spec[,spec...]` where each
+// spec is NxD (N tasks of duration D time units) or a bare duration D.
+func parseJob(line string) (tenant string, job fleet.Job, err error) {
+	fields := strings.Fields(line)
+	if len(fields) != 2 {
+		return "", fleet.Job{}, fmt.Errorf("want `tenant spec[,spec...]`, got %q", line)
+	}
+	tenant = fields[0]
+	for _, spec := range strings.Split(fields[1], ",") {
+		n, d := 1, spec
+		if i := strings.IndexByte(spec, 'x'); i >= 0 {
+			n, err = strconv.Atoi(spec[:i])
+			if err != nil || n < 1 {
+				return "", fleet.Job{}, fmt.Errorf("spec %q: task count must be a positive integer", spec)
+			}
+			d = spec[i+1:]
+		}
+		if n > maxTasksPerSpec {
+			return "", fleet.Job{}, fmt.Errorf("spec %q: task count %d over the %d bound", spec, n, maxTasksPerSpec)
+		}
+		dur, err := strconv.ParseFloat(d, 64)
+		if err != nil || math.IsNaN(dur) || math.IsInf(dur, 0) || dur <= 0 {
+			return "", fleet.Job{}, fmt.Errorf("spec %q: task duration must be a positive number", spec)
+		}
+		for i := 0; i < n; i++ {
+			job.Tasks = append(job.Tasks, dur)
+		}
+	}
+	return tenant, job, nil
+}
+
+// report prints the drained service's summary: one line per job in
+// submission order, then the fleet-wide accounting.
+func report(w io.Writer, res fleet.ServiceResult) error {
+	for _, j := range res.Jobs {
+		state := "unfinished"
+		if j.Completed {
+			state = fmt.Sprintf("done in rounds %d..%d", j.SubmittedRound, j.FinishedRound)
+		}
+		fmt.Fprintf(w, "job %d %s: %d/%d tasks (%.1f time units), %s\n",
+			j.ID, j.Tenant, j.TasksCompleted, j.Tasks, j.TaskWork, state)
+	}
+	fmt.Fprintf(w, "%d rounds, %d stations joined, %d departed, %d steals\n",
+		res.Rounds, res.Joined, res.Departed, res.Fleet.Steals)
+	fmt.Fprintf(w, "fleet: %d tasks (%.1f of %.1f time units, %.1f%%), utilization %.1f%%\n",
+		res.Fleet.TasksCompleted, res.Fleet.TaskWork, res.Fleet.JobWork,
+		100*res.Fleet.CompletionFraction(), 100*res.Fleet.Utilization())
+	return nil
+}

@@ -1,0 +1,175 @@
+package main
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseJob(t *testing.T) {
+	cases := []struct {
+		line   string
+		tenant string
+		tasks  []float64
+		ok     bool
+	}{
+		{"ana 100x8", "ana", append([]float64(nil), repeat(8, 100)...), true},
+		{"bo 12.5", "bo", []float64{12.5}, true},
+		{"ana 2x8,3x20,1.5", "ana", []float64{8, 8, 20, 20, 20, 1.5}, true},
+		{"  ana   4x2  ", "ana", []float64{2, 2, 2, 2}, true},
+		{"", "", nil, false},
+		{"ana", "", nil, false},
+		{"ana 8 12", "", nil, false},
+		{"ana 0x8", "", nil, false},
+		{"ana -3x8", "", nil, false},
+		{"ana 3x-8", "", nil, false},
+		{"ana 3x0", "", nil, false},
+		{"ana x8", "", nil, false},
+		{"ana 3x", "", nil, false},
+		{"ana NaN", "", nil, false},
+		{"ana Inf", "", nil, false},
+		{"ana 8,", "", nil, false},
+		{"ana 9999999999x1", "", nil, false},
+	}
+	for _, tc := range cases {
+		tenant, job, err := parseJob(tc.line)
+		if tc.ok != (err == nil) {
+			t.Errorf("parseJob(%q): err = %v, want ok=%v", tc.line, err, tc.ok)
+			continue
+		}
+		if !tc.ok {
+			continue
+		}
+		if tenant != tc.tenant {
+			t.Errorf("parseJob(%q): tenant %q, want %q", tc.line, tenant, tc.tenant)
+		}
+		if len(job.Tasks) != len(tc.tasks) {
+			t.Errorf("parseJob(%q): %d tasks, want %d", tc.line, len(job.Tasks), len(tc.tasks))
+			continue
+		}
+		for i, d := range tc.tasks {
+			if job.Tasks[i] != d {
+				t.Errorf("parseJob(%q): task %d = %g, want %g", tc.line, i, job.Tasks[i], d)
+			}
+		}
+	}
+}
+
+func repeat(d float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = d
+	}
+	return out
+}
+
+func FuzzParseJob(f *testing.F) {
+	f.Add("ana 100x8")
+	f.Add("bo 12.5,3x20")
+	f.Add("t 1e300x2")
+	f.Add("x 0x0")
+	f.Add("a NaNxInf")
+	f.Add("  spaced   4x2,,")
+	f.Fuzz(func(t *testing.T, line string) {
+		tenant, job, err := parseJob(line)
+		if err != nil {
+			return
+		}
+		if strings.TrimSpace(tenant) == "" {
+			t.Fatalf("parseJob(%q): accepted empty tenant", line)
+		}
+		if len(job.Tasks) == 0 {
+			t.Fatalf("parseJob(%q): accepted empty job", line)
+		}
+		for _, d := range job.Tasks {
+			if !(d > 0) || math.IsInf(d, 0) {
+				t.Fatalf("parseJob(%q): accepted task duration %g", line, d)
+			}
+		}
+	})
+}
+
+// TestRunEndToEnd drives the whole binary path short of main: stdin
+// submissions, a watched directory, churn, checkpointing, and the final
+// summary — twice, asserting the runs are identical (the service engine is
+// deterministic and submission order is fixed).
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	input := "ana 50x8\nbo 20x12,5x3\n# comment\n\nana 10x2\n"
+	outputs := make([]string, 2)
+	for i := range outputs {
+		if err := os.WriteFile(filepath.Join(dir, "batch.jobs"), []byte("carol 30x5\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var out, errOut bytes.Buffer
+		cfg := config{
+			stations:   16,
+			setup:      5,
+			checkpoint: 10,
+			churnLeave: 0.05, churnJoin: 0.1,
+			seed:  7,
+			stats: time.Millisecond,
+			watch: dir,
+		}
+		if err := run(cfg, strings.NewReader(input), &out, &errOut); err != nil {
+			t.Fatalf("run: %v (stderr: %s)", err, errOut.String())
+		}
+		got := out.String()
+		for _, want := range []string{"job 0 ana: 50/50", "job 1 bo: 25/25", "job 2 ana: 10/10"} {
+			if !strings.Contains(got, want) {
+				t.Errorf("summary missing %q:\n%s", want, got)
+			}
+		}
+		// The watcher polls at 1 Hz, so the carol job only appears if the
+		// stdin jobs kept the service alive long enough — don't assert it,
+		// but if it was submitted it must have finished.
+		if strings.Contains(got, "carol") && !strings.Contains(got, "carol: 30/30") {
+			t.Errorf("watched job submitted but unfinished:\n%s", got)
+		}
+		outputs[i] = got
+		if _, err := os.Stat(filepath.Join(dir, "batch.jobs.done")); err == nil {
+			if err := os.Remove(filepath.Join(dir, "batch.jobs.done")); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			// Not yet picked up: remove the original so run 2 starts clean.
+			os.Remove(filepath.Join(dir, "batch.jobs"))
+		}
+	}
+	// Determinism only holds when the wall-clock watcher submitted the same
+	// set both times; stdin-only content always matches.
+	if strings.Contains(outputs[0], "carol") == strings.Contains(outputs[1], "carol") && outputs[0] != outputs[1] {
+		t.Errorf("identical submissions, different summaries:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", outputs[0], outputs[1])
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	var out, errOut bytes.Buffer
+	err := run(config{stations: 4, setup: 5, owners: "no-such-owner"}, strings.NewReader(""), &out, &errOut)
+	if err == nil {
+		t.Fatal("unknown owner accepted")
+	}
+	err = run(config{stations: 4, setup: 5, churnLeave: 1.5}, strings.NewReader(""), &out, &errOut)
+	if err == nil {
+		t.Fatal("leave probability 1.5 accepted")
+	}
+}
+
+// Bad lines are reported to stderr and skipped; good lines still run.
+func TestRunSkipsBadLines(t *testing.T) {
+	var out, errOut bytes.Buffer
+	input := "bad-line-no-spec\nana 10x8\nbo 0x3\n"
+	if err := run(config{stations: 8, setup: 5, seed: 3}, strings.NewReader(input), &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "ana: 10/10") {
+		t.Errorf("good job missing from summary:\n%s", out.String())
+	}
+	if !strings.Contains(errOut.String(), "stdin:1") || !strings.Contains(errOut.String(), "stdin:3") {
+		t.Errorf("bad lines not reported: %s", errOut.String())
+	}
+}

@@ -45,3 +45,63 @@ func BenchmarkFleetTopologyDeterministic(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkFleetServiceDrain prices the resident-service loop on the
+// batch-equivalent path: one standing fleet, jobs from two tenants drained
+// to completion, no churn. The delta against the deterministic batch
+// benchmark is the cost of the service layer itself (admission, job
+// attribution, the event log). Seeds vary per iteration so nothing
+// memoizes, but every seed is deterministic, keeping allocs/op stable for
+// the exact alloc gate.
+func BenchmarkFleetServiceDrain(b *testing.B) {
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := fleet.NewService(fleet.ServiceConfig{
+			Fleet: fleet.Config{Stations: 64, Setup: 5, Shards: 8, Workers: 4, Seed: int64(i)},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Submit("ana", fleet.Job{Tasks: fleet.FixedTasks(1500, 10)}); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Submit("bo", fleet.Job{Tasks: fleet.FixedTasks(1500, 12)}); err != nil {
+			b.Fatal(err)
+		}
+		res, err := s.Drain(context.Background())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Fleet.TasksCompleted != 3000 {
+			b.Fatalf("service completed %d of 3000 tasks", res.Fleet.TasksCompleted)
+		}
+	}
+}
+
+// BenchmarkFleetServiceChurn prices the service with everything on: station
+// churn rebalancing queues mid-flight, per-period checkpointing in the sim,
+// and the event log recording every roster change.
+func BenchmarkFleetServiceChurn(b *testing.B) {
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := fleet.NewService(fleet.ServiceConfig{
+			Fleet: fleet.Config{Stations: 64, Setup: 5, Shards: 8, Workers: 4, Checkpoint: 12, Seed: int64(i)},
+			Churn: fleet.ChurnConfig{LeaveProb: 0.02, JoinProb: 0.05, MinStations: 16, Seed: int64(i) + 1},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Submit("ana", fleet.Job{Tasks: fleet.FixedTasks(3000, 10)}); err != nil {
+			b.Fatal(err)
+		}
+		res, err := s.Drain(context.Background())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Fleet.TasksCompleted != 3000 {
+			b.Fatalf("service completed %d of 3000 tasks", res.Fleet.TasksCompleted)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"reflect"
 
 	"cyclesteal/fleet"
 	"cyclesteal/trace"
@@ -171,4 +172,54 @@ func ExampleReplay() {
 	// Output:
 	// recorded: utilization 91.8% over 38 interrupts
 	// replayed under single: utilization 80.4% over 38 interrupts
+}
+
+// Run the fleet as a resident service instead of a batch: jobs from two
+// tenants stream into one standing fleet, stations churn in and out
+// mid-flight (a leaving station's queued tasks migrate back to the pool),
+// and every period checkpoints partial work so a kill no longer erases the
+// whole task. The whole run lands in an event log that ReplayService
+// replays bit-identically at any Workers setting.
+func ExampleService() {
+	s, err := fleet.NewService(fleet.ServiceConfig{
+		Fleet: fleet.Config{
+			Stations:   12,
+			Setup:      5,
+			Checkpoint: 15, // save progress every 15 seconds of task work
+			Seed:       11,
+		},
+		Churn: fleet.ChurnConfig{LeaveProb: 0.05, JoinProb: 0.30, MinStations: 6},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := s.Submit("ana", fleet.Job{Tasks: fleet.ExponentialTasks(300, 12, 3)}); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := s.Submit("bo", fleet.Job{Tasks: fleet.FixedTasks(200, 20)}); err != nil {
+		log.Fatal(err)
+	}
+	res, err := s.Drain(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, j := range res.Jobs {
+		fmt.Printf("%s: %d/%d tasks in rounds %d..%d\n",
+			j.Tenant, j.TasksCompleted, j.Tasks, j.SubmittedRound, j.FinishedRound)
+	}
+	fmt.Printf("%d rounds, %d joins, %d departures\n", res.Rounds, res.Joined, res.Departed)
+
+	// The recorded events replay to the identical result.
+	rep, err := fleet.ReplayService(context.Background(), fleet.ServiceConfig{
+		Fleet: fleet.Config{Stations: 12, Setup: 5, Checkpoint: 15, Seed: 11},
+	}, res.Events)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("replay matches: %v\n", reflect.DeepEqual(rep, res))
+	// Output:
+	// ana: 300/300 tasks in rounds 0..5
+	// bo: 200/200 tasks in rounds 0..1
+	// 6 rounds, 1 joins, 3 departures
+	// replay matches: true
 }

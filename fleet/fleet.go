@@ -64,6 +64,20 @@
 // a trace.NewRecorder and any successful run publishes the cyclesteal/trace
 // history that reproduces it; Replay plays such a trace back through any
 // policy, bit-identically at any Workers setting. See ExampleReplay.
+//
+// # Resident service
+//
+// Service is the long-lived face of the same engines: NewService stands up
+// a resident fleet that accepts a stream of jobs from multiple tenants
+// (Submit), multiplexes them fairly, and keeps working while stations join
+// and leave mid-flight (ChurnConfig, JoinStation, LeaveStation — a leaving
+// station's queued tasks drain back to the pool). Config.Checkpoint
+// softens the draconian contract with periodic intra-period saves, and
+// CheckpointAdaptive picks the interval per contract by Young's rule.
+// Every submission, join, leave and policy change lands in
+// ServiceResult.Events, and ReplayService replays the log bit-identically
+// at any Workers setting; a zero-churn, zero-checkpoint service run is
+// pinned bit-identical to batch RunDeterministic. See ExampleService.
 package fleet
 
 import (
@@ -183,6 +197,25 @@ type Config struct {
 	// DisableEpisodeMemo turns off the per-station episode cache. Results
 	// are bit-identical either way; the switch exists for benchmarking.
 	DisableEpisodeMemo bool
+	// Checkpoint, when > 0, softens the draconian contract with intra-period
+	// checkpointing: stations save their state every Checkpoint time units
+	// inside a period (each save costs one setup), so an owner's kill loses
+	// only the work since the last completed save instead of the whole
+	// period. 0 — the zero value — is the paper's pure draconian contract,
+	// bit-identical to a Config without the field.
+	Checkpoint float64
+	// CheckpointAdaptive, when set, ignores Checkpoint and picks the save
+	// interval per opportunity by Young's rule from the P2P
+	// volunteer-computing analysis (arXiv:0711.3949): √(2·c·U/(p+1)) ticks,
+	// the optimum balancing save overhead against expected loss per kill. A
+	// pure function of each contract, so every determinism contract holds.
+	CheckpointAdaptive bool
+	// StationSummaries, when set, makes Replicate also summarize each
+	// station's offered lifespan across trials in
+	// Replication.StationLifespan — the per-station availability
+	// distribution operators capacity-plan against. Shared and Sharded pools
+	// only (a Private-pool survey leaves it empty).
+	StationSummaries bool
 	// Progress, when non-nil, observes runs in flight: Run emits a snapshot
 	// every ProgressInterval of wall clock, RunDeterministic at every round
 	// barrier (a deterministic sequence — except with a Private pool or an
@@ -315,6 +348,9 @@ func New(cfg Config) (*Fleet, error) {
 	if cfg.TicksPerSetup < 0 {
 		return nil, fmt.Errorf("fleet: ticks per setup must be ≥ 0, got %d", cfg.TicksPerSetup)
 	}
+	if math.IsNaN(cfg.Checkpoint) || math.IsInf(cfg.Checkpoint, 0) || cfg.Checkpoint < 0 {
+		return nil, fmt.Errorf("fleet: checkpoint interval must be ≥ 0 and finite, got %g", cfg.Checkpoint)
+	}
 	switch cfg.Pool {
 	case Sharded, Shared, Private:
 	default:
@@ -358,14 +394,25 @@ func New(cfg Config) (*Fleet, error) {
 func (f *Fleet) buildStations() ([]station.Workstation, error) {
 	stations := make([]station.Workstation, f.cfg.Stations)
 	for i := range stations {
-		owner := f.owners[i%len(f.owners)]
-		om, err := owner.model(binding{g: f.g, defaultP: f.cfg.Interrupts, station: i, factory: f.factory})
+		ws, err := f.buildStation(i)
 		if err != nil {
-			return nil, fmt.Errorf("fleet: station %d: %w", i, err)
+			return nil, err
 		}
-		stations[i] = station.Workstation{ID: i, Owner: om, Setup: f.g.ticksC}
+		stations[i] = ws
 	}
 	return stations, nil
+}
+
+// buildStation models station i under the owner cycle — the same rule for
+// the initial fleet and for stations a resident Service joins later, so a
+// station's temperament is a pure function of its ID.
+func (f *Fleet) buildStation(i int) (station.Workstation, error) {
+	owner := f.owners[i%len(f.owners)]
+	om, err := owner.model(binding{g: f.g, defaultP: f.cfg.Interrupts, station: i, factory: f.factory})
+	if err != nil {
+		return station.Workstation{}, fmt.Errorf("fleet: station %d: %w", i, err)
+	}
+	return station.Workstation{ID: i, Owner: om, Setup: f.g.ticksC}, nil
 }
 
 // runStations prepares the engine-facing station set for one run — fresh
@@ -405,7 +452,11 @@ func (f *Fleet) farm(stations []station.Workstation) farm.Farm {
 		Workers:                 f.cfg.Workers,
 		Shards:                  f.shards(),
 		DisableEpisodeMemo:      f.cfg.DisableEpisodeMemo,
+		CheckpointAdaptive:      f.cfg.CheckpointAdaptive,
 		ProgressInterval:        f.cfg.ProgressInterval,
+	}
+	if f.cfg.Checkpoint > 0 {
+		fm.Checkpoint = f.g.ticks(f.cfg.Checkpoint)
 	}
 	if f.cfg.Clusters > 1 {
 		fm.Topology = farm.Topology{Clusters: f.cfg.Clusters, CrossLatency: f.stealLatencyTicks()}

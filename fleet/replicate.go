@@ -77,6 +77,11 @@ type Replication struct {
 	// InFlight counts tasks still crossing between clusters at trial end
 	// (Clusters ≥ 2 with StealLatency > 0 only).
 	InFlight Summary
+	// StationLifespan, filled when Config.StationSummaries is set on a
+	// Shared or Sharded pool, summarizes each station's offered lifespan
+	// across trials (caller units, indexed like the fleet's stations) — the
+	// across-trials availability distribution per owner.
+	StationLifespan []Summary
 }
 
 // Replicate replays the fleet trials times on the Monte-Carlo replication
@@ -146,11 +151,18 @@ func (f *Fleet) Replicate(ctx context.Context, job Job, trials int) (Replication
 		}, nil
 	}
 
-	sums, err := f.farm(f.stations).Replicate(ctx, fj, f.factory, cfg)
+	fm := f.farm(f.stations)
+	var sums, stationSums []stats.Summary
+	var err error
+	if f.cfg.StationSummaries {
+		sums, stationSums, err = fm.ReplicateStations(ctx, fj, f.factory, cfg)
+	} else {
+		sums, err = fm.Replicate(ctx, fj, f.factory, cfg)
+	}
 	if err != nil {
 		return Replication{}, err
 	}
-	return Replication{
+	rep := Replication{
 		Trials:         trials,
 		TasksCompleted: summary(sums[farm.MetricTasksCompleted], 1),
 		Completion:     summary(sums[farm.MetricCompletionFrac], 1),
@@ -160,5 +172,12 @@ func (f *Fleet) Replicate(ctx context.Context, job Job, trials int) (Replication
 		Imbalance:      summary(sums[farm.MetricImbalance], 1),
 		Steals:         summary(sums[farm.MetricSteals], 1),
 		InFlight:       summary(sums[farm.MetricTasksInFlight], 1),
-	}, nil
+	}
+	if len(stationSums) > 0 {
+		rep.StationLifespan = make([]Summary, len(stationSums))
+		for i, s := range stationSums {
+			rep.StationLifespan[i] = summary(s, k)
+		}
+	}
+	return rep, nil
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"cyclesteal/internal/farm"
+	"cyclesteal/internal/quant"
 	"cyclesteal/internal/task"
 )
 
@@ -101,7 +102,7 @@ func (f *Fleet) Run(ctx context.Context, job Job) (Result, error) {
 		return Result{}, err
 	}
 	recorded()
-	return f.result(res, fj), nil
+	return f.result(res, fj.TotalWork()), nil
 }
 
 // RunDeterministic farms the job with fully reproducible semantics: the
@@ -123,7 +124,7 @@ func (f *Fleet) RunDeterministic(ctx context.Context, job Job) (Result, error) {
 		return Result{}, err
 	}
 	recorded()
-	return f.result(res, fj), nil
+	return f.result(res, fj.TotalWork()), nil
 }
 
 // privateBags deals the job round-robin into one private bag per station.
@@ -140,13 +141,15 @@ func (f *Fleet) privateBags(fj farm.Job) []*task.Bag {
 }
 
 // result converts the engine's tick-grid accounting to caller units.
-func (f *Fleet) result(res farm.Result, fj farm.Job) Result {
+// totalWork is the job's total quantized task time — for a batch run the
+// Job's, for a resident service everything ever submitted.
+func (f *Fleet) result(res farm.Result, totalWork quant.Tick) Result {
 	out := Result{
 		Stations:       make([]StationReport, len(res.Stations)),
 		TasksCompleted: res.TasksCompleted,
 		TasksLeft:      res.TasksLeft,
 		TaskWork:       f.g.units(res.TaskWork),
-		JobWork:        f.g.units(fj.TotalWork()),
+		JobWork:        f.g.units(totalWork),
 		Work:           f.g.units(res.FluidWork),
 		Interrupts:     res.Interrupts,
 		Steals:         res.Steals,

@@ -125,6 +125,9 @@ func All() []Experiment {
 		{"topology", "E14: two-tier topology — completion vs cross-cluster steal latency (arXiv:1805.00857 extension)", func(c Config) (*tab.Table, error) {
 			return TopologyStudy(c, c.fleetsOr([]int{100, 1000, 5000}), []quant.Tick{0, 2, 8, 32}, 20, 12, c.trialsOr(3))
 		}},
+		{"resident", "E15: resident service — completion vs checkpoint interval × station churn (extension)", func(c Config) (*tab.Table, error) {
+			return ResidentService(c, 24, 10, 170, []float64{2, 10, 20}, []float64{0, 0.02, 0.08}, c.trialsOr(3))
+		}},
 	}
 }
 

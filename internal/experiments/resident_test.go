@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+)
+
+// E15's qualitative claims: a well-chosen checkpoint interval beats the
+// draconian baseline at every churn rate, and churn costs completion
+// monotonically along every row.
+func TestResidentServiceShape(t *testing.T) {
+	intervals := []float64{2, 10}
+	churns := []float64{0, 0.08}
+	tb, err := ResidentService(smallCfg(), 8, 8, 80, intervals, churns, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 2+len(intervals) {
+		t.Fatalf("rows = %d, want %d", len(tb.Rows), 2+len(intervals))
+	}
+	for _, row := range tb.Rows {
+		if len(row) != 1+len(churns) {
+			t.Fatalf("row %v has %d cells, want %d", row, len(row), 1+len(churns))
+		}
+	}
+	cell := func(r, c int) float64 {
+		v, err := strconv.ParseFloat(tb.Rows[r][c], 64)
+		if err != nil {
+			t.Fatalf("bad cell %q in row %v", tb.Rows[r][c], tb.Rows[r])
+		}
+		return v
+	}
+	for r := range tb.Rows {
+		for c := 1; c <= len(churns); c++ {
+			if v := cell(r, c); v <= 0 || v > 100 {
+				t.Errorf("row %s churn col %d: completion %.3f%% outside (0, 100]", tb.Rows[r][0], c, v)
+			}
+		}
+		// Churn rates increase along the row; completion must not rise.
+		if cell(r, 2) > cell(r, 1) {
+			t.Errorf("row %s: completion rose under churn: %.3f%% -> %.3f%%", tb.Rows[r][0], cell(r, 1), cell(r, 2))
+		}
+	}
+	// The sweet-spot interval (row 2, "every 10") beats draconian (row 0)
+	// in every churn column — the headline claim of the study.
+	for c := 1; c <= len(churns); c++ {
+		if cell(2, c) <= cell(0, c) {
+			t.Errorf("churn col %d: checkpointing at the sweet spot (%.3f%%) does not beat draconian (%.3f%%)", c, cell(2, c), cell(0, c))
+		}
+	}
+}
+
+// The table is bit-identical across worker counts: every cell runs the
+// deterministic service engine, and seeds depend only on (row, trial).
+func TestResidentServiceDeterministic(t *testing.T) {
+	run := func(workers int) string {
+		cfg := smallCfg()
+		cfg.Workers = workers
+		tb, err := ResidentService(cfg, 8, 6, 40, []float64{10}, []float64{0, 0.08}, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tb.Render()
+	}
+	if a, b := run(1), run(8); a != b {
+		t.Errorf("E15 table depends on worker count:\n--- serial ---\n%s\n--- workers=8 ---\n%s", a, b)
+	}
+}
+
+func TestResidentServiceValidation(t *testing.T) {
+	if _, err := ResidentService(smallCfg(), 8, 8, 80, []float64{2}, []float64{0}, 0); err == nil {
+		t.Error("trials=0 accepted")
+	}
+	if _, err := ResidentService(smallCfg(), 1, 8, 80, []float64{2}, []float64{0}, 1); err == nil {
+		t.Error("stations=1 accepted")
+	}
+	if _, err := ResidentService(smallCfg(), 8, 8, 80, []float64{0}, []float64{0}, 1); err == nil {
+		t.Error("zero checkpoint interval accepted (off row is built in)")
+	}
+	if _, err := ResidentService(smallCfg(), 8, 8, 80, []float64{2}, nil, 1); err == nil {
+		t.Error("empty churn list accepted")
+	}
+	if _, err := ResidentService(smallCfg(), 8, 8, 80, []float64{2}, []float64{1}, 1); err == nil {
+		t.Error("churn rate 1 accepted")
+	}
+}

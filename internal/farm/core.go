@@ -1,0 +1,456 @@
+package farm
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"cyclesteal/internal/quant"
+	"cyclesteal/internal/sched"
+	"cyclesteal/internal/sim"
+	"cyclesteal/internal/station"
+	"cyclesteal/internal/task"
+)
+
+// runner is the persistent per-station state the round engines drive: the
+// workstation model, its deterministic contract stream, the reusable
+// simulator scratch, and the accumulating report. A runner outlives any one
+// call — the resident service plays the same runners round after round as
+// jobs come and go — and exactly one goroutine touches a runner at a time
+// (round barriers order the handoffs between workers).
+type runner struct {
+	ws   station.Workstation
+	rng  *rand.Rand
+	scr  stationScratch
+	rep  StationReport
+	err  error // sticky: an erred runner never plays again
+	left bool  // departed mid-run (service churn); its report remains
+}
+
+// newRunner builds one station's persistent state according to the farm's
+// memo setting.
+func (f Farm) newRunner(ws station.Workstation, seed int64) runner {
+	r := runner{ws: ws, rng: station.RNG(seed, ws.ID), rep: StationReport{Station: ws.ID}}
+	if !f.DisableEpisodeMemo {
+		r.scr.memo = sched.NewMemo(0)
+	}
+	return r
+}
+
+// Core is the event-driven heart of the round-synchronized engines: a
+// standing set of station runners partitioned into group queues, advanced
+// one round at a time, with joins, leaves and task arrivals applied only at
+// round barriers. RunDeterministic is a thin batch driver over it (join the
+// fleet, add the job, play bounded rounds); the fleet package's resident
+// service is the long-lived driver (jobs stream in, stations churn, rounds
+// play for as long as there is work).
+//
+// Every mutation is ordered by (round, group, station slot): within a round
+// each group queue is touched by exactly one sequential station chain, and
+// queues rebalance by stealing only at the barrier, in deterministic cyclic
+// order — so the whole evolution is a pure function of the construction
+// parameters and the barrier-stamped event sequence, bit-identical at any
+// worker count.
+//
+// Stations occupy slots in join order, forever: slot s belongs to group
+// s mod groups, a leave marks the slot dormant without renumbering anyone,
+// and a later join opens a fresh slot (fresh station ID, fresh rng stream) —
+// reusing a slot would replay a departed station's contract stream from the
+// start. With the initial fleet joined as slots 0..n−1 this reproduces the
+// batch engine's "station i in group i mod groups" partition exactly.
+type Core struct {
+	opts    Farm // engine knobs: checkpoint policy, memo switch, topology
+	factory station.SchedulerFactory
+	seed    int64
+
+	groups, clusters, perCluster int
+	scaledLatency                int64
+
+	runners []runner
+	liveIn  []int // live runners per group
+	live    int
+
+	queues  []*task.Bag
+	sources []sim.TaskSource // what runners play against: queues, or trackers
+	track   []*trackSource   // non-nil when completion tracking is on
+
+	flight      task.Flight
+	playedTicks quant.Tick
+	pending     []int64 // per-group outstanding cross-cluster request maturity
+	steals      int
+	total       int // tasks ever added
+
+	arrived []int   // reusable rebalance snapshot
+	errbuf  []error // reusable error-join scratch
+}
+
+// NewCore builds the event-driven engine state for this farm's knobs.
+// groups is the resolved queue/group count (the caller validates the
+// Topology against it) and capacity a fleet-size hint; track turns on
+// per-task completion tracking (TakeCompleted), which the resident service
+// needs to attribute finished tasks to jobs and the batch drivers skip.
+func (f Farm) NewCore(factory station.SchedulerFactory, seed int64, groups, capacity int, track bool) *Core {
+	c := &Core{
+		opts:    f,
+		factory: factory,
+		seed:    seed,
+		groups:  groups,
+		runners: make([]runner, 0, capacity),
+		liveIn:  make([]int, groups),
+		queues:  make([]*task.Bag, groups),
+		sources: make([]sim.TaskSource, groups),
+		arrived: make([]int, groups),
+	}
+	c.clusters = f.Topology.clusterCount()
+	c.perCluster = groups / c.clusters
+	if f.Topology.active() {
+		c.scaledLatency = f.scaledLatency()
+	}
+	if c.scaledLatency > 0 {
+		c.pending = make([]int64, groups)
+	}
+	if track {
+		c.track = make([]*trackSource, groups)
+	}
+	for g := range c.queues {
+		c.queues[g] = task.NewBag(nil)
+		if track {
+			c.track[g] = &trackSource{bag: c.queues[g]}
+			c.sources[g] = c.track[g]
+		} else {
+			c.sources[g] = c.queues[g]
+		}
+	}
+	return c
+}
+
+// Join adds a station to the fleet at a round barrier and returns its slot.
+// The station plays from the next round on, drawing contracts from the rng
+// stream derived from (seed, station ID).
+func (c *Core) Join(ws station.Workstation) int {
+	slot := len(c.runners)
+	c.runners = append(c.runners, c.opts.newRunner(ws, c.seed))
+	c.liveIn[slot%c.groups]++
+	c.live++
+	return slot
+}
+
+// Leave removes the station in the given slot at a round barrier. Its
+// report (and any error) remains in the run's accounting. When the slot was
+// its group's last live station, the group's queued tasks drain back to the
+// groups that still have stations — the churn contract: a departure behaves
+// exactly like a kill, minus the loss (nothing was mid-period at a barrier,
+// so there is nothing to destroy). Leave reports whether the slot was live.
+func (c *Core) Leave(slot int) bool {
+	if slot < 0 || slot >= len(c.runners) || c.runners[slot].left {
+		return false
+	}
+	c.runners[slot].left = true
+	g := slot % c.groups
+	c.liveIn[g]--
+	c.live--
+	if c.liveIn[g] == 0 {
+		c.drainGroup(g)
+	}
+	return true
+}
+
+// drainGroup redistributes an orphaned group's queue across the groups that
+// still have live stations, round-robin in group order (an empty fleet keeps
+// the tasks queued for the next join instead).
+func (c *Core) drainGroup(g int) {
+	n := c.queues[g].Remaining()
+	if n == 0 || c.live == 0 {
+		return
+	}
+	tasks := c.queues[g].Steal(n) // the whole queue, in bag order
+	targets := make([]int, 0, c.groups)
+	for t := 0; t < c.groups; t++ {
+		if c.liveIn[t] > 0 {
+			targets = append(targets, t)
+		}
+	}
+	for i, hand := range task.Deal(tasks, len(targets)) {
+		if len(hand) == 0 {
+			continue
+		}
+		c.queues[targets[i]].Append(hand)
+		c.steals++
+	}
+}
+
+// AddTasks deals newly arrived tasks round-robin across the group queues —
+// the same deterministic partition the batch engines start from. Groups
+// whose stations have all departed are skipped (their queues only drain);
+// with the whole fleet departed the deal covers every group, parking the
+// work for the next join.
+func (c *Core) AddTasks(tasks []task.Task) {
+	if len(tasks) == 0 {
+		return
+	}
+	c.total += len(tasks)
+	if c.live == 0 || c.live == len(c.runners) {
+		// Fast path (and the batch engines' only path): no group is dead.
+		for g, hand := range task.Deal(tasks, c.groups) {
+			c.queues[g].Append(hand)
+		}
+		return
+	}
+	targets := make([]int, 0, c.groups)
+	for g := 0; g < c.groups; g++ {
+		if c.liveIn[g] > 0 {
+			targets = append(targets, g)
+		}
+	}
+	if len(targets) == 0 {
+		targets = targets[:0]
+		for g := 0; g < c.groups; g++ {
+			targets = append(targets, g)
+		}
+	}
+	for i, hand := range task.Deal(tasks, len(targets)) {
+		c.queues[targets[i]].Append(hand)
+	}
+}
+
+// SetCheckpoint changes the checkpoint policy for every subsequent
+// opportunity — applied at a round barrier, so the change lands at a
+// deterministic point in the run.
+func (c *Core) SetCheckpoint(interval quant.Tick, adaptive bool) {
+	c.opts.Checkpoint = interval
+	c.opts.CheckpointAdaptive = adaptive
+}
+
+// Pending reports the tasks not yet completed: queued everywhere plus in
+// flight between clusters. At a barrier (nothing mid-opportunity) this is
+// exactly the not-yet-completed count.
+func (c *Core) Pending() int {
+	left := c.flight.InFlight()
+	for _, q := range c.queues {
+		left += q.Remaining()
+	}
+	return left
+}
+
+// Live reports the stations currently in the fleet.
+func (c *Core) Live() int { return c.live }
+
+// Total reports the tasks ever added.
+func (c *Core) Total() int { return c.total }
+
+// Steals reports cross-queue task movements so far.
+func (c *Core) Steals() int { return c.steals }
+
+// InFlight reports the tasks currently crossing between clusters.
+func (c *Core) InFlight() int { return c.flight.InFlight() }
+
+// Snapshot reports the Core's progress counters — exact at a barrier.
+func (c *Core) Snapshot() Progress {
+	left := c.Pending()
+	return Progress{Completed: c.total - left, Remaining: left, Steals: c.steals}
+}
+
+// Reports returns every station's accumulated report in slot (join) order,
+// departed stations included — they did real work before leaving.
+func (c *Core) Reports() []StationReport {
+	out := make([]StationReport, len(c.runners))
+	for i, r := range c.runners {
+		out[i] = r.rep
+	}
+	return out
+}
+
+// Result assembles the run so far into the batch Result shape — call at a
+// barrier, where the pending count is exact.
+func (c *Core) Result() Result {
+	return c.opts.assemble(c.Reports(), c.Pending(), c.steals, c.flight.InFlight())
+}
+
+// PlayRound plays one opportunity per live station and runs the round
+// barrier. Groups run concurrently on the worker pool, but each group plays
+// its stations sequentially in slot order against its own queue, so no queue
+// is ever touched by two goroutines; at the barrier the steal clock
+// advances, matured cross-cluster parcels land, and groups that arrived dry
+// rebalance in deterministic cyclic order. workers ≤ 0 means GOMAXPROCS —
+// like everywhere else in the determinism contract it changes wall-clock
+// time only. On cancellation or a station error the barrier does not run
+// (queues keep their played state) and the error is returned; runner errors
+// join in slot order.
+func (c *Core) PlayRound(ctx context.Context, workers int) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > c.groups {
+		workers = c.groups
+	}
+	n := len(c.runners)
+	gjobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for g := range gjobs {
+				for slot := g; slot < n; slot += c.groups {
+					if ctx.Err() != nil {
+						break // cancelled; the post-round check reports it
+					}
+					r := &c.runners[slot]
+					if r.left || r.err != nil {
+						continue
+					}
+					r.err = c.opts.playOpportunity(&r.rep, r.ws, r.rng, c.factory, c.sources[g], &r.scr)
+				}
+			}
+		}()
+	}
+	for g := 0; g < c.groups; g++ {
+		gjobs <- g
+	}
+	close(gjobs)
+	wg.Wait()
+	// Cancellation trumps station errors: which stations got far enough to
+	// fail some other way depends on scheduling; the cancellation does not.
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	c.errbuf = c.errbuf[:0]
+	for _, r := range c.runners {
+		c.errbuf = append(c.errbuf, r.err)
+	}
+	if err := errors.Join(c.errbuf...); err != nil {
+		return err
+	}
+	c.barrier()
+	return nil
+}
+
+// barrier runs the deterministic end-of-round phase: advance the steal
+// clock by the lifespan the fleet just played and land matured parcels (so
+// arrivals are stealable this barrier), then rebalance — groups that
+// arrived empty steal half the first non-empty victim's queue (rounded up,
+// so a last lone task can still migrate off an idle group) in deterministic
+// cyclic order, first within their own cluster, and only when the cluster
+// arrived collectively dry across clusters, where a priced steal departs
+// into the flight ledger instead of landing. Both the thief set and the
+// victim set are fixed by a pre-pass snapshot: without it, an empty group
+// later in the pass would re-steal the tasks an earlier thief just received
+// — ping-ponging a dying job's last tasks between idle groups instead of
+// landing them on a station that works.
+func (c *Core) barrier() {
+	if c.scaledLatency > 0 {
+		var total quant.Tick
+		for _, r := range c.runners {
+			total += r.rep.LifespanTicks
+		}
+		c.flight.Advance(int64(total - c.playedTicks))
+		c.playedTicks = total
+		c.flight.Arrive(func(dest int, tasks []task.Task) {
+			c.queues[dest].Append(tasks)
+		})
+	}
+
+	arrived := c.arrived
+	for g, q := range c.queues {
+		arrived[g] = q.Remaining()
+	}
+	for g := 0; g < c.groups; g++ {
+		// Only a group that arrived dry AND still has a live station steals:
+		// a stationless group taking tasks would strand them unplayed.
+		if arrived[g] > 0 || c.liveIn[g] == 0 {
+			continue
+		}
+		stole := false
+		base := g / c.perCluster * c.perCluster
+		for d := 1; d < c.perCluster; d++ {
+			v := base + (g-base+d)%c.perCluster
+			if arrived[v] == 0 {
+				continue
+			}
+			if half := (c.queues[v].Remaining() + 1) / 2; half > 0 {
+				c.queues[g].Append(c.queues[v].Steal(half))
+				c.steals++
+				stole = true
+				break
+			}
+		}
+		if stole || c.clusters == 1 {
+			continue
+		}
+		if c.scaledLatency > 0 && c.pending[g] > c.flight.Clock() {
+			continue // one outstanding cross-cluster request per group
+		}
+		cg := g / c.perCluster
+		for dc := 1; dc < c.clusters && !stole; dc++ {
+			cl := cg + dc
+			if cl >= c.clusters {
+				cl -= c.clusters
+			}
+			for v := cl * c.perCluster; v < (cl+1)*c.perCluster; v++ {
+				if arrived[v] == 0 {
+					continue
+				}
+				half := (c.queues[v].Remaining() + 1) / 2
+				if half == 0 {
+					continue
+				}
+				stolen := c.queues[v].Steal(half)
+				c.steals++
+				if c.scaledLatency > 0 {
+					c.flight.Depart(stolen, g, c.scaledLatency)
+					c.pending[g] = c.flight.Clock() + c.scaledLatency
+				} else {
+					c.queues[g].Append(stolen)
+				}
+				stole = true
+				break
+			}
+		}
+	}
+}
+
+// TakeCompleted appends every task completed since the last call to dst, in
+// deterministic (group, completion) order, and resets the tracking buffers.
+// Only a tracking Core (NewCore with track=true) records completions; call
+// at a barrier, where the buffers are quiescent and exact.
+func (c *Core) TakeCompleted(dst []task.Task) []task.Task {
+	for _, t := range c.track {
+		dst = append(dst, t.done...)
+		t.done = t.done[:0]
+	}
+	return dst
+}
+
+// trackSource wraps a group queue to record which tasks completed. Takes
+// are tentatively appended to the done buffer; a Return — always the most
+// recently taken suffix, by the simulator's single-shot shipping discipline
+// (a kill returns the slice its period holds; a checkpointed kill returns
+// the unsaved suffix of it) — truncates exactly that many entries back off.
+// Whatever survives an opportunity has, by then, actually completed.
+type trackSource struct {
+	bag  *task.Bag
+	done []task.Task
+}
+
+// Take implements sim.TaskSource.
+func (t *trackSource) Take(capacity quant.Tick) []task.Task {
+	got := t.bag.Take(capacity)
+	t.done = append(t.done, got...)
+	return got
+}
+
+// TakeInto implements sim.TaskSource.
+func (t *trackSource) TakeInto(dst []task.Task, capacity quant.Tick) []task.Task {
+	base := len(dst)
+	dst = t.bag.TakeInto(dst, capacity)
+	t.done = append(t.done, dst[base:]...)
+	return dst
+}
+
+// Return implements sim.TaskSource.
+func (t *trackSource) Return(tasks []task.Task) {
+	t.bag.Return(tasks)
+	t.done = t.done[:len(t.done)-len(tasks)]
+}

@@ -59,6 +59,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"runtime"
 	"sort"
@@ -245,15 +246,29 @@ type Farm struct {
 	// bit-identical either way — the switch exists for benchmarking and for
 	// the tests that pin that equivalence.
 	DisableEpisodeMemo bool
+	// Checkpoint, when ≥ 1, softens the draconian contract with intra-period
+	// checkpointing at the given tick interval: a kill loses only the work
+	// since the last completed save instead of the whole period (see
+	// sim.Config.Checkpoint for the exact accounting). 0 — the zero value —
+	// is the paper's pure draconian contract, bit-identical to a Farm without
+	// the field.
+	Checkpoint quant.Tick
+	// CheckpointAdaptive, when set, overrides Checkpoint per opportunity with
+	// Young's rule from the P2P volunteer-computing analysis
+	// (arXiv:0711.3949): interval k = round(√(2·c·U/(p+1))), the optimum that
+	// balances save overhead against expected loss per kill. A pure function
+	// of the contract, so the determinism contracts are untouched.
+	CheckpointAdaptive bool
 	// Progress, when non-nil, observes a run as it happens: Run emits a
 	// snapshot every ProgressInterval of wall-clock time (driven from the
 	// unfinished ledger, so Completed counts settled completions only) and
 	// RunDeterministic emits one at every round barrier (where the counts
 	// are exact and the callback sequence is itself deterministic). Both
-	// engines emit a final snapshot after the last station finishes. The
-	// callback must not block for long — Run invokes it from the observer
-	// goroutine, RunDeterministic from the round loop — and observing never
-	// affects results.
+	// engines emit a final snapshot after the last station finishes —
+	// including when the run is cancelled or fails, so a shutdown still
+	// observes how far the job got. The callback must not block for long —
+	// Run invokes it from the observer goroutine, RunDeterministic from the
+	// round loop — and observing never affects results.
 	Progress func(Progress)
 	// ProgressInterval is the wall-clock spacing of Run's progress
 	// snapshots; ≤ 0 means DefaultProgressInterval. RunDeterministic
@@ -521,40 +536,28 @@ type stationScratch struct {
 	memo *sched.Memo // nil when DisableEpisodeMemo
 }
 
-// newScratch builds one station's scratch according to the farm's memo
-// setting.
-func (f Farm) newScratch() *stationScratch {
-	s := &stationScratch{}
-	if !f.DisableEpisodeMemo {
-		s.memo = sched.NewMemo(0)
-	}
-	return s
-}
-
 func (f Farm) runStation(ctx context.Context, ws station.Workstation, n int, factory station.SchedulerFactory, seed int64, src *settleSource, unfinished *atomic.Int64, advance func(quant.Tick)) (StationReport, error) {
-	rep := StationReport{Station: ws.ID}
-	rng := station.RNG(seed, ws.ID)
-	scr := f.newScratch()
+	r := f.newRunner(ws, seed)
 	for i := 0; i < n; i++ {
 		if err := ctx.Err(); err != nil {
-			return rep, err // cancelled between opportunities
+			return r.rep, err // cancelled between opportunities
 		}
 		if unfinished != nil && unfinished.Load() == 0 {
 			break // every task completed; no point borrowing more time
 		}
-		before := rep.LifespanTicks
-		err := f.playOpportunity(&rep, ws, rng, factory, src, scr)
+		before := r.rep.LifespanTicks
+		err := f.playOpportunity(&r.rep, ws, r.rng, factory, src, &r.scr)
 		src.settle()
 		if advance != nil {
 			// The opportunity is settled: its lifespan is played fleet time,
 			// so the steal clock moves and matured parcels may land.
-			advance(rep.LifespanTicks - before)
+			advance(r.rep.LifespanTicks - before)
 		}
 		if err != nil {
-			return rep, err
+			return r.rep, err
 		}
 	}
-	return rep, nil
+	return r.rep, nil
 }
 
 // playOpportunity samples one owner contract and simulates it against the
@@ -576,7 +579,11 @@ func (f Farm) playOpportunity(rep *StationReport, ws station.Workstation, rng *r
 		s = scr.memo.Bind(s)
 	}
 	adv := ws.Owner.Interrupter(rng, contract)
-	r, err := sim.Run(s, adv, sim.Opportunity{U: contract.U, P: contract.P, C: ws.Setup}, sim.Config{Bag: src, Buffers: &scr.bufs})
+	ck := f.Checkpoint
+	if f.CheckpointAdaptive {
+		ck = adaptiveCheckpoint(ws.Setup, contract)
+	}
+	r, err := sim.Run(s, adv, sim.Opportunity{U: contract.U, P: contract.P, C: ws.Setup}, sim.Config{Bag: src, Buffers: &scr.bufs, Checkpoint: ck})
 	if err != nil {
 		return fmt.Errorf("farm: station %d: %w", ws.ID, err)
 	}
@@ -589,6 +596,19 @@ func (f Farm) playOpportunity(rep *StationReport, ws station.Workstation, rng *r
 	rep.IdleTicks += r.IdleTicks
 	rep.KilledTicks += r.KilledTicks
 	return nil
+}
+
+// adaptiveCheckpoint is Young's rule specialized to the contract: with save
+// cost c (a checkpoint writes the same state a setup restores), lifespan U
+// and kill risk rising in p, the loss-minimizing interval is
+// √(2·c·(mean time between failures)) ≈ √(2·c·U/(p+1)). Clamped to ≥ 1 so
+// an adaptive run always checkpoints — the caller asked for bounded loss.
+func adaptiveCheckpoint(c quant.Tick, contract station.Contract) quant.Tick {
+	k := quant.Tick(math.Round(math.Sqrt(2 * float64(c) * float64(contract.U) / float64(contract.P+1))))
+	if k < 1 {
+		k = 1
+	}
+	return k
 }
 
 // RunDeterministic farms the job with fully reproducible semantics at any
@@ -634,198 +654,49 @@ func (f Farm) RunDeterministic(ctx context.Context, job Job, factory station.Sch
 	if err := f.Topology.Validate(groups); err != nil {
 		return Result{}, err
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > groups {
-		workers = groups
-	}
 
-	// Topology: queues are grouped into contiguous clusters; cross-cluster
-	// steals with a latency depart into the flight ledger and land only when
-	// the steal clock (Σ lifespans played, advanced at each barrier) reaches
-	// their maturity. All of it happens between barriers in deterministic
-	// order, so the bit-identical-at-any-worker-count contract is untouched.
-	clusters := f.Topology.clusterCount()
-	perCluster := groups / clusters
-	scaledLatency := int64(0)
-	if f.Topology.active() {
-		scaledLatency = f.scaledLatency()
+	// The batch drivers are thin shells over the event-driven Core: join the
+	// whole fleet up front, deal the job in, play bounded rounds. No churn,
+	// no completion tracking — the Core's fast paths reduce exactly to the
+	// original round engine.
+	core := f.NewCore(factory, seed, groups, n, false)
+	for _, ws := range f.Stations {
+		core.Join(ws)
 	}
-	var flight task.Flight
-	var playedTicks quant.Tick
-	pending := make([]int64, 0)
-	if scaledLatency > 0 {
-		// pending[g] is the maturity of group g's outstanding cross-cluster
-		// request: at most one parcel per group is in flight, so a dry group
-		// waits for its delivery instead of draining a remote cluster.
-		pending = make([]int64, groups)
-	}
+	core.AddTasks(job.Tasks)
 
-	queues := make([]*task.Bag, groups)
-	for g, hand := range task.Deal(job.Tasks, groups) {
-		queues[g] = task.NewBag(hand)
-	}
-	reports := make([]StationReport, n)
-	rngs := make([]*rand.Rand, n)
-	scratches := make([]*stationScratch, n)
-	for i, ws := range f.Stations {
-		reports[i] = StationReport{Station: ws.ID}
-		rngs[i] = station.RNG(seed, ws.ID)
-		scratches[i] = f.newScratch()
-	}
-	errs := make([]error, n)
-	steals := 0
 	emitted := false // a round barrier has reported progress
-
 	for round := 0; round < rounds; round++ {
-		remaining := flight.InFlight() // in flight ⇒ not completed: keep playing
-		for _, q := range queues {
-			remaining += q.Remaining()
+		if core.Pending() == 0 {
+			break // every task completed; no point borrowing more time
 		}
-		if remaining == 0 {
-			break
-		}
-
-		gjobs := make(chan int)
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for g := range gjobs {
-					for i := g; i < n; i += groups {
-						if ctx.Err() != nil {
-							break // cancelled; the barrier below reports it
-						}
-						if errs[i] != nil {
-							continue
-						}
-						errs[i] = f.playOpportunity(&reports[i], f.Stations[i], rngs[i], factory, queues[g], scratches[i])
-					}
-				}
-			}()
-		}
-		for g := 0; g < groups; g++ {
-			gjobs <- g
-		}
-		close(gjobs)
-		wg.Wait()
-		if err := ctx.Err(); err != nil {
+		if err := core.PlayRound(ctx, workers); err != nil {
+			if f.Progress != nil {
+				// The final-snapshot promise holds on failure too: stations
+				// stop at opportunity boundaries (killed takes already
+				// returned), so the counts are exact and a shutting-down
+				// caller still observes how far the job got.
+				f.Progress(core.Snapshot())
+			}
 			return Result{}, err
 		}
-		if err := errors.Join(errs...); err != nil {
-			return Result{}, err
-		}
-
-		// Advance the steal clock by the lifespan the fleet just played and
-		// land matured parcels before the rebalance snapshot, so arrivals are
-		// stealable this barrier. The per-round report sweep only runs when a
-		// latency is actually priced.
-		if scaledLatency > 0 {
-			var total quant.Tick
-			for i := range reports {
-				total += reports[i].LifespanTicks
-			}
-			flight.Advance(int64(total - playedTicks))
-			playedTicks = total
-			flight.Arrive(func(dest int, tasks []task.Task) {
-				queues[dest].Append(tasks)
-			})
-		}
-
-		// Round-barrier rebalance: groups that arrived empty steal half the
-		// first victim's queue (rounded up, so a last lone task can still
-		// migrate off an idle group) in deterministic cyclic order — first
-		// within their own cluster, and only when the cluster arrived
-		// collectively dry across clusters, where a priced steal departs
-		// into the flight ledger instead of landing. Both the thief set and
-		// the victim set are fixed by a pre-pass snapshot: without it, an
-		// empty group later in the pass would re-steal the tasks an earlier
-		// thief just received — ping-ponging a dying job's last tasks
-		// between idle groups instead of landing them on a station that
-		// works.
-		arrived := make([]int, groups)
-		for g, q := range queues {
-			arrived[g] = q.Remaining()
-		}
-		for g := 0; g < groups; g++ {
-			if arrived[g] > 0 {
-				continue
-			}
-			stole := false
-			base := g / perCluster * perCluster
-			for d := 1; d < perCluster; d++ {
-				v := base + (g-base+d)%perCluster
-				if arrived[v] == 0 {
-					continue
-				}
-				if half := (queues[v].Remaining() + 1) / 2; half > 0 {
-					queues[g].Append(queues[v].Steal(half))
-					steals++
-					stole = true
-					break
-				}
-			}
-			if stole || clusters == 1 {
-				continue
-			}
-			if scaledLatency > 0 && pending[g] > flight.Clock() {
-				continue // one outstanding cross-cluster request per group
-			}
-			cg := g / perCluster
-			for dc := 1; dc < clusters && !stole; dc++ {
-				c := cg + dc
-				if c >= clusters {
-					c -= clusters
-				}
-				for v := c * perCluster; v < (c+1)*perCluster; v++ {
-					if arrived[v] == 0 {
-						continue
-					}
-					half := (queues[v].Remaining() + 1) / 2
-					if half == 0 {
-						continue
-					}
-					stolen := queues[v].Steal(half)
-					steals++
-					if scaledLatency > 0 {
-						flight.Depart(stolen, g, scaledLatency)
-						pending[g] = flight.Clock() + scaledLatency
-					} else {
-						queues[g].Append(stolen)
-					}
-					stole = true
-					break
-				}
-			}
-		}
-
 		// Round-barrier progress: nothing is mid-opportunity here, so the
 		// unscheduled count (queued + in flight) is exactly the
 		// not-yet-completed count and the snapshot sequence is a pure
 		// function of the determinism key.
 		if f.Progress != nil {
-			left := flight.InFlight()
-			for _, q := range queues {
-				left += q.Remaining()
-			}
-			f.Progress(Progress{Completed: len(job.Tasks) - left, Remaining: left, Steals: steals})
+			f.Progress(core.Snapshot())
 			emitted = true
 		}
 	}
 
-	left := flight.InFlight()
-	for _, q := range queues {
-		left += q.Remaining()
-	}
 	if f.Progress != nil && !emitted {
 		// Runs that never reach a round barrier (an already-done or empty
 		// job) still promise one final snapshot; every other run's last
 		// barrier already reported this exact state.
-		f.Progress(Progress{Completed: len(job.Tasks) - left, Remaining: left, Steals: steals})
+		f.Progress(core.Snapshot())
 	}
-	return f.assemble(reports, left, steals, flight.InFlight()), nil
+	return f.assemble(core.Reports(), core.Pending(), core.Steals(), core.InFlight()), nil
 }
 
 // Replication metric indexes: the order of the summaries Replicate returns.
@@ -860,21 +731,56 @@ func (f Farm) Replicate(ctx context.Context, job Job, factory station.SchedulerF
 		if err != nil {
 			return nil, err
 		}
-		var killed quant.Tick
-		for _, s := range res.Stations {
-			killed += s.KilledTicks
-		}
 		out := make([]float64, NumMetrics)
-		out[MetricTasksCompleted] = float64(res.TasksCompleted)
-		out[MetricCompletionFrac] = res.CompletionFraction(job)
-		out[MetricFluidWork] = float64(res.FluidWork)
-		out[MetricKilledTicks] = float64(killed)
-		out[MetricInterrupts] = float64(res.Interrupts)
-		out[MetricImbalance] = res.Imbalance()
-		out[MetricSteals] = float64(res.Steals)
-		out[MetricTasksInFlight] = float64(res.InFlight)
+		fillMetrics(out, res, job)
 		return out, nil
 	})
+}
+
+// fillMetrics writes one trial's metric vector into out[:NumMetrics],
+// indexed by the Metric* constants.
+func fillMetrics(out []float64, res Result, job Job) {
+	var killed quant.Tick
+	for _, s := range res.Stations {
+		killed += s.KilledTicks
+	}
+	out[MetricTasksCompleted] = float64(res.TasksCompleted)
+	out[MetricCompletionFrac] = res.CompletionFraction(job)
+	out[MetricFluidWork] = float64(res.FluidWork)
+	out[MetricKilledTicks] = float64(killed)
+	out[MetricInterrupts] = float64(res.Interrupts)
+	out[MetricImbalance] = res.Imbalance()
+	out[MetricSteals] = float64(res.Steals)
+	out[MetricTasksInFlight] = float64(res.InFlight)
+}
+
+// ReplicateStations is Replicate widened with per-station columns: alongside
+// the job-level metric summaries it returns one summary per station of that
+// station's played lifespan per trial (ticks, indexed like f.Stations) — the
+// across-trials distribution of how much time each owner actually donated.
+// Same replication engine, same seed-stream contract, one extra column per
+// station; bit-identical at any worker budget.
+func (f Farm) ReplicateStations(ctx context.Context, job Job, factory station.SchedulerFactory, cfg mc.Config) (metrics, lifespans []stats.Summary, err error) {
+	cfg, inner := mc.SplitConfig(cfg)
+	trial := f
+	trial.Progress = nil // per-trial round barriers are not job progress
+	cols := NumMetrics + len(f.Stations)
+	sums, err := mc.RunVec(ctx, cfg, cols, func(rng *rand.Rand) ([]float64, error) {
+		res, err := trial.RunDeterministic(ctx, job, factory, rng.Int63(), inner)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]float64, cols)
+		fillMetrics(out, res, job)
+		for i, s := range res.Stations {
+			out[NumMetrics+i] = float64(s.LifespanTicks)
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return sums[:NumMetrics], sums[NumMetrics:], nil
 }
 
 // TopContributors returns the station IDs sorted by completed task work,

@@ -303,3 +303,48 @@ func TestProgressObserverFinalSnapshotOnError(t *testing.T) {
 		t.Error("failed run emitted no final snapshot")
 	}
 }
+
+// TestProgressObserverFinalSnapshotOnCancel pins the shutdown contract a
+// resident service relies on: a cancelled study still emits one final
+// snapshot — carrying however many trials completed — and never calls the
+// observer again after Run returns.
+func TestProgressObserverFinalSnapshotOnCancel(t *testing.T) {
+	var mu sync.Mutex
+	var snaps [][2]int
+	returned := false
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cfg := Config{
+		Trials: 10000, Seed: 7, Workers: 4,
+		ProgressInterval: time.Hour, // only the final snapshot can fire
+		Progress: func(done, total int) {
+			mu.Lock()
+			defer mu.Unlock()
+			if returned {
+				t.Error("observer called after Run returned")
+			}
+			snaps = append(snaps, [2]int{done, total})
+		},
+	}
+	var once sync.Once
+	_, err := Run(ctx, cfg, func(rng *rand.Rand) (float64, error) {
+		once.Do(cancel) // cancel from inside the study: some trials are done
+		return rng.Float64(), nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	returned = true
+	if len(snaps) == 0 {
+		t.Fatal("cancelled run emitted no final snapshot")
+	}
+	last := snaps[len(snaps)-1]
+	if last[1] != 10000 {
+		t.Errorf("final snapshot total %d, want 10000", last[1])
+	}
+	if last[0] < 1 || last[0] > 10000 {
+		t.Errorf("final snapshot done %d outside [1, 10000]", last[0])
+	}
+}

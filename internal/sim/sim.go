@@ -86,7 +86,7 @@ type PeriodRecord struct {
 	Start   quant.Tick // absolute elapsed lifespan at period start
 	Length  quant.Tick // scheduled length
 	Outcome PeriodOutcome
-	Work    quant.Tick // fluid work banked (t ⊖ c if completed)
+	Work    quant.Tick // fluid work banked (capacity if completed, saved checkpoints if killed)
 	Tasks   int        // tasks completed in this period (bag runs only)
 }
 
@@ -97,8 +97,8 @@ type Result struct {
 	TasksCompleted int
 	Episodes       int        // episodes started
 	Interrupts     int        // interrupts that actually occurred
-	SetupTicks     quant.Tick // lifespan spent on completed periods' setups
-	KilledTicks    quant.Tick // lifespan consumed by killed periods (incl. partial progress)
+	SetupTicks     quant.Tick // lifespan spent on productive setups and checkpoint saves
+	KilledTicks    quant.Tick // lifespan destroyed by kills (progress past the last save)
 	IdleTicks      quant.Tick // lifespan never scheduled (tail slack, post-schedule gaps)
 	Periods        []PeriodRecord
 }
@@ -143,6 +143,16 @@ type Config struct {
 	// each period's capacity t−c is packed with tasks; killed periods return
 	// their tasks.
 	Bag TaskSource
+	// Checkpoint, when ≥ 1, softens the draconian contract with intra-period
+	// checkpointing (the arXiv:0711.3949 scheme): after every Checkpoint
+	// ticks of useful work inside a period, the station pays the setup cost
+	// again to save partial results. A completed period then banks t ⊖ c
+	// minus the save overhead; a killed period banks everything up to its
+	// last completed save — fluid work, and the prefix of its shipped tasks
+	// that ran to completion by then — returning only the unsaved suffix to
+	// the bag. 0 (the zero value) is the paper's pure draconian contract,
+	// bit-identical to a Config without the field.
+	Checkpoint quant.Tick
 	// Buffers, when non-nil, supplies the reusable episode/task scratch —
 	// the farm engine passes one per station so replaying thousands of
 	// opportunities allocates nothing per episode. Nil means Run uses
@@ -204,14 +214,15 @@ func Run(s model.EpisodeScheduler, adv Interrupter, opp Opportunity, cfg Config)
 			end := elapsed + t
 			rec := PeriodRecord{Episode: res.Episodes - 1, Index: i, Start: opp.U - L + start, Length: t}
 			reached := !interrupted || at > start
+			// Interior checkpoints eat into the period's useful capacity:
+			// with Checkpoint off (saves = 0) capacity is exactly t ⊖ c.
+			saves, capacity := checkpointPlan(t, opp.C, cfg.Checkpoint)
 			// Single-shot shipping: a period that begins takes its tasks
 			// once, here; the outcome below decides bank vs return.
 			shipped := 0
-			if cfg.Bag != nil && reached {
-				if capacity := quant.PosSub(t, opp.C); capacity > 0 {
-					bufs.tasks = cfg.Bag.TakeInto(bufs.tasks[:0], capacity)
-					shipped = len(bufs.tasks)
-				}
+			if cfg.Bag != nil && reached && capacity > 0 {
+				bufs.tasks = cfg.Bag.TakeInto(bufs.tasks[:0], capacity)
+				shipped = len(bufs.tasks)
 			}
 			switch {
 			case !reached:
@@ -219,23 +230,52 @@ func Run(s model.EpisodeScheduler, adv Interrupter, opp Opportunity, cfg Config)
 				rec.Outcome = Unreached
 			case interrupted && at <= end:
 				// Interrupt lands inside (or at the last instant of) this
-				// period: its work and in-flight tasks die. The tasks it
+				// period: its work and in-flight tasks die — except what an
+				// intra-period checkpoint already saved. The unsaved tasks it
 				// shipped at start go back in the bag for rescheduling
 				// (draconian kill, not task loss) — exactly the held slice,
 				// no second bag scan.
 				rec.Outcome = Killed
-				res.KilledTicks += at - start
 				killedInEpisode = true
-				if shipped > 0 {
-					cfg.Bag.Return(bufs.tasks)
+				e := at - start
+				var q quant.Tick
+				if saves > 0 {
+					q = checkpointSaved(e, opp.C, cfg.Checkpoint)
+				}
+				if q > 0 {
+					// The kill loses only work since the last completed save:
+					// q·k fluid ticks are banked, with the tasks that ran to
+					// completion inside them; the setup and q saves were
+					// productive overhead, and only the tail burns.
+					saved := q * cfg.Checkpoint
+					rec.Work = saved
+					res.Work += saved
+					res.SetupTicks += opp.C * (1 + q)
+					res.KilledTicks += e - opp.C - q*(cfg.Checkpoint+opp.C)
+					if shipped > 0 {
+						nDone := task.CompletedPrefix(bufs.tasks, saved)
+						if nDone > 0 {
+							rec.Tasks = nDone
+							res.TasksCompleted += nDone
+							res.TaskWork += task.Durations(bufs.tasks[:nDone])
+						}
+						if nDone < shipped {
+							cfg.Bag.Return(bufs.tasks[nDone:])
+						}
+					}
+				} else {
+					res.KilledTicks += e
+					if shipped > 0 {
+						cfg.Bag.Return(bufs.tasks)
+					}
 				}
 			default:
 				rec.Outcome = Completed
-				work := quant.PosSub(t, opp.C)
+				work := capacity
 				rec.Work = work
 				res.Work += work
 				if work > 0 {
-					res.SetupTicks += opp.C
+					res.SetupTicks += opp.C * (1 + saves)
 				} else {
 					res.SetupTicks += t // a period ≤ c is pure overhead
 				}
@@ -274,6 +314,35 @@ func Run(s model.EpisodeScheduler, adv Interrupter, opp Opportunity, cfg Config)
 	}
 	bufs.episode = ep // hand the grown buffer back for the next opportunity
 	return res, nil
+}
+
+// checkpointPlan places the interior checkpoints of a period of length t:
+// with interval k ≥ 1, after every k ticks of useful work the station pays
+// the setup cost c again to save partial results. It returns the number of
+// interior saves and the useful capacity left (t ⊖ c minus the save
+// overhead). A save that would land exactly at the period end is dropped —
+// the period end banks everything anyway — which is why the save count
+// divides w−1, not w. With k < 1 checkpointing is off: no saves, capacity
+// exactly t ⊖ c.
+func checkpointPlan(t, c, k quant.Tick) (saves, capacity quant.Tick) {
+	w := quant.PosSub(t, c)
+	if k < 1 || w < 1 {
+		return 0, w
+	}
+	saves = (w - 1) / (k + c)
+	return saves, w - saves*c
+}
+
+// checkpointSaved counts the interior saves a kill at period-relative
+// elapsed e has banked: save j occupies the work-span ticks
+// (j·(k+c) − c, j·(k+c)] after the setup, so it is safe only when the kill
+// lands strictly beyond c + j·(k+c). Since e never exceeds the period
+// length, the result never exceeds checkpointPlan's save count.
+func checkpointSaved(e, c, k quant.Tick) quant.Tick {
+	if e <= c {
+		return 0
+	}
+	return (e - c - 1) / (k + c)
 }
 
 func validateEpisode(s model.EpisodeScheduler, ep model.TickSchedule, p int, L quant.Tick) (quant.Tick, error) {

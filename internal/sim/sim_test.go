@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"cyclesteal/internal/adversary"
@@ -476,5 +477,150 @@ func TestRunZeroAllocWhenWarm(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Errorf("warm Run allocates %.1f per opportunity", allocs)
+	}
+}
+
+func TestCheckpointPlanMath(t *testing.T) {
+	cases := []struct {
+		t, c, k         quant.Tick
+		saves, capacity quant.Tick
+	}{
+		{100, 10, 0, 0, 90},  // checkpointing off: capacity is exactly t ⊖ c
+		{100, 10, 20, 2, 70}, // saves at work-offsets 30, 60; 89/30 = 2
+		{40, 10, 20, 0, 30},  // w=30 = k+c exactly: the save would land at the period end; dropped
+		{41, 10, 20, 1, 21},  // w=31: one interior save
+		{10, 10, 5, 0, 0},    // period ≤ c: no work, no saves
+		{12, 10, 1, 0, 2},    // w=2, k+c=11: save would overrun the period
+	}
+	for _, tc := range cases {
+		saves, capacity := checkpointPlan(tc.t, tc.c, tc.k)
+		if saves != tc.saves || capacity != tc.capacity {
+			t.Errorf("checkpointPlan(%d,%d,%d) = (%d,%d), want (%d,%d)",
+				tc.t, tc.c, tc.k, saves, capacity, tc.saves, tc.capacity)
+		}
+	}
+	// A save is banked only strictly after its last tick.
+	if q := checkpointSaved(40, 10, 20); q != 0 {
+		t.Errorf("kill at e=40 (save ends at 40) saved %d, want 0", q)
+	}
+	if q := checkpointSaved(41, 10, 20); q != 1 {
+		t.Errorf("kill at e=41 saved %d, want 1", q)
+	}
+	if q := checkpointSaved(75, 10, 20); q != 2 {
+		t.Errorf("kill at e=75 saved %d, want 2", q)
+	}
+	if q := checkpointSaved(10, 10, 20); q != 0 {
+		t.Errorf("kill inside the setup saved %d, want 0", q)
+	}
+}
+
+func TestCheckpointCompletedPeriodPaysSaves(t *testing.T) {
+	na, err := sched.NonAdaptiveFromPeriods(model.TickSchedule{100}, 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(na, adversary.None{}, Opportunity{U: 100, P: 0, C: 10}, Config{Checkpoint: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// w = 90, two interior saves at work-offsets 30 and 60: capacity 70.
+	if res.Work != 70 {
+		t.Errorf("Work = %d, want 70", res.Work)
+	}
+	if res.SetupTicks != 30 {
+		t.Errorf("SetupTicks = %d, want 30 (setup + 2 saves)", res.SetupTicks)
+	}
+	if res.KilledTicks != 0 || res.IdleTicks != 0 {
+		t.Errorf("killed=%d idle=%d, want 0/0", res.KilledTicks, res.IdleTicks)
+	}
+}
+
+func TestCheckpointKillSavesPrefix(t *testing.T) {
+	na, err := sched.NonAdaptiveFromPeriods(model.TickSchedule{100}, 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adv := &adversary.Scripted{Offsets: []quant.Tick{75}}
+	res, err := Run(na, adv, Opportunity{U: 100, P: 1, C: 10}, Config{Checkpoint: 20, RecordPeriods: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kill at e=75: both saves (work-offsets 30, 60 → elapsed 40, 70) banked.
+	// The killed period banks 2·20 = 40 with setup 10 + 2 saves = 30
+	// productive and only 5 ticks dead; the residual 25 reschedules as one
+	// period (w=15, too short for a save): +15 work, +10 setup.
+	if res.Work != 55 {
+		t.Errorf("Work = %d, want 55", res.Work)
+	}
+	if res.SetupTicks != 40 {
+		t.Errorf("SetupTicks = %d, want 40", res.SetupTicks)
+	}
+	if res.KilledTicks != 5 {
+		t.Errorf("KilledTicks = %d, want 5", res.KilledTicks)
+	}
+	if res.IdleTicks != 0 {
+		t.Errorf("IdleTicks = %d, want 0", res.IdleTicks)
+	}
+	// Lifespan conservation: every tick is setup, banked, killed or idle.
+	if got := res.Work + res.SetupTicks + res.KilledTicks + res.IdleTicks; got != 100 {
+		t.Errorf("accounted lifespan = %d, want 100", got)
+	}
+	if res.Periods[0].Outcome != Killed || res.Periods[0].Work != 40 {
+		t.Errorf("period record = %+v, want Killed with Work 40", res.Periods[0])
+	}
+}
+
+func TestCheckpointKillBanksTaskPrefix(t *testing.T) {
+	na, err := sched.NonAdaptiveFromPeriods(model.TickSchedule{100}, 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bag := task.NewBag([]task.Task{
+		{ID: 0, Duration: 15}, {ID: 1, Duration: 20}, {ID: 2, Duration: 30}, {ID: 3, Duration: 40},
+	})
+	adv := &adversary.Scripted{Offsets: []quant.Tick{41}}
+	res, err := Run(na, adv, Opportunity{U: 100, P: 1, C: 10}, Config{Checkpoint: 20, Bag: bag})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Capacity 70 ships tasks 0,1,2 (first-fit: 15+20+30). Kill at e=41 banks
+	// one save (20 work ticks): only task 0 completed inside it; tasks 1,2
+	// return to the bag's front ahead of task 3 (+20 work, +20 setup, 1 tick
+	// dead). The residual 59 reschedules as one period with its own interior
+	// save (capacity 39), which ships and completes task 1 (first-fit: 30
+	// and 40 no longer fit behind it).
+	if res.Work != 20+39 || res.TasksCompleted != 2 || res.TaskWork != 35 {
+		t.Errorf("Work=%d TasksCompleted=%d TaskWork=%d, want 59/2/35", res.Work, res.TasksCompleted, res.TaskWork)
+	}
+	if res.KilledTicks != 1 {
+		t.Errorf("KilledTicks = %d, want 1", res.KilledTicks)
+	}
+	if res.SetupTicks != 40 {
+		t.Errorf("SetupTicks = %d, want 40", res.SetupTicks)
+	}
+	if bag.Remaining() != 2 || bag.RemainingWork() != 70 {
+		t.Errorf("bag after run: %d tasks, %d work; want 2/70", bag.Remaining(), bag.RemainingWork())
+	}
+}
+
+func TestCheckpointHugeIntervalIsDraconian(t *testing.T) {
+	// An interval no period can reach places no saves: results must be
+	// bit-identical to the pure draconian contract.
+	na, err := sched.NonAdaptiveFromPeriods(model.TickSchedule{500, 500}, 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(ck quant.Tick) Result {
+		bag := task.NewBag(task.Fixed(50, 25))
+		adv := &adversary.Scripted{Offsets: []quant.Tick{700}}
+		res, err := Run(na, adv, Opportunity{U: 1000, P: 1, C: 10}, Config{Checkpoint: ck, Bag: bag, RecordPeriods: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	base, huge := run(0), run(1<<40)
+	if !reflect.DeepEqual(base, huge) {
+		t.Errorf("huge checkpoint interval diverged from draconian baseline:\n%+v\n%+v", base, huge)
 	}
 }

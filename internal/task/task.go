@@ -211,6 +211,23 @@ func Deal(tasks []Task, n int) [][]Task {
 	return hands
 }
 
+// CompletedPrefix returns the length of the longest prefix of tasks that
+// runs to completion within the first done ticks of a period's useful work.
+// Tasks execute sequentially in shipping order, so the tasks an intra-period
+// checkpoint at work-offset done has saved are exactly this prefix — the
+// simulator banks them and returns only the suffix to the bag on a kill.
+func CompletedPrefix(tasks []Task, done quant.Tick) int {
+	n := 0
+	for _, t := range tasks {
+		if t.Duration > done {
+			break
+		}
+		done -= t.Duration
+		n++
+	}
+	return n
+}
+
 // Durations sums the durations of a task set.
 func Durations(tasks []Task) quant.Tick {
 	var sum quant.Tick

@@ -346,3 +346,21 @@ func BenchmarkBagTake(b *testing.B) { benchBagTake(b, false) }
 
 // BenchmarkBagTakeInto is the buffer-reusing fast path the simulator rides.
 func BenchmarkBagTakeInto(b *testing.B) { benchBagTake(b, true) }
+
+func TestCompletedPrefix(t *testing.T) {
+	tasks := []Task{{ID: 0, Duration: 15}, {ID: 1, Duration: 20}, {ID: 2, Duration: 30}}
+	cases := []struct {
+		done quant.Tick
+		want int
+	}{
+		{0, 0}, {14, 0}, {15, 1}, {34, 1}, {35, 2}, {64, 2}, {65, 3}, {1000, 3},
+	}
+	for _, tc := range cases {
+		if got := CompletedPrefix(tasks, tc.done); got != tc.want {
+			t.Errorf("CompletedPrefix(done=%d) = %d, want %d", tc.done, got, tc.want)
+		}
+	}
+	if got := CompletedPrefix(nil, 100); got != 0 {
+		t.Errorf("CompletedPrefix(nil) = %d, want 0", got)
+	}
+}
