@@ -16,17 +16,29 @@
 // job files (same line format); a fully submitted file is renamed to
 // NAME.done so it is not resubmitted.
 //
+// With -wal FILE every service event is written through a durable JSONL
+// write-ahead log (fsync'd at round barriers). A fault plan (-crash-prob,
+// -kill-round, -fault-seed) injects station crashes — queued and in-flight
+// work on a fully crashed steal group is lost, not drained — and can kill
+// the scheduler itself mid-run; a killed run exits reporting the log to
+// recover from. -recover FILE resumes a killed session from its log:
+// logged jobs are rebuilt and finished exactly as the dead session would
+// have (give -wal a fresh file — the recovery re-logs the whole history).
+//
 // Usage:
 //
 //	echo "ana 500x8" | cstealserve -stations 32
 //	cstealserve -stations 64 -churn-leave 0.02 -churn-join 0.05 < jobs.txt
 //	cstealserve -checkpoint 10 -owners poisson-fixed -policy single < jobs.txt
 //	cstealserve -watch /var/spool/jobs -stats 2s < /dev/null
+//	cstealserve -wal run.wal -crash-prob 0.01 -kill-round 40 < jobs.txt
+//	cstealserve -recover run.wal -wal run2.wal < /dev/null
 package main
 
 import (
 	"bufio"
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -61,6 +73,11 @@ func main() {
 		maxQueued  = flag.Int("max-queued", 0, "queued-job bound per tenant before submissions are rejected (0 = 16)")
 		stats      = flag.Duration("stats", 0, "print service stats to stderr at this interval (0 = off)")
 		watch      = flag.String("watch", "", "also poll this directory for job files (renamed to *.done once submitted)")
+		wal        = flag.String("wal", "", "write every service event through a durable JSONL write-ahead log at this path")
+		recov      = flag.String("recover", "", "resume a killed session from this write-ahead log before reading new jobs")
+		crashProb  = flag.Float64("crash-prob", 0, "per-round probability each live station crashes (lost work, not a graceful leave)")
+		faultSeed  = flag.Int64("fault-seed", 0, "fault sampling seed (0 = derived from -seed)")
+		killRound  = flag.Int("kill-round", 0, "kill the scheduler itself at this round (0 = never); recover with -recover")
 	)
 	flag.Parse()
 	if *listOwners {
@@ -74,6 +91,8 @@ func main() {
 		minStations: *minStation, maxStations: *maxStation,
 		seed: *seed, workers: *workers, maxActive: *maxActive, maxQueued: *maxQueued,
 		stats: *stats, watch: *watch,
+		wal: *wal, recover: *recov,
+		crashProb: *crashProb, faultSeed: *faultSeed, killRound: *killRound,
 	}, os.Stdin, os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "cstealserve:", err)
 		os.Exit(1)
@@ -94,15 +113,21 @@ type config struct {
 	maxActive, maxQueued     int
 	stats                    time.Duration
 	watch                    string
+	wal, recover             string
+	crashProb                float64
+	faultSeed                int64
+	killRound                int
 }
 
-func (c config) service() (*fleet.Service, error) {
+// service builds the resident session — a fresh one, or one recovered from
+// the -recover log. The returned closer releases the WAL file, if any.
+func (c config) service() (*fleet.Service, func() error, error) {
 	var ownerList []fleet.Owner
 	if c.owners != "" {
 		for _, name := range strings.Split(c.owners, ",") {
 			o, err := fleet.OwnerByName(strings.TrimSpace(name))
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			ownerList = append(ownerList, o)
 		}
@@ -111,7 +136,7 @@ func (c config) service() (*fleet.Service, error) {
 	if c.policy != "" {
 		pol = fleet.Policy{Name: c.policy}
 	}
-	return fleet.NewService(fleet.ServiceConfig{
+	sc := fleet.ServiceConfig{
 		Fleet: fleet.Config{
 			Stations:           c.stations,
 			Setup:              c.setup,
@@ -122,6 +147,11 @@ func (c config) service() (*fleet.Service, error) {
 			CheckpointAdaptive: c.adaptive,
 			Seed:               c.seed,
 			Workers:            c.workers,
+			Faults: fleet.FaultPlan{
+				Seed:      c.faultSeed,
+				CrashProb: c.crashProb,
+				KillRound: c.killRound,
+			},
 		},
 		MaxActive:          c.maxActive,
 		MaxQueuedPerTenant: c.maxQueued,
@@ -131,7 +161,39 @@ func (c config) service() (*fleet.Service, error) {
 			MinStations: c.minStations,
 			MaxStations: c.maxStations,
 		},
-	})
+	}
+	closeWAL := func() error { return nil }
+	if c.wal != "" {
+		if c.wal == c.recover {
+			return nil, nil, fmt.Errorf("-wal %s is the log being recovered: recovery re-logs the whole history, give -wal a fresh file", c.wal)
+		}
+		f, err := os.Create(c.wal)
+		if err != nil {
+			return nil, nil, err
+		}
+		sc.WAL = f
+		closeWAL = f.Close
+	}
+	if c.recover != "" {
+		logf, err := os.Open(c.recover)
+		if err != nil {
+			closeWAL()
+			return nil, nil, err
+		}
+		defer logf.Close()
+		s, err := fleet.RecoverService(sc, logf)
+		if err != nil {
+			closeWAL()
+			return nil, nil, err
+		}
+		return s, closeWAL, nil
+	}
+	s, err := fleet.NewService(sc)
+	if err != nil {
+		closeWAL()
+		return nil, nil, err
+	}
+	return s, closeWAL, nil
 }
 
 // run drives the resident service: submissions stream in from r (and the
@@ -139,15 +201,23 @@ func (c config) service() (*fleet.Service, error) {
 // and every accepted job has finished, the service shuts down and the
 // summary lands on w.
 func run(cfg config, r io.Reader, w, errw io.Writer) error {
-	s, err := cfg.service()
+	s, closeWAL, err := cfg.service()
 	if err != nil {
 		return err
 	}
+	defer closeWAL()
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	if err := s.Start(ctx); err != nil {
 		return err
 	}
+	// stopped closes when the live loop exits on its own — a station error,
+	// or the fault plan killing the scheduler.
+	stopped := make(chan struct{})
+	go func() {
+		defer close(stopped)
+		s.Wait()
+	}()
 
 	if cfg.stats > 0 {
 		go func() {
@@ -223,8 +293,32 @@ func run(cfg config, r io.Reader, w, errw io.Writer) error {
 	for _, h := range done {
 		<-h.Done()
 	}
+	// Jobs rebuilt by -recover have no handles here: wait for the fleet
+	// itself to go idle — or for the loop to stop on its own, which a
+	// fault-plan kill does with every unfinished job failed.
+poll:
+	for {
+		st := s.Stats()
+		if !st.Recovering && st.ActiveJobs == 0 && st.QueuedJobs == 0 {
+			break
+		}
+		select {
+		case <-stopped:
+			break poll
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
 	cancel()
 	res, err := s.Wait()
+	if errors.Is(err, fleet.ErrSchedulerKilled) {
+		// The partial run still reports — the log holds everything it did.
+		report(w, res)
+		if cfg.wal != "" {
+			fmt.Fprintf(errw, "scheduler killed at round %d; recover with: cstealserve -recover %s (same flags, -kill-round lifted)\n",
+				res.Rounds, cfg.wal)
+		}
+		return err
+	}
 	if err != nil && err != context.Canceled {
 		return err
 	}
@@ -315,12 +409,17 @@ func report(w io.Writer, res fleet.ServiceResult) error {
 		state := "unfinished"
 		if j.Completed {
 			state = fmt.Sprintf("done in rounds %d..%d", j.SubmittedRound, j.FinishedRound)
+		} else if j.TasksLost > 0 {
+			state = fmt.Sprintf("lost %d tasks to faults", j.TasksLost)
 		}
 		fmt.Fprintf(w, "job %d %s: %d/%d tasks (%.1f time units), %s\n",
 			j.ID, j.Tenant, j.TasksCompleted, j.Tasks, j.TaskWork, state)
 	}
 	fmt.Fprintf(w, "%d rounds, %d stations joined, %d departed, %d steals\n",
 		res.Rounds, res.Joined, res.Departed, res.Fleet.Steals)
+	if res.Crashed > 0 {
+		fmt.Fprintf(w, "faults: %d stations crashed, %d tasks lost\n", res.Crashed, res.Fleet.TasksLost)
+	}
 	fmt.Fprintf(w, "fleet: %d tasks (%.1f of %.1f time units, %.1f%%), utilization %.1f%%\n",
 		res.Fleet.TasksCompleted, res.Fleet.TaskWork, res.Fleet.JobWork,
 		100*res.Fleet.CompletionFraction(), 100*res.Fleet.Utilization())

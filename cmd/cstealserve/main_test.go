@@ -2,12 +2,15 @@ package main
 
 import (
 	"bytes"
+	"errors"
 	"math"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 	"time"
+
+	"cyclesteal/fleet"
 )
 
 func TestParseJob(t *testing.T) {
@@ -171,5 +174,41 @@ func TestRunSkipsBadLines(t *testing.T) {
 	}
 	if !strings.Contains(errOut.String(), "stdin:1") || !strings.Contains(errOut.String(), "stdin:3") {
 		t.Errorf("bad lines not reported: %s", errOut.String())
+	}
+}
+
+// The full crash-recovery flow through the CLI surface: a session logging
+// to a WAL is killed mid-run by its fault plan, then a second session
+// recovers from that log and finishes the job.
+func TestRunKillRecover(t *testing.T) {
+	dir := t.TempDir()
+	wal := filepath.Join(dir, "run.wal")
+	cfg := config{stations: 16, setup: 5, seed: 7, wal: wal, killRound: 2}
+	var out, errOut bytes.Buffer
+	err := run(cfg, strings.NewReader("ana 6000x8\n"), &out, &errOut)
+	if !errors.Is(err, fleet.ErrSchedulerKilled) {
+		t.Fatalf("killed run error %v, want ErrSchedulerKilled (stderr: %s)", err, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "-recover "+wal) {
+		t.Errorf("kill report has no recovery hint: %s", errOut.String())
+	}
+	if strings.Contains(out.String(), "done in rounds") {
+		t.Errorf("killed run reports a finished job:\n%s", out.String())
+	}
+
+	rcfg := config{stations: 16, setup: 5, seed: 7, recover: wal, wal: filepath.Join(dir, "run2.wal")}
+	out.Reset()
+	errOut.Reset()
+	if err := run(rcfg, strings.NewReader(""), &out, &errOut); err != nil {
+		t.Fatalf("recovery run: %v (stderr: %s)", err, errOut.String())
+	}
+	if !strings.Contains(out.String(), "ana: 6000/6000") {
+		t.Errorf("recovered job unfinished:\n%s", out.String())
+	}
+
+	// -wal pointing at the log being recovered must be refused, not eaten.
+	bad := config{stations: 16, setup: 5, seed: 7, recover: wal, wal: wal}
+	if err := run(bad, strings.NewReader(""), &out, &errOut); err == nil {
+		t.Fatal("recovering a log into itself accepted")
 	}
 }

@@ -1,6 +1,7 @@
 package fleet_test
 
 import (
+	"bytes"
 	"context"
 	"testing"
 
@@ -102,6 +103,42 @@ func BenchmarkFleetServiceChurn(b *testing.B) {
 		}
 		if res.Fleet.TasksCompleted != 3000 {
 			b.Fatalf("service completed %d of 3000 tasks", res.Fleet.TasksCompleted)
+		}
+	}
+}
+
+// BenchmarkFleetServiceWAL prices durability: the Drain benchmark's
+// workload with every event written through the JSONL write-ahead log and
+// flushed at each round barrier (an in-memory sink, so the figure is the
+// encoding cost, not the disk). The delta against BenchmarkFleetServiceDrain
+// is what crash recoverability costs per run.
+func BenchmarkFleetServiceWAL(b *testing.B) {
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wal bytes.Buffer
+		s, err := fleet.NewService(fleet.ServiceConfig{
+			Fleet: fleet.Config{Stations: 64, Setup: 5, Shards: 8, Workers: 4, Seed: int64(i)},
+			WAL:   &wal,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Submit("ana", fleet.Job{Tasks: fleet.FixedTasks(1500, 10)}); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Submit("bo", fleet.Job{Tasks: fleet.FixedTasks(1500, 12)}); err != nil {
+			b.Fatal(err)
+		}
+		res, err := s.Drain(context.Background())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Fleet.TasksCompleted != 3000 {
+			b.Fatalf("service completed %d of 3000 tasks", res.Fleet.TasksCompleted)
+		}
+		if wal.Len() == 0 {
+			b.Fatal("write-ahead log stayed empty")
 		}
 	}
 }

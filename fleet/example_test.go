@@ -1,7 +1,9 @@
 package fleet_test
 
 import (
+	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"log"
 	"reflect"
@@ -222,4 +224,67 @@ func ExampleService() {
 	// bo: 200/200 tasks in rounds 0..1
 	// 6 rounds, 1 joins, 3 departures
 	// replay matches: true
+}
+
+// Survive a scheduler crash: the service writes every event to a JSONL
+// write-ahead log, a fault plan kills the scheduler mid-run, and
+// RecoverService rebuilds the session from the log — replaying the logged
+// rounds and then finishing the job exactly as the dead session would have.
+func ExampleRecoverService() {
+	cfg := func(killRound int, wal *bytes.Buffer) fleet.ServiceConfig {
+		sc := fleet.ServiceConfig{
+			Fleet: fleet.Config{
+				Stations: 12,
+				Setup:    5,
+				Shards:   4,
+				Seed:     11,
+				Faults: fleet.FaultPlan{
+					// A rack outage at round 1 — stations 3, 7 and 11 form a
+					// whole steal group, so its queued work is lost, not
+					// drained — then the scheduler itself dies at killRound
+					// (0 = never).
+					Crashes: []fleet.StationCrash{
+						{Round: 1, Station: 3}, {Round: 1, Station: 7}, {Round: 1, Station: 11},
+					},
+					KillRound: killRound,
+				},
+			},
+		}
+		if wal != nil {
+			sc.WAL = wal
+		}
+		return sc
+	}
+	submit := func(s *fleet.Service) {
+		if _, err := s.Submit("ana", fleet.Job{Tasks: fleet.FixedTasks(6000, 12)}); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// The doomed session: logs to wal, dies at round 3.
+	var wal bytes.Buffer
+	doomed, err := fleet.NewService(cfg(3, &wal))
+	if err != nil {
+		log.Fatal(err)
+	}
+	submit(doomed)
+	if _, err := doomed.Drain(context.Background()); errors.Is(err, fleet.ErrSchedulerKilled) {
+		fmt.Printf("scheduler killed; %d bytes of log survive\n", wal.Len())
+	}
+
+	// Recovery: same configuration with the kill lifted, plus the log.
+	s, err := fleet.RecoverService(cfg(0, nil), bytes.NewReader(wal.Bytes()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := s.Drain(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	j := res.Jobs[0]
+	fmt.Printf("recovered: %s finished %d/%d tasks (%d lost to the crash) in %d rounds\n",
+		j.Tenant, j.TasksCompleted, j.Tasks, j.TasksLost, res.Rounds)
+	// Output:
+	// scheduler killed; 18327 bytes of log survive
+	// recovered: ana finished 4721/6000 tasks (1279 lost to the crash) in 7 rounds
 }

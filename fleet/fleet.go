@@ -88,6 +88,7 @@ import (
 	"time"
 
 	"cyclesteal/internal/farm"
+	"cyclesteal/internal/fault"
 	"cyclesteal/internal/quant"
 	"cyclesteal/internal/station"
 	"cyclesteal/internal/task"
@@ -132,11 +133,14 @@ type Progress struct {
 	// station's opportunity ended, so no kill can undo it).
 	Completed int
 	// Remaining counts tasks not yet completed, in-flight work included.
-	// Completed + Remaining is the job's task count.
+	// Completed + Remaining + Lost is the job's task count.
 	Remaining int
 	// Steals counts cross-queue task migrations so far (0 for Shared and
 	// Private pools).
 	Steals int
+	// Lost counts tasks destroyed by injected faults so far (0 without a
+	// fault plan).
+	Lost int
 }
 
 // Config describes a fleet in the caller's continuous time units.
@@ -206,10 +210,28 @@ type Config struct {
 	Checkpoint float64
 	// CheckpointAdaptive, when set, ignores Checkpoint and picks the save
 	// interval per opportunity by Young's rule from the P2P
-	// volunteer-computing analysis (arXiv:0711.3949): √(2·c·U/(p+1)) ticks,
-	// the optimum balancing save overhead against expected loss per kill. A
-	// pure function of each contract, so every determinism contract holds.
+	// volunteer-computing analysis (arXiv:0711.3949): √(2·s·U/(p+1)) ticks
+	// with s the save cost (CheckpointSaveCost, defaulting to the setup
+	// cost), the optimum balancing save overhead against expected loss per
+	// kill. A pure function of each contract, so every determinism contract
+	// holds.
 	CheckpointAdaptive bool
+	// CheckpointSaveCost is the time one checkpoint save costs, in caller
+	// units. 0 — the zero value — keeps the pre-split behaviour: each save
+	// costs one setup. Young/Daly sweeps set it independently of Setup.
+	CheckpointSaveCost float64
+	// CheckpointRestartCost is the extra time a station pays, on top of the
+	// ordinary setup, the first time it restarts from a saved checkpoint
+	// after a kill. 0 means restarting is free beyond the setup itself —
+	// the pre-split behaviour.
+	CheckpointRestartCost float64
+	// Faults is the run's fault-injection plan: seeded station crashes,
+	// cross-cluster parcel loss, and a scheduler kill round. The zero value
+	// injects nothing and is bit-identical to a Config without the field.
+	// Active plans need the deterministic engines — RunDeterministic on a
+	// Shared or Sharded pool, or the resident Service; the live engine and
+	// Replicate reject them. See FaultPlan for the knobs.
+	Faults FaultPlan
 	// StationSummaries, when set, makes Replicate also summarize each
 	// station's offered lifespan across trials in
 	// Replication.StationLifespan — the per-station availability
@@ -237,6 +259,73 @@ type Config struct {
 	// pool or empty Job. A recorder holds one run's trace; give concurrent
 	// runs their own recorders. Replicate rejects a recording fleet.
 	Record *trace.Recorder
+}
+
+// StationCrash schedules one deterministic station crash: at the top of
+// round Round (before the round plays), station Station fails hard.
+type StationCrash struct {
+	Round   int
+	Station int
+}
+
+// FaultPlan describes the faults injected into a deterministic run or a
+// resident service session. Everything is seeded and replayable: the same
+// plan over the same Config produces bit-identical outcomes at any Workers
+// setting.
+//
+// A crash is harsher than a Service leave: a leaving station drains its
+// queued tasks back to the fleet, a crashed one loses them. Queued work
+// survives a crash only while some station of the same steal group is
+// still alive to inherit the queue; in-flight parcels addressed to a fully
+// crashed group are destroyed on arrival. Lost tasks are counted, never
+// resurrected — only checkpointed fluid progress (Config.Checkpoint)
+// bounds what an individual kill destroys.
+type FaultPlan struct {
+	// Seed derives the fault sampling streams. 0 means derive from
+	// Config.Seed, so distinct fleet seeds get distinct fault streams.
+	Seed int64
+	// CrashProb is the per-station, per-round probability of a crash.
+	// Must be in [0, 1); 0 disables random crashes.
+	CrashProb float64
+	// Crashes are deterministic scheduled crashes, applied before random
+	// ones each round. Entries naming dead or out-of-range stations are
+	// ignored.
+	Crashes []StationCrash
+	// LossProb is the probability that a cross-cluster parcel is lost in
+	// transit. Must be in [0, 1); requires Clusters ≥ 2 and
+	// StealLatency > 0 (free crossings cannot be lost). The requesting
+	// station detects the loss when the parcel's priced deadline passes,
+	// retries under capped exponential backoff, and after StealRetries
+	// consecutive losses degrades to intra-cluster stealing for good.
+	LossProb float64
+	// StealRetries caps consecutive cross-steal losses before a station
+	// group degrades to intra-cluster scanning. 0 means the default (3);
+	// negative means degrade on the first loss.
+	StealRetries int
+	// KillRound, when > 0, kills the scheduler at the top of that round:
+	// a resident Service stops mid-session with ErrSchedulerKilled, its
+	// durable event log (ServiceConfig.WAL) ending exactly there, ready
+	// for RecoverService. Batch runs reject KillRound — killing a batch
+	// scheduler is just cancelling the run.
+	KillRound int
+}
+
+// Active reports whether the plan injects anything.
+func (p FaultPlan) Active() bool { return p.internal().Active() }
+
+// internal converts the public plan to the engine's representation.
+func (p FaultPlan) internal() fault.Plan {
+	in := fault.Plan{
+		Seed:         p.Seed,
+		CrashProb:    p.CrashProb,
+		LossProb:     p.LossProb,
+		StealRetries: p.StealRetries,
+		KillRound:    p.KillRound,
+	}
+	for _, c := range p.Crashes {
+		in.Crashes = append(in.Crashes, fault.Crash{Round: c.Round, Station: c.Station})
+	}
+	return in
 }
 
 // Job is one data-parallel computation to farm across the fleet.
@@ -351,6 +440,19 @@ func New(cfg Config) (*Fleet, error) {
 	if math.IsNaN(cfg.Checkpoint) || math.IsInf(cfg.Checkpoint, 0) || cfg.Checkpoint < 0 {
 		return nil, fmt.Errorf("fleet: checkpoint interval must be ≥ 0 and finite, got %g", cfg.Checkpoint)
 	}
+	if math.IsNaN(cfg.CheckpointSaveCost) || math.IsInf(cfg.CheckpointSaveCost, 0) || cfg.CheckpointSaveCost < 0 {
+		return nil, fmt.Errorf("fleet: checkpoint save cost must be ≥ 0 and finite, got %g", cfg.CheckpointSaveCost)
+	}
+	if math.IsNaN(cfg.CheckpointRestartCost) || math.IsInf(cfg.CheckpointRestartCost, 0) || cfg.CheckpointRestartCost < 0 {
+		return nil, fmt.Errorf("fleet: checkpoint restart cost must be ≥ 0 and finite, got %g", cfg.CheckpointRestartCost)
+	}
+	if err := cfg.Faults.internal().Validate(); err != nil {
+		return nil, fmt.Errorf("fleet: %w", err)
+	}
+	if cfg.Faults.LossProb > 0 && (cfg.Clusters < 2 || !(cfg.StealLatency > 0)) {
+		return nil, fmt.Errorf("fleet: parcel loss needs ≥ 2 clusters and StealLatency > 0 (free crossings cannot be lost), got %d clusters, latency %g",
+			cfg.Clusters, cfg.StealLatency)
+	}
 	switch cfg.Pool {
 	case Sharded, Shared, Private:
 	default:
@@ -458,6 +560,13 @@ func (f *Fleet) farm(stations []station.Workstation) farm.Farm {
 	if f.cfg.Checkpoint > 0 {
 		fm.Checkpoint = f.g.ticks(f.cfg.Checkpoint)
 	}
+	if f.cfg.CheckpointSaveCost > 0 {
+		fm.CheckpointSaveCost = f.g.ticks(f.cfg.CheckpointSaveCost)
+	}
+	if f.cfg.CheckpointRestartCost > 0 {
+		fm.CheckpointRestartCost = f.g.ticks(f.cfg.CheckpointRestartCost)
+	}
+	fm.Faults = f.cfg.Faults.internal()
 	if f.cfg.Clusters > 1 {
 		fm.Topology = farm.Topology{Clusters: f.cfg.Clusters, CrossLatency: f.stealLatencyTicks()}
 	}

@@ -102,6 +102,9 @@ func (f *Fleet) Replicate(ctx context.Context, job Job, trials int) (Replication
 	if f.stateful {
 		return Replication{}, fmt.Errorf("fleet: Replicate cannot drive trace-replay owners: a recorded trace names one run, not a distribution — use Run or RunDeterministic")
 	}
+	if f.cfg.Faults.Active() {
+		return Replication{}, fmt.Errorf("fleet: Replicate rejects fault plans: a plan names one faulted run, not a distribution — sweep seeds over RunDeterministic instead")
+	}
 	cfg := mc.Config{Trials: trials, Seed: f.cfg.Seed, Workers: f.cfg.Workers}
 	if cb := f.cfg.Progress; cb != nil {
 		// Trials-completed progress: the study-level signal Run's task-level

@@ -36,6 +36,11 @@ type Result struct {
 	// ended (Clusters ≥ 2 with StealLatency > 0 only); they never completed
 	// and are included in TasksLeft.
 	InFlight int
+	// TasksLost counts tasks destroyed by injected faults (Config.Faults) —
+	// queued work on fully crashed steal groups and parcels lost in
+	// transit. Disjoint from TasksCompleted and TasksLeft; the three always
+	// sum to the job's task count.
+	TasksLost int
 }
 
 // Utilization is banked fluid work over offered lifespan — the fleet-survey
@@ -154,6 +159,7 @@ func (f *Fleet) result(res farm.Result, totalWork quant.Tick) Result {
 		Interrupts:     res.Interrupts,
 		Steals:         res.Steals,
 		InFlight:       res.InFlight,
+		TasksLost:      res.TasksLost,
 	}
 	for i, rep := range res.Stations {
 		out.Stations[i] = StationReport{

@@ -1,14 +1,17 @@
 package fleet
 
 import (
+	"bufio"
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"math/rand"
 	"sync"
 
 	"cyclesteal/internal/farm"
+	"cyclesteal/internal/fault"
 	"cyclesteal/internal/quant"
 	"cyclesteal/internal/task"
 )
@@ -16,6 +19,17 @@ import (
 // ErrStopped fails the handles of jobs still unfinished when a resident
 // Service stops — shutdown, cancellation, or the MaxRounds bound.
 var ErrStopped = errors.New("fleet: service stopped before job completed")
+
+// ErrSchedulerKilled is the error a Service stops with when its fault plan's
+// KillRound arrives: the scheduler itself dies mid-session. Handles of
+// unfinished jobs fail with it. A session with a durable log
+// (ServiceConfig.WAL) can be rebuilt past the kill with RecoverService.
+var ErrSchedulerKilled = errors.New("fleet: scheduler killed by fault plan")
+
+// ErrTasksLost fails a job's handle when injected faults destroyed some of
+// its tasks: every task is accounted for (completed or lost), but the job
+// can never complete. The service itself keeps running.
+var ErrTasksLost = errors.New("fleet: job lost tasks to injected faults")
 
 // ServiceConfig describes a resident fleet service: one standing fleet
 // serving a continuous stream of jobs.
@@ -44,6 +58,16 @@ type ServiceConfig struct {
 	MaxRounds int
 	// Churn makes stations come and go while jobs run.
 	Churn ChurnConfig
+	// WAL, when non-nil, makes the session durable: the service write-ahead
+	// encodes its event log as JSONL — one header line naming the format
+	// and tick grid, then one line per event — flushed (and fsync'd when
+	// the writer has a Sync method, as *os.File does) at every round
+	// barrier and at a scheduler kill, whose final kill record closes the
+	// log. RecoverService rebuilds the session from such a log,
+	// bit-identical to the uninterrupted run. A write error stops the
+	// service: an event that cannot be made durable must not take effect
+	// silently. See ReadWAL for the line format.
+	WAL io.Writer
 }
 
 // ChurnConfig drives station arrivals and departures — the "network of
@@ -83,6 +107,12 @@ const (
 	EventLeave
 	// EventCheckpoint records a checkpoint-policy change.
 	EventCheckpoint
+	// EventCrash records a station crashing under the fault plan — a
+	// leave that loses queued work instead of draining it.
+	EventCrash
+	// EventKill records the scheduler kill that ended the session; always
+	// the log's last entry when present.
+	EventKill
 )
 
 // String implements fmt.Stringer.
@@ -96,6 +126,10 @@ func (k EventKind) String() string {
 		return "leave"
 	case EventCheckpoint:
 		return "checkpoint"
+	case EventCrash:
+		return "crash"
+	case EventKill:
+		return "kill"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}
@@ -123,6 +157,12 @@ type ServiceEvent struct {
 	// in caller units; 0 with Adaptive false restores pure draconian).
 	Checkpoint float64
 	Adaptive   bool
+	// Sampled marks events the service generated itself — churn and fault
+	// sampling, scheduled crashes, the kill record. A recovery regenerates
+	// these from the seeds instead of applying them from the log (and
+	// checks the regenerated sequence against it); a replay applies them
+	// like any other event.
+	Sampled bool
 }
 
 // JobResult is one job's outcome, in caller time units.
@@ -133,6 +173,10 @@ type JobResult struct {
 	TasksCompleted int
 	JobWork        float64 // submitted task duration (as quantized)
 	TaskWork       float64 // completed task duration
+	// TasksLost counts the job's tasks destroyed by injected faults; a job
+	// that lost any can never complete, and its handle fails with
+	// ErrTasksLost once every task is accounted for.
+	TasksLost      int
 	Completed      bool
 	SubmittedRound int // round the submission applied (-1: never applied)
 	FinishedRound  int // round the last task completed (-1: unfinished)
@@ -150,6 +194,9 @@ type ServiceResult struct {
 	Fleet Result
 	// Joined and Departed count stations that joined and left after start.
 	Joined, Departed int
+	// Crashed counts stations destroyed by the fault plan (not included in
+	// Departed — a departure drains its queue, a crash loses it).
+	Crashed int
 	// Events is the run's deterministic event log — feed it to Replay.
 	Events []ServiceEvent
 }
@@ -165,6 +212,14 @@ type ServiceStats struct {
 	FinishedJobs int
 	TasksPending int // tasks admitted to the fleet, not yet completed
 	Steals       int
+	Crashed      int // stations crashed by the fault plan since start
+	TasksLost    int // tasks destroyed by faults since start
+	// Recovering is true while a RecoverService session is still replaying
+	// its log; a snapshot taken then describes the partially rebuilt past,
+	// not the live present (in particular, an idle-looking snapshot before
+	// the logged submissions have replayed does not mean the session is
+	// done).
+	Recovering bool
 }
 
 // svcJob is one submitted job's live state.
@@ -179,6 +234,7 @@ type svcJob struct {
 	finished  int // round the last task completed; -1 until then
 	doneTasks int
 	doneWork  quant.Tick
+	lostTasks int // tasks destroyed by injected faults
 	err       error
 	done      chan struct{}
 }
@@ -191,6 +247,7 @@ func (j *svcJob) result(g grid) JobResult {
 		TasksCompleted: j.doneTasks,
 		JobWork:        g.units(j.work),
 		TaskWork:       g.units(j.doneWork),
+		TasksLost:      j.lostTasks,
 		Completed:      j.finished >= 0,
 		SubmittedRound: j.submitted,
 		FinishedRound:  j.finished,
@@ -274,6 +331,23 @@ type Service struct {
 	pendingOps  []op
 	replayLog   []ServiceEvent // non-nil: drive from a log, not live ops
 	doneBuf     []task.Task
+	lostBuf     []task.Task
+
+	faults  *fault.Injector // nil: no fault plan
+	crashed int
+
+	walw    *bufio.Writer // nil: no durable log
+	walSync interface{ Sync() error }
+	walErr  error // sticky: first WAL write/flush failure or recovery divergence
+
+	// Recovery mode: replay rounds [0, recoverTo) applying the log's
+	// non-sampled events while churn/fault sampling regenerates the rest —
+	// logEvent checks every regenerated event against the log cursor, so a
+	// mismatched config or seed is detected, not silently diverged from.
+	recovering bool
+	recoverLog []ServiceEvent
+	recoverCur int
+	recoverTo  int
 
 	started bool
 	exited  bool
@@ -348,6 +422,16 @@ func NewService(cfg ServiceConfig) (*Service, error) {
 			seed = cfg.Fleet.Seed ^ 0x636875726e // "churn"
 		}
 		s.churn = rand.New(rand.NewSource(seed))
+	}
+	if plan := cfg.Fleet.Faults.internal(); plan.Active() {
+		s.faults = plan.NewInjector(cfg.Fleet.Seed ^ farm.FaultSeedSalt)
+	}
+	if cfg.WAL != nil {
+		s.walSync, _ = cfg.WAL.(interface{ Sync() error })
+		s.walw = bufio.NewWriter(cfg.WAL)
+		if err := writeWALHeader(s.walw, int(f.g.ticksC)); err != nil {
+			return nil, fmt.Errorf("fleet: write-ahead log: %w", err)
+		}
 	}
 
 	fm := f.farm(f.stations)
@@ -467,6 +551,9 @@ func (s *Service) Stats() ServiceStats {
 		FinishedJobs: s.finished,
 		TasksPending: s.core.Pending(),
 		Steals:       s.core.Steals(),
+		Crashed:      s.crashed,
+		TasksLost:    s.core.TasksLost(),
+		Recovering:   s.recovering,
 	}
 }
 
@@ -482,9 +569,65 @@ func (s *Service) pendingSubmits() int {
 
 // --- the round loop -----------------------------------------------------------
 
+// logEvent stamps an event into the log and the write-ahead log. During
+// recovery it also checks the event against the recorded log at the cursor:
+// regenerated sampling must reproduce the original sequence exactly, so a
+// recovery under different seeds or config fails loudly instead of
+// diverging silently.
+func (s *Service) logEvent(ev ServiceEvent) {
+	if s.recovering {
+		if s.recoverCur < len(s.recoverLog) && eventsMatch(s.recoverLog[s.recoverCur], ev) {
+			s.recoverCur++
+		} else if s.walErr == nil {
+			s.walErr = fmt.Errorf("fleet: recovery diverged at round %d: regenerated %s event does not match the log (different seeds or config than the original run?)", s.round, ev.Kind)
+		}
+	}
+	s.events = append(s.events, ev)
+	if s.walw != nil && s.walErr == nil {
+		if err := writeWALEvent(s.walw, ev); err != nil {
+			s.walErr = fmt.Errorf("fleet: write-ahead log: %w", err)
+		}
+	}
+}
+
+// eventsMatch compares two events for recovery verification (Tasks by
+// value).
+func eventsMatch(a, b ServiceEvent) bool {
+	if a.Round != b.Round || a.Kind != b.Kind || a.Tenant != b.Tenant ||
+		a.JobID != b.JobID || a.Station != b.Station ||
+		a.Checkpoint != b.Checkpoint || a.Adaptive != b.Adaptive ||
+		a.Sampled != b.Sampled || len(a.Tasks) != len(b.Tasks) {
+		return false
+	}
+	for i := range a.Tasks {
+		if a.Tasks[i] != b.Tasks[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// flushWAL pushes buffered log lines to the writer and syncs it — the round
+// barrier's durability point. Reports the sticky WAL error, if any.
+func (s *Service) flushWAL() error {
+	if s.walw == nil {
+		return s.walErr
+	}
+	if err := s.walw.Flush(); err != nil && s.walErr == nil {
+		s.walErr = fmt.Errorf("fleet: write-ahead log: %w", err)
+	}
+	if s.walSync != nil && s.walErr == nil {
+		if err := s.walSync.Sync(); err != nil {
+			s.walErr = fmt.Errorf("fleet: write-ahead log: %w", err)
+		}
+	}
+	return s.walErr
+}
+
 // applyOps applies every queued mutation at a round top, in arrival order,
-// stamping each into the event log — or, when replaying, applies the log's
-// own events due at this round.
+// stamping each into the event log — or, when replaying or recovering,
+// applies the log's events due at this round (recovery skips sampled ones;
+// sampling regenerates those).
 func (s *Service) applyOps() error {
 	if s.replayLog != nil {
 		for len(s.replayLog) > 0 && s.replayLog[0].Round <= s.round {
@@ -492,6 +635,23 @@ func (s *Service) applyOps() error {
 				return err
 			}
 			s.replayLog = s.replayLog[1:]
+		}
+		return nil
+	}
+	if s.recovering {
+		// New live ops (pendingOps) wait until the session is rebuilt.
+		for s.recoverCur < len(s.recoverLog) && s.walErr == nil {
+			ev := s.recoverLog[s.recoverCur]
+			if ev.Round > s.round || ev.Sampled {
+				break
+			}
+			cur := s.recoverCur
+			if err := s.applyEvent(ev); err != nil {
+				return err
+			}
+			if s.recoverCur == cur {
+				return fmt.Errorf("fleet: recovery: logged %s event at round %d did not apply (corrupt or mismatched log)", ev.Kind, ev.Round)
+			}
 		}
 		return nil
 	}
@@ -503,9 +663,9 @@ func (s *Service) applyOps() error {
 		case EventSubmit:
 			s.applySubmit(o.job)
 		case EventJoin:
-			err = s.applyJoin()
+			err = s.applyJoin(false)
 		case EventLeave:
-			s.applyLeave(o.slot)
+			s.applyLeave(o.slot, false)
 		case EventCheckpoint:
 			s.applyCheckpoint(o.checkpoint, o.adaptive)
 		}
@@ -542,13 +702,24 @@ func (s *Service) applyEvent(ev ServiceEvent) error {
 		s.applySubmit(j)
 		return nil
 	case EventJoin:
-		return s.applyJoin()
+		return s.applyJoin(ev.Sampled)
 	case EventLeave:
-		s.applyLeave(ev.Station)
+		s.applyLeave(ev.Station, ev.Sampled)
 		return nil
 	case EventCheckpoint:
 		s.applyCheckpoint(ev.Checkpoint, ev.Adaptive)
 		return nil
+	case EventCrash:
+		s.applyCrash(ev.Station, ev.Sampled)
+		return nil
+	case EventKill:
+		// Replaying a killed session re-kills it at the same round; the
+		// replayed result matches the original, error included.
+		s.logEvent(ev)
+		if err := s.flushWAL(); err != nil {
+			return err
+		}
+		return ErrSchedulerKilled
 	default:
 		return fmt.Errorf("fleet: replay: unknown event kind %d", int(ev.Kind))
 	}
@@ -568,12 +739,12 @@ func (s *Service) applySubmit(j *svcJob) {
 	}
 	s.queues[j.tenant] = append(s.queues[j.tenant], j)
 	s.queuedTotal++
-	s.events = append(s.events, ServiceEvent{
+	s.logEvent(ServiceEvent{
 		Round: s.round, Kind: EventSubmit, Tenant: j.tenant, JobID: j.id, Tasks: j.specs,
 	})
 }
 
-func (s *Service) applyJoin() error {
+func (s *Service) applyJoin(sampled bool) error {
 	id := s.nextStation
 	ws, err := s.f.buildStation(id)
 	if err != nil {
@@ -583,18 +754,30 @@ func (s *Service) applyJoin() error {
 	slot := s.core.Join(ws)
 	s.alive = append(s.alive, true)
 	s.joined++
-	s.events = append(s.events, ServiceEvent{Round: s.round, Kind: EventJoin, Station: slot})
+	s.logEvent(ServiceEvent{Round: s.round, Kind: EventJoin, Station: slot, Sampled: sampled})
 	return nil
 }
 
-func (s *Service) applyLeave(slot int) {
+func (s *Service) applyLeave(slot int, sampled bool) {
 	if slot < 0 || slot >= len(s.alive) || !s.alive[slot] {
 		return
 	}
 	s.core.Leave(slot)
 	s.alive[slot] = false
 	s.departed++
-	s.events = append(s.events, ServiceEvent{Round: s.round, Kind: EventLeave, Station: slot})
+	s.logEvent(ServiceEvent{Round: s.round, Kind: EventLeave, Station: slot, Sampled: sampled})
+}
+
+// applyCrash fails a station hard: unlike a leave, an orphaned group's
+// queued tasks are lost, not drained. A no-op on dead or out-of-range slots.
+func (s *Service) applyCrash(slot int, sampled bool) {
+	if slot < 0 || slot >= len(s.alive) || !s.alive[slot] {
+		return
+	}
+	s.core.Crash(slot)
+	s.alive[slot] = false
+	s.crashed++
+	s.logEvent(ServiceEvent{Round: s.round, Kind: EventCrash, Station: slot, Sampled: sampled})
 }
 
 func (s *Service) applyCheckpoint(interval float64, adaptive bool) {
@@ -603,7 +786,7 @@ func (s *Service) applyCheckpoint(interval float64, adaptive bool) {
 		ticks = s.f.g.ticks(interval)
 	}
 	s.core.SetCheckpoint(ticks, adaptive)
-	s.events = append(s.events, ServiceEvent{
+	s.logEvent(ServiceEvent{
 		Round: s.round, Kind: EventCheckpoint, Checkpoint: interval, Adaptive: adaptive,
 	})
 }
@@ -627,14 +810,34 @@ func (s *Service) sampleChurn() error {
 				break
 			}
 			if s.churn.Float64() < cc.LeaveProb {
-				s.applyLeave(slot)
+				s.applyLeave(slot, true)
 			}
 		}
 	}
 	if cc.JoinProb > 0 && s.core.Live() < s.maxStations && s.churn.Float64() < cc.JoinProb {
-		return s.applyJoin()
+		return s.applyJoin(true)
 	}
 	return nil
+}
+
+// sampleFaults runs one round's fault plan after churn: scheduled crashes
+// first, then each live slot crashes with CrashProb, in slot order. Like
+// churn, every outcome is a concrete logged event — a replay applies them
+// without re-sampling, a recovery regenerates them from the seed.
+func (s *Service) sampleFaults() {
+	if s.faults == nil {
+		return
+	}
+	for _, slot := range s.faults.ScheduledCrashes(s.round) {
+		s.applyCrash(slot, true)
+	}
+	if s.faults.Plan().CrashProb > 0 {
+		for slot := 0; slot < len(s.alive); slot++ {
+			if s.alive[slot] && s.faults.SampleCrash() {
+				s.applyCrash(slot, true)
+			}
+		}
+	}
 }
 
 // activate moves queued jobs into the active set, round-robin across
@@ -659,35 +862,98 @@ func (s *Service) activate() {
 	}
 }
 
-// collect attributes the round's completed tasks back to their jobs and
-// advances the round counter. Jobs own contiguous task-ID ranges, so
-// attribution is a range lookup over the active set.
+// collect attributes the round's completed and lost tasks back to their
+// jobs, settles jobs with every task accounted for, flushes the write-ahead
+// log (the round barrier is the durability point), and advances the round
+// counter. Jobs own contiguous task-ID ranges, so attribution is a range
+// lookup over the active set.
 func (s *Service) collect() {
 	s.doneBuf = s.core.TakeCompleted(s.doneBuf[:0])
 	for _, t := range s.doneBuf {
-		for i, j := range s.active {
-			if t.ID < j.base || t.ID >= j.base+len(j.tasks) {
-				continue
-			}
+		if j := s.activeFor(t.ID); j != nil {
 			j.doneTasks++
 			j.doneWork += t.Duration
-			if j.doneTasks == len(j.tasks) {
-				j.finished = s.round
-				s.finished++
-				close(j.done)
-				s.active = append(s.active[:i], s.active[i+1:]...)
-			}
-			break
 		}
 	}
+	s.collectLost()
+	s.flushWAL()
 	s.round++
+	if s.recovering && s.recoverCur < len(s.recoverLog) && s.recoverLog[s.recoverCur].Round < s.round && s.walErr == nil {
+		// A sampled event the log recorded for a finished round never
+		// regenerated: the recovery is not reproducing the original run.
+		ev := s.recoverLog[s.recoverCur]
+		s.walErr = fmt.Errorf("fleet: recovery diverged: logged %s event at round %d never regenerated (different seeds or config than the original run?)", ev.Kind, ev.Round)
+	}
+}
+
+// activeFor finds the active job owning a task ID.
+func (s *Service) activeFor(id int) *svcJob {
+	for _, j := range s.active {
+		if id >= j.base && id < j.base+len(j.tasks) {
+			return j
+		}
+	}
+	return nil
+}
+
+// collectLost attributes fault-destroyed tasks to their jobs and settles
+// jobs whose every task is accounted for — completed, or lost for good.
+func (s *Service) collectLost() {
+	// Unconditional: a replayed crash destroys tasks even when the replaying
+	// session itself carries no fault plan.
+	s.lostBuf = s.core.TakeLost(s.lostBuf[:0])
+	for _, t := range s.lostBuf {
+		if j := s.activeFor(t.ID); j != nil {
+			j.lostTasks++
+		}
+	}
+	kept := s.active[:0]
+	for _, j := range s.active {
+		if j.doneTasks+j.lostTasks < len(j.tasks) {
+			kept = append(kept, j)
+			continue
+		}
+		if j.lostTasks == 0 {
+			j.finished = s.round
+			s.finished++
+		} else {
+			// Every task is completed or destroyed: the job can never
+			// finish, and waiting callers should learn that now.
+			j.err = ErrTasksLost
+		}
+		close(j.done)
+	}
+	s.active = kept
 }
 
 // step prepares and plays one round; it reports done=true when the service
-// has nothing to do (idle, a dead fleet, or the MaxRounds bound).
+// has nothing to do (idle, a dead fleet, or the MaxRounds bound) or must
+// stop (a scheduler kill, a WAL failure).
 func (s *Service) step(ctx context.Context) (done bool, err error) {
+	if s.recovering && s.recoverCur >= len(s.recoverLog) && s.round >= s.recoverTo {
+		// The session is rebuilt: back to live sampling and live ops.
+		s.recovering = false
+		s.recoverLog = nil
+	}
+	if s.walErr != nil {
+		return true, s.walErr
+	}
+	if s.faults != nil && !s.recovering && s.faults.KillsAt(s.round) {
+		// The scheduler dies at this round top: nothing of the round runs,
+		// the durable log closes with a kill record, and RecoverService can
+		// rebuild the session from it. (A recovery with the same plan must
+		// raise or clear KillRound, or it re-kills here immediately.)
+		s.logEvent(ServiceEvent{Round: s.round, Kind: EventKill, Sampled: true})
+		if err := s.flushWAL(); err != nil {
+			return true, err
+		}
+		return true, ErrSchedulerKilled
+	}
 	if err := s.applyOps(); err != nil {
 		return true, err
+	}
+	if s.walErr != nil {
+		return true, s.walErr
 	}
 	hasWork := len(s.active) > 0 || s.queuedTotal > 0 || s.core.Pending() > 0
 	if !hasWork {
@@ -711,12 +977,20 @@ func (s *Service) step(ctx context.Context) (done bool, err error) {
 	if err := s.sampleChurn(); err != nil {
 		return true, err
 	}
+	s.sampleFaults()
+	if s.core.Live() == 0 {
+		// The plan wiped out the fleet this round: whatever its queues held
+		// is already lost; settle those jobs and idle awaiting joins.
+		s.collectLost()
+		s.flushWAL()
+		return true, s.walErr
+	}
 	s.activate()
 	if err := s.core.PlayRound(ctx, s.cfg.Fleet.Workers); err != nil {
 		return true, err
 	}
 	s.collect()
-	return false, nil
+	return false, s.walErr
 }
 
 // Drain plays rounds synchronously until the service is idle — every
@@ -843,6 +1117,7 @@ func (s *Service) shutdownLocked(cause error) {
 	}
 	s.exited = true
 	s.exitErr = cause
+	s.flushWAL()
 	fail := cause
 	if fail == nil {
 		fail = ErrStopped
@@ -874,19 +1149,23 @@ func (s *Service) resultLocked() ServiceResult {
 		Fleet:    s.f.result(s.core.Result(), s.totalWork),
 		Joined:   s.joined,
 		Departed: s.departed,
+		Crashed:  s.crashed,
 		Events:   append([]ServiceEvent(nil), s.events...),
 	}
 }
 
 // ReplayService re-runs a recorded service run from its event log: the
-// same configuration, churn sampling disabled, and the log's submits,
-// joins, leaves and checkpoint changes applied at their recorded rounds.
-// The result — job outcomes, fleet accounting, even the re-logged event
-// sequence — is bit-identical to the original at any Workers setting. (The
-// Replay type is the unrelated trace-driven owner for batch runs.)
+// same configuration, churn and fault sampling disabled, and the log's
+// submits, joins, leaves, checkpoint changes, crashes and kill applied at
+// their recorded rounds. The result — job outcomes, fleet accounting, even
+// the re-logged event sequence — is bit-identical to the original at any
+// Workers setting, a replayed kill re-killing the replay with
+// ErrSchedulerKilled. (The Replay type is the unrelated trace-driven owner
+// for batch runs.)
 func ReplayService(ctx context.Context, cfg ServiceConfig, events []ServiceEvent) (ServiceResult, error) {
 	cfg.Churn.LeaveProb = 0
 	cfg.Churn.JoinProb = 0
+	cfg.Fleet.Faults = FaultPlan{}
 	s, err := NewService(cfg)
 	if err != nil {
 		return ServiceResult{}, err

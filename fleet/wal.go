@@ -1,0 +1,245 @@
+package fleet
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// The service write-ahead log is JSON Lines, the same shape as the trace
+// package's availability format: a header object naming the format, then
+// one object per ServiceEvent in log order. A session killed by its fault
+// plan closes the log with a final {"kind":"kill"} record.
+//
+//	{"format":"cyclesteal-service-wal","version":1,"ticks_per_setup":100}
+//	{"round":0,"kind":"submit","tenant":"acme","tasks":[12,12,12]}
+//	{"round":3,"kind":"leave","sampled":true,"station":2}
+//	{"round":7,"kind":"kill","sampled":true}
+//
+// Fields at their zero value are omitted. ticks_per_setup pins the grid the
+// durations were quantized on; RecoverService refuses a log whose grid
+// disagrees with the configuration it is given.
+const (
+	walFormat  = "cyclesteal-service-wal"
+	walVersion = 1
+)
+
+// walHeader is the log's first line.
+type walHeader struct {
+	Format        string `json:"format"`
+	Version       int    `json:"version"`
+	TicksPerSetup int    `json:"ticks_per_setup"`
+}
+
+// walRecord is one event line. Kind travels as the event kind's name, so
+// the log reads without this package's enum values at hand.
+type walRecord struct {
+	Round      int       `json:"round"`
+	Kind       string    `json:"kind"`
+	Sampled    bool      `json:"sampled,omitempty"`
+	Tenant     string    `json:"tenant,omitempty"`
+	JobID      int       `json:"job_id,omitempty"`
+	Tasks      []float64 `json:"tasks,omitempty"`
+	Station    int       `json:"station,omitempty"`
+	Checkpoint float64   `json:"checkpoint,omitempty"`
+	Adaptive   bool      `json:"adaptive,omitempty"`
+}
+
+// walKinds maps the wire names back to event kinds.
+var walKinds = map[string]EventKind{
+	"submit":     EventSubmit,
+	"join":       EventJoin,
+	"leave":      EventLeave,
+	"checkpoint": EventCheckpoint,
+	"crash":      EventCrash,
+	"kill":       EventKill,
+}
+
+func writeWALHeader(w io.Writer, ticksPerSetup int) error {
+	return writeWALLine(w, walHeader{Format: walFormat, Version: walVersion, TicksPerSetup: ticksPerSetup})
+}
+
+func writeWALEvent(w io.Writer, ev ServiceEvent) error {
+	if _, ok := walKinds[ev.Kind.String()]; !ok {
+		return fmt.Errorf("cannot encode event kind %v", ev.Kind)
+	}
+	return writeWALLine(w, walRecord{
+		Round:      ev.Round,
+		Kind:       ev.Kind.String(),
+		Sampled:    ev.Sampled,
+		Tenant:     ev.Tenant,
+		JobID:      ev.JobID,
+		Tasks:      ev.Tasks,
+		Station:    ev.Station,
+		Checkpoint: ev.Checkpoint,
+		Adaptive:   ev.Adaptive,
+	})
+}
+
+func writeWALLine(w io.Writer, v any) error {
+	line, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	line = append(line, '\n')
+	_, err = w.Write(line)
+	return err
+}
+
+// decodeWAL parses a whole log strictly: a malformed header, an unknown
+// kind, a non-finite number or a round running backwards is an error, never
+// a panic and never a silent skip.
+func decodeWAL(r io.Reader) (walHeader, []ServiceEvent, error) {
+	br := bufio.NewReader(r)
+	var hdr walHeader
+	line, err := readWALLine(br)
+	if err != nil {
+		return hdr, nil, fmt.Errorf("fleet: wal: missing header: %w", err)
+	}
+	if err := strictUnmarshal(line, &hdr); err != nil {
+		return hdr, nil, fmt.Errorf("fleet: wal: header: %w", err)
+	}
+	if hdr.Format != walFormat {
+		return hdr, nil, fmt.Errorf("fleet: wal: format %q, want %q", hdr.Format, walFormat)
+	}
+	if hdr.Version != walVersion {
+		return hdr, nil, fmt.Errorf("fleet: wal: version %d, want %d", hdr.Version, walVersion)
+	}
+	if hdr.TicksPerSetup < 1 {
+		return hdr, nil, fmt.Errorf("fleet: wal: ticks_per_setup must be ≥ 1, got %d", hdr.TicksPerSetup)
+	}
+	var events []ServiceEvent
+	for n := 2; ; n++ {
+		line, err := readWALLine(br)
+		if err == io.EOF {
+			return hdr, events, nil
+		}
+		if err != nil {
+			return hdr, nil, fmt.Errorf("fleet: wal: line %d: %w", n, err)
+		}
+		var rec walRecord
+		if err := strictUnmarshal(line, &rec); err != nil {
+			return hdr, nil, fmt.Errorf("fleet: wal: line %d: %w", n, err)
+		}
+		kind, ok := walKinds[rec.Kind]
+		if !ok {
+			return hdr, nil, fmt.Errorf("fleet: wal: line %d: unknown kind %q", n, rec.Kind)
+		}
+		if rec.Round < 0 {
+			return hdr, nil, fmt.Errorf("fleet: wal: line %d: negative round %d", n, rec.Round)
+		}
+		if len(events) > 0 && rec.Round < events[len(events)-1].Round {
+			return hdr, nil, fmt.Errorf("fleet: wal: line %d: round %d runs backwards (previous event at round %d)", n, rec.Round, events[len(events)-1].Round)
+		}
+		if len(events) > 0 && events[len(events)-1].Kind == EventKill {
+			return hdr, nil, fmt.Errorf("fleet: wal: line %d: events after the kill record", n)
+		}
+		if math.IsNaN(rec.Checkpoint) || math.IsInf(rec.Checkpoint, 0) || rec.Checkpoint < 0 {
+			return hdr, nil, fmt.Errorf("fleet: wal: line %d: checkpoint must be ≥ 0 and finite, got %g", n, rec.Checkpoint)
+		}
+		for i, d := range rec.Tasks {
+			if math.IsNaN(d) || math.IsInf(d, 0) || d < 0 {
+				return hdr, nil, fmt.Errorf("fleet: wal: line %d: task %d duration must be ≥ 0 and finite, got %g", n, i, d)
+			}
+		}
+		if len(rec.Tasks) == 0 {
+			rec.Tasks = nil // "tasks":[] and an absent field read the same
+		}
+		events = append(events, ServiceEvent{
+			Round:      rec.Round,
+			Kind:       kind,
+			Tenant:     rec.Tenant,
+			JobID:      rec.JobID,
+			Tasks:      rec.Tasks,
+			Station:    rec.Station,
+			Checkpoint: rec.Checkpoint,
+			Adaptive:   rec.Adaptive,
+			Sampled:    rec.Sampled,
+		})
+	}
+}
+
+// readWALLine returns the next non-blank line; io.EOF at a clean end.
+func readWALLine(br *bufio.Reader) (string, error) {
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil && err != io.EOF {
+			return "", err
+		}
+		trimmed := strings.TrimSpace(line)
+		if trimmed != "" {
+			return trimmed, nil
+		}
+		if err == io.EOF {
+			return "", io.EOF
+		}
+	}
+}
+
+// strictUnmarshal decodes one JSON object rejecting unknown fields and
+// trailing data — an edited log fails loudly, not quietly.
+func strictUnmarshal(line string, v any) error {
+	dec := json.NewDecoder(strings.NewReader(line))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if dec.More() {
+		return fmt.Errorf("trailing data after object")
+	}
+	return nil
+}
+
+// ReadWAL decodes a service write-ahead log into its event sequence,
+// validating the header and every line strictly; the trace-format analogue
+// for service sessions. Feed the events to ReplayService, or hand the raw
+// log to RecoverService to resume the session instead.
+func ReadWAL(r io.Reader) ([]ServiceEvent, error) {
+	_, events, err := decodeWAL(r)
+	return events, err
+}
+
+// RecoverService rebuilds a resident session from its durable log after a
+// scheduler kill: give it the same ServiceConfig the dead session ran
+// (same seeds, fleet, churn and fault plan — only Faults.KillRound raised
+// or cleared, or the session dies at the same round again) and the log its
+// WAL wrote. The returned Service is paused at round 0 in recovery mode;
+// its first Drain or Start replays the logged rounds — external events
+// applied from the log, sampled churn and crashes regenerated from the
+// seeds and checked against it — and then continues live, bit-identically
+// to a session that was never killed. Jobs and ops that never reached the
+// dead session's log are gone: resubmit them. A fresh cfg.WAL may be set
+// (use a new file — the recovery re-logs the whole history into it).
+func RecoverService(cfg ServiceConfig, wal io.Reader) (*Service, error) {
+	hdr, events, err := decodeWAL(wal)
+	if err != nil {
+		return nil, err
+	}
+	s, err := NewService(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if hdr.TicksPerSetup != int(s.f.g.ticksC) {
+		return nil, fmt.Errorf("fleet: recover: log quantized at %d ticks per setup, config resolves to %d", hdr.TicksPerSetup, int(s.f.g.ticksC))
+	}
+	recoverTo := 0
+	if n := len(events); n > 0 {
+		if last := events[n-1]; last.Kind == EventKill {
+			recoverTo = last.Round
+			events = events[:n-1]
+		} else {
+			// No kill record (the log outlived a session that was never
+			// killed, or died without closing): recover everything logged.
+			recoverTo = last.Round + 1
+		}
+	}
+	if len(events) > 0 || recoverTo > 0 {
+		s.recovering = true
+		s.recoverLog = events
+		s.recoverTo = recoverTo
+	}
+	return s, nil
+}

@@ -126,7 +126,10 @@ func All() []Experiment {
 			return TopologyStudy(c, c.fleetsOr([]int{100, 1000, 5000}), []quant.Tick{0, 2, 8, 32}, 20, 12, c.trialsOr(3))
 		}},
 		{"resident", "E15: resident service — completion vs checkpoint interval × station churn (extension)", func(c Config) (*tab.Table, error) {
-			return ResidentService(c, 24, 10, 170, []float64{2, 10, 20}, []float64{0, 0.02, 0.08}, c.trialsOr(3))
+			return ResidentService(c, 24, 10, 170, []float64{2, 10, 20}, []float64{0, 0.02, 0.08}, []float64{0.25, 4}, c.trialsOr(3))
+		}},
+		{"faults", "E16: faulted farm — guaranteed output vs station crash rate × steal retries × checkpoint cost (extension)", func(c Config) (*tab.Table, error) {
+			return FaultStudy(c, 24, []float64{0, 0.01, 0.05}, []int{1, 4}, c.trialsOr(3))
 		}},
 	}
 }

@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"cyclesteal/fleet"
+	"cyclesteal/internal/tab"
+)
+
+// FaultStudy is experiment E16: the faulted-farm study behind the fault
+// injection extension. A two-cluster fleet with the E14 supply skew (a
+// strong half that drains its own shards and must steal across the priced
+// cluster boundary) works a shared job while a fault plan crashes stations:
+// a crash destroys the station's in-flight work — and, when it orphans a
+// whole steal group, the group's queued tasks — unlike churn's graceful
+// drain-back. Cross-cluster parcels are lossy at half the crash rate, so
+// the steal-retry policy matters: a thief that retries a timed-out crossing
+// recovers throughput a degrade-immediately thief gives up.
+//
+// Rows sweep the recovery machinery — draconian vs checkpointed contracts
+// (split save/restart costs) × the steal-retry cap — and columns sweep the
+// crash rate. Three claims to read off the grid: completion falls
+// monotonically in the crash rate along every row, the crash-free column
+// pins the fault-free baseline bit-identically (an inactive plan costs
+// nothing), and checkpointing buys back more of the loss the faultier the
+// fleet gets.
+//
+// Every cell runs RunDeterministic per trial (Replicate rejects fault
+// plans: a plan names one faulted run, not a distribution), with seeds
+// shared across columns so a row compares identical interrupt histories
+// under increasing fault pressure; the table is bit-identical at any
+// cfg.Workers.
+func FaultStudy(cfg Config, stations int, crashRates []float64, retries []int, trials int) (*tab.Table, error) {
+	cfg = cfg.normalize()
+	if trials < 1 {
+		return nil, fmt.Errorf("experiments: E16 needs trials ≥ 1, got %d", trials)
+	}
+	if stations < 4 || stations%4 != 0 {
+		return nil, fmt.Errorf("experiments: E16 needs stations a positive multiple of 4 (two clusters over four shards), got %d", stations)
+	}
+	if len(crashRates) == 0 || len(retries) == 0 {
+		return nil, fmt.Errorf("experiments: E16 needs at least one crash rate and one retry cap")
+	}
+
+	cols := []string{"contract", "retries"}
+	for _, q := range crashRates {
+		cols = append(cols, fmt.Sprintf("crash %g%%", 100*q))
+	}
+	t := tab.New(
+		fmt.Sprintf("E16: faulted farm — completion %% vs station crash rate × steal retries × checkpoint cost (2 clusters, %d stations, %d tasks × 2 units, %d trials)",
+			stations, stations*12, trials),
+		cols...,
+	)
+
+	cell := func(row, retry int, checkpoint, saveCost, restartCost, rate float64) (float64, error) {
+		if rate < 0 || rate >= 1 {
+			return 0, fmt.Errorf("experiments: E16 crash rate %g must be in [0, 1)", rate)
+		}
+		if retry < 0 {
+			return 0, fmt.Errorf("experiments: E16 retry cap %d must be ≥ 0", retry)
+		}
+		var sum float64
+		for trial := 0; trial < trials; trial++ {
+			seed := cfg.Seed + int64(row)<<32 + int64(trial)<<16
+			f, err := fleet.New(fleet.Config{
+				Stations:      stations,
+				Setup:         1,
+				TicksPerSetup: int(cfg.C),
+				// The E14 skew, cluster-aligned: stations i%4 ∈ {0,1} strong.
+				Owners: []fleet.Owner{
+					fleet.Fixed{Lifespan: 8}, fleet.Fixed{Lifespan: 8},
+					fleet.Fixed{Lifespan: 3}, fleet.Fixed{Lifespan: 3},
+				},
+				Policy:                fleet.Policy{Name: "single"},
+				Opportunities:         20,
+				Shards:                4,
+				Clusters:              2,
+				StealLatency:          4,
+				Checkpoint:            checkpoint,
+				CheckpointSaveCost:    saveCost,
+				CheckpointRestartCost: restartCost,
+				Seed:                  seed,
+				Workers:               cfg.Workers,
+				Faults: fleet.FaultPlan{
+					Seed:         seed + 1,
+					CrashProb:    rate,
+					LossProb:     rate / 2,
+					StealRetries: retry,
+				},
+			})
+			if err != nil {
+				return 0, err
+			}
+			res, err := f.RunDeterministic(context.Background(), fleet.Job{Tasks: fleet.FixedTasks(stations*12, 2)})
+			if err != nil {
+				return 0, err
+			}
+			sum += res.CompletionFraction()
+		}
+		return 100 * sum / float64(trials), nil
+	}
+
+	row := 0
+	addRow := func(label string, retry int, checkpoint, saveCost, restartCost float64) error {
+		vals := []any{label, retry}
+		for _, q := range crashRates {
+			v, err := cell(row, retry, checkpoint, saveCost, restartCost, q)
+			if err != nil {
+				return err
+			}
+			vals = append(vals, v)
+		}
+		row++
+		t.Row(vals...)
+		return nil
+	}
+	for _, retry := range retries {
+		if err := addRow("draconian", retry, 0, 0, 0); err != nil {
+			return nil, err
+		}
+	}
+	for _, retry := range retries {
+		if err := addRow("ckpt 4 (s=0.5, r=1)", retry, 4, 0.5, 1); err != nil {
+			return nil, err
+		}
+	}
+
+	t.Note("crash q %% means each live station crashes with probability q per round (lost work, not a drain-back) and a cross-cluster parcel is lost in transit with probability q/2")
+	t.Note("retries caps the exponential-backoff resends of a lost crossing before the thief degrades to intra-cluster stealing; the crash-free column is bit-identical to a fleet with no fault plan")
+	t.Note("ckpt rows checkpoint every 4 units with a 0.5-unit save and a 1-unit restart after each kill — the split-cost Young/Daly contract of the fault extension")
+	return t, nil
+}

@@ -29,10 +29,17 @@ import (
 // (departures park warm queues back in the pool and joins arrive cold),
 // shifting the whole curve down without moving its shape.
 //
+// The saveCosts list extends the adaptive row into a Young/Daly cost sweep:
+// one extra adaptive row per save cost s, with the per-contract interval
+// following √(2·s·U/(p+1)) instead of assuming a save costs a full setup.
+// Cheaper saves pull the rule toward shorter intervals — more of the kill
+// loss bought back for less overhead — so completion should not fall as s
+// shrinks.
+//
 // Every cell runs the deterministic service engine (trial t of a cell uses
 // the same seeds at any cfg.Workers), so the table is bit-identical across
 // worker counts.
-func ResidentService(cfg Config, stations, maxRounds, tasksPerStation int, intervals []float64, churns []float64, trials int) (*tab.Table, error) {
+func ResidentService(cfg Config, stations, maxRounds, tasksPerStation int, intervals, churns, saveCosts []float64, trials int) (*tab.Table, error) {
 	cfg = cfg.normalize()
 	if trials < 1 {
 		return nil, fmt.Errorf("experiments: E15 needs trials ≥ 1, got %d", trials)
@@ -57,7 +64,7 @@ func ResidentService(cfg Config, stations, maxRounds, tasksPerStation int, inter
 	// Cell mean: the same job drained on a fresh service per trial, seeds
 	// disjoint per (row, trial) and shared across the churn columns so a row
 	// compares the identical interrupt histories under different churn.
-	cell := func(row int, interval float64, adaptive bool, churn float64) (float64, error) {
+	cell := func(row int, interval float64, adaptive bool, saveCost, churn float64) (float64, error) {
 		if interval < 0 {
 			return 0, fmt.Errorf("experiments: E15 checkpoint interval %g must be ≥ 0", interval)
 		}
@@ -76,6 +83,7 @@ func ResidentService(cfg Config, stations, maxRounds, tasksPerStation int, inter
 					Policy:             fleet.Policy{Name: "single"},
 					Checkpoint:         interval,
 					CheckpointAdaptive: adaptive,
+					CheckpointSaveCost: saveCost,
 					Seed:               seed,
 					Workers:            cfg.Workers,
 				},
@@ -102,11 +110,11 @@ func ResidentService(cfg Config, stations, maxRounds, tasksPerStation int, inter
 		return 100 * sum / float64(trials), nil
 	}
 
-	addRow := func(row int, label string, interval float64, adaptive bool) error {
+	addRow := func(row int, label string, interval float64, adaptive bool, saveCost float64) error {
 		vals := make([]any, 0, 1+len(churns))
 		vals = append(vals, label)
 		for _, r := range churns {
-			v, err := cell(row, interval, adaptive, r)
+			v, err := cell(row, interval, adaptive, saveCost, r)
 			if err != nil {
 				return err
 			}
@@ -116,22 +124,31 @@ func ResidentService(cfg Config, stations, maxRounds, tasksPerStation int, inter
 		return nil
 	}
 
-	if err := addRow(0, "off", 0, false); err != nil {
+	if err := addRow(0, "off", 0, false, 0); err != nil {
 		return nil, err
 	}
 	for i, iv := range intervals {
 		if iv <= 0 {
 			return nil, fmt.Errorf("experiments: E15 checkpoint interval %g must be > 0 (the off row is built in)", iv)
 		}
-		if err := addRow(1+i, fmt.Sprintf("every %g", iv), iv, false); err != nil {
+		if err := addRow(1+i, fmt.Sprintf("every %g", iv), iv, false, 0); err != nil {
 			return nil, err
 		}
 	}
-	if err := addRow(1+len(intervals), "adaptive", 0, true); err != nil {
+	if err := addRow(1+len(intervals), "adaptive", 0, true, 0); err != nil {
 		return nil, err
+	}
+	for i, s := range saveCosts {
+		if s <= 0 {
+			return nil, fmt.Errorf("experiments: E15 save cost %g must be > 0 (the default-cost adaptive row is built in)", s)
+		}
+		if err := addRow(2+len(intervals)+i, fmt.Sprintf("adaptive s=%g", s), 0, true, s); err != nil {
+			return nil, err
+		}
 	}
 
 	t.Note("cells are mean completion %% within the round budget; churn r %% means each station leaves and one joins with probability r per round (floor at half the fleet)")
-	t.Note("off is the paper's draconian contract (a kill erases the whole single-period schedule); adaptive picks the Young-rule interval √(2·c·U/(p+1)) per contract (arXiv:0711.3949)")
+	t.Note("off is the paper's draconian contract (a kill erases the whole single-period schedule); adaptive picks the Young-rule interval √(2·s·U/(p+1)) per contract (arXiv:0711.3949), s defaulting to the setup cost")
+	t.Note("adaptive s=X rows price a checkpoint save at X time units instead of a full setup — the Young/Daly cost sweep of the fault extension")
 	return t, nil
 }

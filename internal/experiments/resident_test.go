@@ -11,12 +11,12 @@ import (
 func TestResidentServiceShape(t *testing.T) {
 	intervals := []float64{2, 10}
 	churns := []float64{0, 0.08}
-	tb, err := ResidentService(smallCfg(), 8, 8, 80, intervals, churns, 2)
+	tb, err := ResidentService(smallCfg(), 8, 8, 80, intervals, churns, []float64{0.5}, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tb.Rows) != 2+len(intervals) {
-		t.Fatalf("rows = %d, want %d", len(tb.Rows), 2+len(intervals))
+	if len(tb.Rows) != 3+len(intervals) {
+		t.Fatalf("rows = %d, want %d", len(tb.Rows), 3+len(intervals))
 	}
 	for _, row := range tb.Rows {
 		if len(row) != 1+len(churns) {
@@ -56,7 +56,7 @@ func TestResidentServiceDeterministic(t *testing.T) {
 	run := func(workers int) string {
 		cfg := smallCfg()
 		cfg.Workers = workers
-		tb, err := ResidentService(cfg, 8, 6, 40, []float64{10}, []float64{0, 0.08}, 2)
+		tb, err := ResidentService(cfg, 8, 6, 40, []float64{10}, []float64{0, 0.08}, nil, 2)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -68,19 +68,22 @@ func TestResidentServiceDeterministic(t *testing.T) {
 }
 
 func TestResidentServiceValidation(t *testing.T) {
-	if _, err := ResidentService(smallCfg(), 8, 8, 80, []float64{2}, []float64{0}, 0); err == nil {
+	if _, err := ResidentService(smallCfg(), 8, 8, 80, []float64{2}, []float64{0}, nil, 0); err == nil {
 		t.Error("trials=0 accepted")
 	}
-	if _, err := ResidentService(smallCfg(), 1, 8, 80, []float64{2}, []float64{0}, 1); err == nil {
+	if _, err := ResidentService(smallCfg(), 1, 8, 80, []float64{2}, []float64{0}, nil, 1); err == nil {
 		t.Error("stations=1 accepted")
 	}
-	if _, err := ResidentService(smallCfg(), 8, 8, 80, []float64{0}, []float64{0}, 1); err == nil {
+	if _, err := ResidentService(smallCfg(), 8, 8, 80, []float64{0}, []float64{0}, nil, 1); err == nil {
 		t.Error("zero checkpoint interval accepted (off row is built in)")
 	}
-	if _, err := ResidentService(smallCfg(), 8, 8, 80, []float64{2}, nil, 1); err == nil {
+	if _, err := ResidentService(smallCfg(), 8, 8, 80, []float64{2}, nil, nil, 1); err == nil {
 		t.Error("empty churn list accepted")
 	}
-	if _, err := ResidentService(smallCfg(), 8, 8, 80, []float64{2}, []float64{1}, 1); err == nil {
+	if _, err := ResidentService(smallCfg(), 8, 8, 80, []float64{2}, []float64{1}, nil, 1); err == nil {
 		t.Error("churn rate 1 accepted")
+	}
+	if _, err := ResidentService(smallCfg(), 8, 8, 80, []float64{2}, []float64{0}, []float64{-1}, 1); err == nil {
+		t.Error("negative save cost accepted")
 	}
 }

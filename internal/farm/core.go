@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"sync"
 
+	"cyclesteal/internal/fault"
 	"cyclesteal/internal/quant"
 	"cyclesteal/internal/sched"
 	"cyclesteal/internal/sim"
@@ -82,6 +83,19 @@ type Core struct {
 	steals      int
 	total       int // tasks ever added
 
+	// Fault state (SetFaults): the injector realizing the run's fault plan,
+	// and — in loss-aware mode only — the per-group cross-steal robustness
+	// machinery. With no injector (or no loss axis) none of it is allocated
+	// and the barrier reduces exactly to the fault-free engine.
+	faults      *fault.Injector
+	retries     int
+	tasksLost   int
+	lostbuf     []task.Task // lost tasks for job attribution; tracking mode only
+	awaiting    []bool      // per-group: a cross-cluster request is outstanding
+	crossFails  []int       // per-group consecutive lost cross steals
+	crossDead   []bool      // per-group: degraded to intra-cluster scanning for good
+	nextCrossAt []int64     // per-group backoff: earliest clock for the next request
+
 	arrived []int   // reusable rebalance snapshot
 	errbuf  []error // reusable error-join scratch
 }
@@ -137,13 +151,53 @@ func (c *Core) Join(ws station.Workstation) int {
 	return slot
 }
 
+// SetFaults arms the core with a fault injector — applied at a round
+// barrier, before any round the faults may touch. The core draws parcel-loss
+// samples from it at barrier departures; the driver (batch loop or resident
+// service) owns the crash and kill draws at round tops. With a loss axis in
+// the plan the barrier's cross-steal guard switches to the loss-aware
+// timeout/retry/degrade machinery; without one the guard stays byte-for-byte
+// the fault-free engine. nil disarms.
+func (c *Core) SetFaults(in *fault.Injector) {
+	c.faults = in
+	if in == nil {
+		return
+	}
+	c.retries = in.Retries()
+	if in.Plan().LossProb > 0 && c.scaledLatency > 0 && c.awaiting == nil {
+		c.awaiting = make([]bool, c.groups)
+		c.crossFails = make([]int, c.groups)
+		c.crossDead = make([]bool, c.groups)
+		c.nextCrossAt = make([]int64, c.groups)
+	}
+}
+
+// Faults returns the armed injector, nil when none.
+func (c *Core) Faults() *fault.Injector { return c.faults }
+
 // Leave removes the station in the given slot at a round barrier. Its
 // report (and any error) remains in the run's accounting. When the slot was
 // its group's last live station, the group's queued tasks drain back to the
 // groups that still have stations — the churn contract: a departure behaves
 // exactly like a kill, minus the loss (nothing was mid-period at a barrier,
 // so there is nothing to destroy). Leave reports whether the slot was live.
-func (c *Core) Leave(slot int) bool {
+func (c *Core) Leave(slot int) bool { return c.teardown(slot, true) }
+
+// Crash removes the station in the given slot abruptly at a round barrier —
+// the fault-plan semantics, sharing Leave's teardown with the opposite work
+// policy: where a leave drains an orphaned group's queue back to the fleet,
+// a crash destroys it (those tasks lived on the crashed host; only
+// checkpointed prefixes — work already banked at earlier barriers — survive).
+// Parcels already in flight toward the crashed group are lost on arrival if
+// nobody is left there to receive them. Crash reports whether the slot was
+// live.
+func (c *Core) Crash(slot int) bool { return c.teardown(slot, false) }
+
+// teardown is the shared exit path of Leave and Crash: mark the slot
+// dormant, and when it was its group's last live station either drain the
+// orphaned queue back to the fleet (keepWork — the graceful contract) or
+// destroy it (a crash).
+func (c *Core) teardown(slot int, keepWork bool) bool {
 	if slot < 0 || slot >= len(c.runners) || c.runners[slot].left {
 		return false
 	}
@@ -152,10 +206,41 @@ func (c *Core) Leave(slot int) bool {
 	c.liveIn[g]--
 	c.live--
 	if c.liveIn[g] == 0 {
-		c.drainGroup(g)
+		if keepWork {
+			c.drainGroup(g)
+		} else {
+			c.destroyGroup(g)
+		}
 	}
 	return true
 }
+
+// destroyGroup is drainGroup's crash twin: the orphaned group's queued tasks
+// died with their host instead of draining back.
+func (c *Core) destroyGroup(g int) {
+	n := c.queues[g].Remaining()
+	if n == 0 {
+		return
+	}
+	c.loseTasks(c.queues[g].Steal(n))
+}
+
+// loseTasks records destroyed tasks: counted for the run's accounting, and
+// buffered for TakeLost when completion tracking is on (the resident service
+// attributes losses to jobs the same way it attributes completions).
+func (c *Core) loseTasks(tasks []task.Task) {
+	if len(tasks) == 0 {
+		return
+	}
+	c.tasksLost += len(tasks)
+	if c.track != nil {
+		c.lostbuf = append(c.lostbuf, tasks...)
+	}
+}
+
+// TasksLost reports the tasks destroyed so far — crashed queues and parcels
+// lost in transit.
+func (c *Core) TasksLost() int { return c.tasksLost }
 
 // drainGroup redistributes an orphaned group's queue across the groups that
 // still have live stations, round-robin in group order (an empty fleet keeps
@@ -246,10 +331,38 @@ func (c *Core) Steals() int { return c.steals }
 // InFlight reports the tasks currently crossing between clusters.
 func (c *Core) InFlight() int { return c.flight.InFlight() }
 
+// ApplyFaults applies the armed plan's round-top station crashes for the
+// given round: the explicitly scheduled ones first (in schedule order, slots
+// beyond the fleet ignored), then one Bernoulli draw per still-live slot in
+// slot order — the fixed draw order that keeps the fault stream a pure
+// function of the fleet evolution. The batch driver calls it at each round
+// top; the resident service samples crashes itself (it must log them as
+// events), so it never calls this.
+func (c *Core) ApplyFaults(round int) {
+	if c.faults == nil {
+		return
+	}
+	for _, slot := range c.faults.ScheduledCrashes(round) {
+		c.Crash(slot)
+	}
+	if c.faults.Plan().CrashProb <= 0 {
+		return
+	}
+	for slot := range c.runners {
+		r := &c.runners[slot]
+		if r.left || r.err != nil {
+			continue
+		}
+		if c.faults.SampleCrash() {
+			c.Crash(slot)
+		}
+	}
+}
+
 // Snapshot reports the Core's progress counters — exact at a barrier.
 func (c *Core) Snapshot() Progress {
 	left := c.Pending()
-	return Progress{Completed: c.total - left, Remaining: left, Steals: c.steals}
+	return Progress{Completed: c.total - left - c.tasksLost, Remaining: left, Steals: c.steals, Lost: c.tasksLost}
 }
 
 // Reports returns every station's accumulated report in slot (join) order,
@@ -265,7 +378,7 @@ func (c *Core) Reports() []StationReport {
 // Result assembles the run so far into the batch Result shape — call at a
 // barrier, where the pending count is exact.
 func (c *Core) Result() Result {
-	return c.opts.assemble(c.Reports(), c.Pending(), c.steals, c.flight.InFlight())
+	return c.opts.assemble(c.Reports(), c.Pending(), c.steals, c.flight.InFlight(), c.tasksLost)
 }
 
 // PlayRound plays one opportunity per live station and runs the round
@@ -348,7 +461,22 @@ func (c *Core) barrier() {
 		c.flight.Advance(int64(total - c.playedTicks))
 		c.playedTicks = total
 		c.flight.Arrive(func(dest int, tasks []task.Task) {
+			if c.liveIn[dest] == 0 {
+				// The requesting group crashed while the parcel was in
+				// flight: nobody is left to receive it (only a crash
+				// reaches this — a graceful leave cannot co-occur with
+				// in-flight parcels, see Crash).
+				c.flight.Lose(tasks)
+				c.loseTasks(tasks)
+				return
+			}
 			c.queues[dest].Append(tasks)
+			if c.awaiting != nil {
+				// The crossing succeeded: the request is no longer
+				// outstanding and the backoff ladder resets.
+				c.awaiting[dest] = false
+				c.crossFails[dest] = 0
+			}
 		})
 	}
 
@@ -379,8 +507,14 @@ func (c *Core) barrier() {
 		if stole || c.clusters == 1 {
 			continue
 		}
-		if c.scaledLatency > 0 && c.pending[g] > c.flight.Clock() {
-			continue // one outstanding cross-cluster request per group
+		if c.scaledLatency > 0 {
+			if c.awaiting == nil {
+				if c.pending[g] > c.flight.Clock() {
+					continue // one outstanding cross-cluster request per group
+				}
+			} else if !c.crossReady(g) {
+				continue
+			}
 		}
 		cg := g / c.perCluster
 		for dc := 1; dc < c.clusters && !stole; dc++ {
@@ -399,8 +533,19 @@ func (c *Core) barrier() {
 				stolen := c.queues[v].Steal(half)
 				c.steals++
 				if c.scaledLatency > 0 {
-					c.flight.Depart(stolen, g, c.scaledLatency)
+					if c.faults != nil && c.faults.SampleLoss() {
+						// The parcel is lost in the network. The thief
+						// cannot tell: its request stays outstanding until
+						// the round-priced timeout fires (crossReady).
+						c.flight.Lose(stolen)
+						c.loseTasks(stolen)
+					} else {
+						c.flight.Depart(stolen, g, c.scaledLatency)
+					}
 					c.pending[g] = c.flight.Clock() + c.scaledLatency
+					if c.awaiting != nil {
+						c.awaiting[g] = true
+					}
 				} else {
 					c.queues[g].Append(stolen)
 				}
@@ -409,6 +554,47 @@ func (c *Core) barrier() {
 			}
 		}
 	}
+}
+
+// crossReady is the loss-aware cross-steal guard for group g, evaluated at a
+// barrier when the group arrived dry and found nothing intra-cluster. A
+// group whose retry budget is spent has degraded for good. A group with an
+// outstanding request waits until the request's round-priced deadline
+// (departure clock + scaled latency); any parcel that was going to arrive
+// has matured and landed by then — Arrive runs first in the barrier — so an
+// outstanding request at its deadline means the parcel was lost: the group
+// counts the failure, and either degrades (budget spent) or backs off
+// exponentially (fault.Backoff) before the next request. A group inside its
+// backoff window also waits.
+func (c *Core) crossReady(g int) bool {
+	if c.crossDead[g] {
+		return false
+	}
+	clock := c.flight.Clock()
+	if c.awaiting[g] {
+		if clock < c.pending[g] {
+			return false // still within the round-trip price
+		}
+		// Timeout: the parcel is lost.
+		c.awaiting[g] = false
+		c.crossFails[g]++
+		if c.crossFails[g] > c.retries {
+			c.crossDead[g] = true
+		} else {
+			c.nextCrossAt[g] = clock + fault.Backoff(c.scaledLatency, c.crossFails[g])
+		}
+		return false
+	}
+	return clock >= c.nextCrossAt[g]
+}
+
+// TakeLost appends every task destroyed since the last call to dst, in
+// deterministic loss order, and resets the buffer — TakeCompleted's fault
+// twin, recorded only by a tracking Core. Call at a barrier.
+func (c *Core) TakeLost(dst []task.Task) []task.Task {
+	dst = append(dst, c.lostbuf...)
+	c.lostbuf = c.lostbuf[:0]
+	return dst
 }
 
 // TakeCompleted appends every task completed since the last call to dst, in

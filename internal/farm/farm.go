@@ -67,6 +67,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"cyclesteal/internal/fault"
 	"cyclesteal/internal/mc"
 	"cyclesteal/internal/quant"
 	"cyclesteal/internal/sched"
@@ -189,6 +190,11 @@ type Result struct {
 	// ended (a Topology with CrossLatency > 0 only). They never completed,
 	// so they are included in TasksLeft.
 	InFlight int
+	// TasksLost counts tasks destroyed by injected faults (0 without a
+	// Faults plan): queues that died with a crashed host and steal parcels
+	// lost in transit. Lost tasks are neither completed nor left —
+	// TasksCompleted + TasksLeft + TasksLost is the job's task count.
+	TasksLost int
 }
 
 // CompletionFraction is completed task work over the job's total.
@@ -253,12 +259,35 @@ type Farm struct {
 	// is the paper's pure draconian contract, bit-identical to a Farm without
 	// the field.
 	Checkpoint quant.Tick
+	// CheckpointSaveCost, when ≥ 1, prices each intra-period checkpoint save
+	// separately from the setup cost — the Young/Daly save overhead δ. 0
+	// prices saves at the station's setup cost, bit-identical to the
+	// behavior before the costs were split (see sim.Config.CheckpointSave).
+	CheckpointSaveCost quant.Tick
+	// CheckpointRestartCost, when ≥ 1, prices resuming from a saved
+	// checkpoint: after a kill that banked saves, the next period reached
+	// pays this on top of its setup (see sim.Config.CheckpointRestart). 0
+	// makes restarts free, the pre-split behavior.
+	CheckpointRestartCost quant.Tick
 	// CheckpointAdaptive, when set, overrides Checkpoint per opportunity with
 	// Young's rule from the P2P volunteer-computing analysis
-	// (arXiv:0711.3949): interval k = round(√(2·c·U/(p+1))), the optimum that
-	// balances save overhead against expected loss per kill. A pure function
-	// of the contract, so the determinism contracts are untouched.
+	// (arXiv:0711.3949): interval k = round(√(2·s·U/(p+1))), the optimum that
+	// balances save overhead s (CheckpointSaveCost, defaulting to the setup
+	// cost c) against expected loss per kill. A pure function of the
+	// contract, so the determinism contracts are untouched.
 	CheckpointAdaptive bool
+	// Faults, when active, injects the deterministic fault plan into
+	// RunDeterministic: scheduled and sampled station crashes at round tops
+	// (Crash semantics: an orphaned group's queue dies with its host, where
+	// a graceful Leave drains it back), and cross-cluster parcel loss with
+	// round-priced timeout, capped exponential retry backoff, and
+	// degradation to intra-cluster scanning when the retry budget is spent.
+	// Only the deterministic engine takes faults — Run (the live engine) has
+	// no deterministic points to stamp them onto and rejects active plans —
+	// and a batch run rejects a KillRound (there is no log to recover a
+	// batch run from; that axis belongs to the resident service). The zero
+	// value injects nothing, bit-identical to a Farm without the field.
+	Faults fault.Plan
 	// Progress, when non-nil, observes a run as it happens: Run emits a
 	// snapshot every ProgressInterval of wall-clock time (driven from the
 	// unfinished ledger, so Completed counts settled completions only) and
@@ -287,11 +316,14 @@ type Progress struct {
 	// uses, so Completed never counts a take a kill could still undo).
 	Completed int
 	// Remaining counts tasks not yet completed: unscheduled tasks plus
-	// in-flight takes. Completed + Remaining is the job's task count.
+	// in-flight takes. Completed + Remaining + Lost is the job's task count.
 	Remaining int
 	// Steals counts cross-queue task migrations so far (0 for unsharded
 	// pools).
 	Steals int
+	// Lost counts tasks destroyed by injected faults so far (0 without a
+	// fault plan): crashed hosts' queues and parcels lost in transit.
+	Lost int
 }
 
 // shardCount resolves the Shards field against the fleet size.
@@ -356,6 +388,9 @@ func (f Farm) RunPool(ctx context.Context, pool TaskPool, factory station.Schedu
 	}
 	if len(f.Stations) == 0 {
 		return Result{}, fmt.Errorf("farm: empty fleet")
+	}
+	if f.Faults.Active() {
+		return Result{}, fmt.Errorf("farm: the live engine cannot inject faults (no deterministic points to stamp them onto); use RunDeterministic")
 	}
 	n := f.OpportunitiesPerStation
 	if n < 1 {
@@ -432,7 +467,7 @@ func (f Farm) RunPool(ctx context.Context, pool TaskPool, factory station.Schedu
 	if hasFlight {
 		inflight = fp.InFlight()
 	}
-	return f.assemble(reports, pool.Remaining(), pool.Steals(), inflight), nil
+	return f.assemble(reports, pool.Remaining(), pool.Steals(), inflight, 0), nil
 }
 
 // observe starts Run's wall-clock progress observer, if configured, and
@@ -474,8 +509,8 @@ func (f Farm) observe(total int, unfinished *atomic.Int64, pool TaskPool) (stop 
 }
 
 // assemble folds station reports into the job-level result.
-func (f Farm) assemble(reports []StationReport, left, steals, inflight int) Result {
-	res := Result{Stations: reports, TasksLeft: left, Steals: steals, InFlight: inflight}
+func (f Farm) assemble(reports []StationReport, left, steals, inflight, lost int) Result {
+	res := Result{Stations: reports, TasksLeft: left, Steals: steals, InFlight: inflight, TasksLost: lost}
 	for _, r := range reports {
 		res.TasksCompleted += r.TasksCompleted
 		res.TaskWork += r.TaskWork
@@ -581,9 +616,19 @@ func (f Farm) playOpportunity(rep *StationReport, ws station.Workstation, rng *r
 	adv := ws.Owner.Interrupter(rng, contract)
 	ck := f.Checkpoint
 	if f.CheckpointAdaptive {
-		ck = adaptiveCheckpoint(ws.Setup, contract)
+		save := f.CheckpointSaveCost
+		if save < 1 {
+			save = ws.Setup
+		}
+		ck = adaptiveCheckpoint(save, contract)
 	}
-	r, err := sim.Run(s, adv, sim.Opportunity{U: contract.U, P: contract.P, C: ws.Setup}, sim.Config{Bag: src, Buffers: &scr.bufs, Checkpoint: ck})
+	r, err := sim.Run(s, adv, sim.Opportunity{U: contract.U, P: contract.P, C: ws.Setup}, sim.Config{
+		Bag:               src,
+		Buffers:           &scr.bufs,
+		Checkpoint:        ck,
+		CheckpointSave:    f.CheckpointSaveCost,
+		CheckpointRestart: f.CheckpointRestartCost,
+	})
 	if err != nil {
 		return fmt.Errorf("farm: station %d: %w", ws.ID, err)
 	}
@@ -599,12 +644,17 @@ func (f Farm) playOpportunity(rep *StationReport, ws station.Workstation, rng *r
 }
 
 // adaptiveCheckpoint is Young's rule specialized to the contract: with save
-// cost c (a checkpoint writes the same state a setup restores), lifespan U
-// and kill risk rising in p, the loss-minimizing interval is
-// √(2·c·(mean time between failures)) ≈ √(2·c·U/(p+1)). Clamped to ≥ 1 so
-// an adaptive run always checkpoints — the caller asked for bounded loss.
-func adaptiveCheckpoint(c quant.Tick, contract station.Contract) quant.Tick {
-	k := quant.Tick(math.Round(math.Sqrt(2 * float64(c) * float64(contract.U) / float64(contract.P+1))))
+// cost s (CheckpointSaveCost when split, otherwise the setup cost — a
+// checkpoint then writes the same state a setup restores), lifespan U and
+// kill risk rising in p, the loss-minimizing interval is
+// √(2·s·(mean time between failures)) ≈ √(2·s·U/(p+1)). Cheaper saves pull
+// the interval down (checkpoint more often); the restart cost does not
+// enter — Young's first-order optimum prices the save overhead against the
+// expected loss, and restart is paid per kill regardless of the interval.
+// Clamped to ≥ 1 so an adaptive run always checkpoints — the caller asked
+// for bounded loss.
+func adaptiveCheckpoint(s quant.Tick, contract station.Contract) quant.Tick {
+	k := quant.Tick(math.Round(math.Sqrt(2 * float64(s) * float64(contract.U) / float64(contract.P+1))))
 	if k < 1 {
 		k = 1
 	}
@@ -654,6 +704,14 @@ func (f Farm) RunDeterministic(ctx context.Context, job Job, factory station.Sch
 	if err := f.Topology.Validate(groups); err != nil {
 		return Result{}, err
 	}
+	if f.Faults.Active() {
+		if err := f.Faults.Validate(); err != nil {
+			return Result{}, err
+		}
+		if f.Faults.KillRound > 0 {
+			return Result{}, fmt.Errorf("farm: a batch run cannot recover a scheduler kill (no write-ahead log); KillRound belongs to the resident service")
+		}
+	}
 
 	// The batch drivers are thin shells over the event-driven Core: join the
 	// whole fleet up front, deal the job in, play bounded rounds. No churn,
@@ -664,11 +722,20 @@ func (f Farm) RunDeterministic(ctx context.Context, job Job, factory station.Sch
 		core.Join(ws)
 	}
 	core.AddTasks(job.Tasks)
+	if f.Faults.Active() {
+		// The plan's own seed wins; a zero-seed plan derives its draw stream
+		// from the run seed, so replication stays replayable per trial.
+		core.SetFaults(f.Faults.NewInjector(seed ^ FaultSeedSalt))
+	}
 
 	emitted := false // a round barrier has reported progress
 	for round := 0; round < rounds; round++ {
 		if core.Pending() == 0 {
 			break // every task completed; no point borrowing more time
+		}
+		core.ApplyFaults(round)
+		if core.Live() == 0 {
+			break // the whole fleet crashed; nobody left to play
 		}
 		if err := core.PlayRound(ctx, workers); err != nil {
 			if f.Progress != nil {
@@ -696,8 +763,14 @@ func (f Farm) RunDeterministic(ctx context.Context, job Job, factory station.Sch
 		// barrier already reported this exact state.
 		f.Progress(core.Snapshot())
 	}
-	return f.assemble(core.Reports(), core.Pending(), core.Steals(), core.InFlight()), nil
+	return f.assemble(core.Reports(), core.Pending(), core.Steals(), core.InFlight(), core.TasksLost()), nil
 }
+
+// FaultSeedSalt derives a run's default fault-draw stream from its seed when
+// the plan does not carry its own: distinct from the station streams (keyed
+// by (seed, ID)) and the service's churn stream, so arming an inert plan
+// never perturbs a single existing draw.
+const FaultSeedSalt = 0x6661756c74 // "fault"
 
 // Replication metric indexes: the order of the summaries Replicate returns.
 const (
@@ -709,6 +782,7 @@ const (
 	MetricImbalance             // max/mean per-station completed task work
 	MetricSteals                // cross-queue task migrations per trial
 	MetricTasksInFlight         // tasks still crossing clusters at trial end
+	MetricTasksLost             // tasks destroyed by injected faults per trial
 	NumMetrics
 )
 
@@ -752,6 +826,7 @@ func fillMetrics(out []float64, res Result, job Job) {
 	out[MetricImbalance] = res.Imbalance()
 	out[MetricSteals] = float64(res.Steals)
 	out[MetricTasksInFlight] = float64(res.InFlight)
+	out[MetricTasksLost] = float64(res.TasksLost)
 }
 
 // ReplicateStations is Replicate widened with per-station columns: alongside

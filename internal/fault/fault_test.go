@@ -1,0 +1,154 @@
+package fault
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPlanValidate(t *testing.T) {
+	good := []Plan{
+		{},
+		{CrashProb: 0.5, LossProb: 0.99, KillRound: 3, StealRetries: -1},
+		{Crashes: []Crash{{Round: 0, Station: 0}, {Round: 9, Station: 4}}},
+	}
+	for i, p := range good {
+		if err := p.Validate(); err != nil {
+			t.Errorf("plan %d should validate: %v", i, err)
+		}
+	}
+	bad := []Plan{
+		{CrashProb: 1},
+		{CrashProb: -0.1},
+		{CrashProb: math.NaN()},
+		{LossProb: 1.5},
+		{KillRound: -1},
+		{Crashes: []Crash{{Round: -1, Station: 0}}},
+		{Crashes: []Crash{{Round: 0, Station: -2}}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("plan %d should fail validation: %+v", i, p)
+		}
+	}
+}
+
+func TestPlanActive(t *testing.T) {
+	if (Plan{}).Active() {
+		t.Error("zero plan must be inactive")
+	}
+	for _, p := range []Plan{
+		{CrashProb: 0.01}, {LossProb: 0.01}, {KillRound: 1},
+		{Crashes: []Crash{{Round: 0, Station: 0}}},
+	} {
+		if !p.Active() {
+			t.Errorf("plan %+v should be active", p)
+		}
+	}
+	// StealRetries alone configures recovery, not a fault.
+	if (Plan{StealRetries: 5}).Active() {
+		t.Error("a bare retry budget injects nothing")
+	}
+}
+
+func TestRetriesResolution(t *testing.T) {
+	if got := (Plan{}).Retries(); got != DefaultStealRetries {
+		t.Errorf("default retries = %d, want %d", got, DefaultStealRetries)
+	}
+	if got := (Plan{StealRetries: 7}).Retries(); got != 7 {
+		t.Errorf("explicit retries = %d, want 7", got)
+	}
+	if got := (Plan{StealRetries: -1}).Retries(); got != 0 {
+		t.Errorf("negative retries = %d, want 0", got)
+	}
+}
+
+// TestInjectorReplaysFromSeed is the package's determinism pin: two
+// injectors compiled from the same plan realize the identical fault
+// sequence, and a different seed realizes a different one.
+func TestInjectorReplaysFromSeed(t *testing.T) {
+	plan := Plan{Seed: 42, CrashProb: 0.3, LossProb: 0.4}
+	realize := func(in *Injector) []bool {
+		var out []bool
+		for i := 0; i < 200; i++ {
+			// Interleave the two draw kinds the way a run would.
+			out = append(out, in.SampleCrash(), in.SampleLoss())
+		}
+		return out
+	}
+	a := realize(plan.NewInjector(0))
+	b := realize(plan.NewInjector(0))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same-seed injectors diverge at draw %d", i)
+		}
+	}
+	other := Plan{Seed: 43, CrashProb: 0.3, LossProb: 0.4}
+	c := realize(other.NewInjector(0))
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds realized the identical 400-draw sequence")
+	}
+}
+
+// TestInjectorZeroProbDrawsNothing pins the stream-stability contract:
+// sampling a zero-probability fault consumes no rng state, so adding an
+// inert axis to a plan never perturbs the realized sequence of the others.
+func TestInjectorZeroProbDrawsNothing(t *testing.T) {
+	with := Plan{Seed: 9, LossProb: 0.5}
+	without := Plan{Seed: 9, LossProb: 0.5, CrashProb: 0}
+	a, b := with.NewInjector(0), without.NewInjector(0)
+	for i := 0; i < 100; i++ {
+		if a.SampleLoss() != func() bool { b.SampleCrash(); return b.SampleLoss() }() {
+			t.Fatalf("inert crash sampling perturbed the loss stream at draw %d", i)
+		}
+	}
+}
+
+func TestInjectorDefaultSeed(t *testing.T) {
+	plan := Plan{CrashProb: 0.5}
+	a, b := plan.NewInjector(7), plan.NewInjector(7)
+	for i := 0; i < 50; i++ {
+		if a.SampleCrash() != b.SampleCrash() {
+			t.Fatalf("default-seeded injectors diverge at draw %d", i)
+		}
+	}
+}
+
+func TestScheduledCrashes(t *testing.T) {
+	plan := Plan{Crashes: []Crash{{Round: 2, Station: 1}, {Round: 2, Station: 5}, {Round: 4, Station: 0}}}
+	in := plan.NewInjector(1)
+	if got := in.ScheduledCrashes(2); len(got) != 2 || got[0] != 1 || got[1] != 5 {
+		t.Errorf("round 2 crashes = %v, want [1 5]", got)
+	}
+	if got := in.ScheduledCrashes(3); got != nil {
+		t.Errorf("round 3 crashes = %v, want none", got)
+	}
+}
+
+func TestKillsAt(t *testing.T) {
+	in := Plan{KillRound: 5}.NewInjector(1)
+	if in.KillsAt(4) || !in.KillsAt(5) || in.KillsAt(6) {
+		t.Error("KillsAt must fire exactly at the kill round")
+	}
+	if (Plan{}).NewInjector(1).KillsAt(0) {
+		t.Error("a zero kill round never kills (round 0 included)")
+	}
+}
+
+func TestBackoff(t *testing.T) {
+	cases := []struct {
+		fails int
+		want  int64
+	}{{1, 100}, {2, 200}, {3, 400}, {4, 800}, {5, 800}, {9, 800}, {0, 100}}
+	for _, tc := range cases {
+		if got := Backoff(100, tc.fails); got != tc.want {
+			t.Errorf("Backoff(100, %d) = %d, want %d", tc.fails, got, tc.want)
+		}
+	}
+}

@@ -153,6 +153,18 @@ type Config struct {
 	// the bag. 0 (the zero value) is the paper's pure draconian contract,
 	// bit-identical to a Config without the field.
 	Checkpoint quant.Tick
+	// CheckpointSave, when ≥ 1, prices each intra-period checkpoint save
+	// separately from the setup cost — the Young/Daly save overhead δ. 0 (the
+	// zero value) prices saves at the setup cost c, bit-identical to the
+	// behavior before the costs were split.
+	CheckpointSave quant.Tick
+	// CheckpointRestart, when ≥ 1, prices resuming from a saved checkpoint:
+	// after a kill that banked intra-period saves, the next period reached
+	// pays this on top of its setup cost before doing useful work (reloading
+	// the saved state onto the borrowed workstation). 0 (the zero value)
+	// makes restarts free, bit-identical to the behavior before the costs
+	// were split.
+	CheckpointRestart quant.Tick
 	// Buffers, when non-nil, supplies the reusable episode/task scratch —
 	// the farm engine passes one per station so replaying thousands of
 	// opportunities allocates nothing per episode. Nil means Run uses
@@ -181,6 +193,15 @@ func Run(s model.EpisodeScheduler, adv Interrupter, opp Opportunity, cfg Config)
 		bufs = &Buffers{}
 	}
 	ep := bufs.episode
+	saveCost := cfg.CheckpointSave
+	if saveCost < 1 {
+		saveCost = opp.C
+	}
+	restartCost := cfg.CheckpointRestart
+	if restartCost < 1 {
+		restartCost = 0
+	}
+	restartDue := false // a kill banked saves; the next reached period pays the restart
 
 	for L > 0 {
 		ep = model.AppendEpisode(s, ep[:0], p, L)
@@ -214,9 +235,17 @@ func Run(s model.EpisodeScheduler, adv Interrupter, opp Opportunity, cfg Config)
 			end := elapsed + t
 			rec := PeriodRecord{Episode: res.Episodes - 1, Index: i, Start: opp.U - L + start, Length: t}
 			reached := !interrupted || at > start
+			// A period resuming checkpointed work pays the restart surcharge
+			// as part of its setup segment (setup stays opp.C when restarts
+			// are free or no saves are pending resumption).
+			setup := opp.C
+			if reached && restartDue {
+				setup += restartCost
+				restartDue = false
+			}
 			// Interior checkpoints eat into the period's useful capacity:
-			// with Checkpoint off (saves = 0) capacity is exactly t ⊖ c.
-			saves, capacity := checkpointPlan(t, opp.C, cfg.Checkpoint)
+			// with Checkpoint off (saves = 0) capacity is exactly t ⊖ setup.
+			saves, capacity := checkpointPlan(t, setup, cfg.Checkpoint, saveCost)
 			// Single-shot shipping: a period that begins takes its tasks
 			// once, here; the outcome below decides bank vs return.
 			shipped := 0
@@ -240,18 +269,20 @@ func Run(s model.EpisodeScheduler, adv Interrupter, opp Opportunity, cfg Config)
 				e := at - start
 				var q quant.Tick
 				if saves > 0 {
-					q = checkpointSaved(e, opp.C, cfg.Checkpoint)
+					q = checkpointSaved(e, setup, cfg.Checkpoint, saveCost)
 				}
 				if q > 0 {
 					// The kill loses only work since the last completed save:
 					// q·k fluid ticks are banked, with the tasks that ran to
 					// completion inside them; the setup and q saves were
-					// productive overhead, and only the tail burns.
+					// productive overhead, and only the tail burns. Resuming
+					// the banked saves will cost the next period a restart.
 					saved := q * cfg.Checkpoint
 					rec.Work = saved
 					res.Work += saved
-					res.SetupTicks += opp.C * (1 + q)
-					res.KilledTicks += e - opp.C - q*(cfg.Checkpoint+opp.C)
+					res.SetupTicks += setup + q*saveCost
+					res.KilledTicks += e - setup - q*(cfg.Checkpoint+saveCost)
+					restartDue = true
 					if shipped > 0 {
 						nDone := task.CompletedPrefix(bufs.tasks, saved)
 						if nDone > 0 {
@@ -275,7 +306,7 @@ func Run(s model.EpisodeScheduler, adv Interrupter, opp Opportunity, cfg Config)
 				rec.Work = work
 				res.Work += work
 				if work > 0 {
-					res.SetupTicks += opp.C * (1 + saves)
+					res.SetupTicks += setup + saves*saveCost
 				} else {
 					res.SetupTicks += t // a period ≤ c is pure overhead
 				}
@@ -318,31 +349,31 @@ func Run(s model.EpisodeScheduler, adv Interrupter, opp Opportunity, cfg Config)
 
 // checkpointPlan places the interior checkpoints of a period of length t:
 // with interval k ≥ 1, after every k ticks of useful work the station pays
-// the setup cost c again to save partial results. It returns the number of
-// interior saves and the useful capacity left (t ⊖ c minus the save
-// overhead). A save that would land exactly at the period end is dropped —
-// the period end banks everything anyway — which is why the save count
-// divides w−1, not w. With k < 1 checkpointing is off: no saves, capacity
-// exactly t ⊖ c.
-func checkpointPlan(t, c, k quant.Tick) (saves, capacity quant.Tick) {
+// the save cost s to save partial results. It returns the number of interior
+// saves and the useful capacity left (t ⊖ c minus the save overhead), where
+// c is the period's setup segment (including any restart surcharge). A save
+// that would land exactly at the period end is dropped — the period end
+// banks everything anyway — which is why the save count divides w−1, not w.
+// With k < 1 checkpointing is off: no saves, capacity exactly t ⊖ c.
+func checkpointPlan(t, c, k, s quant.Tick) (saves, capacity quant.Tick) {
 	w := quant.PosSub(t, c)
 	if k < 1 || w < 1 {
 		return 0, w
 	}
-	saves = (w - 1) / (k + c)
-	return saves, w - saves*c
+	saves = (w - 1) / (k + s)
+	return saves, w - saves*s
 }
 
 // checkpointSaved counts the interior saves a kill at period-relative
 // elapsed e has banked: save j occupies the work-span ticks
-// (j·(k+c) − c, j·(k+c)] after the setup, so it is safe only when the kill
-// lands strictly beyond c + j·(k+c). Since e never exceeds the period
+// (j·(k+s) − s, j·(k+s)] after the setup, so it is safe only when the kill
+// lands strictly beyond c + j·(k+s). Since e never exceeds the period
 // length, the result never exceeds checkpointPlan's save count.
-func checkpointSaved(e, c, k quant.Tick) quant.Tick {
+func checkpointSaved(e, c, k, s quant.Tick) quant.Tick {
 	if e <= c {
 		return 0
 	}
-	return (e - c - 1) / (k + c)
+	return (e - c - 1) / (k + s)
 }
 
 func validateEpisode(s model.EpisodeScheduler, ep model.TickSchedule, p int, L quant.Tick) (quant.Tick, error) {

@@ -493,24 +493,100 @@ func TestCheckpointPlanMath(t *testing.T) {
 		{12, 10, 1, 0, 2},    // w=2, k+c=11: save would overrun the period
 	}
 	for _, tc := range cases {
-		saves, capacity := checkpointPlan(tc.t, tc.c, tc.k)
+		// Save cost = setup cost: the pre-split pricing.
+		saves, capacity := checkpointPlan(tc.t, tc.c, tc.k, tc.c)
 		if saves != tc.saves || capacity != tc.capacity {
 			t.Errorf("checkpointPlan(%d,%d,%d) = (%d,%d), want (%d,%d)",
 				tc.t, tc.c, tc.k, saves, capacity, tc.saves, tc.capacity)
 		}
 	}
 	// A save is banked only strictly after its last tick.
-	if q := checkpointSaved(40, 10, 20); q != 0 {
+	if q := checkpointSaved(40, 10, 20, 10); q != 0 {
 		t.Errorf("kill at e=40 (save ends at 40) saved %d, want 0", q)
 	}
-	if q := checkpointSaved(41, 10, 20); q != 1 {
+	if q := checkpointSaved(41, 10, 20, 10); q != 1 {
 		t.Errorf("kill at e=41 saved %d, want 1", q)
 	}
-	if q := checkpointSaved(75, 10, 20); q != 2 {
+	if q := checkpointSaved(75, 10, 20, 10); q != 2 {
 		t.Errorf("kill at e=75 saved %d, want 2", q)
 	}
-	if q := checkpointSaved(10, 10, 20); q != 0 {
+	if q := checkpointSaved(10, 10, 20, 10); q != 0 {
 		t.Errorf("kill inside the setup saved %d, want 0", q)
+	}
+}
+
+func TestCheckpointSplitCostsMath(t *testing.T) {
+	// A cheap save cost packs more saves into the same period: t=100, c=10,
+	// k=20, s=2 → w=90, saves = 89/22 = 4, capacity = 90 − 8 = 82.
+	if saves, capacity := checkpointPlan(100, 10, 20, 2); saves != 4 || capacity != 82 {
+		t.Errorf("cheap-save plan = (%d,%d), want (4,82)", saves, capacity)
+	}
+	// checkpointSaved strides by k+s, not k+c: kill at e=33 is strictly past
+	// c + (k+s) = 32, banking one save.
+	if q := checkpointSaved(33, 10, 20, 2); q != 1 {
+		t.Errorf("kill at e=33 with s=2 saved %d, want 1", q)
+	}
+	if q := checkpointSaved(32, 10, 20, 2); q != 0 {
+		t.Errorf("kill at e=32 with s=2 saved %d, want 0", q)
+	}
+}
+
+// TestCheckpointZeroCostsPinPreSplit pins the split-cost zero values to the
+// pre-split behavior: CheckpointSave=0 prices saves at c, CheckpointRestart=0
+// makes restarts free, so a Config that never names them runs bit-identically.
+func TestCheckpointZeroCostsPinPreSplit(t *testing.T) {
+	na, err := sched.NonAdaptiveFromPeriods(model.TickSchedule{100, 100}, 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opp := Opportunity{U: 200, P: 1, C: 10}
+	adv := adversary.Scripted{Offsets: []quant.Tick{75}}
+	base, err := Run(na, &adv, opp, Config{Checkpoint: 20, RecordPeriods: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	adv2 := adversary.Scripted{Offsets: []quant.Tick{75}}
+	explicit, err := Run(na, &adv2, opp, Config{Checkpoint: 20, CheckpointSave: 10, RecordPeriods: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(base, explicit) {
+		t.Errorf("explicit save cost = setup cost diverged from the zero value:\n%+v\n%+v", base, explicit)
+	}
+}
+
+// TestCheckpointRestartCharged verifies the restart surcharge: after a kill
+// banks saves, the next reached period's setup segment grows by the restart
+// cost, shrinking its capacity and growing SetupTicks by exactly that cost.
+func TestCheckpointRestartCharged(t *testing.T) {
+	na, err := sched.NonAdaptiveFromPeriods(model.TickSchedule{100, 100}, 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opp := Opportunity{U: 200, P: 1, C: 10}
+	run := func(restart quant.Tick) Result {
+		adv := adversary.Scripted{Offsets: []quant.Tick{75}}
+		res, err := Run(na, &adv, opp, Config{Checkpoint: 20, CheckpointRestart: restart, RecordPeriods: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	free, priced := run(0), run(6)
+	// Kill at e=75 in period 1 banks 2 saves (40 fluid ticks) either way.
+	if free.Periods[0].Work != 40 || priced.Periods[0].Work != 40 {
+		t.Fatalf("killed period banked %d/%d, want 40/40", free.Periods[0].Work, priced.Periods[0].Work)
+	}
+	// The episode-2 period (after the unreached row) resumes the saves: its
+	// setup is 10+6, so capacity drops by 6.
+	if got, want := priced.Periods[2].Work, free.Periods[2].Work-6; got != want {
+		t.Errorf("restarted period banked %d, want %d", got, want)
+	}
+	if got, want := priced.SetupTicks, free.SetupTicks+6; got != want {
+		t.Errorf("SetupTicks = %d, want %d", got, want)
+	}
+	if got, want := priced.Work, free.Work-6; got != want {
+		t.Errorf("Work = %d, want %d", got, want)
 	}
 }
 

@@ -28,6 +28,7 @@ type Flight struct {
 	parcels []parcel
 	head    int
 	tasks   int // tasks currently in flight, across parcels
+	lost    int // tasks destroyed in transit, cumulative
 }
 
 // parcel is one departed steal: tasks bound for a destination queue.
@@ -105,3 +106,14 @@ func (f *Flight) InFlight() int { return f.tasks }
 
 // Parcels reports the number of parcels currently in flight.
 func (f *Flight) Parcels() int { return len(f.parcels) - f.head }
+
+// Lose records tasks destroyed in transit — a parcel a fault plan dropped in
+// the network, or one that matured into a group with nobody left alive to
+// receive it. The tasks never re-enter any queue; they only move the ledger's
+// loss counter, the number the engines surface as TasksLost.
+func (f *Flight) Lose(tasks []Task) {
+	f.lost += len(tasks)
+}
+
+// Lost reports the cumulative number of tasks destroyed in transit.
+func (f *Flight) Lost() int { return f.lost }

@@ -64,3 +64,20 @@ func TestFlightEdgeCases(t *testing.T) {
 		t.Fatalf("clock %d after negative Advance, want 0", f.Clock())
 	}
 }
+
+func TestFlightLoseCountsDestroyedTasks(t *testing.T) {
+	var f Flight
+	if f.Lost() != 0 {
+		t.Fatalf("fresh ledger lost %d", f.Lost())
+	}
+	f.Lose(Fixed(2, 3))
+	f.Lose(nil)
+	f.Lose(Fixed(1, 5))
+	if f.Lost() != 3 {
+		t.Errorf("Lost = %d, want 3", f.Lost())
+	}
+	// Loss accounting is independent of the in-flight ledger proper.
+	if f.InFlight() != 0 || f.Parcels() != 0 {
+		t.Errorf("lost tasks leaked into flight: %d tasks / %d parcels", f.InFlight(), f.Parcels())
+	}
+}
