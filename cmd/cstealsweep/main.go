@@ -17,12 +17,20 @@
 // at fleet size N?" per cell. -clusters/-steallatency split those shards
 // into a two-tier topology with latency-priced cross-cluster steals.
 //
+// With -distribute N (and -fleet, -trials) the fleet-mode study fans out
+// across N local worker processes: the cell's contract is restated as a
+// public fleet spec (Poisson temperament inside a fixed (U, p) contract,
+// the equalization policy in place of the solved optimal schedule) and a
+// distrib.Coordinator deals the study's shards to re-execed copies of this
+// binary — bit-identical to running the same spec in one process, at any N.
+//
 // Usage:
 //
 //	cstealsweep -c 100 -ratios 100,1000,10000 -ps 1,2,4 -workers 8
 //	cstealsweep -ratios 100,1000 -ps 1,2 -trials 1000 -seed 7
 //	cstealsweep -ratios 100,1000 -ps 1,2 -trials 50 -fleet 500
 //	cstealsweep -ratios 1000 -ps 2 -trials 50 -fleet 500 -shards 8 -clusters 2 -steallatency 100
+//	cstealsweep -ratios 1000 -ps 2 -trials 200 -fleet 64 -distribute 4
 package main
 
 import (
@@ -32,11 +40,14 @@ import (
 	"math"
 	"math/rand"
 	"os"
+	"os/exec"
 	"runtime"
 	"strconv"
 	"strings"
 	"sync"
 
+	"cyclesteal/distrib"
+	"cyclesteal/fleet"
 	"cyclesteal/internal/adversary"
 	"cyclesteal/internal/farm"
 	"cyclesteal/internal/game"
@@ -52,6 +63,17 @@ import (
 )
 
 func main() {
+	// Hidden worker mode: `cstealsweep -distrib-worker` speaks the distrib
+	// wire conversation over stdio until the coordinator closes the pipe.
+	// Deliberately not a registered flag — it is the re-exec target of
+	// -distribute, not part of the CLI surface.
+	if len(os.Args) == 2 && os.Args[1] == "-distrib-worker" {
+		if err := distrib.Serve(context.Background(), os.Stdin, os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
 	var (
 		c        = flag.Int64("c", 100, "setup cost in ticks (grid resolution)")
 		ratios   = flag.String("ratios", "100,1000,10000", "comma-separated U/c ratios")
@@ -63,6 +85,7 @@ func main() {
 		shards   = flag.Int("shards", 0, "task-bag shards in fleet mode: 0 = auto, 1 = single shared bag")
 		clusters = flag.Int("clusters", 0, "split the fleet-mode shards into this many equal clusters (0 or 1 = flat fleet; needs -fleet)")
 		stealLat = flag.Int64("steallatency", 0, "cross-cluster steal latency in ticks for fleet mode (needs -clusters ≥ 2; intra-cluster steals stay free)")
+		distProc = flag.Int("distribute", 0, "fan the fleet-mode Monte-Carlo out across this many local worker processes (needs -fleet and -trials; 0 = in-process)")
 		format   = flag.String("format", "text", "output format: text, csv, or json")
 	)
 	flag.Parse()
@@ -72,6 +95,12 @@ func main() {
 	}
 	if *stealLat != 0 && *clusters < 2 {
 		fatal(fmt.Errorf("-steallatency needs -clusters ≥ 2 to have a crossing to price"))
+	}
+	if *distProc < 0 {
+		fatal(fmt.Errorf("-distribute must be ≥ 0, got %d", *distProc))
+	}
+	if *distProc > 0 && (*fleetN <= 1 || *trials <= 0) {
+		fatal(fmt.Errorf("-distribute needs -fleet N > 1 and -trials > 0 (it shards the fleet-mode study)"))
 	}
 
 	rs, err := parseTicks(*ratios)
@@ -99,8 +128,12 @@ func main() {
 			fatal(err)
 		}
 		if *fleetN > 1 {
-			topo := farm.Topology{Clusters: *clusters, CrossLatency: quant.Tick(*stealLat)}
-			fleetCells, err = sweepFleet(points, *trials, *seed, *workers, *fleetN, *shards, topo)
+			if *distProc > 0 {
+				fleetCells, err = sweepFleetDistributed(points, *trials, *seed, *fleetN, *shards, *clusters, quant.Tick(*stealLat), *distProc)
+			} else {
+				topo := farm.Topology{Clusters: *clusters, CrossLatency: quant.Tick(*stealLat)}
+				fleetCells, err = sweepFleet(points, *trials, *seed, *workers, *fleetN, *shards, topo)
+			}
 			if err != nil {
 				fatal(err)
 			}
@@ -152,6 +185,9 @@ func main() {
 	}
 	if fleetCells != nil {
 		t.Note("fleet columns: %d identical stations farm one shared job (a full U/c size-c tasks per station) on the two-level farm engine; completion ≈ the fleet-achievable fraction of the contract, with max/mean balance and cross-queue steals, means over %d trials", *fleetN, *trials)
+		if *distProc > 0 {
+			t.Note("fleet columns computed distributed across %d worker processes on the public fleet engine: stations schedule with the adaptive equalization policy (not the cell's solved optimal schedule) under a Poisson temperament inside the fixed (U, p) contract — bit-identical to the same spec in one process", *distProc)
+		}
 		if *clusters > 1 {
 			t.Note("topology: %d clusters over the shards, cross-cluster steals priced at %d ticks; with one opportunity per station a priced parcel caught at the final barrier never lands — the in-flight column is that loss", *clusters, *stealLat)
 		}
@@ -296,6 +332,106 @@ func sweepFleet(points []game.SweepPoint, trials int, seed int64, workers, fleet
 		}
 	}
 	return out, nil
+}
+
+// distribCellSpec restates one sweep cell as a wire spec for the public
+// fleet engine: fleetN stations whose owners play the E8 Poisson
+// temperament (mean return U/3) inside a fixed (U, p) contract, Setup = c
+// in caller units with TicksPerSetup = c so one caller unit is exactly one
+// tick — the sweep's own grid. The job is the fleet mode's usual full
+// lifespan of size-c tasks per station. What cannot travel is the cell's
+// solved optimal schedule (a value table, not named data), so distributed
+// cells schedule with the named default — the adaptive equalization
+// policy; the fleet columns shift meaning accordingly. A p = 0 cell is
+// rejected: the wire owner grammar cannot express a zero interrupt
+// allowance (0 means "the standard default" there).
+func distribCellSpec(pt game.SweepPoint, trials int, seed int64, cell, fleetN, shards, clusters int, stealLat quant.Tick) (distrib.Spec, error) {
+	if pt.P < 1 {
+		return distrib.Spec{}, fmt.Errorf("cell (U=%d p=%d): -distribute cannot express a zero interrupt allowance (drop p=0 from -ps)", pt.U, pt.P)
+	}
+	cfg := fleet.Config{
+		Stations:      fleetN,
+		Setup:         float64(pt.C),
+		TicksPerSetup: int(pt.C),
+		Opportunities: 1,
+		Seed:          seed + int64(cell)<<32,
+		Owners: []fleet.Owner{fleet.Poisson{
+			Base: fleet.Fixed{Lifespan: float64(pt.U), Interrupts: pt.P},
+			Mean: float64(pt.U) / 3,
+		}},
+		Shards:       shards,
+		Clusters:     clusters,
+		StealLatency: float64(stealLat),
+	}
+	perStation := int(pt.U / pt.C)
+	if perStation < 1 {
+		perStation = 1
+	}
+	job := fleet.Job{Tasks: fleet.FixedTasks(fleetN*perStation, float64(pt.C))}
+	return distrib.NewSpec(cfg, job, trials)
+}
+
+// sweepFleetDistributed is sweepFleet's multi-process sibling: each cell's
+// study fans out across procs re-execed copies of this binary (the hidden
+// -distrib-worker mode) through a distrib.Coordinator, with study-level
+// trial progress relayed to stderr. Cells run sequentially; within a cell
+// the merged numbers are bit-identical at any procs by the distrib
+// contract.
+func sweepFleetDistributed(points []game.SweepPoint, trials int, seed int64, fleetN, shards, clusters int, stealLat quant.Tick, procs int) ([]fleetCell, error) {
+	exe, err := os.Executable()
+	if err != nil {
+		return nil, fmt.Errorf("locating the worker binary: %w", err)
+	}
+	start := distrib.ExecStarter(func() *exec.Cmd { return exec.Command(exe, "-distrib-worker") })
+	out := make([]fleetCell, len(points))
+	for i, pt := range points {
+		spec, err := distribCellSpec(pt, trials, seed, i, fleetN, shards, clusters, stealLat)
+		if err != nil {
+			return nil, err
+		}
+		coord, err := distrib.NewCoordinator(spec, distrib.Options{
+			Workers: procs,
+			Start:   start,
+			Progress: func(done, total int) {
+				fmt.Fprintf(os.Stderr, "\rcstealsweep: cell %d/%d: %d/%d trials", i+1, len(points), done, total)
+			},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("cell (U=%d p=%d) distributed fleet: %w", pt.U, pt.P, err)
+		}
+		rep, err := coord.Run(context.Background())
+		if err != nil {
+			fmt.Fprintln(os.Stderr)
+			return nil, fmt.Errorf("cell (U=%d p=%d) distributed fleet: %w", pt.U, pt.P, err)
+		}
+		out[i] = fleetCell{
+			completion: engineSummary(rep.Completion),
+			imbalance:  engineSummary(rep.Imbalance),
+			steals:     engineSummary(rep.Steals),
+			inflight:   engineSummary(rep.InFlight),
+		}
+	}
+	fmt.Fprintln(os.Stderr)
+	return out, nil
+}
+
+// engineSummary converts a public fleet summary back to the engine form
+// the table plumbing carries. The fields mirror one another exactly; only
+// the package differs.
+func engineSummary(s fleet.Summary) stats.Summary {
+	return stats.Summary{
+		N:      s.N,
+		Mean:   s.Mean,
+		Std:    s.Std,
+		SE:     s.SE,
+		Min:    s.Min,
+		Max:    s.Max,
+		Median: s.Median,
+		P90:    s.P90,
+		P99:    s.P99,
+		CI95Lo: s.CI95Lo,
+		CI95Hi: s.CI95Hi,
+	}
 }
 
 func parseTicks(s string) ([]quant.Tick, error) {

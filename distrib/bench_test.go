@@ -1,0 +1,53 @@
+package distrib
+
+import (
+	"context"
+	"io"
+	"testing"
+
+	"cyclesteal/fleet"
+)
+
+// benchStudy builds one study and its full shard cover once per benchmark.
+func benchStudy(b *testing.B) (*fleet.Study, []fleet.ShardResult) {
+	b.Helper()
+	spec := Spec{Stations: 4, Setup: 5, Opportunities: 2, Seed: 3, Trials: 128,
+		Tasks: fleet.FixedTasks(60, 12)}
+	study, err := spec.Study()
+	if err != nil {
+		b.Fatal(err)
+	}
+	results, err := study.RunShards(context.Background(), study.AllShards(), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return study, results
+}
+
+// BenchmarkDistribMerge measures the coordinator's merge layer: rebuilding
+// every shard's accumulators from wire state and folding the cover into a
+// Replication.
+func BenchmarkDistribMerge(b *testing.B) {
+	study, results := benchStudy(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := study.Merge(results); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkShardEncode measures one shard result's trip onto the wire —
+// the per-shard marginal cost of distributing a study.
+func BenchmarkShardEncode(b *testing.B) {
+	_, results := benchStudy(b)
+	f := Frame{Kind: FrameShard, Shard: &results[0]}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := EncodeFrame(io.Discard, f); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package distrib_test
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+
+	"cyclesteal/distrib"
+	"cyclesteal/fleet"
+)
+
+// ExampleCoordinator distributes a replication study across four workers
+// and shows the headline contract: the merged summary is bit-identical to
+// running fleet.Replicate in one process.
+func ExampleCoordinator() {
+	cfg := fleet.Config{Stations: 8, Setup: 5, Opportunities: 3, Seed: 42}
+	job := fleet.Job{Tasks: fleet.FixedTasks(200, 12)}
+
+	spec, err := distrib.NewSpec(cfg, job, 200)
+	if err != nil {
+		panic(err)
+	}
+	// Workers here are in-process goroutines speaking the full wire
+	// protocol; swap in distrib.ExecStarter to fan out across OS processes
+	// (cstealsweep -distribute does exactly that).
+	coord, err := distrib.NewCoordinator(spec, distrib.Options{Workers: 4})
+	if err != nil {
+		panic(err)
+	}
+	rep, err := coord.Run(context.Background())
+	if err != nil {
+		panic(err)
+	}
+
+	f, err := fleet.New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	solo, err := f.Replicate(context.Background(), job, 200)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("trials: %d\n", rep.Trials)
+	fmt.Printf("bit-identical to single-process Replicate: %v\n", reflect.DeepEqual(rep, solo))
+	// Output:
+	// trials: 200
+	// bit-identical to single-process Replicate: true
+}

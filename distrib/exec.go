@@ -1,0 +1,100 @@
+package distrib
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"sync"
+	"time"
+)
+
+// InProcess is the zero-dependency Starter: each connection is a Serve
+// goroutine in this process, wired up with pipes. It exercises the entire
+// wire conversation — every byte is encoded and strictly decoded — without
+// spawning a process, which is what the tests and single-machine fan-out
+// use.
+func InProcess() Starter {
+	return func(ctx context.Context) (io.ReadWriteCloser, error) {
+		inR, inW := io.Pipe()   // coordinator → worker
+		outR, outW := io.Pipe() // worker → coordinator
+		go func() {
+			Serve(ctx, inR, outW)
+			// Closing both ends unblocks the coordinator whether Serve
+			// ended cleanly (EOF) or died mid-conversation.
+			outW.Close()
+			inR.Close()
+		}()
+		return &pipeConn{r: outR, w: inW}, nil
+	}
+}
+
+type pipeConn struct {
+	r *io.PipeReader
+	w *io.PipeWriter
+}
+
+func (p *pipeConn) Read(b []byte) (int, error)  { return p.r.Read(b) }
+func (p *pipeConn) Write(b []byte) (int, error) { return p.w.Write(b) }
+func (p *pipeConn) Close() error {
+	p.w.Close() // the worker's stdin EOF: exit cleanly
+	p.r.Close()
+	return nil
+}
+
+// ExecStarter launches one worker process per connection: build returns
+// the command (typically the host binary re-invoked in its hidden worker
+// mode, speaking the wire conversation on stdin/stdout; stderr passes
+// through unless the command says otherwise). Closing the connection
+// closes the worker's stdin — the clean-exit signal — and reaps the
+// process, killing it if it lingers past a short grace period (a worker
+// mid-computation only notices EOF at its next frame).
+func ExecStarter(build func() *exec.Cmd) Starter {
+	return func(ctx context.Context) (io.ReadWriteCloser, error) {
+		cmd := build()
+		if cmd.Stderr == nil {
+			cmd.Stderr = os.Stderr
+		}
+		stdin, err := cmd.StdinPipe()
+		if err != nil {
+			return nil, fmt.Errorf("distrib: worker stdin: %w", err)
+		}
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
+			return nil, fmt.Errorf("distrib: worker stdout: %w", err)
+		}
+		if err := cmd.Start(); err != nil {
+			return nil, fmt.Errorf("distrib: starting worker process: %w", err)
+		}
+		return &procConn{cmd: cmd, in: stdin, out: stdout}, nil
+	}
+}
+
+type procConn struct {
+	cmd  *exec.Cmd
+	in   io.WriteCloser
+	out  io.ReadCloser
+	once sync.Once
+}
+
+func (p *procConn) Read(b []byte) (int, error)  { return p.out.Read(b) }
+func (p *procConn) Write(b []byte) (int, error) { return p.in.Write(b) }
+
+func (p *procConn) Close() error {
+	p.once.Do(func() {
+		p.in.Close()
+		exited := make(chan struct{})
+		go func() {
+			p.cmd.Wait()
+			close(exited)
+		}()
+		select {
+		case <-exited:
+		case <-time.After(2 * time.Second):
+			p.cmd.Process.Kill()
+			<-exited
+		}
+	})
+	return nil
+}

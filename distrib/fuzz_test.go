@@ -1,0 +1,132 @@
+package distrib
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"cyclesteal/fleet"
+)
+
+// fuzzSeedFrames produces one of every frame kind, with realistic
+// payloads, as decoder corpus seeds.
+func fuzzSeedFrames(t interface{ Fatal(...any) }) [][]byte {
+	spec := Spec{Stations: 3, Setup: 5, Trials: 70, Owners: []OwnerSpec{{Kind: "office", Param: 300, Wrap: "poisson", WrapParam: 90}}}
+	study, err := spec.Study()
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := study.RunShards(context.Background(), []int{0, 5}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := []Frame{
+		{Kind: FrameHello, Format: wireFormat, Version: wireVersion},
+		{Kind: FrameStudy, Format: wireFormat, Version: wireVersion, Spec: &spec},
+		{Kind: FrameAssign, Shards: []int{0, 5, 63}},
+		{Kind: FrameProgress, Done: 3, Total: 9},
+		{Kind: FrameShard, Shard: &results[0]},
+		{Kind: FrameDone, Shards: []int{0, 5}},
+		{Kind: FrameError, Error: "boom"},
+	}
+	var out [][]byte
+	for _, f := range frames {
+		var buf bytes.Buffer
+		if err := EncodeFrame(&buf, f); err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, bytes.TrimRight(buf.Bytes(), "\n"))
+	}
+	return out
+}
+
+// FuzzReadFrame pins the wire decoder's safety contract: arbitrary bytes
+// never panic — they decode or error — and every accepted frame re-encodes
+// and re-decodes to exactly itself (the canonical-form round trip a
+// coordinator and worker rely on).
+func FuzzReadFrame(f *testing.F) {
+	for _, seed := range fuzzSeedFrames(f) {
+		f.Add(seed)
+	}
+	f.Add([]byte(`{"frame":"assign","shards":[64]}`))
+	f.Add([]byte(`{"frame":"hello","format":"wrong","version":1}`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte(`{"frame":"shard","shard":{"shard":0,"metrics":[{"n":-1}]}}`))
+	f.Fuzz(func(t *testing.T, line []byte) {
+		fr, err := ParseFrame(line)
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := EncodeFrame(&buf, fr); err != nil {
+			t.Fatalf("accepted frame failed to re-encode: %v", err)
+		}
+		back, err := ParseFrame(bytes.TrimRight(buf.Bytes(), "\n"))
+		if err != nil {
+			t.Fatalf("re-encoded frame rejected: %v", err)
+		}
+		if !reflect.DeepEqual(fr, back) {
+			t.Fatalf("frame round trip diverged:\n got %+v\nwant %+v", back, fr)
+		}
+	})
+}
+
+// FuzzReadShardResult pins the shard-state decoder the same way: no panic
+// on any input, exact round trip for anything accepted — including the
+// float64 payloads, which must cross the wire bit-for-bit.
+func FuzzReadShardResult(f *testing.F) {
+	spec := Spec{Stations: 2, Setup: 5, Trials: 80}
+	study, err := spec.Study()
+	if err != nil {
+		f.Fatal(err)
+	}
+	results, err := study.RunShards(context.Background(), []int{0, 9}, nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, r := range results {
+		raw, err := json.Marshal(r)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(raw)
+	}
+	f.Add([]byte(`{"shard":0,"metrics":[]}`))
+	f.Add([]byte(`{"shard":-1,"metrics":[]}`))
+	f.Add([]byte(`{"shard":0,"metrics":[{"n":2,"mean":1,"m2":0.5,"min":0,"max":2,"sketch":{"k":9,"n":2}}]}`))
+	f.Fuzz(func(t *testing.T, line []byte) {
+		r, err := ParseShardResult(line)
+		if err != nil {
+			return
+		}
+		raw, err := json.Marshal(r)
+		if err != nil {
+			t.Fatalf("accepted shard result failed to re-encode: %v", err)
+		}
+		back, err := ParseShardResult(raw)
+		if err != nil {
+			t.Fatalf("re-encoded shard result rejected: %v", err)
+		}
+		if !reflect.DeepEqual(r, back) {
+			t.Fatalf("shard result round trip diverged:\n got %+v\nwant %+v", back, r)
+		}
+	})
+}
+
+// TestFuzzSeedsAccepted keeps the healthy corpus healthy: every seed the
+// fuzzers start from that should parse does parse.
+func TestFuzzSeedsAccepted(t *testing.T) {
+	for i, seed := range fuzzSeedFrames(t) {
+		if _, err := ParseFrame(seed); err != nil {
+			t.Errorf("seed frame %d rejected: %v", i, err)
+		}
+	}
+	if _, err := ParseShardResult([]byte(`{"shard":3,"metrics":[{"n":0,"mean":0,"m2":0,"min":0,"max":0}]}`)); err != nil {
+		t.Errorf("minimal shard result rejected: %v", err)
+	}
+	if err := (fleet.ShardResult{Shard: 1}).Validate(); err != nil {
+		t.Errorf("empty-metrics shard result invalid: %v", err)
+	}
+}

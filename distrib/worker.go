@@ -1,0 +1,78 @@
+package distrib
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"cyclesteal/fleet"
+)
+
+// Serve runs the worker side of the wire conversation over r/w — stdin and
+// stdout for a subprocess worker (cstealsweep hides this behind a flag), or
+// in-process pipes via InProcess. It greets, receives the study spec,
+// builds its own fleet from it, and then answers assign frames until the
+// coordinator closes the connection (a clean shutdown, returning nil) or
+// ctx is cancelled.
+//
+// A failure to run an assignment is reported to the coordinator as an
+// error frame and also returned; the coordinator decides whether to re-deal
+// the shards elsewhere. Serve never panics on malformed input — every frame
+// passes the strict decoder first.
+func Serve(ctx context.Context, r io.Reader, w io.Writer) error {
+	s := newStream(r, w)
+	if err := s.send(Frame{Kind: FrameHello, Format: wireFormat, Version: wireVersion}); err != nil {
+		return fmt.Errorf("distrib: worker hello: %w", err)
+	}
+	first, err := s.recv()
+	if err != nil {
+		return fmt.Errorf("distrib: worker awaiting study: %w", err)
+	}
+	if first.Kind != FrameStudy {
+		return fmt.Errorf("distrib: worker expected a study frame, got %q", first.Kind)
+	}
+	study, err := first.Spec.Study()
+	if err != nil {
+		// The spec passed wire validation but not fleet validation; tell
+		// the coordinator why instead of dying silently.
+		s.send(Frame{Kind: FrameError, Error: err.Error()})
+		return err
+	}
+	for {
+		f, err := s.recv()
+		if err == io.EOF {
+			return nil // coordinator closed the conversation: done
+		}
+		if err != nil {
+			return fmt.Errorf("distrib: worker reading assignment: %w", err)
+		}
+		if f.Kind != FrameAssign {
+			return fmt.Errorf("distrib: worker expected an assign frame, got %q", f.Kind)
+		}
+		if err := serveAssignment(ctx, s, study, f.Shards); err != nil {
+			s.send(Frame{Kind: FrameError, Error: err.Error()})
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			return err
+		}
+	}
+}
+
+// serveAssignment runs one shard assignment and streams the results:
+// progress frames while trials run (the mc observer cadence), then one
+// shard frame per completed shard, then the done acknowledgment.
+func serveAssignment(ctx context.Context, s *stream, study *fleet.Study, shards []int) error {
+	results, err := study.RunShards(ctx, shards, func(done, total int) {
+		s.send(Frame{Kind: FrameProgress, Done: done, Total: total})
+	})
+	if err != nil {
+		return err
+	}
+	for i := range results {
+		if err := s.send(Frame{Kind: FrameShard, Shard: &results[i]}); err != nil {
+			return err
+		}
+	}
+	return s.send(Frame{Kind: FrameDone, Shards: shards})
+}

@@ -2,13 +2,8 @@ package fleet
 
 import (
 	"context"
-	"fmt"
 
-	"cyclesteal/internal/farm"
-	"cyclesteal/internal/mc"
-	"cyclesteal/internal/now"
 	"cyclesteal/internal/stats"
-	"cyclesteal/internal/task"
 )
 
 // Summary describes one metric's distribution across a replication study.
@@ -93,94 +88,25 @@ type Replication struct {
 // Private pool replays the fleet survey. Cancelling ctx stops every worker
 // at its next trial boundary and returns ctx.Err().
 func (f *Fleet) Replicate(ctx context.Context, job Job, trials int) (Replication, error) {
-	if trials < 1 {
-		return Replication{}, fmt.Errorf("fleet: trials must be ≥ 1, got %d", trials)
+	st, err := f.Study(job, trials)
+	if err != nil {
+		return Replication{}, err
 	}
-	if f.cfg.Record != nil {
-		return Replication{}, fmt.Errorf("fleet: Replicate cannot record a trace: trials would overwrite one another — record a single Run or RunDeterministic instead")
-	}
-	if f.stateful {
-		return Replication{}, fmt.Errorf("fleet: Replicate cannot drive trace-replay owners: a recorded trace names one run, not a distribution — use Run or RunDeterministic")
-	}
-	if f.cfg.Faults.Active() {
-		return Replication{}, fmt.Errorf("fleet: Replicate rejects fault plans: a plan names one faulted run, not a distribution — sweep seeds over RunDeterministic instead")
-	}
-	cfg := mc.Config{Trials: trials, Seed: f.cfg.Seed, Workers: f.cfg.Workers}
+	var progress func(done, total int)
 	if cb := f.cfg.Progress; cb != nil {
 		// Trials-completed progress: the study-level signal Run's task-level
 		// snapshots cannot give (trial-local snapshots are not study
 		// progress, so per-trial observers stay off).
-		cfg.Progress = func(done, total int) {
+		progress = func(done, total int) {
 			cb(Progress{Completed: done, Remaining: total - done})
 		}
-		cfg.ProgressInterval = f.cfg.ProgressInterval
 	}
-	fj := f.job(job)
-	k := f.g.unitsPerTick()
-
-	if f.cfg.Pool == Private || len(fj.Tasks) == 0 {
-		// Empty jobs replicate as pure fluid surveys (see Run): the shared
-		// pools would end each trial before its first opportunity.
-		// No Workers here: now.Fleet.Replicate splits cfg.Workers itself
-		// (trials outside, stations inside) and installs the inner share.
-		nf := now.Fleet{
-			Stations:                f.stations,
-			OpportunitiesPerStation: f.cfg.Opportunities,
-			DisableEpisodeMemo:      f.cfg.DisableEpisodeMemo,
-		}
-		var tasksPer func(ws now.Workstation) *task.Bag
-		if len(fj.Tasks) > 0 {
-			// Each trial drains fresh bags; the deal itself is a pure
-			// function of (job, fleet), and ws.ID indexes it because New
-			// numbers stations 0..n−1.
-			hands := task.Deal(fj.Tasks, len(f.stations))
-			tasksPer = func(ws now.Workstation) *task.Bag {
-				return task.NewBag(hands[ws.ID])
-			}
-		}
-		sums, err := nf.Replicate(ctx, f.factory, cfg, tasksPer)
-		if err != nil {
-			return Replication{}, err
-		}
-		return Replication{
-			Trials:         trials,
-			TasksCompleted: summary(sums[now.FleetMetricTasks], 1),
-			TaskWork:       summary(sums[now.FleetMetricTaskWork], k),
-			Work:           summary(sums[now.FleetMetricWork], k),
-			Lifespan:       summary(sums[now.FleetMetricLifespan], k),
-			Utilization:    summary(sums[now.FleetMetricUtilization], 1),
-			Killed:         summary(sums[now.FleetMetricKilledTicks], k),
-			Interrupts:     summary(sums[now.FleetMetricInterrupts], 1),
-		}, nil
-	}
-
-	fm := f.farm(f.stations)
-	var sums, stationSums []stats.Summary
-	var err error
-	if f.cfg.StationSummaries {
-		sums, stationSums, err = fm.ReplicateStations(ctx, fj, f.factory, cfg)
-	} else {
-		sums, err = fm.Replicate(ctx, fj, f.factory, cfg)
-	}
+	// Replicate IS the sharded study run over all shards: the single-process
+	// and distributed paths share every line — engine core, shard cut, state
+	// round trip, merge, assembly — so they cannot drift apart.
+	results, err := st.RunShards(ctx, st.AllShards(), progress)
 	if err != nil {
 		return Replication{}, err
 	}
-	rep := Replication{
-		Trials:         trials,
-		TasksCompleted: summary(sums[farm.MetricTasksCompleted], 1),
-		Completion:     summary(sums[farm.MetricCompletionFrac], 1),
-		Work:           summary(sums[farm.MetricFluidWork], k),
-		Killed:         summary(sums[farm.MetricKilledTicks], k),
-		Interrupts:     summary(sums[farm.MetricInterrupts], 1),
-		Imbalance:      summary(sums[farm.MetricImbalance], 1),
-		Steals:         summary(sums[farm.MetricSteals], 1),
-		InFlight:       summary(sums[farm.MetricTasksInFlight], 1),
-	}
-	if len(stationSums) > 0 {
-		rep.StationLifespan = make([]Summary, len(stationSums))
-		for i, s := range stationSums {
-			rep.StationLifespan[i] = summary(s, k)
-		}
-	}
-	return rep, nil
+	return st.Merge(results)
 }

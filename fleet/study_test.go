@@ -1,0 +1,276 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"cyclesteal/trace"
+)
+
+// studyPartition runs the study's shards in `parts` disjoint subsets — in
+// reverse subset order, shuffled within the cover by seed — and merges,
+// exercising exactly what a distributed run does: different groupings,
+// different arrival order, a JSON hop for every shard.
+func studyPartition(t *testing.T, st *Study, parts int, shuffleSeed int64) Replication {
+	t.Helper()
+	var cover []ShardResult
+	for p := parts - 1; p >= 0; p-- {
+		var ids []int
+		for s := p; s < StudyShards; s += parts {
+			ids = append(ids, s)
+		}
+		res, err := st.RunShards(context.Background(), ids, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Round-trip every shard through JSON, the wire representation.
+		for _, r := range res {
+			raw, err := json.Marshal(r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var back ShardResult
+			if err := json.Unmarshal(raw, &back); err != nil {
+				t.Fatal(err)
+			}
+			if err := back.Validate(); err != nil {
+				t.Fatalf("shard %d failed validation after JSON hop: %v", r.Shard, err)
+			}
+			cover = append(cover, back)
+		}
+	}
+	rng := rand.New(rand.NewSource(shuffleSeed))
+	rng.Shuffle(len(cover), func(i, j int) { cover[i], cover[j] = cover[j], cover[i] })
+	rep, err := st.Merge(cover)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// TestStudyMergeBitIdentical is the acceptance pin: a study partitioned
+// across shard subsets (any count, any order, through the JSON wire form)
+// merges bit-identical to single-process Replicate — on the shared-job farm
+// path, with station summaries, and on the private survey path.
+func TestStudyMergeBitIdentical(t *testing.T) {
+	configs := map[string]Config{
+		"farm":     {Stations: 10, Setup: 5, Opportunities: 4, Shards: 2, Seed: 21},
+		"stations": {Stations: 10, Setup: 5, Opportunities: 4, Shards: 2, Seed: 21, StationSummaries: true},
+		"private":  {Stations: 8, Setup: 5, Opportunities: 4, Pool: Private, Seed: 13},
+	}
+	for name, cfg := range configs {
+		t.Run(name, func(t *testing.T) {
+			f, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			job := facadeJob()
+			want, err := f.Replicate(context.Background(), job, 90)
+			if err != nil {
+				t.Fatal(err)
+			}
+			st, err := f.Study(job, 90)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, parts := range []int{1, 4} {
+				got := studyPartition(t, st, parts, int64(parts))
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("parts=%d merged study differs from Replicate:\n got %+v\nwant %+v", parts, got, want)
+				}
+			}
+			// Two fleets from the same Config are interchangeable: results
+			// computed under one merge under the other.
+			f2, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			st2, err := f2.Study(job, 90)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := st.RunShards(context.Background(), st.AllShards(), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := st2.Merge(res)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Error("cross-fleet merge differs from Replicate")
+			}
+		})
+	}
+}
+
+func TestStudyShardTrialsAndColumns(t *testing.T) {
+	f, err := New(Config{Stations: 6, Setup: 5, Opportunities: 3, Seed: 1, StationSummaries: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := f.Study(facadeJob(), 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for s := 0; s < StudyShards; s++ {
+		total += st.ShardTrials(s)
+	}
+	if total != st.Trials() || st.Trials() != 150 {
+		t.Fatalf("shard trials sum %d, study trials %d", total, st.Trials())
+	}
+	if st.ShardTrials(-1) != 0 || st.ShardTrials(StudyShards) != 0 {
+		t.Error("out-of-range shards own trials")
+	}
+	if got := st.MetricColumns(); got <= 6 {
+		t.Fatalf("station-summaries study has %d columns", got)
+	}
+	if len(st.AllShards()) != StudyShards {
+		t.Fatal("AllShards incomplete")
+	}
+}
+
+// TestStudyMirrorsReplicateRejections pins that the study constructor
+// enforces Replicate's preconditions, so a distributed study can never run
+// a spec the in-process API refuses.
+func TestStudyMirrorsReplicateRejections(t *testing.T) {
+	base := Config{Stations: 4, Setup: 5, Opportunities: 3, Seed: 1}
+	f, err := New(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Study(facadeJob(), 0); err == nil {
+		t.Error("trials=0 accepted")
+	}
+	rec := base
+	rec.Record = trace.NewRecorder()
+	if f, err = New(rec); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Study(facadeJob(), 5); err == nil {
+		t.Error("recording fleet accepted")
+	}
+	flt := base
+	flt.Faults = FaultPlan{Crashes: []StationCrash{{Round: 1, Station: 1}}}
+	if f, err = New(flt); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Study(facadeJob(), 5); err == nil {
+		t.Error("faulted fleet accepted")
+	}
+}
+
+// TestStudyMergeValidation pins the loud-failure side: covers that are
+// incomplete, duplicated, mis-shaped, trial-miscounted, or structurally
+// corrupt are rejected, never silently absorbed.
+func TestStudyMergeValidation(t *testing.T) {
+	f, err := New(Config{Stations: 4, Setup: 5, Opportunities: 3, Shards: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := f.Study(facadeJob(), 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := st.RunShards(context.Background(), st.AllShards(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone := func() []ShardResult {
+		out := make([]ShardResult, len(full))
+		copy(out, full)
+		return out
+	}
+	cases := []struct {
+		name   string
+		break_ func([]ShardResult) []ShardResult
+	}{
+		{"missing shard", func(rs []ShardResult) []ShardResult { return rs[:len(rs)-1] }},
+		{"duplicate shard", func(rs []ShardResult) []ShardResult { rs[0] = rs[1]; return rs }},
+		{"shard out of range", func(rs []ShardResult) []ShardResult { rs[0].Shard = StudyShards; return rs }},
+		{"column count mismatch", func(rs []ShardResult) []ShardResult {
+			rs[0].Metrics = rs[0].Metrics[:len(rs[0].Metrics)-1]
+			return rs
+		}},
+		{"trial count mismatch", func(rs []ShardResult) []ShardResult {
+			m := append([]AccumState(nil), rs[0].Metrics...)
+			m[0].N++
+			if m[0].Sketch != nil {
+				sk := *m[0].Sketch
+				m[0].Sketch = &sk
+				m[0].Sketch.N++
+			}
+			rs[0].Metrics = m
+			return rs
+		}},
+		{"corrupt sketch weight", func(rs []ShardResult) []ShardResult {
+			m := append([]AccumState(nil), rs[0].Metrics...)
+			if m[0].Sketch == nil {
+				t.Fatal("expected a sketch on metric 0")
+			}
+			sk := *m[0].Sketch
+			sk.N++
+			m[0].Sketch = &sk
+			rs[0].Metrics = m
+			return rs
+		}},
+	}
+	for _, tc := range cases {
+		if _, err := st.Merge(tc.break_(clone())); err == nil {
+			t.Errorf("%s: merge accepted a broken cover", tc.name)
+		}
+	}
+	if _, err := st.Merge(clone()); err != nil {
+		t.Fatalf("pristine cover rejected: %v", err)
+	}
+}
+
+// TestStudyRunShardsSubsetProgress pins the observer contract RunShards
+// documents: progress totals are the subset's trials and a final snapshot
+// always arrives — including on cancellation, which the coordinator's live
+// study display depends on.
+func TestStudyRunShardsSubsetProgress(t *testing.T) {
+	f, err := New(Config{Stations: 4, Setup: 5, Opportunities: 3, Seed: 5, ProgressInterval: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := f.Study(facadeJob(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := []int{0, 1, 2, 3}
+	want := 0
+	for _, s := range ids {
+		want += st.ShardTrials(s)
+	}
+	var lastDone, lastTotal int
+	if _, err := st.RunShards(context.Background(), ids, func(done, total int) {
+		lastDone, lastTotal = done, total
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if lastDone != want || lastTotal != want {
+		t.Fatalf("final snapshot (%d, %d), want (%d, %d)", lastDone, lastTotal, want, want)
+	}
+
+	// Cancelled mid-run: a final snapshot still arrives, with done < total.
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	lastDone, lastTotal = -1, -1
+	if _, err := st.RunShards(ctx, st.AllShards(), func(done, total int) {
+		calls++
+		lastDone, lastTotal = done, total
+		if calls == 1 {
+			cancel()
+		}
+	}); err == nil {
+		t.Fatal("cancelled run returned nil error")
+	}
+	if lastTotal != 100 || lastDone < 0 || lastDone > 100 {
+		t.Fatalf("cancelled final snapshot (%d, %d)", lastDone, lastTotal)
+	}
+}

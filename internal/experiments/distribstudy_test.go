@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+)
+
+func TestDistribStudyShape(t *testing.T) {
+	tb, err := DistribStudy(smallCfg(), 5, 3, 40, []int{1, 4, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3 (one per worker count)", len(tb.Rows))
+	}
+	for i, row := range tb.Rows {
+		if len(row) != 6 {
+			t.Fatalf("row %v has %d cells, want 6", row, len(row))
+		}
+		if row[5] != "yes" {
+			t.Errorf("row %v: bit-identical cell %q, want yes", row, row[5])
+		}
+		comp, err := strconv.ParseFloat(row[1], 64)
+		if err != nil {
+			t.Fatalf("row %v: bad completion cell %q", row, row[1])
+		}
+		if comp < 0 || comp > 100 {
+			t.Errorf("row %v: completion %g%% out of range", row, comp)
+		}
+		// Location independence in the table itself: every worker count
+		// prints the same numbers (the driver already DeepEqual-asserts
+		// the full Replication; this pins the rendered cells too).
+		for j := 1; j < 5; j++ {
+			if row[j] != tb.Rows[0][j] {
+				t.Errorf("row %d cell %d = %q differs from row 0's %q", i, j, row[j], tb.Rows[0][j])
+			}
+		}
+	}
+}
+
+func TestDistribStudyDeterministic(t *testing.T) {
+	a, err := DistribStudy(smallCfg(), 4, 2, 24, []int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := DistribStudy(smallCfg(), 4, 2, 24, []int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Render() != b.Render() {
+		t.Error("E17 not deterministic across runs")
+	}
+}
+
+func TestDistribStudyValidation(t *testing.T) {
+	if _, err := DistribStudy(smallCfg(), 0, 1, 10, []int{1}); err == nil {
+		t.Error("stations = 0 accepted")
+	}
+	if _, err := DistribStudy(smallCfg(), 4, 1, 0, []int{1}); err == nil {
+		t.Error("trials = 0 accepted")
+	}
+	if _, err := DistribStudy(smallCfg(), 4, 1, 10, nil); err == nil {
+		t.Error("empty worker counts accepted")
+	}
+	if _, err := DistribStudy(smallCfg(), 4, 1, 10, []int{0}); err == nil {
+		t.Error("worker count 0 accepted")
+	}
+}

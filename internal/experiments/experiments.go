@@ -131,6 +131,9 @@ func All() []Experiment {
 		{"faults", "E16: faulted farm — guaranteed output vs station crash rate × steal retries × checkpoint cost (extension)", func(c Config) (*tab.Table, error) {
 			return FaultStudy(c, 24, []float64{0, 0.01, 0.05}, []int{1, 4}, c.trialsOr(3))
 		}},
+		{"distrib", "E17: distributed replication — one study merged from wire-protocol workers, bit-identity asserted (extension)", func(c Config) (*tab.Table, error) {
+			return DistribStudy(c, 8, 4, c.trialsOr(64), []int{1, 4, 16})
+		}},
 	}
 }
 

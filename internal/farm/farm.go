@@ -798,17 +798,54 @@ const (
 // therefore bit-identical at any worker budget.
 func (f Farm) Replicate(ctx context.Context, job Job, factory station.SchedulerFactory, cfg mc.Config) ([]stats.Summary, error) {
 	cfg, inner := mc.SplitConfig(cfg)
+	return mc.RunVec(ctx, cfg, NumMetrics, f.trialVec(ctx, job, factory, inner, false))
+}
+
+// trialVec builds the one replication trial closure every farm study —
+// whole-run, per-station, or shard-subset — executes, so the distributed
+// and single-process paths cannot drift apart. stationCols widens the
+// metric vector with one played-lifespan column per station.
+func (f Farm) trialVec(ctx context.Context, job Job, factory station.SchedulerFactory, inner int, stationCols bool) mc.VecFunc {
 	trial := f
 	trial.Progress = nil // per-trial round barriers are not job progress
-	return mc.RunVec(ctx, cfg, NumMetrics, func(rng *rand.Rand) ([]float64, error) {
+	cols := f.ReplicateColumns(stationCols)
+	return func(rng *rand.Rand) ([]float64, error) {
 		res, err := trial.RunDeterministic(ctx, job, factory, rng.Int63(), inner)
 		if err != nil {
 			return nil, err
 		}
-		out := make([]float64, NumMetrics)
+		out := make([]float64, cols)
 		fillMetrics(out, res, job)
+		if stationCols {
+			for i, s := range res.Stations {
+				out[NumMetrics+i] = float64(s.LifespanTicks)
+			}
+		}
 		return out, nil
-	})
+	}
+}
+
+// ReplicateColumns is the metric-vector width of a replication trial: the
+// Metric* columns, plus one per-station lifespan column each when
+// stationCols is set.
+func (f Farm) ReplicateColumns(stationCols bool) int {
+	if stationCols {
+		return NumMetrics + len(f.Stations)
+	}
+	return NumMetrics
+}
+
+// ReplicateShards runs just the named mc shards of the replication study and
+// returns their partial accumulators — the farm-level face of the
+// distributed replication contract: the same trial closure Replicate (or,
+// with stationCols, ReplicateStations) drives, over exactly the trials those
+// shards own, so a complete cover merged by mc.MergeShards reproduces the
+// single-process summaries bit for bit wherever each subset ran.
+func (f Farm) ReplicateShards(ctx context.Context, job Job, factory station.SchedulerFactory, cfg mc.Config, stationCols bool, shardIDs []int) ([]mc.ShardAccums, error) {
+	cfg, inner := mc.SplitConfig(cfg)
+	fn := f.trialVec(ctx, job, factory, inner, stationCols)
+	return mc.RunVecShards(ctx, cfg, f.ReplicateColumns(stationCols), nil,
+		func(rng *rand.Rand, _ any) ([]float64, error) { return fn(rng) }, shardIDs)
 }
 
 // fillMetrics writes one trial's metric vector into out[:NumMetrics],
@@ -837,21 +874,7 @@ func fillMetrics(out []float64, res Result, job Job) {
 // station; bit-identical at any worker budget.
 func (f Farm) ReplicateStations(ctx context.Context, job Job, factory station.SchedulerFactory, cfg mc.Config) (metrics, lifespans []stats.Summary, err error) {
 	cfg, inner := mc.SplitConfig(cfg)
-	trial := f
-	trial.Progress = nil // per-trial round barriers are not job progress
-	cols := NumMetrics + len(f.Stations)
-	sums, err := mc.RunVec(ctx, cfg, cols, func(rng *rand.Rand) ([]float64, error) {
-		res, err := trial.RunDeterministic(ctx, job, factory, rng.Int63(), inner)
-		if err != nil {
-			return nil, err
-		}
-		out := make([]float64, cols)
-		fillMetrics(out, res, job)
-		for i, s := range res.Stations {
-			out[NumMetrics+i] = float64(s.LifespanTicks)
-		}
-		return out, nil
-	})
+	sums, err := mc.RunVec(ctx, cfg, f.ReplicateColumns(true), f.trialVec(ctx, job, factory, inner, true))
 	if err != nil {
 		return nil, nil, err
 	}

@@ -555,3 +555,63 @@ func TestRunMemoOnOffConserves(t *testing.T) {
 		}
 	}
 }
+
+// TestReplicateShardsBitIdentical pins the distribution contract at the farm
+// layer: running the study's mc shards in disjoint subsets (any grouping, any
+// order) and merging the partial accumulators reproduces Replicate — and
+// ReplicateStations — bit for bit.
+func TestReplicateShardsBitIdentical(t *testing.T) {
+	f := testFarm(5, station.Office{MeanIdle: 500, MaxP: 2})
+	f.Stations[2].Owner = station.Laptop{MeanIdle: 300}
+	job := Job{Tasks: task.Exponential(400, 20, 3)}
+	cfg := mc.Config{Trials: 90, Seed: 9}
+
+	want, err := f.Replicate(context.Background(), job, equalizedFactory, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMetrics, wantLifespans, err := f.ReplicateStations(context.Background(), job, equalizedFactory, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, parts := range []int{1, 4} {
+		for _, stationCols := range []bool{false, true} {
+			var shards []mc.ShardAccums
+			// Run the subsets in reverse to prove location/order independence.
+			for p := parts - 1; p >= 0; p-- {
+				var ids []int
+				for s := p; s < mc.Shards; s += parts {
+					ids = append(ids, s)
+				}
+				part, err := f.ReplicateShards(context.Background(), job, equalizedFactory, cfg, stationCols, ids)
+				if err != nil {
+					t.Fatal(err)
+				}
+				shards = append(shards, part...)
+			}
+			sums, err := mc.MergeShards(f.ReplicateColumns(stationCols), shards)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !stationCols {
+				for m := range want {
+					if sums[m] != want[m] {
+						t.Errorf("parts=%d metric %d diverged from Replicate:\n got %+v\nwant %+v", parts, m, sums[m], want[m])
+					}
+				}
+				continue
+			}
+			for m := range wantMetrics {
+				if sums[m] != wantMetrics[m] {
+					t.Errorf("parts=%d metric %d diverged from ReplicateStations:\n got %+v\nwant %+v", parts, m, sums[m], wantMetrics[m])
+				}
+			}
+			for s := range wantLifespans {
+				if sums[NumMetrics+s] != wantLifespans[s] {
+					t.Errorf("parts=%d station %d lifespan diverged:\n got %+v\nwant %+v", parts, s, sums[NumMetrics+s], wantLifespans[s])
+				}
+			}
+		}
+	}
+}

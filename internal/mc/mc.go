@@ -99,9 +99,11 @@ type Config struct {
 const DefaultProgressInterval = 200 * time.Millisecond
 
 // observe starts the trials-completed observer, if configured, and returns
-// the function that stops it and emits the final snapshot. The observer
-// reads only the shared completion counter, so it can never perturb trials.
-func observe(cfg Config, done *atomic.Int64) (stop func()) {
+// the function that stops it and emits the final snapshot. total is the
+// trial count of the run at hand (the whole study, or a shard subset's
+// share). The observer reads only the shared completion counter, so it can
+// never perturb trials.
+func observe(cfg Config, total int, done *atomic.Int64) (stop func()) {
 	if cfg.Progress == nil {
 		return func() {}
 	}
@@ -120,14 +122,14 @@ func observe(cfg Config, done *atomic.Int64) (stop func()) {
 			case <-quit:
 				return
 			case <-ticker.C:
-				cfg.Progress(int(done.Load()), cfg.Trials)
+				cfg.Progress(int(done.Load()), total)
 			}
 		}
 	}()
 	return func() {
 		close(quit)
 		<-finished // the observer has quit; no callback races the final one
-		cfg.Progress(int(done.Load()), cfg.Trials)
+		cfg.Progress(int(done.Load()), total)
 	}
 }
 
@@ -198,6 +200,68 @@ func RunVec(ctx context.Context, cfg Config, metrics int, fn VecFunc) ([]stats.S
 
 // RunVecState is RunVec with the per-worker state hook; newState may be nil.
 func RunVecState(ctx context.Context, cfg Config, metrics int, newState NewState, fn VecStateFunc) ([]stats.Summary, error) {
+	all := make([]int, Shards)
+	for s := range all {
+		all[s] = s
+	}
+	shards, err := runShardSubset(ctx, cfg, metrics, newState, fn, all)
+	if err != nil {
+		return nil, err
+	}
+	return MergeShards(metrics, shards)
+}
+
+// ShardAccums is one shard's partial study: the per-metric accumulators
+// built from exactly the trials i ≡ Shard (mod Shards), in increasing i.
+// Because that set and order are pure functions of (Seed, Trials, Shard), a
+// shard's accumulators are bit-identical wherever they are computed — the
+// property the distributed replication layer ships across processes.
+type ShardAccums struct {
+	Shard  int
+	Accums []*stats.Accumulator // one per metric, in the study's metric order
+}
+
+// ShardTrials returns how many of a study's trials land in one shard of the
+// fixed partition (0 for out-of-range arguments).
+func ShardTrials(trials, shard int) int {
+	if shard < 0 || shard >= Shards || shard >= trials {
+		return 0
+	}
+	return (trials-shard-1)/Shards + 1
+}
+
+// RunVecShards runs just the named shards of the study — the same trials,
+// seeds, and accumulation order those shards get inside RunVecState — and
+// returns their partial accumulators instead of merged summaries. A
+// complete cover of [0, Shards) fed to MergeShards reproduces RunVecState
+// bit for bit, no matter how the shards were grouped into subsets or where
+// each subset ran. Shard IDs must be in range and free of duplicates (a
+// duplicated shard would double-count its trials in any merge).
+//
+// Progress, when configured, observes the subset: done counts the subset's
+// completed trials and total is the subset's trial share, so a coordinator
+// can sum worker reports into study-level progress.
+func RunVecShards(ctx context.Context, cfg Config, metrics int, newState NewState, fn VecStateFunc, shardIDs []int) ([]ShardAccums, error) {
+	if len(shardIDs) == 0 {
+		return nil, fmt.Errorf("mc: no shards requested")
+	}
+	var seen [Shards]bool
+	for _, s := range shardIDs {
+		if s < 0 || s >= Shards {
+			return nil, fmt.Errorf("mc: shard %d out of range [0, %d)", s, Shards)
+		}
+		if seen[s] {
+			return nil, fmt.Errorf("mc: shard %d requested twice; a duplicate would double-count its trials", s)
+		}
+		seen[s] = true
+	}
+	return runShardSubset(ctx, cfg, metrics, newState, fn, shardIDs)
+}
+
+// runShardSubset is the engine core: it executes the trials of the given
+// shards (validated by the caller) on the worker pool and returns one
+// partial accumulator set per shard, in the order requested.
+func runShardSubset(ctx context.Context, cfg Config, metrics int, newState NewState, fn VecStateFunc, shardIDs []int) ([]ShardAccums, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -211,8 +275,13 @@ func RunVecState(ctx context.Context, cfg Config, metrics int, newState NewState
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > Shards {
-		workers = Shards
+	if workers > len(shardIDs) {
+		workers = len(shardIDs)
+	}
+
+	total := 0
+	for _, s := range shardIDs {
+		total += ShardTrials(cfg.Trials, s)
 	}
 
 	type shardState struct {
@@ -220,10 +289,10 @@ func RunVecState(ctx context.Context, cfg Config, metrics int, newState NewState
 		err   error
 		trial int // trial index of err, for deterministic first-error selection
 	}
-	shards := make([]shardState, Shards)
+	shards := make([]shardState, len(shardIDs))
 
 	var done atomic.Int64
-	stopObserver := observe(cfg, &done)
+	stopObserver := observe(cfg, total, &done)
 
 	jobs := make(chan int)
 	var wg sync.WaitGroup
@@ -233,8 +302,9 @@ func RunVecState(ctx context.Context, cfg Config, metrics int, newState NewState
 			defer wg.Done()
 			var state any
 			stateBuilt := false
-			for s := range jobs {
-				st := &shards[s]
+			for j := range jobs {
+				s := shardIDs[j]
+				st := &shards[j]
 				st.accs = make([]*stats.Accumulator, metrics)
 				for m := range st.accs {
 					st.accs[m] = stats.NewAccumulator(sketchCap)
@@ -271,8 +341,8 @@ func RunVecState(ctx context.Context, cfg Config, metrics int, newState NewState
 			}
 		}()
 	}
-	for s := 0; s < Shards; s++ {
-		jobs <- s
+	for j := range shardIDs {
+		jobs <- j
 	}
 	close(jobs)
 	wg.Wait()
@@ -287,21 +357,60 @@ func RunVecState(ctx context.Context, cfg Config, metrics int, newState NewState
 
 	var first error
 	firstTrial := -1
-	for s := range shards {
-		if shards[s].err != nil && (firstTrial < 0 || shards[s].trial < firstTrial) {
-			first, firstTrial = shards[s].err, shards[s].trial
+	for j := range shards {
+		if shards[j].err != nil && (firstTrial < 0 || shards[j].trial < firstTrial) {
+			first, firstTrial = shards[j].err, shards[j].trial
 		}
 	}
 	if first != nil {
 		return nil, first
 	}
 
+	out := make([]ShardAccums, len(shardIDs))
+	for j, s := range shardIDs {
+		out[j] = ShardAccums{Shard: s, Accums: shards[j].accs}
+	}
+	return out, nil
+}
+
+// MergeShards folds a complete cover of shard accumulators — every shard in
+// [0, Shards) exactly once, in any order, from any mix of sources — into
+// per-metric summaries. The merge always walks shard index order, so the
+// result is independent of the order shards arrive in and bit-identical to
+// the single-process RunVecState for the same study.
+func MergeShards(metrics int, shards []ShardAccums) ([]stats.Summary, error) {
+	if metrics < 1 {
+		return nil, fmt.Errorf("mc: metrics must be ≥ 1, got %d", metrics)
+	}
+	if len(shards) != Shards {
+		return nil, fmt.Errorf("mc: merge needs all %d shards, got %d", Shards, len(shards))
+	}
+	byShard := make([]*ShardAccums, Shards)
+	for i := range shards {
+		sh := &shards[i]
+		if sh.Shard < 0 || sh.Shard >= Shards {
+			return nil, fmt.Errorf("mc: shard %d out of range [0, %d)", sh.Shard, Shards)
+		}
+		if byShard[sh.Shard] != nil {
+			return nil, fmt.Errorf("mc: shard %d present twice in the merge set", sh.Shard)
+		}
+		if len(sh.Accums) != metrics {
+			return nil, fmt.Errorf("mc: shard %d carries %d metrics, want %d", sh.Shard, len(sh.Accums), metrics)
+		}
+		for m, acc := range sh.Accums {
+			if acc == nil {
+				return nil, fmt.Errorf("mc: shard %d metric %d is nil", sh.Shard, m)
+			}
+		}
+		byShard[sh.Shard] = sh
+	}
+
 	merged := make([]*stats.Accumulator, metrics)
 	for m := range merged {
 		merged[m] = stats.NewAccumulator(sketchCap)
 	}
-	for s := range shards {
-		for m, acc := range shards[s].accs {
+	for s := 0; s < Shards; s++ {
+		for m, acc := range byShard[s].Accums {
 			merged[m].Merge(acc)
 		}
 	}

@@ -348,3 +348,158 @@ func TestProgressObserverFinalSnapshotOnCancel(t *testing.T) {
 		t.Errorf("final snapshot done %d outside [1, 10000]", last[0])
 	}
 }
+
+// vecFn is the multi-metric workload the shard-subset tests replicate: the
+// value depends on the whole rng stream so any seed or ordering slip shows.
+func vecFn(rng *rand.Rand) ([]float64, error) {
+	v := 0.0
+	for i := 0; i < 8; i++ {
+		v += rng.NormFloat64()
+	}
+	return []float64{v, v * v, float64(rng.Intn(100))}, nil
+}
+
+func TestShardTrials(t *testing.T) {
+	for _, trials := range []int{1, 63, 64, 65, 1000, 1001} {
+		total := 0
+		for s := 0; s < Shards; s++ {
+			n := ShardTrials(trials, s)
+			want := 0
+			for i := s; i < trials; i += Shards {
+				want++
+			}
+			if n != want {
+				t.Fatalf("ShardTrials(%d, %d) = %d, want %d", trials, s, n, want)
+			}
+			total += n
+		}
+		if total != trials {
+			t.Fatalf("trials=%d: shard trial counts sum to %d", trials, total)
+		}
+	}
+	if ShardTrials(100, -1) != 0 || ShardTrials(100, Shards) != 0 || ShardTrials(0, 0) != 0 {
+		t.Fatal("out-of-range arguments must yield 0")
+	}
+}
+
+// TestRunVecShardsPartitionedMerge is the distributed-replication contract:
+// any partition of the shard space into subsets — run separately, merged in
+// any arrival order — reproduces the single-process summaries bit for bit.
+func TestRunVecShardsPartitionedMerge(t *testing.T) {
+	cfg := Config{Trials: 777, Seed: 11, Workers: 4}
+	want, err := RunVec(context.Background(), cfg, 3, vecFn)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, parts := range []int{1, 3, 4, 64} {
+		var collected []ShardAccums
+		// Deal shards round-robin across parts subsets, then run the subsets
+		// in reverse order so arrival order ≠ shard order.
+		subsets := make([][]int, parts)
+		for s := 0; s < Shards; s++ {
+			subsets[s%parts] = append(subsets[s%parts], s)
+		}
+		for p := parts - 1; p >= 0; p-- {
+			accs, err := RunVecShards(context.Background(), cfg, 3, nil,
+				func(rng *rand.Rand, _ any) ([]float64, error) { return vecFn(rng) }, subsets[p])
+			if err != nil {
+				t.Fatal(err)
+			}
+			collected = append(collected, accs...)
+		}
+		got, err := MergeShards(3, collected)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for m := range want {
+			if !summariesEqual(want[m], got[m]) || want[m].P90 != got[m].P90 || want[m].P99 != got[m].P99 {
+				t.Errorf("parts=%d metric %d: merged summary diverged\n want %+v\n  got %+v", parts, m, want[m], got[m])
+			}
+		}
+	}
+}
+
+func TestRunVecShardsValidation(t *testing.T) {
+	fn := func(rng *rand.Rand, _ any) ([]float64, error) { return []float64{1}, nil }
+	cfg := Config{Trials: 10, Seed: 1}
+	if _, err := RunVecShards(context.Background(), cfg, 1, nil, fn, nil); err == nil {
+		t.Error("empty shard list accepted")
+	}
+	if _, err := RunVecShards(context.Background(), cfg, 1, nil, fn, []int{Shards}); err == nil {
+		t.Error("out-of-range shard accepted")
+	}
+	if _, err := RunVecShards(context.Background(), cfg, 1, nil, fn, []int{3, 3}); err == nil {
+		t.Error("duplicate shard accepted")
+	}
+}
+
+func TestMergeShardsValidation(t *testing.T) {
+	cfg := Config{Trials: 100, Seed: 5, Workers: 2}
+	all := make([]int, Shards)
+	for s := range all {
+		all[s] = s
+	}
+	accs, err := RunVecShards(context.Background(), cfg, 1, nil,
+		func(rng *rand.Rand, _ any) ([]float64, error) { return []float64{rng.Float64()}, nil }, all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MergeShards(1, accs[:Shards-1]); err == nil {
+		t.Error("incomplete cover accepted")
+	}
+	dup := append(append([]ShardAccums(nil), accs[:Shards-1]...), accs[0])
+	if _, err := MergeShards(1, dup); err == nil {
+		t.Error("duplicated shard accepted")
+	}
+	if _, err := MergeShards(2, accs); err == nil {
+		t.Error("metric-count mismatch accepted")
+	}
+	broken := append([]ShardAccums(nil), accs...)
+	broken[7] = ShardAccums{Shard: 7, Accums: []*stats.Accumulator{nil}}
+	if _, err := MergeShards(1, broken); err == nil {
+		t.Error("nil accumulator accepted")
+	}
+	if _, err := MergeShards(1, accs); err != nil {
+		t.Errorf("pristine cover rejected: %v", err)
+	}
+}
+
+// TestRunVecShardsSubsetProgress pins the observer contract on subsets: the
+// final snapshot reports exactly the subset's trial share.
+func TestRunVecShardsSubsetProgress(t *testing.T) {
+	var mu sync.Mutex
+	var lastDone, lastTotal int
+	cfg := Config{
+		Trials: 500, Seed: 3, Workers: 2,
+		Progress:         func(done, total int) { mu.Lock(); lastDone, lastTotal = done, total; mu.Unlock() },
+		ProgressInterval: time.Hour, // only the final snapshot fires
+	}
+	subset := []int{0, 5, 63}
+	want := 0
+	for _, s := range subset {
+		want += ShardTrials(cfg.Trials, s)
+	}
+	if _, err := RunVecShards(context.Background(), cfg, 1, nil,
+		func(rng *rand.Rand, _ any) ([]float64, error) { return []float64{1}, nil }, subset); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if lastDone != want || lastTotal != want {
+		t.Fatalf("final subset snapshot = (%d, %d), want (%d, %d)", lastDone, lastTotal, want, want)
+	}
+}
+
+// TestRunVecShardsErrorSelection pins deterministic error reporting within a
+// subset: the lowest-numbered failing trial of the subset wins.
+func TestRunVecShardsErrorSelection(t *testing.T) {
+	cfg := Config{Trials: 200, Seed: 1, Workers: 8}
+	fail := func(rng *rand.Rand, _ any) ([]float64, error) {
+		return nil, errors.New("boom")
+	}
+	_, err := RunVecShards(context.Background(), cfg, 1, nil, fail, []int{9, 2, 40})
+	if err == nil || err.Error() != "mc: trial 2: boom" {
+		t.Fatalf("got error %v, want mc: trial 2: boom", err)
+	}
+}

@@ -197,10 +197,17 @@ const (
 // for every (trial, station) and must depend only on the workstation.
 func (f Fleet) Replicate(ctx context.Context, factory SchedulerFactory, cfg mc.Config, tasksPer func(ws Workstation) *task.Bag) ([]stats.Summary, error) {
 	cfg, inner := mc.SplitConfig(cfg)
+	return mc.RunVec(ctx, cfg, NumFleetMetrics, f.trialVec(ctx, factory, inner, tasksPer))
+}
+
+// trialVec builds the one survey trial closure every fleet replication —
+// whole-run or shard-subset — executes, so the distributed and
+// single-process paths cannot drift apart.
+func (f Fleet) trialVec(ctx context.Context, factory SchedulerFactory, inner int, tasksPer func(ws Workstation) *task.Bag) mc.VecFunc {
 	inst := f
 	inst.Workers = inner
 	inst.Progress = nil // per-trial snapshots are not study progress
-	return mc.RunVec(ctx, cfg, NumFleetMetrics, func(rng *rand.Rand) ([]float64, error) {
+	return func(rng *rand.Rand) ([]float64, error) {
 		res, err := inst.Run(ctx, factory, rng.Int63(), tasksPer)
 		if err != nil {
 			return nil, err
@@ -220,5 +227,17 @@ func (f Fleet) Replicate(ctx context.Context, factory SchedulerFactory, cfg mc.C
 		out[FleetMetricInterrupts] = float64(interrupts)
 		out[FleetMetricKilledTicks] = float64(killed)
 		return out, nil
-	})
+	}
+}
+
+// ReplicateShards runs just the named mc shards of the survey study and
+// returns their partial accumulators: the same trial closure Replicate
+// drives, over exactly the trials those shards own, so a complete cover
+// merged by mc.MergeShards reproduces the single-process summaries bit for
+// bit wherever each subset ran.
+func (f Fleet) ReplicateShards(ctx context.Context, factory SchedulerFactory, cfg mc.Config, tasksPer func(ws Workstation) *task.Bag, shardIDs []int) ([]mc.ShardAccums, error) {
+	cfg, inner := mc.SplitConfig(cfg)
+	fn := f.trialVec(ctx, factory, inner, tasksPer)
+	return mc.RunVecShards(ctx, cfg, NumFleetMetrics, nil,
+		func(rng *rand.Rand, _ any) ([]float64, error) { return fn(rng) }, shardIDs)
 }

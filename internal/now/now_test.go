@@ -266,3 +266,41 @@ func TestFleetRunMemoOnOffBitIdentical(t *testing.T) {
 		}
 	}
 }
+
+// TestFleetReplicateShardsBitIdentical pins the distribution contract on the
+// survey path: disjoint shard subsets, run in any order, merge to the exact
+// Replicate summaries.
+func TestFleetReplicateShardsBitIdentical(t *testing.T) {
+	f := testFleet(6, Office{MeanIdle: 600, MaxP: 2})
+	tasksPer := func(ws Workstation) *task.Bag {
+		return task.NewBag(task.Exponential(60, 30, int64(ws.ID)))
+	}
+	cfg := mc.Config{Trials: 70, Seed: 4}
+	want, err := f.Replicate(context.Background(), equalizedFactory, cfg, tasksPer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, parts := range []int{1, 3} {
+		var shards []mc.ShardAccums
+		for p := parts - 1; p >= 0; p-- {
+			var ids []int
+			for s := p; s < mc.Shards; s += parts {
+				ids = append(ids, s)
+			}
+			part, err := f.ReplicateShards(context.Background(), equalizedFactory, cfg, tasksPer, ids)
+			if err != nil {
+				t.Fatal(err)
+			}
+			shards = append(shards, part...)
+		}
+		sums, err := mc.MergeShards(NumFleetMetrics, shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for m := range want {
+			if sums[m] != want[m] {
+				t.Errorf("parts=%d metric %d diverged:\n got %+v\nwant %+v", parts, m, sums[m], want[m])
+			}
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package stats
+
+import "fmt"
+
+// State mirrors: every field of an Accumulator (and its attached Sketch)
+// exposed as plain exported data, so partial replication state can cross a
+// process boundary and be rebuilt bit-identically on the other side. The
+// conversions copy float64 fields verbatim — no rounding, no recomputation —
+// which is what lets a coordinator merge worker-produced shard accumulators
+// into summaries identical to a single-process run.
+//
+// FromState is the untrusted direction: it re-validates every structural
+// invariant the incremental API maintains by construction (weight
+// conservation across the sketch hierarchy, matching observation counts,
+// matching level/parity lengths), so a decoder feeding it wire data gets a
+// loud error instead of an accumulator that lies.
+
+// SketchState is the full serializable state of a Sketch.
+type SketchState struct {
+	// K is the per-level buffer capacity.
+	K int
+	// N is the number of observations the sketch represents.
+	N int64
+	// Bound is the accumulated rank-error bound (Σ 2^l over compactions).
+	Bound int64
+	// Parity holds each level's alternating-selection offset.
+	Parity []bool
+	// Levels holds each level's retained values; Levels[l] values carry
+	// weight 2^l.
+	Levels [][]float64
+}
+
+// State snapshots the sketch. The returned state shares no memory with the
+// sketch; mutating one never perturbs the other.
+func (s *Sketch) State() SketchState {
+	st := SketchState{K: s.k, N: s.n, Bound: s.bound}
+	if len(s.parity) > 0 {
+		st.Parity = append([]bool(nil), s.parity...)
+	}
+	if len(s.levels) > 0 {
+		st.Levels = make([][]float64, len(s.levels))
+		for l, vals := range s.levels {
+			st.Levels[l] = append([]float64(nil), vals...)
+		}
+	}
+	return st
+}
+
+// SketchFromState rebuilds a sketch from a snapshot, validating the
+// structural invariants the Add/Merge path maintains by construction. The
+// rebuilt sketch answers every query bit-identically to the snapshotted one
+// and keeps absorbing observations and merges.
+func SketchFromState(st SketchState) (*Sketch, error) {
+	if st.K < 8 || st.K%2 != 0 {
+		return nil, fmt.Errorf("stats: sketch capacity must be even and ≥ 8, got %d", st.K)
+	}
+	if st.N < 0 {
+		return nil, fmt.Errorf("stats: sketch observation count must be ≥ 0, got %d", st.N)
+	}
+	if st.Bound < 0 {
+		return nil, fmt.Errorf("stats: sketch error bound must be ≥ 0, got %d", st.Bound)
+	}
+	if len(st.Parity) != len(st.Levels) {
+		return nil, fmt.Errorf("stats: sketch has %d parity entries for %d levels", len(st.Parity), len(st.Levels))
+	}
+	if len(st.Levels) >= 63 {
+		return nil, fmt.Errorf("stats: sketch has %d levels; weights past 2^62 overflow", len(st.Levels))
+	}
+	var weight int64
+	for l, vals := range st.Levels {
+		weight += int64(len(vals)) << l
+	}
+	if weight != st.N {
+		return nil, fmt.Errorf("stats: sketch levels carry weight %d for %d observations", weight, st.N)
+	}
+	s := &Sketch{k: st.K, n: st.N, bound: st.Bound}
+	if len(st.Levels) > 0 {
+		s.parity = append([]bool(nil), st.Parity...)
+		s.levels = make([][]float64, len(st.Levels))
+		for l, vals := range st.Levels {
+			buf := make([]float64, len(vals), max(len(vals), st.K))
+			copy(buf, vals)
+			s.levels[l] = buf
+		}
+	}
+	return s, nil
+}
+
+// AccumState is the full serializable state of an Accumulator.
+type AccumState struct {
+	// N is the number of observations folded in.
+	N int
+	// Mean and M2 are the Welford running mean and sum of squared deviations.
+	Mean, M2 float64
+	// Min and Max are the exact extremes (meaningful only when N ≥ 1).
+	Min, Max float64
+	// Sketch is the quantile sketch's state; nil when quantile tracking is
+	// disabled.
+	Sketch *SketchState
+}
+
+// State snapshots the accumulator (deep copy; see Sketch.State).
+func (a *Accumulator) State() AccumState {
+	st := AccumState{N: a.n, Mean: a.mean, M2: a.m2, Min: a.min, Max: a.max}
+	if a.sk != nil {
+		sk := a.sk.State()
+		st.Sketch = &sk
+	}
+	return st
+}
+
+// AccumulatorFromState rebuilds an accumulator from a snapshot, validating
+// the invariants the Add/Merge path maintains by construction. The rebuilt
+// accumulator merges and summarizes bit-identically to the snapshotted one.
+func AccumulatorFromState(st AccumState) (*Accumulator, error) {
+	if st.N < 0 {
+		return nil, fmt.Errorf("stats: accumulator observation count must be ≥ 0, got %d", st.N)
+	}
+	if st.N >= 1 && st.Min > st.Max {
+		return nil, fmt.Errorf("stats: accumulator min %g exceeds max %g", st.Min, st.Max)
+	}
+	a := &Accumulator{n: st.N, mean: st.Mean, m2: st.M2, min: st.Min, max: st.Max}
+	if st.Sketch != nil {
+		sk, err := SketchFromState(*st.Sketch)
+		if err != nil {
+			return nil, err
+		}
+		if sk.n != int64(st.N) {
+			return nil, fmt.Errorf("stats: accumulator holds %d observations but its sketch represents %d", st.N, sk.n)
+		}
+		a.sk = sk
+	}
+	return a, nil
+}

@@ -1,0 +1,134 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestStateRoundTrip pins the serialization contract: snapshot → rebuild →
+// continue adding and merging produces bit-identical summaries to never
+// having crossed the state boundary at all.
+func TestStateRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	direct := NewAccumulator(64)
+	for i := 0; i < 5000; i++ {
+		direct.Add(rng.ExpFloat64() * 12)
+	}
+
+	rebuilt, err := AccumulatorFromState(direct.State())
+	if err != nil {
+		t.Fatalf("round trip rejected a live accumulator: %v", err)
+	}
+	if rebuilt.Summary() != direct.Summary() {
+		t.Fatalf("rebuilt summary diverged:\n got %+v\nwant %+v", rebuilt.Summary(), direct.Summary())
+	}
+
+	// The rebuilt accumulator must keep working: add the same tail to both
+	// and merge the same partial into both, then compare bit for bit.
+	tailA, tailB := rand.New(rand.NewSource(8)), rand.New(rand.NewSource(8))
+	other := NewAccumulator(64)
+	for i := 0; i < 1000; i++ {
+		other.Add(float64(i%17) - 3.5)
+	}
+	for i := 0; i < 3000; i++ {
+		direct.Add(tailA.NormFloat64())
+		rebuilt.Add(tailB.NormFloat64())
+	}
+	direct.Merge(other)
+	rebuilt.Merge(other)
+	if rebuilt.Summary() != direct.Summary() {
+		t.Fatalf("post-rebuild evolution diverged:\n got %+v\nwant %+v", rebuilt.Summary(), direct.Summary())
+	}
+	if got, want := rebuilt.Quantile(0.75), direct.Quantile(0.75); got != want {
+		t.Fatalf("post-rebuild quantile diverged: got %g want %g", got, want)
+	}
+}
+
+// TestStateDeepCopies pins the aliasing contract: State is a deep copy in
+// both directions.
+func TestStateDeepCopies(t *testing.T) {
+	a := NewAccumulator(8)
+	for i := 0; i < 100; i++ {
+		a.Add(float64(i))
+	}
+	st := a.State()
+	before := a.Summary()
+	st.Sketch.Levels[0][0] = math.Inf(1)
+	if a.Summary() != before {
+		t.Fatal("mutating the snapshot perturbed the accumulator")
+	}
+	st = a.State()
+	b, err := AccumulatorFromState(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Sketch.Levels[0][0] = math.Inf(1)
+	if b.Summary() != before {
+		t.Fatal("mutating the snapshot perturbed the rebuilt accumulator")
+	}
+}
+
+// TestStateEmptyAndSketchless covers the degenerate shapes the replication
+// engine produces for unmeasured metrics and empty shards.
+func TestStateEmptyAndSketchless(t *testing.T) {
+	empty, err := AccumulatorFromState(NewAccumulator(64).State())
+	if err != nil {
+		t.Fatalf("empty accumulator rejected: %v", err)
+	}
+	if empty.N() != 0 || empty.Summary() != (Summary{}) {
+		t.Fatalf("empty accumulator not empty after round trip: %+v", empty.Summary())
+	}
+
+	nosk := NewAccumulator(0)
+	nosk.Add(3)
+	nosk.Add(5)
+	back, err := AccumulatorFromState(nosk.State())
+	if err != nil {
+		t.Fatalf("sketchless accumulator rejected: %v", err)
+	}
+	if back.Summary() != nosk.Summary() {
+		t.Fatalf("sketchless summary diverged: %+v vs %+v", back.Summary(), nosk.Summary())
+	}
+}
+
+// TestStateValidation pins the strict-decode side: states that violate the
+// invariants the incremental API maintains are rejected, never absorbed.
+func TestStateValidation(t *testing.T) {
+	valid := func() AccumState {
+		a := NewAccumulator(16)
+		for i := 0; i < 200; i++ {
+			a.Add(float64(i))
+		}
+		return a.State()
+	}
+	cases := []struct {
+		name   string
+		break_ func(*AccumState)
+	}{
+		{"negative n", func(st *AccumState) { st.N = -1 }},
+		{"min above max", func(st *AccumState) { st.Min, st.Max = 5, 1 }},
+		{"sketch count mismatch", func(st *AccumState) { st.Sketch.N++ }},
+		{"odd capacity", func(st *AccumState) { st.Sketch.K = 9 }},
+		{"tiny capacity", func(st *AccumState) { st.Sketch.K = 4 }},
+		{"negative bound", func(st *AccumState) { st.Sketch.Bound = -1 }},
+		{"parity length mismatch", func(st *AccumState) { st.Sketch.Parity = st.Sketch.Parity[:len(st.Sketch.Parity)-1] }},
+		{"weight mismatch", func(st *AccumState) {
+			st.Sketch.Levels[0] = st.Sketch.Levels[0][:len(st.Sketch.Levels[0])-1]
+		}},
+		{"level explosion", func(st *AccumState) {
+			st.Sketch.Levels = make([][]float64, 64)
+			st.Sketch.Parity = make([]bool, 64)
+		}},
+	}
+	for _, tc := range cases {
+		st := valid()
+		tc.break_(&st)
+		if _, err := AccumulatorFromState(st); err == nil {
+			t.Errorf("%s: corrupted state accepted", tc.name)
+		}
+	}
+	if _, err := AccumulatorFromState(valid()); err != nil {
+		t.Fatalf("pristine state rejected: %v", err)
+	}
+}
